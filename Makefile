@@ -1,0 +1,22 @@
+.PHONY: all build test bench examples quickbench clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+quickbench:
+	dune exec bench/main.exe -- --quick
+
+examples:
+	@for e in quickstart bibliography_search sponsored_search baseball_explore live_catalog paper_walkthrough; do \
+	  echo "== examples/$$e"; dune exec examples/$$e.exe; echo; done
+
+clean:
+	dune clean
