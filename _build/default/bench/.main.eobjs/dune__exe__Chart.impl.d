@@ -1,0 +1,1 @@
+bench/chart.ml: Float List Printf String

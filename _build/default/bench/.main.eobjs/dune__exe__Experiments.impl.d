@@ -1,0 +1,1 @@
+bench/experiments.ml: Array Chart Engine Float List Printf Ranking Refined_query Result String Tables Timing Workload Xr_data Xr_eval Xr_index Xr_refine Xr_slca Xr_xml

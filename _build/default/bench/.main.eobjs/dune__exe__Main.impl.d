@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Array Bechamel_suite Experiments List Printf String Sys Unix Workload

@@ -1,0 +1,1 @@
+bench/tables.ml: Array Buffer List Printf String

@@ -1,0 +1,1 @@
+bench/timing.ml: List Sys Unix

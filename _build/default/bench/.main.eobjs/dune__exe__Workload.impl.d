@@ -1,0 +1,1 @@
+bench/workload.ml: List Printf Unix Xr_data Xr_eval Xr_index Xr_text Xr_xml

@@ -1,0 +1,79 @@
+(* Statistically robust micro-benchmarks of each experiment's hot kernel:
+   one Bechamel test per table/figure of the paper. *)
+
+open Bechamel
+open Toolkit
+module Slca = Xr_slca.Engine
+open Xr_refine
+
+let make_tests (w : Workload.t) =
+  let index = w.Workload.dblp in
+  let pick_query kind fallback =
+    match Workload.cases_of_kind w kind with
+    | c :: _ -> c.Xr_eval.Querylog.corrupted
+    | [] -> fallback
+  in
+  let deletion_q = pick_query Xr_eval.Querylog.Overconstrain [ "xml"; "query"; "1997" ] in
+  let merge_q = pick_query Xr_eval.Querylog.Split_word [ "data"; "base"; "system" ] in
+  let subst_q = pick_query Xr_eval.Querylog.Misspell [ "databse"; "system" ] in
+  let refine alg k q () =
+    let config = { Engine.default_config with algorithm = alg; k } in
+    ignore (Engine.refine ~config index q)
+  in
+  let slca_lists q =
+    List.map
+      (fun k ->
+        match Xr_xml.Doc.keyword_id index.Xr_index.Index.doc k with
+        | Some kw -> Xr_index.Inverted.list index.Xr_index.Index.inverted kw
+        | None -> [||])
+      q
+  in
+  let common_lists = slca_lists [ "data"; "system"; "year" ] in
+  let dp_kernel =
+    let rules =
+      Ruleset.mine ~thesaurus:w.Workload.thesaurus index.Xr_index.Index.doc subst_q
+    in
+    let available k = Xr_xml.Doc.keyword_id index.Xr_index.Index.doc k <> None in
+    fun () -> ignore (Optimal_rq.top_k ~rules ~available ~k:8 subst_q)
+  in
+  let ranking_kernel =
+    let rq =
+      {
+        Refined_query.keywords = [ "data"; "system" ];
+        dissimilarity = 2;
+        edits = [ Refined_query.Deleted "qqq" ];
+      }
+    in
+    fun () -> ignore (Ranking.score index.Xr_index.Index.stats ~original:deletion_q rq)
+  in
+  Test.make_grouped ~name:"xrefine"
+    [
+      Test.make ~name:"tables3-6/optimal-rq-dp" (Staged.stage dp_kernel);
+      Test.make ~name:"fig4/stack-refine-top1" (Staged.stage (refine Engine.Stack_refine 1 merge_q));
+      Test.make ~name:"fig4/sle-top1" (Staged.stage (refine Engine.Short_list_eager 1 merge_q));
+      Test.make ~name:"fig4/partition-top1" (Staged.stage (refine Engine.Partition 1 merge_q));
+      Test.make ~name:"fig4/scan-slca"
+        (Staged.stage (fun () -> ignore (Slca.compute Slca.Scan_eager common_lists)));
+      Test.make ~name:"fig4/stack-slca"
+        (Staged.stage (fun () -> ignore (Slca.compute Slca.Stack common_lists)));
+      Test.make ~name:"fig5/partition-top6" (Staged.stage (refine Engine.Partition 6 deletion_q));
+      Test.make ~name:"fig5/sle-top6" (Staged.stage (refine Engine.Short_list_eager 6 deletion_q));
+      Test.make ~name:"tables9-10/ranking-score" (Staged.stage ranking_kernel);
+    ]
+
+let run w =
+  let tests = make_tests w in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.3) () in
+  let analyze = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  print_newline ();
+  print_endline "== Bechamel micro-benchmarks (one per experiment kernel, ns/run)";
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all analyze Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some (est :: _) -> Printf.printf "  %-40s %14.0f ns/run\n%!" name est
+      | Some [] | None -> Printf.printf "  %-40s (no estimate)\n%!" name)
+    (List.sort compare rows)

@@ -1,0 +1,41 @@
+(* ASCII charts for the benchmark "figures": horizontal bars per series,
+   scaled to the largest value, so the figures of the paper read as
+   figures in the terminal too. *)
+
+let bar_width = 44
+
+(* [series]: (label, [(x-label, value)]) — one group of bars per x-label,
+   one bar per series. *)
+let grouped ~title ~unit (series : (string * (string * float) list) list) =
+  match series with
+  | [] -> ()
+  | _ ->
+    let all = List.concat_map (fun (_, pts) -> List.map snd pts) series in
+    let vmax = List.fold_left Float.max 1e-12 all in
+    let label_width =
+      List.fold_left
+        (fun acc (_, pts) -> List.fold_left (fun a (x, _) -> max a (String.length x)) acc pts)
+        1 series
+    in
+    let series_width =
+      List.fold_left (fun a (name, _) -> max a (String.length name)) 1 series
+    in
+    Printf.printf "\n-- %s (bar = %s, full width = %.2f)\n" title unit vmax;
+    let xs = match series with (_, pts) :: _ -> List.map fst pts | [] -> [] in
+    List.iter
+      (fun x ->
+        List.iteri
+          (fun i (name, pts) ->
+            match List.assoc_opt x pts with
+            | None -> ()
+            | Some v ->
+              let n = int_of_float (Float.round (v /. vmax *. float_of_int bar_width)) in
+              let n = max 0 (min bar_width n) in
+              Printf.printf "%-*s %-*s |%s%s %.2f\n" label_width
+                (if i = 0 then x else "")
+                series_width name (String.make n '#')
+                (String.make (bar_width - n) ' ')
+                v)
+          series;
+        print_newline ())
+      xs

@@ -1,0 +1,73 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section VIII). Usage:
+
+     dune exec bench/main.exe                      # everything
+     dune exec bench/main.exe -- --quick           # smaller corpus/workload
+     dune exec bench/main.exe -- --exp fig5a       # one experiment
+     dune exec bench/main.exe -- --list            # experiment ids
+     dune exec bench/main.exe -- --no-bechamel     # skip micro-benchmarks *)
+
+let experiments =
+  [
+    ("table3", "Table III: term-deletion query set", Experiments.table3);
+    ("table4", "Table IV: term-merging query set", Experiments.table4);
+    ("table5", "Table V: term-split query set", Experiments.table5);
+    ("table6", "Table VI: term-substitution query set", Experiments.table6);
+    ("fig4", "Figure 4: Top-1 refinement time per sample query", Experiments.fig4);
+    ("fig5a", "Figure 5(a): Top-K sweep on DBLP", Experiments.fig5a);
+    ("fig5b", "Figure 5(b): Top-K sweep on Baseball", Experiments.fig5b);
+    ("fig5c", "Extension: Top-K sweep on the auction corpus (few huge partitions)", Experiments.fig5c);
+    ("fig6", "Figure 6: data-size sweep", Experiments.fig6);
+    ("table7", "Table VII: Top-4 refined queries", Experiments.table7);
+    ("table8", "Table VIII: query pool statistics", Experiments.table8);
+    ("table9", "Table IX: ranking-model ablations (CG@K)", Experiments.table9);
+    ("table10", "Table X: alpha/beta weightings (CG@K)", Experiments.table10);
+    ("decay", "Decay study (Sec. VIII-C): CG@K vs p", Ablations.decay);
+    ("ablations", "Design-choice ablations (beam, deletion cost, threshold, SLCA engine)", Ablations.ablations);
+    ("index", "Index construction: build/persist/reload (Section VII)", Ablations.index_construction);
+    ("baselines", "Baselines: static cleaning and OR relaxation vs XRefine", Ablations.baselines);
+    ("bykind", "Per-corruption-kind effectiveness", Ablations.by_kind);
+    ("specialize", "Extension: specialization of over-broad queries", Ablations.specialization);
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let quick = List.mem "--quick" args in
+  let no_bechamel = List.mem "--no-bechamel" args in
+  if List.mem "--list" args then begin
+    List.iter (fun (id, desc, _) -> Printf.printf "%-8s %s\n" id desc) experiments;
+    exit 0
+  end;
+  let rec selected = function
+    | "--exp" :: id :: rest -> id :: selected rest
+    | _ :: rest -> selected rest
+    | [] -> []
+  in
+  let wanted = selected args in
+  let rec seed_of = function
+    | "--seed" :: s :: _ -> int_of_string s
+    | _ :: rest -> seed_of rest
+    | [] -> 2009
+  in
+  let seed = seed_of args in
+  let to_run =
+    if wanted = [] then experiments
+    else
+      List.filter (fun (id, _, _) -> List.mem id wanted) experiments
+      |> function
+      | [] ->
+        Printf.eprintf "unknown experiment(s): %s (try --list)\n" (String.concat " " wanted);
+        exit 1
+      | l -> l
+  in
+  let t0 = Unix.gettimeofday () in
+  let w = Workload.create ~quick ~seed () in
+  List.iter
+    (fun (id, desc, f) ->
+      Printf.printf "\n### [%s] %s\n%!" id desc;
+      let t = Unix.gettimeofday () in
+      f w;
+      Printf.printf "[%s] done in %.1fs\n%!" id (Unix.gettimeofday () -. t))
+    to_run;
+  if not no_bechamel then Bechamel_suite.run w;
+  Printf.printf "\ntotal benchmark time: %.1fs\n" (Unix.gettimeofday () -. t0)

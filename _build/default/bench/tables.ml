@@ -1,0 +1,40 @@
+(* Plain-text table rendering for the experiment reports. *)
+
+let rule width = String.make width '-'
+
+let render ~title ~header rows =
+  let cols = List.length header in
+  let widths = Array.make cols 0 in
+  List.iteri (fun i h -> widths.(i) <- String.length h) header;
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> if String.length cell > widths.(i) then widths.(i) <- String.length cell) row)
+    rows;
+  let buf = Buffer.create 1024 in
+  let line row =
+    List.iteri
+      (fun i cell ->
+        Buffer.add_string buf (if i = 0 then "| " else " | ");
+        Buffer.add_string buf cell;
+        Buffer.add_string buf (String.make (widths.(i) - String.length cell) ' '))
+      row;
+    Buffer.add_string buf " |\n"
+  in
+  let total = Array.fold_left ( + ) 0 widths + (3 * cols) + 1 in
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf ("== " ^ title ^ "\n");
+  Buffer.add_string buf (rule total);
+  Buffer.add_char buf '\n';
+  line header;
+  Buffer.add_string buf (rule total);
+  Buffer.add_char buf '\n';
+  List.iter line rows;
+  Buffer.add_string buf (rule total);
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let print ~title ~header rows = print_string (render ~title ~header rows)
+
+let ms f = Printf.sprintf "%.2f" (f *. 1000.)
+
+let f2 f = Printf.sprintf "%.3f" f

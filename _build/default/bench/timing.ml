@@ -1,0 +1,19 @@
+(* Wall-clock timing: warm once, run [repeat] times, report the median —
+   robust against one-off GC pauses, matching the paper's hot-cache
+   methodology. *)
+
+let time_once f =
+  let t0 = Unix.gettimeofday () in
+  ignore (Sys.opaque_identity (f ()));
+  Unix.gettimeofday () -. t0
+
+let median ?(repeat = 5) f =
+  ignore (Sys.opaque_identity (f ()));
+  let samples = List.init repeat (fun _ -> time_once f) in
+  let sorted = List.sort compare samples in
+  List.nth sorted (repeat / 2)
+
+let mean_over xs f =
+  match xs with
+  | [] -> 0.
+  | _ -> List.fold_left (fun acc x -> acc +. f x) 0. xs /. float_of_int (List.length xs)

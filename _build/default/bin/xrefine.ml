@@ -1,0 +1,496 @@
+(* xrefine: command-line front end of the XRefine engine.
+
+   Subcommands:
+     generate  write a synthetic corpus (dblp | baseball | figure1) to XML
+     index     build and persist the index of an XML file
+     search    plain meaningful-SLCA search
+     refine    automatic query refinement (the paper's pipeline)
+     stats     document statistics: node types, search-for inference *)
+
+open Cmdliner
+module Index = Xr_index.Index
+module Engine = Xr_refine.Engine
+module Result = Xr_refine.Result
+
+(* ---- shared arguments -------------------------------------------------- *)
+
+let doc_file =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "d"; "document" ] ~docv:"FILE" ~doc:"XML document to operate on.")
+
+let query_args =
+  Arg.(value & pos_all string [] & info [] ~docv:"KEYWORD" ~doc:"Query keywords.")
+
+let load_index file =
+  if Filename.check_suffix file ".xrdb" then Index.load (Xr_store.Kv.btree_file file)
+  else Index.of_file file
+
+(* ---- generate ----------------------------------------------------------- *)
+
+let generate_cmd =
+  let corpus =
+    Arg.(
+      required
+      & pos 0
+          (some
+             (enum
+                [ ("dblp", `Dblp); ("baseball", `Baseball); ("auction", `Auction); ("figure1", `Figure1) ]))
+          None
+      & info [] ~docv:"CORPUS" ~doc:"Corpus kind: dblp, baseball, auction or figure1.")
+  in
+  let out =
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output path.")
+  in
+  let scale =
+    Arg.(value & opt int 2000 & info [ "n"; "scale" ] ~docv:"N" ~doc:"Publications (dblp only).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Generator seed.") in
+  let run corpus out scale seed =
+    let tree =
+      match corpus with
+      | `Dblp -> Xr_data.Dblp.scaled ~publications:scale ~seed
+      | `Baseball -> Xr_data.Baseball.generate ~config:{ Xr_data.Baseball.default_config with seed } ()
+      | `Auction -> Xr_data.Auction.generate ~config:{ Xr_data.Auction.default_config with seed } ()
+      | `Figure1 -> Xr_data.Figure1.tree ()
+    in
+    Xr_xml.Printer.to_file out tree;
+    Printf.printf "wrote %s (%d element nodes)\n" out (Xr_xml.Tree.size tree)
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a synthetic XML corpus.")
+    Term.(const run $ corpus $ out $ scale $ seed)
+
+(* ---- index ---------------------------------------------------------------- *)
+
+let index_cmd =
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE.xrdb" ~doc:"Index store to create.")
+  in
+  let run doc out =
+    let t0 = Unix.gettimeofday () in
+    let index = Index.of_file doc in
+    let kv = Xr_store.Kv.btree_file out in
+    Index.save index kv;
+    kv.Xr_store.Kv.close ();
+    Printf.printf "indexed %s -> %s: %d nodes, %d keywords, %d node types in %.2fs\n" doc out
+      (Xr_xml.Doc.node_count index.Index.doc)
+      (List.length (Xr_xml.Doc.vocabulary index.Index.doc))
+      (Xr_xml.Path.size index.Index.doc.Xr_xml.Doc.paths)
+      (Unix.gettimeofday () -. t0)
+  in
+  Cmd.v
+    (Cmd.info "index" ~doc:"Build and persist the inverted lists and statistics of a document.")
+    Term.(const run $ doc_file $ out)
+
+(* ---- search ----------------------------------------------------------------- *)
+
+let search_cmd =
+  let alg =
+    Arg.(
+      value
+      & opt string "scan-eager"
+      & info [ "slca" ] ~docv:"ALG" ~doc:"SLCA engine: stack, scan-eager, indexed-lookup, multiway.")
+  in
+  let rank =
+    Arg.(value & flag & info [ "rank" ] ~doc:"Order results by XML TF*IDF relevance.")
+  in
+  let interconnected =
+    Arg.(
+      value & flag
+      & info [ "interconnected" ]
+          ~doc:"Keep only results whose witnesses are pairwise interconnected (XSEarch).")
+  in
+  let run doc alg rank interconnected query =
+    let index = load_index doc in
+    let slca =
+      match Xr_slca.Engine.of_name alg with
+      | Some a -> a
+      | None -> failwith ("unknown SLCA engine " ^ alg)
+    in
+    let config = { Engine.default_config with slca } in
+    let post slcas =
+      if interconnected then Xr_slca.Interconnection.filter index query slcas else slcas
+    in
+    match post (Engine.search ~config index query) with
+    | [] -> print_endline "no meaningful result (the query may need refinement; try `refine`)"
+    | slcas ->
+      let entries =
+        if rank then
+          let ids = List.filter_map (Xr_xml.Doc.keyword_id index.Index.doc) query in
+          Xr_slca.Result_rank.rank index.Index.stats ~query:ids slcas
+        else List.map (fun d -> (d, 0.)) slcas
+      in
+      Printf.printf "%d meaningful SLCA result(s):\n" (List.length slcas);
+      let ids = List.filter_map (Xr_xml.Doc.keyword_id index.Index.doc) query in
+      List.iter
+        (fun (d, score) ->
+          let snippet = Xr_slca.Snippet.of_result index.Index.doc ~query:ids d in
+          if rank then
+            Printf.printf "- %-24s (relevance %.3f)  %s\n"
+              (Xr_xml.Doc.label index.Index.doc d) score snippet
+          else Printf.printf "- %-24s %s\n" (Xr_xml.Doc.label index.Index.doc d) snippet)
+        entries
+  in
+  Cmd.v
+    (Cmd.info "search" ~doc:"Meaningful-SLCA keyword search (no refinement).")
+    Term.(const run $ doc_file $ alg $ rank $ interconnected $ query_args)
+
+(* ---- suggest -------------------------------------------------------------- *)
+
+let suggest_cmd =
+  let k = Arg.(value & opt int 5 & info [ "k" ] ~docv:"K" ~doc:"Suggestions to return.") in
+  let run doc k query =
+    let index = load_index doc in
+    let d = index.Index.doc in
+    let config = { Xr_refine.Specialize.default_config with k } in
+    match Engine.search index query with
+    | [] -> print_endline "no meaningful result; use `refine` instead"
+    | results -> (
+      Printf.printf "query has %d meaningful result(s); narrowing suggestions:\n"
+        (List.length results);
+      match Xr_refine.Specialize.suggest ~config index query with
+      | [] -> print_endline "  (no keyword usefully narrows this query)"
+      | suggestions ->
+        List.iteri
+          (fun i (s : Xr_refine.Specialize.suggestion) ->
+            Printf.printf "  #%d add \"%s\" -> {%s}: %d result(s), e.g. %s\n" (i + 1)
+              s.Xr_refine.Specialize.added
+              (String.concat " " s.Xr_refine.Specialize.keywords)
+              (List.length s.Xr_refine.Specialize.slcas)
+              (match s.Xr_refine.Specialize.slcas with
+              | r :: _ -> Xr_xml.Doc.label d r
+              | [] -> "-"))
+          suggestions)
+  in
+  Cmd.v
+    (Cmd.info "suggest"
+       ~doc:"Narrow an over-broad query by suggesting additional keywords (specialization).")
+    Term.(const run $ doc_file $ k $ query_args)
+
+(* ---- refine ------------------------------------------------------------------ *)
+
+let refine_cmd =
+  let k = Arg.(value & opt int 3 & info [ "k" ] ~docv:"K" ~doc:"Refined queries to return.") in
+  let alg =
+    Arg.(
+      value
+      & opt string "partition"
+      & info [ "a"; "algorithm" ] ~docv:"ALG" ~doc:"stack-refine, partition or sle.")
+  in
+  let show_rules = Arg.(value & flag & info [ "show-rules" ] ~doc:"Print the consulted rules.") in
+  let rules_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "rules" ] ~docv:"FILE" ~doc:"Extra refinement rules (see Rule_file format).")
+  in
+  let no_mine =
+    Arg.(value & flag & info [ "no-mine" ] ~doc:"Disable automatic rule mining (use only --rules).")
+  in
+  let explain =
+    Arg.(value & flag & info [ "explain" ] ~doc:"Print the ranking breakdown of each refined query.")
+  in
+  let thesaurus_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "thesaurus" ] ~docv:"FILE" ~doc:"Extra synonym/acronym entries (see Thesaurus format).")
+  in
+  let run doc k alg show_rules rules_file no_mine explain thesaurus_file query =
+    let index = load_index doc in
+    let algorithm =
+      match Engine.algorithm_of_name alg with
+      | Some a -> a
+      | None -> failwith ("unknown algorithm " ^ alg)
+    in
+    let thesaurus =
+      match thesaurus_file with
+      | None -> None
+      | Some f ->
+        let base = Xr_text.Thesaurus.default () in
+        Xr_text.Thesaurus.merge base (Xr_text.Thesaurus.load f);
+        Some base
+    in
+    let config =
+      { Engine.default_config with k; algorithm; auto_mine = not no_mine; thesaurus }
+    in
+    let rules =
+      match rules_file with Some f -> Xr_refine.Rule_file.load f | None -> []
+    in
+    let resp = Engine.refine ~config ~rules index query in
+    if show_rules then begin
+      print_endline "rules consulted:";
+      List.iter (fun r -> Printf.printf "  %s\n" (Xr_refine.Rule.to_string r)) resp.Engine.rules_used
+    end;
+    print_endline (Result.describe index.Index.doc resp.Engine.result);
+    if explain then begin
+      match resp.Engine.result with
+      | Result.Refined matches ->
+        print_endline "ranking breakdown:";
+        List.iter
+          (fun (m : Result.rq_match) ->
+            print_endline
+              (Xr_refine.Ranking.explain index.Index.stats ~original:query m.Result.rq))
+          matches
+      | Result.Original _ | Result.No_result -> ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "refine" ~doc:"Automatic XML keyword query refinement (the paper's pipeline).")
+    Term.(
+      const run $ doc_file $ k $ alg $ show_rules $ rules_file $ no_mine $ explain
+      $ thesaurus_file $ query_args)
+
+(* ---- complete ----------------------------------------------------------------- *)
+
+let complete_cmd =
+  let prefix =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"PREFIX" ~doc:"Keyword prefix.")
+  in
+  let k = Arg.(value & opt int 10 & info [ "k" ] ~docv:"K" ~doc:"Completions to show.") in
+  let run doc prefix k =
+    let index = load_index doc in
+    let d = index.Index.doc in
+    let trie =
+      Xr_text.Trie.of_vocabulary
+        (List.map
+           (fun w ->
+             ( w,
+               match Xr_xml.Doc.keyword_id d w with
+               | Some kw -> Xr_index.Inverted.length index.Index.inverted kw
+               | None -> 0 ))
+           (Xr_xml.Doc.vocabulary d))
+    in
+    match Xr_text.Trie.complete trie ~limit:k prefix with
+    | [] -> print_endline "(no completion in this corpus)"
+    | completions ->
+      List.iter (fun (w, n) -> Printf.printf "%-24s %d occurrence node(s)\n" w n) completions
+  in
+  Cmd.v
+    (Cmd.info "complete" ~doc:"Complete a keyword prefix against the corpus vocabulary.")
+    Term.(const run $ doc_file $ prefix $ k)
+
+(* ---- repl ---------------------------------------------------------------------- *)
+
+let repl_cmd =
+  let run doc =
+    let index = load_index doc in
+    let d = index.Index.doc in
+    let trie =
+      lazy
+        (Xr_text.Trie.of_vocabulary
+           (List.map
+              (fun w ->
+                ( w,
+                  match Xr_xml.Doc.keyword_id d w with
+                  | Some kw -> Xr_index.Inverted.length index.Index.inverted kw
+                  | None -> 0 ))
+              (Xr_xml.Doc.vocabulary d)))
+    in
+    Printf.printf
+      "xrefine repl — %d nodes, %d keywords.\nType a query; :complete PREFIX, :xpath PATH, :explain QUERY, :quit.\n%!"
+      (Xr_xml.Doc.node_count d)
+      (List.length (Xr_xml.Doc.vocabulary d));
+    let rec loop () =
+      print_string "query> ";
+      match In_channel.input_line stdin with
+      | None -> ()
+      | Some line when String.trim line = ":quit" || String.trim line = ":q" -> ()
+      | Some line when String.length (String.trim line) > 10
+                       && String.sub (String.trim line) 0 10 = ":complete " ->
+        let prefix = String.trim (String.sub (String.trim line) 10 (String.length (String.trim line) - 10)) in
+        List.iter
+          (fun (w, n) -> Printf.printf "  %-24s %d occurrence node(s)\n" w n)
+          (Xr_text.Trie.complete (Lazy.force trie) prefix);
+        loop ()
+      | Some line when String.length (String.trim line) > 7
+                       && String.sub (String.trim line) 0 7 = ":xpath " ->
+        let expr = String.trim (String.sub (String.trim line) 7 (String.length (String.trim line) - 7)) in
+        (match Xr_xml.Xpath.parse expr with
+        | Error msg -> Printf.printf "  bad path: %s\n" msg
+        | Ok p ->
+          let nodes = Xr_xml.Xpath.eval d p in
+          Printf.printf "  %d node(s)\n" (List.length nodes);
+          List.iteri
+            (fun i dewey -> if i < 10 then Printf.printf "  - %s\n" (Xr_xml.Doc.label d dewey))
+            nodes);
+        loop ()
+      | Some line when String.length (String.trim line) > 9
+                       && String.sub (String.trim line) 0 9 = ":explain " ->
+        let q = Xr_xml.Token.tokenize (String.sub (String.trim line) 9 (String.length (String.trim line) - 9)) in
+        (match (Engine.refine index q).Engine.result with
+        | Result.Refined matches ->
+          List.iter
+            (fun (m : Result.rq_match) ->
+              print_endline (Xr_refine.Ranking.explain index.Index.stats ~original:q m.Result.rq))
+            matches
+        | Result.Original _ -> print_endline "  (matches directly; nothing to explain)"
+        | Result.No_result -> print_endline "  (no refinement found)");
+        loop ()
+      | Some line ->
+        let query = Xr_xml.Token.tokenize line in
+        (if query = [] then print_endline "(empty query)"
+         else begin
+           let ids = List.filter_map (Xr_xml.Doc.keyword_id d) query in
+           match Engine.auto index query with
+           | Engine.Matched slcas ->
+             Printf.printf "%d result(s):\n" (List.length slcas);
+             List.iteri
+               (fun i dewey ->
+                 if i < 10 then
+                   Printf.printf "  %-24s %s\n" (Xr_xml.Doc.label d dewey)
+                     (Xr_slca.Snippet.of_result d ~query:ids dewey))
+               slcas
+           | Engine.Auto_refined resp ->
+             print_endline "no meaningful result; refined automatically:";
+             print_endline (Result.describe d resp.Engine.result)
+           | Engine.Narrowed (slcas, suggestions) ->
+             Printf.printf "%d results - narrow with:%s\n" (List.length slcas)
+               (String.concat ""
+                  (List.map
+                     (fun (s : Xr_refine.Specialize.suggestion) ->
+                       Printf.sprintf " +%s(%d)" s.Xr_refine.Specialize.added
+                         (List.length s.Xr_refine.Specialize.slcas))
+                     suggestions))
+         end);
+        loop ()
+    in
+    loop ()
+  in
+  Cmd.v
+    (Cmd.info "repl" ~doc:"Interactive query session with the fully adaptive pipeline.")
+    Term.(const run $ doc_file)
+
+(* ---- xpath ------------------------------------------------------------------ *)
+
+let xpath_cmd =
+  let expr =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"PATH" ~doc:"Path expression.")
+  in
+  let run doc expr =
+    let index = load_index doc in
+    let d = index.Index.doc in
+    match Xr_xml.Xpath.parse expr with
+    | Error msg -> failwith ("bad path: " ^ msg)
+    | Ok p ->
+      let nodes = Xr_xml.Xpath.eval d p in
+      Printf.printf "%d node(s) match %s:\n" (List.length nodes) (Xr_xml.Xpath.to_string p);
+      List.iteri
+        (fun i dewey ->
+          if i < 20 then Printf.printf "- %s\n" (Xr_xml.Doc.label d dewey)
+          else if i = 20 then print_endline "  ...")
+        nodes
+  in
+  Cmd.v
+    (Cmd.info "xpath" ~doc:"Evaluate a simple path expression (child//descendant steps, [kw] filter).")
+    Term.(const run $ doc_file $ expr)
+
+(* ---- workload / replay ---------------------------------------------------- *)
+
+let workload_cmd =
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Trace file to write.")
+  in
+  let per_kind =
+    Arg.(value & opt int 5 & info [ "per-kind" ] ~docv:"N" ~doc:"Cases per corruption kind.")
+  in
+  let seed = Arg.(value & opt int 2009 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed.") in
+  let run doc out per_kind seed =
+    let index = load_index doc in
+    let rng = Xr_data.Rng.create seed in
+    let thesaurus = Xr_text.Thesaurus.default () in
+    let pool = Xr_eval.Querylog.pool ~thesaurus rng index ~per_kind in
+    Xr_eval.Trace.save out pool;
+    Printf.printf "wrote %d corrupted queries (with intents and repair rules) to %s\n"
+      (List.length pool) out
+  in
+  Cmd.v
+    (Cmd.info "workload"
+       ~doc:"Generate a reproducible pool of corrupted queries (with known repairs) for a document.")
+    Term.(const run $ doc_file $ out $ per_kind $ seed)
+
+let replay_cmd =
+  let trace =
+    Arg.(
+      required & opt (some file) None & info [ "t"; "trace" ] ~docv:"FILE" ~doc:"Trace to replay.")
+  in
+  let run doc trace =
+    let index = load_index doc in
+    let cases = Xr_eval.Trace.load trace in
+    let hits = ref 0 and total = ref 0 in
+    List.iter
+      (fun (c : Xr_eval.Querylog.case) ->
+        incr total;
+        let resp = Engine.refine index c.Xr_eval.Querylog.corrupted in
+        let recovered =
+          match resp.Engine.result with
+          | Result.Refined ({ Result.rq; _ } :: _) ->
+            rq.Xr_refine.Refined_query.keywords
+            = List.sort_uniq String.compare
+                (List.map Xr_xml.Token.normalize c.Xr_eval.Querylog.intent)
+          | _ -> false
+        in
+        if recovered then incr hits;
+        Printf.printf "[%s] {%s} -> %s\n"
+          (Xr_eval.Querylog.kind_name c.Xr_eval.Querylog.kind)
+          (String.concat "," c.Xr_eval.Querylog.corrupted)
+          (match resp.Engine.result with
+          | Result.Refined ({ Result.rq; slcas; _ } :: _) ->
+            Printf.sprintf "%s (%d results)%s"
+              (Xr_refine.Refined_query.to_string rq)
+              (List.length slcas)
+              (if recovered then "  [intent recovered]" else "")
+          | Result.Original _ -> "(matched directly)"
+          | Result.Refined [] | Result.No_result -> "(no refinement)"))
+      cases;
+    Printf.printf "recovered the exact intent for %d/%d queries\n" !hits !total
+  in
+  Cmd.v
+    (Cmd.info "replay" ~doc:"Replay a workload trace and report intent recovery.")
+    Term.(const run $ doc_file $ trace)
+
+(* ---- stats --------------------------------------------------------------------- *)
+
+let stats_cmd =
+  let run doc query =
+    let index = load_index doc in
+    let d = index.Index.doc in
+    Printf.printf "document: %d element nodes, %d keywords, %d node types, depth %d\n"
+      (Xr_xml.Doc.node_count d)
+      (List.length (Xr_xml.Doc.vocabulary d))
+      (Xr_xml.Path.size d.Xr_xml.Doc.paths)
+      (Xr_xml.Tree.depth d.Xr_xml.Doc.tree);
+    Xr_xml.Path.iter
+      (fun p ->
+        Printf.printf "  %-50s N_T=%-6d G_T=%d\n" (Xr_xml.Doc.path_string d p)
+          (Xr_index.Stats.node_count index.Index.stats p)
+          (Xr_index.Stats.distinct_keywords index.Index.stats p))
+      d.Xr_xml.Doc.paths;
+    if query <> [] then begin
+      let ids = List.filter_map (Xr_xml.Doc.keyword_id d) query in
+      Printf.printf "search-for candidates of {%s}:\n" (String.concat "," query);
+      List.iter
+        (fun (p, conf) -> Printf.printf "  %-50s confidence %.4f\n" (Xr_xml.Doc.path_string d p) conf)
+        (Xr_slca.Search_for.infer index.Index.stats ids)
+    end
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Document statistics and search-for node inference.")
+    Term.(const run $ doc_file $ query_args)
+
+let () =
+  let info =
+    Cmd.info "xrefine" ~version:"1.0.0"
+      ~doc:"Automatic XML keyword query refinement (XRefine reproduction)."
+  in
+  exit (Cmd.eval (Cmd.group info
+       [ generate_cmd; index_cmd; search_cmd; refine_cmd; suggest_cmd; complete_cmd; repl_cmd;
+         xpath_cmd; workload_cmd; replay_cmd; stats_cmd ]))

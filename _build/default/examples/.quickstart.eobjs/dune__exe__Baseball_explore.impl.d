@@ -1,0 +1,1 @@
+examples/baseball_explore.ml: List Printf String Xr_data Xr_index Xr_refine Xr_slca Xr_xml

@@ -1,0 +1,1 @@
+examples/baseball_explore.mli:

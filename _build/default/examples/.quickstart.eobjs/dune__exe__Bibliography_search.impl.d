@@ -1,0 +1,1 @@
+examples/bibliography_search.ml: List Printf String Xr_data Xr_index Xr_refine Xr_xml

@@ -1,0 +1,1 @@
+examples/bibliography_search.mli:

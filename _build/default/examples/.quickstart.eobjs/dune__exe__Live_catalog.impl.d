@@ -1,0 +1,1 @@
+examples/live_catalog.ml: List Printf String Xr_index Xr_refine Xr_xml

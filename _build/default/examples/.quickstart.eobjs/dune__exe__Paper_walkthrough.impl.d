@@ -1,0 +1,1 @@
+examples/paper_walkthrough.ml: Engine List Optimal_rq Printf Ranking Refined_query Result Rule Ruleset String Xr_data Xr_index Xr_refine Xr_slca Xr_xml

@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Printf String Xr_data Xr_index Xr_refine Xr_xml

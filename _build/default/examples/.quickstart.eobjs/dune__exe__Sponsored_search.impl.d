@@ -1,0 +1,1 @@
+examples/sponsored_search.ml: List Printf String Xr_index Xr_refine Xr_xml

@@ -1,0 +1,60 @@
+(* Exploring a deeply structured document: the Baseball corpus. Shows the
+   search-for node inference at work (what is the user looking for — a
+   player, a team, a division?), the four SLCA engines agreeing, and
+   refinement over a low-vocabulary domain.
+
+     dune exec examples/baseball_explore.exe *)
+
+module Index = Xr_index.Index
+module Slca = Xr_slca.Engine
+module Engine = Xr_refine.Engine
+module Result = Xr_refine.Result
+
+let () =
+  let index = Index.build (Xr_data.Baseball.doc ()) in
+  let doc = index.Index.doc in
+  Printf.printf "season document: %d nodes, depth %d\n\n" (Xr_xml.Doc.node_count doc)
+    (Xr_xml.Tree.depth doc.Xr_xml.Doc.tree);
+
+  (* 1. Search-for inference: which node type does each query target? *)
+  let show_search_for query =
+    let ids = List.filter_map (Xr_xml.Doc.keyword_id doc) query in
+    Printf.printf "{%s} searches for:\n" (String.concat " " query);
+    List.iter
+      (fun (p, conf) ->
+        Printf.printf "  %-40s confidence %.3f\n" (Xr_xml.Doc.path_string doc p) conf)
+      (Xr_slca.Search_for.infer index.Index.stats ids)
+  in
+  show_search_for [ "pitcher"; "smith" ];
+  show_search_for [ "team"; "east" ];
+  print_newline ();
+
+  (* 2. The four SLCA engines compute the same answer by different means. *)
+  let q = [ "pitcher"; "boston" ] in
+  Printf.printf "SLCA({%s}) by all four engines:\n" (String.concat " " q);
+  List.iter
+    (fun alg ->
+      let results = Slca.query alg index q in
+      Printf.printf "  %-16s %d result(s)%s\n" (Slca.name alg) (List.length results)
+        (match results with d :: _ -> ": first " ^ Xr_xml.Doc.label doc d | [] -> ""))
+    Slca.all;
+  print_newline ();
+
+  (* 3. Refinement in a low-vocabulary domain: a misspelled position and a
+     synonym the data never uses. *)
+  List.iter
+    (fun query ->
+      Printf.printf "refine {%s}:\n" (String.concat " " query);
+      let response = Engine.refine ~config:{ Engine.default_config with k = 2 } index query in
+      (match response.Engine.result with
+      | Result.Original slcas -> Printf.printf "  no refinement needed (%d results)\n" (List.length slcas)
+      | Result.No_result -> print_endline "  nothing found"
+      | Result.Refined matches ->
+        List.iter
+          (fun (m : Result.rq_match) ->
+            Printf.printf "  %s -> %d result(s)\n"
+              (Xr_refine.Refined_query.to_string m.Result.rq)
+              (List.length m.Result.slcas))
+          matches);
+      print_newline ())
+    [ [ "picher"; "detroit" ]; [ "hurler"; "twins" ]; [ "shortstop"; "chicago"; "1999" ] ]

@@ -1,0 +1,65 @@
+(* Bibliographic search: the paper's motivating scenario on a DBLP-like
+   corpus. A researcher types queries with typos, glued words and
+   wrong-vocabulary terms; XRefine repairs each one and explains itself.
+
+     dune exec examples/bibliography_search.exe *)
+
+module Engine = Xr_refine.Engine
+module Result = Xr_refine.Result
+
+let () =
+  Printf.printf "building a synthetic DBLP corpus...\n%!";
+  let index =
+    Xr_index.Index.build
+      (Xr_data.Dblp.doc ~config:{ Xr_data.Dblp.default_config with publications = 1500 } ())
+  in
+  let doc = index.Xr_index.Index.doc in
+  Printf.printf "corpus: %d element nodes, %d distinct keywords\n\n"
+    (Xr_xml.Doc.node_count doc)
+    (List.length (Xr_xml.Doc.vocabulary doc));
+
+  (* Queries a user might actually type. Some match as-is, some don't. *)
+  let sessions =
+    [
+      ("clean query", [ "database"; "query" ]);
+      ("typo", [ "databse"; "optimization" ]);
+      ("wrongly split word", [ "key"; "word"; "search" ]);
+      ("wrongly glued words", [ "dataanalysis" ]);
+      ("acronym for spelled-out phrase", [ "ml"; "model" ]);
+      ("synonym mismatch", [ "fast"; "indexing" ]);
+      ("overconstrained", [ "distributed"; "system"; "zzyzx" ]);
+    ]
+  in
+  List.iter
+    (fun (label, query) ->
+      Printf.printf "--- %s: {%s}\n" label (String.concat ", " query);
+      let config = { Engine.default_config with k = 3 } in
+      let response = Engine.refine ~config index query in
+      (match response.Engine.result with
+      | Result.Original slcas ->
+        Printf.printf "matched directly: %d result(s), e.g. %s\n" (List.length slcas)
+          (match slcas with d :: _ -> Xr_xml.Doc.label doc d | [] -> "-")
+      | Result.No_result -> print_endline "nothing found and nothing to refine"
+      | Result.Refined matches ->
+        List.iteri
+          (fun i (m : Result.rq_match) ->
+            Printf.printf "  #%d %s -> %d result(s)%s\n" (i + 1)
+              (Xr_refine.Refined_query.to_string m.Result.rq)
+              (List.length m.Result.slcas)
+              (match m.Result.slcas with
+              | d :: _ -> ", first: " ^ Xr_xml.Doc.label doc d
+              | [] -> ""))
+          matches);
+      print_newline ())
+    sessions;
+
+  (* Show one full result subtree, the way a UI would render it. *)
+  let response = Engine.refine index [ "databse"; "optimization" ] in
+  match response.Engine.result with
+  | Result.Refined ({ Result.slcas = d :: _; _ } :: _) -> (
+    match Xr_xml.Doc.subtree doc d with
+    | Some t ->
+      print_endline "a repaired query's first result, as XML:";
+      print_string (Xr_xml.Printer.to_string t)
+    | None -> ())
+  | _ -> ()

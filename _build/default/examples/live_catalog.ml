@@ -1,0 +1,62 @@
+(* A live product catalog: demonstrates incremental index maintenance
+   (Index.append_partition) together with the fully adaptive pipeline
+   (Engine.auto) — queries that fail before an item arrives succeed after,
+   without ever rebuilding the index.
+
+     dune exec examples/live_catalog.exe *)
+
+module Index = Xr_index.Index
+module Engine = Xr_refine.Engine
+module Result = Xr_refine.Result
+
+let show index label query =
+  let doc = index.Index.doc in
+  Printf.printf "%-28s {%s} -> " label (String.concat " " query);
+  match Engine.auto index query with
+  | Engine.Matched slcas ->
+    Printf.printf "matched: %s\n"
+      (String.concat ", " (List.map (Xr_xml.Doc.label doc) slcas))
+  | Engine.Auto_refined resp -> (
+    match resp.Engine.result with
+    | Result.Refined ({ Result.rq; slcas; _ } :: _) ->
+      Printf.printf "refined to %s: %s\n"
+        (Xr_refine.Refined_query.to_string rq)
+        (String.concat ", " (List.map (Xr_xml.Doc.label doc) slcas))
+    | _ -> print_endline "nothing matches")
+  | Engine.Narrowed (results, suggestions) ->
+    Printf.printf "%d results; narrow with %s\n" (List.length results)
+      (String.concat " / "
+         (List.map (fun (s : Xr_refine.Specialize.suggestion) -> "+" ^ s.Xr_refine.Specialize.added)
+            suggestions))
+
+let product name description price =
+  Xr_xml.Tree.elem "product"
+    [
+      Xr_xml.Tree.Elem (Xr_xml.Tree.leaf "name" name);
+      Xr_xml.Tree.Elem (Xr_xml.Tree.leaf "description" description);
+      Xr_xml.Tree.Elem (Xr_xml.Tree.leaf "price" (string_of_int price));
+    ]
+
+let () =
+  let index =
+    ref
+      (Index.of_string
+         {|<catalog>
+  <product><name>walnut desk</name><description>solid walnut writing desk</description><price>420</price></product>
+  <product><name>oak bookshelf</name><description>five shelf oak bookcase</description><price>260</price></product>
+</catalog>|})
+  in
+  print_endline "--- initial catalog (2 products)";
+  show !index "lookup" [ "walnut"; "desk" ];
+  show !index "typo" [ "bookshelff" ];
+  show !index "not stocked yet" [ "standing"; "desk" ];
+
+  print_endline "\n--- a shipment arrives: three products appended incrementally";
+  index := Index.append_partition !index (product "standing desk" "electric standing desk frame" 680);
+  index := Index.append_partition !index (product "desk lamp" "brass desk lamp warm light" 75);
+  index := Index.append_partition !index (product "walnut chair" "walnut side chair" 150);
+
+  show !index "now stocked" [ "standing"; "desk" ];
+  show !index "typo, new item" [ "lampp"; "desk" ];
+  show !index "broad query" [ "desk" ];
+  show !index "glued words" [ "walnutchair" ]

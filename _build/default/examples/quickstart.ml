@@ -1,0 +1,38 @@
+(* Quickstart: index a document, search it, and let XRefine repair a
+   broken query — the whole public API in ~40 lines.
+
+     dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. Parse and index an XML document (here: the paper's Figure 1). *)
+  let index = Xr_index.Index.of_string (Xr_data.Figure1.text ()) in
+  let doc = index.Xr_index.Index.doc in
+
+  (* 2. A well-formed query: plain meaningful-SLCA search finds it. *)
+  let q_good = [ "xml"; "2003" ] in
+  Printf.printf "search {%s}:\n" (String.concat ", " q_good);
+  List.iter
+    (fun dewey -> Printf.printf "  -> %s\n" (Xr_xml.Doc.label doc dewey))
+    (Xr_refine.Engine.search index q_good);
+
+  (* 3. A broken query: the user split "online" and "database" into
+     pieces, so the conjunctive search matches nothing meaningful. *)
+  let q_bad = [ "on"; "line"; "data"; "base" ] in
+  Printf.printf "\nsearch {%s}: %s\n"
+    (String.concat ", " q_bad)
+    (if Xr_refine.Engine.refine index q_bad |> fun r ->
+        (match r.Xr_refine.Engine.result with Xr_refine.Result.Original _ -> false | _ -> true)
+     then "no meaningful result - refining automatically"
+     else "found");
+
+  (* 4. Automatic refinement: rules are mined from the document and the
+     built-in thesaurus; the Top-K refined queries come back with their
+     SLCA results, within a single scan of the inverted lists. *)
+  let response = Xr_refine.Engine.refine index q_bad in
+  print_endline (Xr_refine.Result.describe doc response.Xr_refine.Engine.result);
+
+  (* 5. Inspect what the engine consulted. *)
+  print_endline "\nrules the engine mined for this query:";
+  List.iter
+    (fun r -> Printf.printf "  %s\n" (Xr_refine.Rule.to_string r))
+    response.Xr_refine.Engine.rules_used

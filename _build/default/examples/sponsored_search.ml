@@ -1,0 +1,77 @@
+(* Sponsored search: the paper's Section I application — matching a large
+   stream of free-form user queries against a *small* corpus of
+   XML-formatted advertising listings. Most queries don't match any ad
+   verbatim; automatic refinement decides, per query and within one index
+   scan, whether a close variant does.
+
+     dune exec examples/sponsored_search.exe *)
+
+module Engine = Xr_refine.Engine
+module Result = Xr_refine.Result
+
+(* A small ad inventory, one listing per advertiser. *)
+let inventory =
+  {|<ads>
+  <listing>
+    <advertiser>CloudBase Inc</advertiser>
+    <product>online database hosting</product>
+    <category>cloud storage</category>
+    <bid>120</bid>
+  </listing>
+  <listing>
+    <advertiser>QueryWorks</advertiser>
+    <product>keyword search appliance</product>
+    <category>enterprise search</category>
+    <bid>95</bid>
+  </listing>
+  <listing>
+    <advertiser>StreamLine</advertiser>
+    <product>realtime stream processing</product>
+    <category>analytics</category>
+    <bid>110</bid>
+  </listing>
+  <listing>
+    <advertiser>LearnFast</advertiser>
+    <product>machine learning training courses</product>
+    <category>education</category>
+    <bid>80</bid>
+  </listing>
+  <listing>
+    <advertiser>SafeKeep</advertiser>
+    <product>encrypted backup storage</product>
+    <category>security</category>
+    <bid>70</bid>
+  </listing>
+</ads>|}
+
+(* The incoming query stream, as users actually type. *)
+let query_stream =
+  [
+    [ "online"; "database" ];       (* exact vocabulary *)
+    [ "on"; "line"; "data"; "base" ]; (* split words *)
+    [ "keywordsearch" ];            (* glued words *)
+    [ "ml"; "courses" ];            (* acronym *)
+    [ "encripted"; "backup" ];      (* typo *)
+    [ "cheap"; "flights" ];         (* no ad should match *)
+  ]
+
+let () =
+  let index = Xr_index.Index.of_string inventory in
+  let doc = index.Xr_index.Index.doc in
+  Printf.printf "ad inventory: %d listings\n\n"
+    (List.length (Xr_xml.Tree.element_children doc.Xr_xml.Doc.tree));
+  List.iter
+    (fun query ->
+      Printf.printf "user query {%s}\n" (String.concat " " query);
+      let response = Engine.refine ~config:{ Engine.default_config with k = 1 } index query in
+      (match response.Engine.result with
+      | Result.Original (d :: _) ->
+        Printf.printf "  direct hit -> serve ad at %s\n" (Xr_xml.Doc.label doc d)
+      | Result.Refined ({ Result.rq; slcas = d :: _; _ } :: _) ->
+        Printf.printf "  refined to %s -> serve ad at %s\n"
+          (Xr_refine.Refined_query.to_string rq)
+          (Xr_xml.Doc.label doc d)
+      | Result.Original [] | Result.Refined _ | Result.No_result ->
+        print_endline "  no ad matches - organic results only");
+      print_newline ())
+    query_stream

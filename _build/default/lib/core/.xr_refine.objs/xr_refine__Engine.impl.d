@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Dewey Doc List Optimal_rq Partition Ranking Refine_common Refined_query Result Rule Ruleset Sle Specialize Stack_refine String Token Xr_index Xr_slca Xr_text Xr_xml

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Optimal_rq Partition Ranking Result Rule Ruleset Sle Specialize Stack_refine Xr_index Xr_slca Xr_text Xr_xml

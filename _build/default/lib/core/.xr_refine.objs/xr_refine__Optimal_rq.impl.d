@@ -1,0 +1,1 @@
+lib/core/optimal_rq.ml: Array Hashtbl Int List Refined_query Rule Ruleset String Token Xr_xml

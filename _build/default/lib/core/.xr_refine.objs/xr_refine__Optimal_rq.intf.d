@@ -1,0 +1,1 @@
+lib/core/optimal_rq.mli: Refined_query Ruleset

@@ -1,0 +1,1 @@
+lib/core/partition.ml: Array Dewey Doc Hashtbl List Optimal_rq Ranking Refine_common Refined_query Result Rq_list String Tree Xr_index Xr_slca Xr_xml

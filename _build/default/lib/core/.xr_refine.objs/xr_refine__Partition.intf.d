@@ -1,0 +1,1 @@
+lib/core/partition.mli: Dewey Doc Ranking Refine_common Result Xr_slca Xr_xml

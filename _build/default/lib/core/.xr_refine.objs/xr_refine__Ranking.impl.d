@@ -1,0 +1,1 @@
+lib/core/ranking.ml: Buffer Doc Float List Printf Refined_query String Token Xr_index Xr_slca Xr_xml

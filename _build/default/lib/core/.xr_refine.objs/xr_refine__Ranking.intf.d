@@ -1,0 +1,1 @@
+lib/core/ranking.mli: Refined_query Xr_index Xr_slca

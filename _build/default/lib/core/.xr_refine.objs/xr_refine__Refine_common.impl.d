@@ -1,0 +1,1 @@
+lib/core/refine_common.ml: Array Doc List Optimal_rq Rule Ruleset String Token Xr_index Xr_slca Xr_xml

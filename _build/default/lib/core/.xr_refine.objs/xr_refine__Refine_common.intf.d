@@ -1,0 +1,1 @@
+lib/core/refine_common.mli: Dewey Optimal_rq Ruleset Xr_index Xr_slca Xr_xml

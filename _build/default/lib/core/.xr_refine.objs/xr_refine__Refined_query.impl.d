@@ -1,0 +1,1 @@
+lib/core/refined_query.ml: Int List Printf Rule String

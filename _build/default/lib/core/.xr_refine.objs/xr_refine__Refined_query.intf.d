@@ -1,0 +1,1 @@
+lib/core/refined_query.mli: Rule

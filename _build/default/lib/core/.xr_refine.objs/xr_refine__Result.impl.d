@@ -1,0 +1,1 @@
+lib/core/result.ml: Dewey Doc List Printf Ranking Refined_query String Xr_xml

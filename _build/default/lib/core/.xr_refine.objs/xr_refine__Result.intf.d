@@ -1,0 +1,1 @@
+lib/core/result.mli: Dewey Doc Ranking Refined_query Xr_xml

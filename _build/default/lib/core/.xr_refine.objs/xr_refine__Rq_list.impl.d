@@ -1,0 +1,1 @@
+lib/core/rq_list.ml: Hashtbl Int List Map Refined_query String

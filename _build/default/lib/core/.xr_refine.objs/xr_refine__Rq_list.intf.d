@@ -1,0 +1,1 @@
+lib/core/rq_list.mli: Refined_query

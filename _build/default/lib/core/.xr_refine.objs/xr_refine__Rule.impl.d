@@ -1,0 +1,1 @@
+lib/core/rule.ml: List Printf Stdlib String Token Xr_text Xr_xml

@@ -1,0 +1,1 @@
+lib/core/rule_file.ml: List Printf Rule String Xr_text

@@ -1,0 +1,1 @@
+lib/core/rule_file.mli: Rule

@@ -1,0 +1,1 @@
+lib/core/ruleset.ml: Array Doc List Rule String Token Xr_text Xr_xml

@@ -1,0 +1,1 @@
+lib/core/ruleset.mli: Rule Xr_text Xr_xml

@@ -1,0 +1,1 @@
+lib/core/sle.ml: Array Dewey Fun Hashtbl List Optimal_rq Ranking Refine_common Refined_query Result Rq_list Rule Ruleset String Xr_index Xr_slca Xr_xml

@@ -1,0 +1,1 @@
+lib/core/sle.mli: Ranking Refine_common Result Xr_slca

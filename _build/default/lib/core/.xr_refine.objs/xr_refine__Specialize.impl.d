@@ -1,0 +1,1 @@
+lib/core/specialize.ml: Array Dewey Doc Float Hashtbl Int Interner List String Token Xr_index Xr_slca Xr_xml

@@ -1,0 +1,1 @@
+lib/core/specialize.mli: Dewey Xr_index Xr_slca Xr_xml

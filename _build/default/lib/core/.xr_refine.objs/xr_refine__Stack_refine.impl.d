@@ -1,0 +1,1 @@
+lib/core/stack_refine.ml: Array Dewey Fun List Optimal_rq Ranking Refine_common Refined_query Result String Xr_index Xr_slca Xr_xml

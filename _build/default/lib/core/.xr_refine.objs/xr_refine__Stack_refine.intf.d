@@ -1,0 +1,1 @@
+lib/core/stack_refine.mli: Ranking Refine_common Result

@@ -1,0 +1,1 @@
+lib/core/static_clean.ml: Engine List Optimal_rq Refined_query Ruleset Xr_index Xr_text Xr_xml

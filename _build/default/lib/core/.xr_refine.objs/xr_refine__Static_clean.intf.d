@@ -1,0 +1,1 @@
+lib/core/static_clean.mli: Optimal_rq Refined_query Xr_index Xr_text

@@ -1,0 +1,84 @@
+open Xr_xml
+
+type config = {
+  deletion_cost : int;
+  beam : int;
+}
+
+let default_config = { deletion_cost = 2; beam = 32 }
+
+type state = {
+  cost : int;
+  kept : string list; (* accumulated RQ keywords, reversed *)
+  edits : Refined_query.edit list; (* reversed *)
+}
+
+let state_key s = String.concat " " (List.sort_uniq String.compare s.kept)
+
+(* Keep the cheapest state per produced keyword set, then the [beam]
+   cheapest overall. *)
+let prune beam states =
+  let best = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      let key = state_key s in
+      match Hashtbl.find_opt best key with
+      | Some s' when s'.cost <= s.cost -> ()
+      | _ -> Hashtbl.replace best key s)
+    states;
+  let all = Hashtbl.fold (fun _ s acc -> s :: acc) best [] in
+  let sorted = List.sort (fun a b -> Int.compare a.cost b.cost) all in
+  List.filteri (fun i _ -> i < beam) sorted
+
+let top_k ?(config = default_config) ~rules ~available ~k query =
+  let beam = max config.beam k in
+  let s = Array.of_list (List.map Token.normalize query) in
+  let n = Array.length s in
+  let cells = Array.make (n + 1) [] in
+  cells.(0) <- [ { cost = 0; kept = []; edits = [] } ];
+  for i = 1 to n do
+    let ki = s.(i - 1) in
+    let acc = ref [] in
+    let extend from f = List.iter (fun st -> acc := f st :: !acc) cells.(from) in
+    (* Option 1: keep k_i when it is available in T. *)
+    if available ki then
+      extend (i - 1) (fun st ->
+          { cost = st.cost; kept = ki :: st.kept; edits = Refined_query.Kept ki :: st.edits });
+    (* Option 2: delete k_i. *)
+    extend (i - 1) (fun st ->
+        {
+          cost = st.cost + config.deletion_cost;
+          kept = st.kept;
+          edits = Refined_query.Deleted ki :: st.edits;
+        });
+    (* Option 3: apply a rule whose LHS is the window ending at i. *)
+    List.iter
+      (fun (r : Rule.t) ->
+        let l = List.length r.lhs in
+        if l <= i then begin
+          let window = Array.to_list (Array.sub s (i - l) l) in
+          if List.for_all2 String.equal window r.lhs && List.for_all available r.rhs then
+            extend (i - l) (fun st ->
+                {
+                  cost = st.cost + r.ds;
+                  kept = List.rev_append r.rhs st.kept;
+                  edits = Refined_query.Applied r :: st.edits;
+                })
+        end)
+      (Ruleset.ending_with rules ki);
+    cells.(i) <- prune beam !acc
+  done;
+  cells.(n)
+  |> List.filter (fun st -> st.kept <> [])
+  |> List.map (fun st ->
+         {
+           Refined_query.keywords = List.sort_uniq String.compare st.kept;
+           dissimilarity = st.cost;
+           edits = List.rev st.edits;
+         })
+  |> List.filteri (fun i _ -> i < k)
+
+let optimal ?config ~rules ~available query =
+  match top_k ?config ~rules ~available ~k:1 query with
+  | rq :: _ -> Some rq
+  | [] -> None

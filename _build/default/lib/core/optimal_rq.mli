@@ -1,0 +1,41 @@
+(** [getOptimalRQ] (Section V): the bottom-up dynamic program that, given
+    the original query [S] and an available keyword set [T], finds the
+    refined queries over [T] with minimum dissimilarity.
+
+    Cell [C.(i)] holds the best ways to rewrite the prefix [S[1..i]];
+    options per cell (Formula 11): keep [k_i] when it is available, delete
+    it at [deletion_cost], or apply a rule whose LHS matches the window
+    ending at [i] and whose RHS is available. The k-best generalization
+    keeps up to [beam] states per cell (deduplicated by produced keyword
+    set), which yields [getTopOptimalRQ(Q, T, 2K)] for free — the
+    candidate lists Algorithms 2 and 3 consume. *)
+
+type config = {
+  deletion_cost : int;  (** default 2, strictly above merge/split/acronym *)
+  beam : int;  (** states kept per DP cell; >= the k requested *)
+}
+
+val default_config : config
+
+(** [top_k ?config ~rules ~available ~k query] is up to [k] distinct
+    refined queries over [available], cheapest first. The original query
+    itself appears (dissimilarity 0) iff all its keywords are available.
+    Refined queries with an empty keyword set are discarded.
+    [available] decides membership in [T]; [rules] should already be
+    restricted to the query (see {!Ruleset.relevant}). *)
+val top_k :
+  ?config:config ->
+  rules:Ruleset.t ->
+  available:(string -> bool) ->
+  k:int ->
+  string list ->
+  Refined_query.t list
+
+(** [optimal ?config ~rules ~available query] is the single cheapest
+    refined query, if any. *)
+val optimal :
+  ?config:config ->
+  rules:Ruleset.t ->
+  available:(string -> bool) ->
+  string list ->
+  Refined_query.t option

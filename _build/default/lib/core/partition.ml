@@ -1,0 +1,190 @@
+open Xr_xml
+module Inverted = Xr_index.Inverted
+module Slca_engine = Xr_slca.Engine
+
+type stats = {
+  partitions_visited : int;
+  partitions_skipped : int;
+  dp_runs : int;
+  slca_runs : int;
+}
+
+let partition_roots (doc : Doc.t) =
+  List.mapi (fun i _ -> [| i |]) (Tree.element_children doc.tree)
+
+let run ?(ranking = Ranking.default_config) ?(slca = Slca_engine.Scan_eager) ~k
+    (c : Refine_common.t) =
+  let engine = Slca_engine.compute slca in
+  let m = Array.length c.lists in
+  let from = Array.make m 0 in
+  let rqlist = Rq_list.create ~capacity:(2 * k) in
+  let q_found = ref false in
+  let q_results = ref [] in
+  let visited = ref 0 and skipped = ref 0 and dp_runs = ref 0 and slca_runs = ref 0 in
+  let q_keywords =
+    Array.to_list (Array.sub c.ks 0 c.q_size)
+  in
+  let smallest_head () =
+    let best = ref None in
+    for i = 0 to m - 1 do
+      if from.(i) < Array.length c.lists.(i) then begin
+        let d = c.lists.(i).(from.(i)).Inverted.dewey in
+        match !best with
+        | None -> best := Some (i, d)
+        | Some (_, d') -> if Dewey.compare d d' < 0 then best := Some (i, d)
+      end
+    done;
+    !best
+  in
+  let try_original ranges =
+    (* Does the original query match meaningfully inside this partition? *)
+    if List.for_all (Refine_common.available_in c ranges) q_keywords then begin
+      incr slca_runs;
+      let slcas =
+        Refine_common.meaningful_slcas c engine (Refine_common.sublists c ranges q_keywords)
+      in
+      if slcas <> [] then begin
+        q_found := true;
+        q_results := !q_results @ slcas
+      end
+    end
+  in
+  (* The DP depends only on which KS keywords are present in the
+     partition; partitions sharing that signature share their candidate
+     list, so one DP run serves them all. *)
+  let dp_cache : (string, Refined_query.t list) Hashtbl.t = Hashtbl.create 16 in
+  let signature ranges =
+    String.init (Array.length ranges) (fun i ->
+        let lo, hi = ranges.(i) in
+        if hi > lo then '1' else '0')
+  in
+  let candidates_for ranges =
+    let key = signature ranges in
+    match Hashtbl.find_opt dp_cache key with
+    | Some cs -> cs
+    | None ->
+      incr dp_runs;
+      let cs =
+        (* over-fetch: the beam already holds the states, and candidates
+           beyond the 2K cheapest matter when the cheap ones lack
+           meaningful SLCAs in this partition *)
+        Optimal_rq.top_k ~config:c.dp_config ~rules:c.rules
+          ~available:(Refine_common.available_in c ranges)
+          ~k:(max (2 * k) c.dp_config.Optimal_rq.beam) c.query
+      in
+      Hashtbl.add dp_cache key cs;
+      cs
+  in
+  (* Once the original query is known to match, the remaining partitions
+     only contribute more of its SLCAs; one plain engine pass over the
+     unread suffix of the query's lists finishes the job without the
+     per-partition bookkeeping (cursors still only move forward). A
+     root-spanning SLCA cannot be fabricated from suffixes: only the
+     document root sits above partitions and it is never meaningful. *)
+  let finish_original () =
+    let suffixes =
+      List.init c.q_size (fun i ->
+          let list = c.lists.(i) in
+          Array.sub list from.(i) (Array.length list - from.(i)))
+    in
+    incr slca_runs;
+    q_results := !q_results @ Refine_common.meaningful_slcas c engine suffixes
+  in
+  let rec scan () =
+    match smallest_head () with
+    | None -> ()
+    | Some _ when !q_found -> finish_original ()
+    | Some (i, d) ->
+      if Dewey.depth d = 0 then begin
+        (* a posting on the document root belongs to no partition *)
+        from.(i) <- from.(i) + 1;
+        scan ()
+      end
+      else begin
+        let proot = [| d.(0) |] in
+        (* A keyword is present in this partition iff its cursor head lies
+           under [proot] (cursors never lag behind the current partition),
+           so presence costs one comparison; only present lists need the
+           binary search for their slice end. *)
+        let ranges =
+          Array.mapi
+            (fun j list ->
+              let start = from.(j) in
+              if
+                start < Array.length list
+                && Dewey.is_prefix proot list.(start).Inverted.dewey
+              then Inverted.prefix_slice_from list start proot
+              else (start, start))
+            c.lists
+        in
+        Array.iteri (fun j (_, hi) -> if hi > from.(j) then from.(j) <- hi) ranges;
+        incr visited;
+        (* the cost-0 candidate (the query itself) comes first: if it
+           matches meaningfully here, no refinement work is needed at all *)
+        if List.for_all (Refine_common.available_in c ranges) q_keywords then
+          try_original ranges;
+        if not !q_found then begin
+          let candidates = candidates_for ranges in
+          let any_slca = ref false in
+          List.iter
+            (fun rq ->
+              if Refined_query.is_original rq then try_original ranges
+              else if not !q_found then begin
+                (* Definition 3.4 gate: a candidate enters the list only
+                   once a meaningful SLCA of it is witnessed; candidates
+                   already validated need no further work here (their
+                   complete result sets are materialized once, at the
+                   end). *)
+                let interesting =
+                  (not (Rq_list.mem rqlist rq))
+                  && Rq_list.would_admit rqlist rq.Refined_query.dissimilarity
+                in
+                if interesting then begin
+                  incr slca_runs;
+                  any_slca := true;
+                  let slcas =
+                    Refine_common.meaningful_slcas c engine
+                      (Refine_common.sublists c ranges rq.Refined_query.keywords)
+                  in
+                  if slcas <> [] then ignore (Rq_list.insert rqlist rq)
+                end
+              end)
+            candidates;
+          if not !any_slca then incr skipped
+        end;
+        scan ()
+      end
+  in
+  scan ();
+  let outcome =
+    if !q_found then Result.Original !q_results
+    else begin
+      let pool = Rq_list.to_list rqlist in
+      if pool = [] then Result.No_result
+      else begin
+        let scored = Ranking.rank ~config:ranking c.index.Xr_index.Index.stats ~original:c.query pool in
+        let top = List.filteri (fun i _ -> i < k) scored in
+        (* Materialize the complete result set of each final Top-K refined
+           query with one pass over its full lists (any node other than
+           the root lives in exactly one partition, so this equals the
+           union of the per-partition SLCAs, with the meaningless root
+           filtered out). *)
+        Result.Refined
+          (List.map
+             (fun (s : Ranking.scored) ->
+               let slcas =
+                 Refine_common.meaningful_slcas c engine
+                   (Refine_common.full_lists c s.rq.Refined_query.keywords)
+               in
+               { Result.rq = s.rq; score = Some s; slcas })
+             top)
+      end
+    end
+  in
+  ( outcome,
+    {
+      partitions_visited = !visited;
+      partitions_skipped = !skipped;
+      dp_runs = !dp_runs;
+      slca_runs = !slca_runs;
+    } )

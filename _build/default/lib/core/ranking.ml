@@ -1,0 +1,197 @@
+open Xr_xml
+module Stats = Xr_index.Stats
+module Search_for = Xr_slca.Search_for
+
+type variant = {
+  use_g1 : bool;
+  use_g2 : bool;
+  use_g3 : bool;
+  use_g4 : bool;
+}
+
+let rs0 = { use_g1 = true; use_g2 = true; use_g3 = true; use_g4 = true }
+
+let ablate = function
+  | 1 -> { rs0 with use_g1 = false }
+  | 2 -> { rs0 with use_g2 = false }
+  | 3 -> { rs0 with use_g3 = false }
+  | 4 -> { rs0 with use_g4 = false }
+  | i -> invalid_arg (Printf.sprintf "Ranking.ablate: no guideline %d" i)
+
+type config = {
+  alpha : float;
+  beta : float;
+  decay : float;
+  variant : variant;
+  search_for : Search_for.config;
+}
+
+let default_config =
+  {
+    alpha = 1.;
+    beta = 1.;
+    decay = 0.8;
+    variant = rs0;
+    search_for = Search_for.default_config;
+  }
+
+type scored = {
+  rq : Refined_query.t;
+  similarity : float;
+  dependence : float;
+  rank : float;
+}
+
+let keyword_ids doc keywords = List.map (fun k -> (k, Doc.keyword_id doc k)) keywords
+
+(* Formula 2: Imp(RQ,T) = sum_k tf(k,T) / G_T *)
+let importance stats path rq_ids =
+  let g = float_of_int (max 1 (Stats.distinct_keywords stats path)) in
+  List.fold_left
+    (fun acc (_, id) ->
+      match id with
+      | None -> acc
+      | Some kw -> acc +. (float_of_int (Stats.tf stats ~path ~kw) /. g))
+    0. rq_ids
+
+(* Guideline 2 weight of the keywords touched by the refinement.
+
+   The paper's printed Formula 4 multiplies the similarity by
+   [ln(N_T/(1+f))] summed over all of RQ (triangle) Q. Applied to deleted
+   keywords that *rises* with their discriminative power — the opposite
+   of what Guideline 2 and Example 2 prescribe ("the more discriminative
+   the deleted keyword, the lower the rank"). We split the delta:
+   - a {e deleted} keyword contributes its normalized commonness
+     [ln(1+f_ki^T) / ln(1+N_T)] in [0,1] (deleting a generic term is
+     cheap, deleting a discriminative one drags the score down), and a
+     deleted keyword absent from the whole document — pure noise whose
+     removal is forced — contributes the neutral 1;
+   - a {e generated} keyword contributes the paper's IDF-style
+     [ln(N_T/(1+f_ki^T))]: substituting in a discriminative keyword is
+     exactly what a good correction does. *)
+let delta_importance stats path ~deleted_ids ~generated_ids =
+  let n_t = float_of_int (max 1 (Stats.node_count stats path)) in
+  let denom = log (1. +. n_t) in
+  let commonness id =
+    match id with
+    | None -> 1. (* noise term: its removal is forced and costs nothing *)
+    | Some kw ->
+      let f = float_of_int (Stats.df stats ~path ~kw) in
+      if denom > 0. then log (1. +. f) /. denom else 0.
+  in
+  let idf id =
+    let f = match id with None -> 0 | Some kw -> Stats.df stats ~path ~kw in
+    if denom > 0. then max 0. (log (n_t /. (1. +. float_of_int f))) /. denom else 0.
+  in
+  let weights =
+    List.map (fun (_, id) -> commonness id) deleted_ids
+    @ List.map (fun (_, id) -> 1. +. idf id) generated_ids
+  in
+  (* Mean, not sum: a refinement should not score higher merely by
+     touching more keywords. Deleted keywords weigh in [0,1] (generic
+     cheap, discriminative costly — Guideline 2); generated keywords in
+     [1,2] (a discriminative replacement is a strong correction). *)
+  match weights with
+  | [] -> 1.
+  | _ -> List.fold_left ( +. ) 0. weights /. float_of_int (List.length weights)
+
+(* Formulas 7-8: Dep(RQ,Q|T) *)
+let dependence_at stats path rq_ids =
+  let ids = List.filter_map snd rq_ids in
+  match ids with
+  | [] | [ _ ] -> 0.
+  | _ ->
+    let total = ref 0. in
+    List.iter
+      (fun k ->
+        List.iter
+          (fun ki ->
+            if ki <> k then begin
+              let fki = Stats.df stats ~path ~kw:ki in
+              if fki > 0 then
+                let both = Stats.cooccur stats ~path ki k in
+                total := !total +. (float_of_int both /. float_of_int fki)
+            end)
+          ids)
+      ids;
+    !total /. float_of_int (List.length ids)
+
+let score ?(config = default_config) stats ~original rq =
+  let doc = Stats.doc stats in
+  let original = List.map Token.normalize original in
+  let q_ids = List.filter_map (fun k -> Doc.keyword_id doc k) original in
+  let candidates = Search_for.infer ~config:config.search_for stats q_ids in
+  let candidates =
+    if config.variant.use_g3 then candidates
+    else match candidates with [] -> [] | best :: _ -> [ best ]
+  in
+  let rq_ids = keyword_ids doc rq.Refined_query.keywords in
+  let deleted_ids = keyword_ids doc (Refined_query.deleted rq) in
+  let generated_ids = keyword_ids doc (Refined_query.generated rq) in
+  let similarity_no_decay =
+    List.fold_left
+      (fun acc (path, conf) ->
+        let g1 = if config.variant.use_g1 then importance stats path rq_ids else 1. in
+        let g2 =
+          if config.variant.use_g2 then delta_importance stats path ~deleted_ids ~generated_ids
+          else 1.
+        in
+        let weight = if config.variant.use_g3 then conf else 1. in
+        acc +. (weight *. g1 *. g2))
+      0. candidates
+  in
+  let decay =
+    if config.variant.use_g4 then config.decay ** float_of_int rq.Refined_query.dissimilarity
+    else 1.
+  in
+  let similarity = decay *. similarity_no_decay in
+  let dependence =
+    List.fold_left
+      (fun acc (path, conf) ->
+        let weight = if config.variant.use_g3 then conf else 1. in
+        acc +. (weight *. dependence_at stats path rq_ids))
+      0. candidates
+  in
+  let rank = (config.alpha *. similarity) +. (config.beta *. dependence) in
+  { rq; similarity; dependence; rank }
+
+let explain ?(config = default_config) stats ~original rq =
+  let doc = Stats.doc stats in
+  let original = List.map Token.normalize original in
+  let q_ids = List.filter_map (fun k -> Doc.keyword_id doc k) original in
+  let candidates = Search_for.infer ~config:config.search_for stats q_ids in
+  let rq_ids = keyword_ids doc rq.Refined_query.keywords in
+  let deleted_ids = keyword_ids doc (Refined_query.deleted rq) in
+  let generated_ids = keyword_ids doc (Refined_query.generated rq) in
+  let b = Buffer.create 256 in
+  let scored = score ~config stats ~original rq in
+  Buffer.add_string b
+    (Printf.sprintf "%s\n  dissimilarity %d, decay %.2f^%d = %.3f\n"
+       (Refined_query.to_string rq) rq.Refined_query.dissimilarity config.decay
+       rq.Refined_query.dissimilarity
+       (config.decay ** float_of_int rq.Refined_query.dissimilarity));
+  List.iter
+    (fun (path, conf) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "  search-for %s (confidence %.3f): importance %.3f, delta weight %.3f, dependence %.3f\n"
+           (Doc.path_string doc path) conf (importance stats path rq_ids)
+           (delta_importance stats path ~deleted_ids ~generated_ids)
+           (dependence_at stats path rq_ids)))
+    candidates;
+  (match Refined_query.operations rq with
+  | [] -> ()
+  | ops -> Buffer.add_string b (Printf.sprintf "  operations: %s\n" (String.concat "; " ops)));
+  Buffer.add_string b
+    (Printf.sprintf "  similarity %.4f * alpha %.1f + dependence %.4f * beta %.1f = rank %.4f"
+       scored.similarity config.alpha scored.dependence config.beta scored.rank);
+  Buffer.contents b
+
+let rank ?config stats ~original rqs =
+  let scored = List.map (score ?config stats ~original) rqs in
+  List.sort
+    (fun a b ->
+      match Float.compare b.rank a.rank with
+      | 0 -> Refined_query.compare a.rq b.rq
+      | c -> c)
+    scored

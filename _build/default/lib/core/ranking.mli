@@ -1,0 +1,68 @@
+(** The query ranking model of Section IV.
+
+    A refined query is scored by two complementary parts:
+    - {b similarity} (Formulas 2–6): how well [RQ] preserves the original
+      search intention — term frequency of [RQ]'s keywords within the
+      search-for subtrees (Guideline 1), discriminative power of the
+      keywords touched by the refinement (Guideline 2), confidence
+      weighting over multiple search-for candidates (Guideline 3), and a
+      decay in the morphological/semantic dissimilarity (Guideline 4);
+    - {b dependence} (Formulas 7–9): how strongly [RQ]'s keywords co-occur
+      within search-for subtrees (Guideline 5), via association-rule
+      confidence [C(ki => k) = f_{k,ki}^T / f_{ki}^T].
+
+    [Rank(RQ) = alpha * Sim + beta * Dep] (Formula 10). The [variant]
+    switches implement the ablations RS1–RS4 of Table IX. *)
+
+
+type variant = {
+  use_g1 : bool;  (** term-frequency importance of RQ's keywords *)
+  use_g2 : bool;  (** discriminative power of refined keywords *)
+  use_g3 : bool;  (** multi-candidate confidence weighting *)
+  use_g4 : bool;  (** dissimilarity decay *)
+}
+
+(** RS0: the full model. *)
+val rs0 : variant
+
+(** [ablate i] is RS[i]: the model without Guideline [i], [i] in [1,4]. *)
+val ablate : int -> variant
+
+type config = {
+  alpha : float;
+  beta : float;
+  decay : float;  (** [p] of Formula 6; default 0.8 *)
+  variant : variant;
+  search_for : Xr_slca.Search_for.config;
+}
+
+val default_config : config
+
+type scored = {
+  rq : Refined_query.t;
+  similarity : float;
+  dependence : float;
+  rank : float;
+}
+
+(** [score ?config stats ~original rq] evaluates one refined query. The
+    search-for candidates are inferred from [original] (both queries share
+    the search-for node, Guideline 3's premise). *)
+val score :
+  ?config:config -> Xr_index.Stats.t -> original:string list -> Refined_query.t -> scored
+
+(** [explain ?config stats ~original rq] renders a human-readable
+    breakdown of one candidate's score: per search-for candidate type, the
+    Guideline-1 importance, Guideline-2 delta weight, dependence, and the
+    decay — the engine's reasoning, for CLI display and debugging. *)
+val explain :
+  ?config:config -> Xr_index.Stats.t -> original:string list -> Refined_query.t -> string
+
+(** [rank ?config stats ~original rqs] scores all candidates and sorts
+    best-rank first (ties: lower dissimilarity first). *)
+val rank :
+  ?config:config ->
+  Xr_index.Stats.t ->
+  original:string list ->
+  Refined_query.t list ->
+  scored list

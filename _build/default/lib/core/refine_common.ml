@@ -1,0 +1,89 @@
+open Xr_xml
+module Index = Xr_index.Index
+module Inverted = Xr_index.Inverted
+module Meaningful = Xr_slca.Meaningful
+
+type t = {
+  index : Index.t;
+  query : string list;
+  rules : Ruleset.t;
+  ks : string array;
+  lists : Inverted.posting array array;
+  q_size : int;
+  meaningful : Meaningful.t;
+  dp_config : Optimal_rq.config;
+}
+
+let make ?(dp_config = Optimal_rq.default_config) ?search_for (index : Index.t) rules query =
+  let query =
+    List.filter (fun k -> String.length k > 0) (List.map Token.normalize query)
+  in
+  (* distinct query keywords, order of first occurrence *)
+  let q_distinct =
+    List.fold_left (fun acc k -> if List.mem k acc then acc else k :: acc) [] query
+    |> List.rev
+  in
+  let doc = index.Index.doc in
+  let in_doc k = Doc.keyword_id doc k <> None in
+  let rules =
+    Ruleset.of_rules
+      (List.filter
+         (fun (r : Rule.t) -> List.for_all in_doc r.rhs)
+         (Ruleset.to_list (Ruleset.relevant rules query)))
+  in
+  let new_kws = Ruleset.new_keywords rules query in
+  let ks = Array.of_list (q_distinct @ new_kws) in
+  let lists =
+    Array.map
+      (fun k ->
+        match Doc.keyword_id doc k with
+        | Some kw -> Inverted.list index.Index.inverted kw
+        | None -> [||])
+      ks
+  in
+  let q_ids = List.filter_map (fun k -> Doc.keyword_id doc k) q_distinct in
+  (* If every original keyword is out of vocabulary, the search-for
+     inference has no statistics to work with; fall back to the keywords
+     the relevant rules can generate (the refined queries will be built
+     from exactly those). *)
+  let q_ids =
+    if q_ids <> [] then q_ids else List.filter_map (fun k -> Doc.keyword_id doc k) new_kws
+  in
+  let meaningful = Meaningful.make ?config:search_for index.Index.stats q_ids in
+  { index; query; rules; ks; lists; q_size = List.length q_distinct; meaningful; dp_config }
+
+let slices t dewey ~from =
+  Array.mapi (fun i list -> Inverted.prefix_slice_from list from.(i) dewey) t.lists
+
+let available_in t ranges k =
+  let rec find i =
+    if i >= Array.length t.ks then false
+    else if String.equal t.ks.(i) k then
+      let lo, hi = ranges.(i) in
+      hi > lo
+    else find (i + 1)
+  in
+  find 0
+
+let index_of t k =
+  let rec find i =
+    if i >= Array.length t.ks then None
+    else if String.equal t.ks.(i) k then Some i
+    else find (i + 1)
+  in
+  find 0
+
+let sublists t ranges keywords =
+  List.map
+    (fun k ->
+      match index_of t k with
+      | Some i ->
+        let lo, hi = ranges.(i) in
+        Array.sub t.lists.(i) lo (hi - lo)
+      | None -> [||])
+    keywords
+
+let full_lists t keywords =
+  List.map (fun k -> match index_of t k with Some i -> t.lists.(i) | None -> [||]) keywords
+
+let meaningful_slcas t engine lists = Meaningful.filter t.meaningful (engine lists)

@@ -1,0 +1,52 @@
+(** Shared setup for the three refinement algorithms: normalizes the
+    query, restricts the rule set to it, materializes [KS = Q + new
+    keywords] with their inverted lists, and infers the search-for context
+    once. *)
+
+open Xr_xml
+
+type t = {
+  index : Xr_index.Index.t;
+  query : string list;  (** normalized original query, order preserved *)
+  rules : Ruleset.t;  (** rules relevant to the query, RHS in document *)
+  ks : string array;  (** KS: query keywords first, then new keywords *)
+  lists : Xr_index.Inverted.posting array array;  (** per KS position *)
+  q_size : int;  (** first [q_size] entries of [ks] are the query *)
+  meaningful : Xr_slca.Meaningful.t;
+  dp_config : Optimal_rq.config;
+}
+
+val make :
+  ?dp_config:Optimal_rq.config ->
+  ?search_for:Xr_slca.Search_for.config ->
+  Xr_index.Index.t ->
+  Ruleset.t ->
+  string list ->
+  t
+
+(** [slices t dewey ~from] computes, for every KS keyword, the index range
+    of its postings inside the subtree rooted at [dewey], starting the
+    binary search at the per-list positions [from] (pass all zeros for the
+    whole list). *)
+val slices : t -> Dewey.t -> from:int array -> (int * int) array
+
+(** [available_in t ranges] is the membership test for the keyword set [T]
+    = KS entries whose range in [ranges] is non-empty. *)
+val available_in : t -> (int * int) array -> string -> bool
+
+(** [sublists t ranges keywords] extracts the posting sub-arrays of
+    [keywords] (which must be KS members) for an SLCA engine call. *)
+val sublists :
+  t -> (int * int) array -> string list -> Xr_index.Inverted.posting array list
+
+(** [full_lists t keywords] is the whole-document posting lists of
+    [keywords]. *)
+val full_lists : t -> string list -> Xr_index.Inverted.posting array list
+
+(** [meaningful_slcas t engine lists] runs an SLCA engine and keeps the
+    meaningful results. *)
+val meaningful_slcas :
+  t ->
+  (Xr_index.Inverted.posting array list -> Dewey.t list) ->
+  Xr_index.Inverted.posting array list ->
+  Dewey.t list

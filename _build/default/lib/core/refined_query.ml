@@ -1,0 +1,47 @@
+type edit =
+  | Kept of string
+  | Deleted of string
+  | Applied of Rule.t
+
+type t = {
+  keywords : string list;
+  dissimilarity : int;
+  edits : edit list;
+}
+
+let key t = String.concat " " t.keywords
+
+let is_original t = t.dissimilarity = 0
+
+let delta t =
+  List.concat_map
+    (function
+      | Kept _ -> []
+      | Deleted k -> [ k ]
+      | Applied (r : Rule.t) -> r.rhs)
+    t.edits
+  |> List.sort_uniq String.compare
+
+let deleted t =
+  List.concat_map (function Deleted k -> [ k ] | Kept _ | Applied _ -> []) t.edits
+  |> List.sort_uniq String.compare
+
+let generated t =
+  List.concat_map (function Applied (r : Rule.t) -> r.rhs | Kept _ | Deleted _ -> []) t.edits
+  |> List.sort_uniq String.compare
+
+let operations t =
+  List.filter_map
+    (function
+      | Kept _ -> None
+      | Deleted k -> Some (Printf.sprintf "delete \"%s\"" k)
+      | Applied r -> Some (Rule.to_string r))
+    t.edits
+
+let to_string t =
+  Printf.sprintf "{%s} (dSim=%d)" (String.concat ", " t.keywords) t.dissimilarity
+
+let compare a b =
+  match Int.compare a.dissimilarity b.dissimilarity with
+  | 0 -> String.compare (key a) (key b)
+  | c -> c

@@ -1,0 +1,27 @@
+open Xr_xml
+
+type rq_match = {
+  rq : Refined_query.t;
+  score : Ranking.scored option;
+  slcas : Dewey.t list;
+}
+
+type t =
+  | Original of Dewey.t list
+  | Refined of rq_match list
+  | No_result
+
+let describe doc = function
+  | Original slcas ->
+    Printf.sprintf "query matched directly: %d meaningful SLCA(s): %s" (List.length slcas)
+      (String.concat ", " (List.map (Doc.label doc) slcas))
+  | No_result -> "no meaningful result and no viable refinement"
+  | Refined matches ->
+    let line i (m : rq_match) =
+      let rank = match m.score with None -> "" | Some s -> Printf.sprintf " rank=%.4f" s.rank in
+      Printf.sprintf "#%d %s%s -> %d result(s): %s" (i + 1)
+        (Refined_query.to_string m.rq)
+        rank (List.length m.slcas)
+        (String.concat ", " (List.map (Doc.label doc) m.slcas))
+    in
+    String.concat "\n" (List.mapi line matches)

@@ -1,0 +1,21 @@
+(** Outcomes of automatic refinement. *)
+
+open Xr_xml
+
+type rq_match = {
+  rq : Refined_query.t;
+  score : Ranking.scored option;  (** filled once the ranking model ran *)
+  slcas : Dewey.t list;  (** meaningful SLCA results, document order *)
+}
+
+type t =
+  | Original of Dewey.t list
+      (** the query needs no refinement: its own meaningful SLCAs *)
+  | Refined of rq_match list
+      (** ranked refined queries, best first, each with results *)
+  | No_result
+      (** neither the query nor any refined candidate has a meaningful
+          match *)
+
+(** [describe doc t] renders a human-readable summary. *)
+val describe : Doc.t -> t -> string

@@ -1,0 +1,55 @@
+module M = Map.Make (struct
+  type t = int * string (* dissimilarity, keyword-set key *)
+
+  let compare (d1, k1) (d2, k2) =
+    match Int.compare d1 d2 with 0 -> String.compare k1 k2 | c -> c
+end)
+
+type t = {
+  capacity : int;
+  mutable by_rank : Refined_query.t M.t;
+  by_key : (string, int) Hashtbl.t; (* keyword-set key -> dissimilarity *)
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Rq_list.create: capacity must be >= 1";
+  { capacity; by_rank = M.empty; by_key = Hashtbl.create 16 }
+
+let length t = Hashtbl.length t.by_key
+
+let worst t = M.max_binding_opt t.by_rank
+
+let max_dissimilarity t =
+  if length t < t.capacity then None
+  else match worst t with Some ((d, _), _) -> Some d | None -> None
+
+let would_admit t ds =
+  match max_dissimilarity t with None -> true | Some m -> ds < m
+
+let mem t (rq : Refined_query.t) = Hashtbl.mem t.by_key (Refined_query.key rq)
+
+let insert t (rq : Refined_query.t) =
+  let key = Refined_query.key rq in
+  let ds = rq.dissimilarity in
+  match Hashtbl.find_opt t.by_key key with
+  | Some old when old <= ds -> true
+  | Some old ->
+    t.by_rank <- M.add (ds, key) rq (M.remove (old, key) t.by_rank);
+    Hashtbl.replace t.by_key key ds;
+    true
+  | None ->
+    if not (would_admit t ds) then false
+    else begin
+      if length t >= t.capacity then begin
+        match worst t with
+        | Some ((wd, wk), _) ->
+          t.by_rank <- M.remove (wd, wk) t.by_rank;
+          Hashtbl.remove t.by_key wk
+        | None -> ()
+      end;
+      t.by_rank <- M.add (ds, key) rq t.by_rank;
+      Hashtbl.replace t.by_key key ds;
+      true
+    end
+
+let to_list t = List.map snd (M.bindings t.by_rank)

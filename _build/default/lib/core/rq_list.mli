@@ -1,0 +1,29 @@
+(** [RQSortedList] (Section VI-B): the bounded candidate list ordered by
+    dissimilarity, with O(1) duplicate detection via a keyword-set hash —
+    mirroring the paper's B-tree + hashtable pair. *)
+
+type t
+
+val create : capacity:int -> t
+
+(** [max_dissimilarity t] is the dissimilarity of the worst kept candidate
+    when the list is full, [None] while it has room. *)
+val max_dissimilarity : t -> int option
+
+(** [would_admit t ds] is true if a candidate with dissimilarity [ds]
+    would enter the list (room left, or strictly better than the worst). *)
+val would_admit : t -> int -> bool
+
+(** [mem t rq] checks keyword-set membership. *)
+val mem : t -> Refined_query.t -> bool
+
+(** [insert t rq] admits [rq] if it qualifies, evicting the worst when
+    full; an already-present keyword set is kept at the cheaper
+    dissimilarity. Returns whether the list now contains [rq]'s keyword
+    set. *)
+val insert : t -> Refined_query.t -> bool
+
+(** [to_list t] is the candidates, cheapest first. *)
+val to_list : t -> Refined_query.t list
+
+val length : t -> int

@@ -1,0 +1,53 @@
+open Xr_xml
+
+type op = Deletion | Merging | Split | Substitution
+
+type t = {
+  lhs : string list;
+  rhs : string list;
+  op : op;
+  ds : int;
+}
+
+let make ~op ~ds lhs rhs =
+  let norm side = List.map Token.normalize side in
+  let lhs = norm lhs and rhs = norm rhs in
+  if lhs = [] then invalid_arg "Rule.make: empty LHS";
+  if ds < 1 then invalid_arg "Rule.make: dissimilarity must be >= 1";
+  if List.exists (fun k -> String.length k = 0) (lhs @ rhs) then
+    invalid_arg "Rule.make: empty keyword";
+  { lhs; rhs; op; ds }
+
+let merging parts whole =
+  (* one space removed per boundary *)
+  make ~op:Merging ~ds:(max 1 (List.length parts - 1)) parts [ whole ]
+
+let split whole parts = make ~op:Split ~ds:(max 1 (List.length parts - 1)) [ whole ] parts
+
+let spelling wrong right =
+  let d = Xr_text.Edit_distance.distance (Token.normalize wrong) (Token.normalize right) in
+  make ~op:Substitution ~ds:(max 1 d) [ wrong ] [ right ]
+
+let synonym ?(ds = 1) a b = make ~op:Substitution ~ds [ a ] [ b ]
+
+let acronym_expand acronym expansion = make ~op:Substitution ~ds:1 [ acronym ] expansion
+
+let acronym_contract expansion acronym = make ~op:Substitution ~ds:1 expansion [ acronym ]
+
+let stemming a b = make ~op:Substitution ~ds:1 [ a ] [ b ]
+
+let deletion k ~ds = make ~op:Deletion ~ds [ k ] []
+
+let op_name = function
+  | Deletion -> "deletion"
+  | Merging -> "merging"
+  | Split -> "split"
+  | Substitution -> "substitution"
+
+let to_string r =
+  Printf.sprintf "{%s} ->%s {%s} (ds=%d)" (String.concat "," r.lhs) (op_name r.op)
+    (String.concat "," r.rhs) r.ds
+
+let equal a b = a.lhs = b.lhs && a.rhs = b.rhs && a.op = b.op && a.ds = b.ds
+
+let compare = Stdlib.compare

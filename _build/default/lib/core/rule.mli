@@ -1,0 +1,53 @@
+(** Refinement rules (Definition 3.5): [S1 ->op S2] with a dissimilarity
+    score modelling how far the rewrite strays from the original query.
+
+    The four operations of Section III-B. Term deletion is usually applied
+    implicitly with a per-term cost (strictly greater than the other
+    operations' scores, per the paper's principle), but can also be
+    expressed as an explicit rule with [rhs = []]. *)
+
+type op =
+  | Deletion
+  | Merging  (** ["on"; "line"] -> ["online"] *)
+  | Split  (** ["online"] -> ["on"; "line"] *)
+  | Substitution  (** spelling / synonym / acronym / stemming *)
+
+type t = {
+  lhs : string list;  (** matched keywords (normalized, non-empty) *)
+  rhs : string list;  (** replacement keywords (normalized) *)
+  op : op;
+  ds : int;  (** dissimilarity score, >= 1 *)
+}
+
+(** [make ~op ~ds lhs rhs] normalizes both sides and validates the rule.
+    @raise Invalid_argument on an empty LHS, a non-positive score, or an
+    empty keyword. *)
+val make : op:op -> ds:int -> string list -> string list -> t
+
+(** Convenience constructors with the paper's default scores: one space
+    edit for merge/split, edit distance for spelling, 1 for
+    acronym/stemming, thesaurus score for synonyms. *)
+
+val merging : string list -> string -> t
+
+val split : string -> string list -> t
+
+val spelling : string -> string -> t
+
+val synonym : ?ds:int -> string -> string -> t
+
+val acronym_expand : string -> string list -> t
+
+val acronym_contract : string list -> string -> t
+
+val stemming : string -> string -> t
+
+val deletion : string -> ds:int -> t
+
+val op_name : op -> string
+
+val to_string : t -> string
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int

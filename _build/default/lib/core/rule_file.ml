@@ -1,0 +1,123 @@
+let trim = String.trim
+
+let split_words s =
+  String.split_on_char ' ' s |> List.map trim |> List.filter (fun w -> w <> "")
+
+let op_of_string = function
+  | "deletion" | "delete" -> Some Rule.Deletion
+  | "merging" | "merge" -> Some Rule.Merging
+  | "split" -> Some Rule.Split
+  | "substitution" | "subst" -> Some Rule.Substitution
+  | _ -> None
+
+let infer_op lhs rhs =
+  match (lhs, rhs) with
+  | _, [] -> Rule.Deletion
+  | _ :: _ :: _, [ _ ] -> Rule.Merging
+  | [ _ ], _ :: _ :: _ -> Rule.Split
+  | _ -> Rule.Substitution
+
+let default_ds op lhs rhs =
+  match op with
+  | Rule.Deletion -> 2
+  | Rule.Merging -> max 1 (List.length lhs - 1)
+  | Rule.Split -> max 1 (List.length rhs - 1)
+  | Rule.Substitution -> (
+    match (lhs, rhs) with
+    | [ a ], [ b ] -> max 1 (Xr_text.Edit_distance.distance a b)
+    | _ -> 1)
+
+let parse_line line =
+  let line = match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let line = trim line in
+  if line = "" then Ok None
+  else begin
+    let arrow_at =
+      let n = String.length line in
+      let rec find i =
+        if i + 1 >= n then None
+        else if line.[i] = '-' && line.[i + 1] = '>' then Some i
+        else find (i + 1)
+      in
+      find 0
+    in
+    match arrow_at with
+    | Some i -> (
+      let lhs_str = String.sub line 0 i in
+      let rest = String.sub line (i + 2) (String.length line - i - 2) in
+      let parts = String.split_on_char ':' rest |> List.map trim in
+      let rhs_str, op_str, ds_str =
+        match parts with
+        | [ r ] -> (r, None, None)
+        | [ r; o ] -> (r, Some o, None)
+        | [ r; o; d ] -> (r, Some o, Some d)
+        | _ -> ("", None, None)
+      in
+      let lhs = split_words lhs_str and rhs = split_words rhs_str in
+      if lhs = [] then Error "empty left-hand side"
+      else begin
+        let op_result =
+          match op_str with
+          | None | Some "" -> Ok (infer_op lhs rhs)
+          | Some o -> (
+            match op_of_string (String.lowercase_ascii o) with
+            | Some op -> Ok op
+            | None -> Error (Printf.sprintf "unknown operation %S" o))
+        in
+        let ds_result =
+          match ds_str with
+          | None | Some "" -> Ok None
+          | Some d -> (
+            match int_of_string_opt d with
+            | Some n when n >= 1 -> Ok (Some n)
+            | Some _ | None -> Error (Printf.sprintf "bad dissimilarity %S" d))
+        in
+        match (op_result, ds_result) with
+        | Ok op, Ok ds -> (
+          let ds = match ds with Some d -> d | None -> default_ds op lhs rhs in
+          if op = Rule.Deletion && rhs <> [] then Error "deletion rules take no right-hand side"
+          else
+            try Ok (Some (Rule.make ~op ~ds lhs rhs))
+            with Invalid_argument msg -> Error msg)
+        | Error e, _ | _, Error e -> Error e
+      end)
+    | None -> Error "expected 'LHS -> RHS [: op] [: ds]'"
+  end
+
+let parse content =
+  let lines = String.split_on_char '\n' content in
+  let rec go acc n = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+      match parse_line line with
+      | Ok None -> go acc (n + 1) rest
+      | Ok (Some r) -> go (r :: acc) (n + 1) rest
+      | Error msg -> Error (Printf.sprintf "line %d: %s" n msg))
+  in
+  go [] 1 lines
+
+let load path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let content = really_input_string ic n in
+  close_in ic;
+  match parse content with
+  | Ok rules -> rules
+  | Error msg -> failwith (path ^ ": " ^ msg)
+
+let to_line (r : Rule.t) =
+  Printf.sprintf "%s -> %s : %s : %d" (String.concat " " r.lhs) (String.concat " " r.rhs)
+    (Rule.op_name r.op) r.ds
+
+let save path rules =
+  let oc = open_out path in
+  output_string oc "# XRefine rule file: LHS -> RHS [: operation] [: dissimilarity]\n";
+  List.iter
+    (fun r ->
+      output_string oc (to_line r);
+      output_char oc '\n')
+    rules;
+  close_out oc

@@ -1,0 +1,34 @@
+(** Plain-text rule files, so curated refinement rules (the paper's
+    annotator-produced rule sets) can be shipped next to a corpus and
+    loaded from the CLI.
+
+    One rule per line:
+    {v
+    # merging (dissimilarity defaults per operation)
+    on line -> online
+    # explicit operation and score
+    mecin -> machine            : substitution : 2
+    www -> world wide web       : substitution : 1
+    # deletion: empty right-hand side
+    reallyjunk ->               : deletion : 2
+    v}
+    The operation may be omitted — it is inferred from the two sides
+    (many-to-one: merging; one-to-many: split; empty RHS: deletion;
+    otherwise substitution) — and so may the score (each operation's
+    default applies). [#] starts a comment; blank lines are skipped. *)
+
+(** [parse content] reads a whole file's content.
+    Returns [Error msg] (with a line number) on the first malformed line. *)
+val parse : string -> (Rule.t list, string) result
+
+(** [parse_line s] is [Ok None] for blank/comment lines. *)
+val parse_line : string -> (Rule.t option, string) result
+
+(** [load path] parses a file. @raise Failure on malformed content. *)
+val load : string -> Rule.t list
+
+(** [save path rules] writes rules in the format {!parse} reads. *)
+val save : string -> Rule.t list -> unit
+
+(** [to_line r] renders one rule. *)
+val to_line : Rule.t -> string

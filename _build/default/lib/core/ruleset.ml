@@ -1,0 +1,164 @@
+open Xr_xml
+module Thesaurus = Xr_text.Thesaurus
+module Edit_distance = Xr_text.Edit_distance
+module Stemmer = Xr_text.Stemmer
+
+type t = { rules : Rule.t list }
+
+let empty = { rules = [] }
+
+let add t r = if List.exists (Rule.equal r) t.rules then t else { rules = r :: t.rules }
+
+let of_rules rules = List.fold_left add empty rules
+
+let to_list t = List.rev t.rules
+
+let size t = List.length t.rules
+
+let last l = List.nth l (List.length l - 1)
+
+let ending_with t k =
+  let k = Token.normalize k in
+  List.filter (fun (r : Rule.t) -> String.equal (last r.lhs) k) (to_list t)
+
+(* Is [lhs] a contiguous window of [query]? *)
+let window_of query lhs =
+  let n = List.length lhs in
+  let arr = Array.of_list query in
+  let m = Array.length arr in
+  let rec at i =
+    if i + n > m then false
+    else if List.for_all2 String.equal lhs (Array.to_list (Array.sub arr i n)) then true
+    else at (i + 1)
+  in
+  at 0
+
+let relevant t query =
+  let query = List.map Token.normalize query in
+  { rules = List.filter (fun (r : Rule.t) -> window_of query r.lhs) t.rules }
+
+let new_keywords t query =
+  let query = List.map Token.normalize query in
+  let rel = relevant t query in
+  List.concat_map (fun (r : Rule.t) -> r.rhs) (to_list rel)
+  |> List.filter (fun k -> not (List.mem k query))
+  |> List.sort_uniq String.compare
+
+type mine_config = {
+  max_edit_distance : int;
+  min_word_len_for_spelling : int;
+  enable_stemming : bool;
+  enable_merging : bool;
+  enable_split : bool;
+  enable_spelling : bool;
+  enable_thesaurus : bool;
+}
+
+let default_mine_config =
+  {
+    max_edit_distance = 2;
+    min_word_len_for_spelling = 4;
+    enable_stemming = true;
+    enable_merging = true;
+    enable_split = true;
+    enable_spelling = true;
+    enable_thesaurus = true;
+  }
+
+let in_doc doc k = Doc.keyword_id doc k <> None
+
+(* The miner probes the whole vocabulary (edit distance, stems) for every
+   query; both the word array and the Porter stems are per-document
+   constants, so they are cached keyed by physical document identity. *)
+type vocab_cache = { words : string array; stems : string array }
+
+let caches : (Doc.t * vocab_cache) list ref = ref []
+
+let vocab_cache doc =
+  match List.find_opt (fun (d, _) -> d == doc) !caches with
+  | Some (_, c) -> c
+  | None ->
+    let words = Array.of_list (Doc.vocabulary doc) in
+    let stems = Array.map Stemmer.stem words in
+    let c = { words; stems } in
+    caches := (doc, c) :: List.filteri (fun i _ -> i < 7) !caches;
+    c
+
+let mine ?(config = default_mine_config) ?thesaurus doc query =
+  let query = List.filter (fun k -> k <> "") (List.map Token.normalize query) in
+  let cache = vocab_cache doc in
+  let rules = ref [] in
+  let emit r = rules := r :: !rules in
+  (* merging: adjacent pairs (and triples) that exist in the document *)
+  if config.enable_merging then begin
+    let rec pairs = function
+      | a :: (b :: rest' as rest) ->
+        if in_doc doc (a ^ b) then emit (Rule.merging [ a; b ] (a ^ b));
+        (match rest' with
+        | c :: _ when in_doc doc (a ^ b ^ c) -> emit (Rule.merging [ a; b; c ] (a ^ b ^ c))
+        | _ -> ());
+        pairs rest
+      | _ -> ()
+    in
+    pairs query
+  end;
+  List.iter
+    (fun k ->
+      let n = String.length k in
+      (* split: both halves present in the document *)
+      if config.enable_split && n >= 4 then
+        for i = 2 to n - 2 do
+          let a = String.sub k 0 i and b = String.sub k i (n - i) in
+          if in_doc doc a && in_doc doc b then emit (Rule.split k [ a; b ])
+        done;
+      (* spelling: vocabulary words within the edit radius *)
+      if
+        config.enable_spelling && n >= config.min_word_len_for_spelling
+        && not (in_doc doc k)
+      then
+        Array.iter
+          (fun w ->
+            if
+              String.length w >= config.min_word_len_for_spelling
+              && abs (String.length w - n) <= config.max_edit_distance
+              && not (String.equal w k)
+            then
+              match Edit_distance.within ~limit:config.max_edit_distance k w with
+              | Some _ -> emit (Rule.spelling k w)
+              | None -> ())
+          cache.words;
+      (* stemming: vocabulary words sharing the stem *)
+      if config.enable_stemming then begin
+        let stem_k = Stemmer.stem k in
+        Array.iteri
+          (fun i w ->
+            if String.equal cache.stems.(i) stem_k && not (String.equal w k) then
+              emit (Rule.stemming k w))
+          cache.words
+      end;
+      (* thesaurus: synonyms and acronym expansion *)
+      match thesaurus with
+      | None -> ()
+      | Some th when config.enable_thesaurus ->
+        List.iter
+          (fun (s, ds) -> if in_doc doc s then emit (Rule.synonym ~ds k s))
+          (Thesaurus.synonyms th k);
+        (match Thesaurus.expansion th k with
+        | Some exp when List.for_all (in_doc doc) exp -> emit (Rule.acronym_expand k exp)
+        | Some _ | None -> ())
+      | Some _ -> ())
+    query;
+  (* acronym contraction over windows of the query *)
+  (match thesaurus with
+  | Some th when config.enable_thesaurus ->
+    let arr = Array.of_list query in
+    for i = 0 to Array.length arr - 1 do
+      for len = 2 to min 4 (Array.length arr - i) do
+        let window = Array.to_list (Array.sub arr i len) in
+        match Thesaurus.acronym_of th window with
+        | Some acro when in_doc doc acro -> emit (Rule.acronym_contract window acro)
+        | Some _ | None -> ()
+      done
+    done
+  | Some _ | None -> ());
+  of_rules (List.rev !rules)

@@ -1,0 +1,56 @@
+(** Rule sets: the indexed collection of refinement rules consulted by the
+    dynamic program, plus the automatic rule miner that stands in for the
+    paper's manually annotated rules.
+
+    The miner inspects the query against the document vocabulary and the
+    thesaurus and emits every plausible rule: merges of adjacent query
+    terms that exist in the document, splits of a query term into two
+    document words, spelling corrections within edit distance 2, synonym
+    and acronym substitutions, and stemming variants. *)
+
+type t
+
+val empty : t
+
+val of_rules : Rule.t list -> t
+
+val add : t -> Rule.t -> t
+
+val to_list : t -> Rule.t list
+
+val size : t -> int
+
+(** [ending_with t k] is every rule whose LHS's last keyword is [k] — the
+    paper's [R(k_i)] lookup for the DP recurrence. *)
+val ending_with : t -> string -> Rule.t list
+
+(** [relevant t query] keeps the rules whose LHS occurs as a contiguous
+    window of [query] (after normalization) — the "pertinent rules"
+    consulted by all three algorithms. *)
+val relevant : t -> string list -> t
+
+(** [new_keywords t query] is [getNewKeywords]: every keyword produced by
+    the RHS of a rule relevant to [query] and not already in [query]. *)
+val new_keywords : t -> string list -> string list
+
+type mine_config = {
+  max_edit_distance : int;  (** spelling-rule radius; default 2 *)
+  min_word_len_for_spelling : int;
+      (** don't "correct" very short words; default 4 *)
+  enable_stemming : bool;
+  enable_merging : bool;
+  enable_split : bool;
+  enable_spelling : bool;
+  enable_thesaurus : bool;
+}
+
+val default_mine_config : mine_config
+
+(** [mine ?config ?thesaurus doc query] derives rules for [query] against
+    [doc]'s vocabulary. All RHS keywords of mined rules exist in [doc]. *)
+val mine :
+  ?config:mine_config ->
+  ?thesaurus:Xr_text.Thesaurus.t ->
+  Xr_xml.Doc.t ->
+  string list ->
+  t

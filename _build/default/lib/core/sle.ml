@@ -1,0 +1,167 @@
+open Xr_xml
+module Inverted = Xr_index.Inverted
+module Slca_engine = Xr_slca.Engine
+
+type stats = {
+  keywords_processed : int;
+  partitions_probed : int;
+  dp_runs : int;
+  stopped_early : bool;
+}
+
+(* Processing order (Section VI-C discussion): prefer keywords that appear
+   in the RHS of a relevant rule or in no rule's LHS (they need no
+   refinement themselves), then ascending list length. *)
+let keyword_order (c : Refine_common.t) =
+  let rules = Ruleset.to_list c.rules in
+  let in_rhs k = List.exists (fun (r : Rule.t) -> List.mem k r.rhs) rules in
+  let in_lhs k = List.exists (fun (r : Rule.t) -> List.mem k r.lhs) rules in
+  let score i =
+    let k = c.ks.(i) in
+    let preferred = in_rhs k || not (in_lhs k) in
+    ((if preferred then 0 else 1), Array.length c.lists.(i), i)
+  in
+  let idx = List.init (Array.length c.ks) Fun.id in
+  let nonempty = List.filter (fun i -> Array.length c.lists.(i) > 0) idx in
+  List.sort (fun a b -> compare (score a) (score b)) nonempty
+
+let run ?(ranking = Ranking.default_config) ?(slca = Slca_engine.Scan_eager) ~k
+    (c : Refine_common.t) =
+  let engine = Slca_engine.compute slca in
+  let q_keywords = Array.to_list (Array.sub c.ks 0 c.q_size) in
+  (* Adaptivity check (Definition 3.4): if the original query itself has a
+     meaningful SLCA, no refinement happens. *)
+  let q_lists = Refine_common.full_lists c q_keywords in
+  let q_slcas =
+    if List.exists (fun l -> Array.length l = 0) q_lists then []
+    else Refine_common.meaningful_slcas c engine q_lists
+  in
+  if q_slcas <> [] then
+    (Result.Original q_slcas, { keywords_processed = 0; partitions_probed = 0; dp_runs = 0; stopped_early = false })
+  else begin
+    let rqlist = Rq_list.create ~capacity:(2 * k) in
+    let order = keyword_order c in
+    let processed = Array.make (Array.length c.ks) false in
+    let visited_partitions : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+    let zeros = Array.make (Array.length c.lists) 0 in
+    let probed = ref 0 and dp_runs = ref 0 and consumed = ref 0 in
+    let stopped = ref false in
+    (* Optimistic bound: cheapest dissimilarity of any refined query built
+       from the still-unprocessed keywords. *)
+    let c_potential () =
+      let available kw =
+        let rec find i =
+          if i >= Array.length c.ks then false
+          else if String.equal c.ks.(i) kw then
+            (not processed.(i)) && Array.length c.lists.(i) > 0
+          else find (i + 1)
+        in
+        find 0
+      in
+      incr dp_runs;
+      match
+        Optimal_rq.optimal ~config:c.dp_config ~rules:c.rules ~available c.query
+      with
+      | Some rq when not (Refined_query.is_original rq) -> Some rq.Refined_query.dissimilarity
+      | Some _ -> Some 0
+      | None -> None
+    in
+    (* Partitions sharing a keyword-availability signature share their DP
+       candidate list. *)
+    let dp_cache : (string, Refined_query.t list) Hashtbl.t = Hashtbl.create 16 in
+    let candidates_for ranges =
+      let key =
+        String.init (Array.length ranges) (fun i ->
+            let lo, hi = ranges.(i) in
+            if hi > lo then '1' else '0')
+      in
+      match Hashtbl.find_opt dp_cache key with
+      | Some cs -> cs
+      | None ->
+        incr dp_runs;
+        let cs =
+          Optimal_rq.top_k ~config:c.dp_config ~rules:c.rules
+            ~available:(Refine_common.available_in c ranges)
+            ~k:(max (2 * k) c.dp_config.Optimal_rq.beam) c.query
+        in
+        Hashtbl.add dp_cache key cs;
+        cs
+    in
+    let process_partition pid =
+      if not (Hashtbl.mem visited_partitions pid) then begin
+        Hashtbl.add visited_partitions pid ();
+        incr probed;
+        let proot = [| pid |] in
+        let ranges = Refine_common.slices c proot ~from:zeros in
+        let candidates = candidates_for ranges in
+        List.iter
+          (fun rq ->
+            if not (Refined_query.is_original rq) then begin
+              let interesting =
+                (not (Rq_list.mem rqlist rq))
+                && Rq_list.would_admit rqlist rq.Refined_query.dissimilarity
+              in
+              if interesting then begin
+                (* Definition 3.4: admit only with a meaningful SLCA in
+                   this partition. *)
+                let slcas =
+                  Refine_common.meaningful_slcas c engine
+                    (Refine_common.sublists c ranges rq.Refined_query.keywords)
+                in
+                if slcas <> [] then ignore (Rq_list.insert rqlist rq)
+              end
+            end)
+          candidates
+      end
+    in
+    let rec loop = function
+      | [] -> ()
+      | i :: rest ->
+        let stop =
+          Rq_list.max_dissimilarity rqlist <> None
+          &&
+          match (c_potential (), Rq_list.max_dissimilarity rqlist) with
+          | None, _ -> true
+          | Some p, Some m -> p > m
+          | Some _, None -> false
+        in
+        if stop then stopped := true
+        else begin
+          incr consumed;
+          Array.iter
+            (fun (p : Inverted.posting) ->
+              if Dewey.depth p.dewey > 0 then process_partition p.dewey.(0))
+            c.lists.(i);
+          processed.(i) <- true;
+          loop rest
+        end
+    in
+    loop order;
+    let pool = Rq_list.to_list rqlist in
+    let outcome =
+      if pool = [] then Result.No_result
+      else begin
+        let scored =
+          Ranking.rank ~config:ranking c.index.Xr_index.Index.stats ~original:c.query pool
+        in
+        let top = List.filteri (fun i _ -> i < k) scored in
+        (* Step 2: full-document SLCA computation for the final Top-K. *)
+        Result.Refined
+          (List.map
+             (fun (s : Ranking.scored) ->
+               let slcas =
+                 Refine_common.meaningful_slcas c engine
+                   (Refine_common.full_lists c s.rq.Refined_query.keywords)
+               in
+               { Result.rq = s.rq; score = Some s; slcas })
+             top)
+      end
+    in
+    ( outcome,
+      {
+        keywords_processed = !consumed;
+        partitions_probed = !probed;
+        dp_runs = !dp_runs;
+        stopped_early = !stopped;
+      } )
+  end

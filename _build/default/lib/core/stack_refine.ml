@@ -1,0 +1,134 @@
+open Xr_xml
+module Inverted = Xr_index.Inverted
+module Meaningful = Xr_slca.Meaningful
+
+type stats = {
+  pops : int;
+  dp_runs : int;
+}
+
+type entry = {
+  witness : bool array; (* over KS *)
+  mutable q_slca_below : bool; (* an SLCA of the original query was reported below *)
+}
+
+let run ?(ranking = Ranking.default_config) (c : Refine_common.t) =
+  let m = Array.length c.lists in
+  let pops = ref 0 and dp_runs = ref 0 in
+  let q_found = ref false in
+  let q_results = ref [] in
+  let min_ds = ref max_int in
+  let best_rq : Refined_query.t option ref = ref None in
+  let best_results = ref [] in
+  let pos = Array.make m 0 in
+  let stack = ref [ { witness = Array.make m false; q_slca_below = false } ] in
+  let path = ref [||] in
+  let covers_q w =
+    let rec go i = i >= c.q_size || (w.(i) && go (i + 1)) in
+    c.q_size > 0 && go 0
+  in
+  let witness_nonempty w = Array.exists Fun.id w in
+  let handle_pop (e : entry) node parent =
+    incr pops;
+    (* Original-query SLCA check (lines 10-12 of Algorithm 1). *)
+    let is_q_slca = covers_q e.witness && not e.q_slca_below in
+    if is_q_slca then begin
+      if Meaningful.is_meaningful_dewey c.meaningful node then begin
+        q_found := true;
+        q_results := node :: !q_results
+      end;
+      parent.q_slca_below <- true
+    end;
+    (* Refinement exploration (lines 13-19). *)
+    if (not !q_found) && (not is_q_slca) && witness_nonempty e.witness then begin
+      let available k =
+        let rec find i =
+          if i >= m then false
+          else if String.equal c.ks.(i) k then e.witness.(i)
+          else find (i + 1)
+        in
+        find 0
+      in
+      incr dp_runs;
+      match Optimal_rq.optimal ~config:c.dp_config ~rules:c.rules ~available c.query with
+      | None -> ()
+      | Some rq when Refined_query.is_original rq ->
+        (* the query itself is fully witnessed here; handled by the
+           meaningful-SLCA branch, never reported as a refinement *)
+        ()
+      | Some rq ->
+        let ds = rq.Refined_query.dissimilarity in
+        if ds < !min_ds then begin
+          if Meaningful.is_meaningful_dewey c.meaningful node then begin
+            min_ds := ds;
+            best_rq := Some rq;
+            best_results := [ node ]
+          end
+        end
+        else if ds = !min_ds then begin
+          match !best_rq with
+          | Some best
+            when String.equal (Refined_query.key best) (Refined_query.key rq)
+                 && (not (List.exists (fun r -> Dewey.is_prefix node r) !best_results))
+                 && Meaningful.is_meaningful_dewey c.meaningful node ->
+            best_results := node :: !best_results
+          | Some _ | None -> ()
+        end
+    end;
+    (* Witness propagation to the parent. *)
+    Array.iteri (fun i w -> if w then parent.witness.(i) <- true) e.witness;
+    if e.q_slca_below then parent.q_slca_below <- true
+  in
+  let pop_to target_len =
+    while Array.length !path > target_len do
+      match !stack with
+      | e :: (parent :: _ as rest) ->
+        handle_pop e !path parent;
+        stack := rest;
+        path := Array.sub !path 0 (Array.length !path - 1)
+      | _ -> assert false
+    done
+  in
+  let smallest () =
+    let best = ref None in
+    for i = 0 to m - 1 do
+      if pos.(i) < Array.length c.lists.(i) then begin
+        let d = c.lists.(i).(pos.(i)).Inverted.dewey in
+        match !best with
+        | None -> best := Some (i, d)
+        | Some (_, d') -> if Dewey.compare d d' < 0 then best := Some (i, d)
+      end
+    done;
+    !best
+  in
+  let rec loop () =
+    match smallest () with
+    | None -> ()
+    | Some (i, dewey) ->
+      pos.(i) <- pos.(i) + 1;
+      let lcp = Dewey.common_prefix_len dewey !path in
+      pop_to lcp;
+      for j = lcp to Array.length dewey - 1 do
+        stack := { witness = Array.make m false; q_slca_below = false } :: !stack;
+        path := Dewey.child !path dewey.(j)
+      done;
+      (match !stack with
+      | top :: _ -> top.witness.(i) <- true
+      | [] -> assert false);
+      loop ()
+  in
+  loop ();
+  pop_to 0;
+  (* The root sentinel: the root is never a meaningful SLCA (excluded from
+     the search-for candidates), so only its bookkeeping remains. *)
+  let outcome =
+    if !q_found then Result.Original (List.rev !q_results)
+    else
+      match !best_rq with
+      | None -> Result.No_result
+      | Some rq ->
+        let score = Ranking.score ~config:ranking c.index.Xr_index.Index.stats ~original:c.query rq in
+        Result.Refined
+          [ { Result.rq; score = Some score; slcas = List.rev !best_results } ]
+  in
+  (outcome, { pops = !pops; dp_runs = !dp_runs })

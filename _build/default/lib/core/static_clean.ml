@@ -1,0 +1,13 @@
+module Index = Xr_index.Index
+
+let clean ?(k = 3) ?dp ?thesaurus (index : Index.t) query =
+  let thesaurus =
+    match thesaurus with Some t -> t | None -> Xr_text.Thesaurus.default ()
+  in
+  let rules = Ruleset.mine ~thesaurus index.Index.doc query in
+  let rules = Ruleset.relevant rules (List.map Xr_xml.Token.normalize query) in
+  let available kw = Xr_xml.Doc.keyword_id index.Index.doc kw <> None in
+  Optimal_rq.top_k ?config:dp ~rules ~available ~k query
+  |> List.filter (fun rq -> not (Refined_query.is_original rq))
+
+let stranded index (rq : Refined_query.t) = Engine.search index rq.Refined_query.keywords = []

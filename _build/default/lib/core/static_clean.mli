@@ -1,0 +1,26 @@
+(** Static query cleaning — the baseline the paper contrasts with
+    (reference [10], Pu & Yu's "Keyword query cleaning"): rewrite the
+    query against the {e global} vocabulary before searching, with no
+    knowledge of which keywords actually co-occur anywhere.
+
+    The cleaned query looks plausible (every keyword exists in the
+    corpus), but — exactly as the paper criticizes — nothing guarantees it
+    has a (meaningful) matching result, because the keywords may never
+    appear together. The benchmark harness uses this to quantify how often
+    static cleaning strands the user, versus the integrated refinement. *)
+
+(** [clean ?k ?dp index query] is the Top-[k] (default 3) rewrites by
+    dissimilarity, using the same mined rule set as the engine but with
+    global-vocabulary availability. No result computation, no guarantee. *)
+val clean :
+  ?k:int ->
+  ?dp:Optimal_rq.config ->
+  ?thesaurus:Xr_text.Thesaurus.t ->
+  Xr_index.Index.t ->
+  string list ->
+  Refined_query.t list
+
+(** [stranded index rq] is true iff the cleaned query has no meaningful
+    SLCA over the document — the failure mode the paper's integrated
+    approach rules out by construction. *)
+val stranded : Xr_index.Index.t -> Refined_query.t -> bool

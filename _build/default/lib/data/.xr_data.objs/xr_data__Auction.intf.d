@@ -1,0 +1,1 @@
+lib/data/auction.mli: Xr_xml

@@ -1,0 +1,1 @@
+lib/data/baseball.ml: Array Doc List Rng Tree Vocab Xr_xml

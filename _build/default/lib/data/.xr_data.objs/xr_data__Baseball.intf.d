@@ -1,0 +1,1 @@
+lib/data/baseball.mli: Xr_xml

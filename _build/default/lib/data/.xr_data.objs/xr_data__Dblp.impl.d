@@ -1,0 +1,1 @@
+lib/data/dblp.ml: Array Doc List Printf Rng String Tree Vocab Xr_xml Zipf

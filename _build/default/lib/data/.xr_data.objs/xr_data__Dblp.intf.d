@@ -1,0 +1,1 @@
+lib/data/dblp.mli: Xr_xml

@@ -1,0 +1,1 @@
+lib/data/figure1.ml: Doc Printer Tree Xr_xml

@@ -1,0 +1,1 @@
+lib/data/figure1.mli: Xr_xml

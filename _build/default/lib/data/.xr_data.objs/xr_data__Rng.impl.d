@@ -1,0 +1,1 @@
+lib/data/rng.ml: Array Int64 List

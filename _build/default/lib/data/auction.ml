@@ -1,0 +1,114 @@
+open Xr_xml
+
+type config = {
+  seed : int;
+  items : int;
+  people : int;
+  open_auctions : int;
+  closed_auctions : int;
+  categories : int;
+}
+
+let default_config =
+  { seed = 17; items = 120; people = 80; open_auctions = 60; closed_auctions = 40; categories = 12 }
+
+let regions = [| "africa"; "asia"; "australia"; "europe"; "namerica"; "samerica" |]
+
+let words rng zipf n =
+  String.concat " " (List.init n (fun _ -> Zipf.pick zipf rng Vocab.title_words))
+
+
+let item rng zipf i =
+  Tree.elem ~attrs:[ ("id", Printf.sprintf "item%d" i) ] "item"
+    [
+      Tree.Elem (Tree.leaf "name" (words rng zipf 2));
+      Tree.Elem (Tree.leaf "location" (Rng.pick rng Vocab.team_cities));
+      Tree.Elem (Tree.leaf "quantity" (string_of_int (1 + Rng.int rng 5)));
+      Tree.Elem (Tree.leaf "payment" (Rng.pick_list rng [ "cash"; "check"; "creditcard" ]));
+      Tree.Elem (Tree.leaf "description" (words rng zipf (4 + Rng.int rng 8)));
+      Tree.Elem (Tree.leaf "shipping" (Rng.pick_list rng [ "internationally"; "regionally" ]));
+    ]
+
+let person rng zipf i =
+  let first = Rng.pick rng Vocab.first_names and last = Rng.pick rng Vocab.last_names in
+  Tree.elem ~attrs:[ ("id", Printf.sprintf "person%d" i) ] "person"
+    [
+      Tree.Elem (Tree.leaf "name" (first ^ " " ^ last));
+      Tree.Elem (Tree.leaf "emailaddress" (Printf.sprintf "%s.%s@example.net" first last));
+      Tree.Elem (Tree.leaf "phone" (Printf.sprintf "%d %d" (100 + Rng.int rng 900) (1000 + Rng.int rng 9000)));
+      Tree.Elem
+        (Tree.elem "address"
+           [
+             Tree.Elem (Tree.leaf "street" (Printf.sprintf "%d %s street" (1 + Rng.int rng 99) (Rng.pick rng Vocab.last_names)));
+             Tree.Elem (Tree.leaf "city" (Rng.pick rng Vocab.team_cities));
+             Tree.Elem (Tree.leaf "country" (Rng.pick rng regions));
+           ]);
+      Tree.Elem
+        (Tree.elem "profile"
+           (List.init (1 + Rng.int rng 3) (fun _ ->
+                Tree.Elem (Tree.leaf "interest" (words rng zipf 1)))));
+    ]
+
+let bidder rng =
+  Tree.elem "bidder"
+    [
+      Tree.Elem (Tree.leaf "date" (Printf.sprintf "%02d/%02d/1999" (1 + Rng.int rng 12) (1 + Rng.int rng 28)));
+      Tree.Elem (Tree.leaf "increase" (string_of_int (1 + Rng.int rng 50)));
+    ]
+
+let open_auction rng config i =
+  Tree.elem ~attrs:[ ("id", Printf.sprintf "auction%d" i) ] "open_auction"
+    (Tree.Elem (Tree.leaf "initial" (string_of_int (5 + Rng.int rng 200)))
+     :: List.init (Rng.int rng 4) (fun _ -> Tree.Elem (bidder rng))
+    @ [
+        Tree.Elem (Tree.leaf "current" (string_of_int (10 + Rng.int rng 500)));
+        Tree.Elem (Tree.leaf "itemref" (Printf.sprintf "item%d" (Rng.int rng (max 1 config.items))));
+        Tree.Elem (Tree.leaf "seller" (Printf.sprintf "person%d" (Rng.int rng (max 1 config.people))));
+      ])
+
+let closed_auction rng config i =
+  ignore i;
+  Tree.elem "closed_auction"
+    [
+      Tree.Elem (Tree.leaf "seller" (Printf.sprintf "person%d" (Rng.int rng (max 1 config.people))));
+      Tree.Elem (Tree.leaf "buyer" (Printf.sprintf "person%d" (Rng.int rng (max 1 config.people))));
+      Tree.Elem (Tree.leaf "itemref" (Printf.sprintf "item%d" (Rng.int rng (max 1 config.items))));
+      Tree.Elem (Tree.leaf "price" (string_of_int (10 + Rng.int rng 900)));
+      Tree.Elem (Tree.leaf "date" (Printf.sprintf "%02d/%02d/1999" (1 + Rng.int rng 12) (1 + Rng.int rng 28)));
+      Tree.Elem (Tree.leaf "quantity" (string_of_int (1 + Rng.int rng 3)));
+    ]
+
+let generate ?(config = default_config) () =
+  let rng = Rng.create config.seed in
+  let zipf = Zipf.create ~n:(Array.length Vocab.title_words) ~s:1.0 in
+  let region_items = Array.make (Array.length regions) [] in
+  for i = config.items - 1 downto 0 do
+    let r = Rng.int rng (Array.length regions) in
+    region_items.(r) <- Tree.Elem (item rng zipf i) :: region_items.(r)
+  done;
+  Tree.elem "site"
+    [
+      Tree.Elem
+        (Tree.elem "regions"
+           (Array.to_list
+              (Array.mapi (fun r name -> Tree.Elem (Tree.elem name region_items.(r))) regions)));
+      Tree.Elem
+        (Tree.elem "categories"
+           (List.init config.categories (fun i ->
+                Tree.Elem
+                  (Tree.elem ~attrs:[ ("id", Printf.sprintf "category%d" i) ] "category"
+                     [
+                       Tree.Elem (Tree.leaf "name" (words rng zipf 1));
+                       Tree.Elem (Tree.leaf "description" (words rng zipf 5));
+                     ]))));
+      Tree.Elem
+        (Tree.elem "people" (List.init config.people (fun i -> Tree.Elem (person rng zipf i))));
+      Tree.Elem
+        (Tree.elem "open_auctions"
+           (List.init config.open_auctions (fun i -> Tree.Elem (open_auction rng config i))));
+      Tree.Elem
+        (Tree.elem "closed_auctions"
+           (List.init config.closed_auctions (fun i -> Tree.Elem (closed_auction rng config i))));
+    ]
+
+let doc ?config () = Doc.of_tree (generate ?config ())

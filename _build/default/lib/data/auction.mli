@@ -1,0 +1,23 @@
+(** XMark-style auction-site corpus generator.
+
+    The classic XML benchmark schema ([site/regions/.../item],
+    [people/person], [open_auctions/open_auction], ...). Structurally the
+    opposite of DBLP: the root has only a handful of children, so document
+    partitions (Definition 6.1) are few and huge — a stress shape for the
+    partition-based refinement algorithm — and entities cross-reference
+    each other ([itemref], [seller]) like real auction data. *)
+
+type config = {
+  seed : int;
+  items : int;  (** split across the six regions *)
+  people : int;
+  open_auctions : int;
+  closed_auctions : int;
+  categories : int;
+}
+
+val default_config : config
+
+val generate : ?config:config -> unit -> Xr_xml.Tree.t
+
+val doc : ?config:config -> unit -> Xr_xml.Doc.t

@@ -1,0 +1,55 @@
+open Xr_xml
+
+type config = {
+  seed : int;
+  leagues : int;
+  divisions_per_league : int;
+  teams_per_division : int;
+  players_per_team : int;
+}
+
+let default_config =
+  { seed = 7; leagues = 2; divisions_per_league = 3; teams_per_division = 5; players_per_team = 18 }
+
+let player rng =
+  let stat tag lo hi = Tree.Elem (Tree.leaf tag (string_of_int (Rng.range rng lo hi))) in
+  Tree.elem "player"
+    [
+      Tree.Elem
+        (Tree.leaf "name" (Rng.pick rng Vocab.first_names ^ " " ^ Rng.pick rng Vocab.last_names));
+      Tree.Elem (Tree.leaf "position" (Rng.pick rng Vocab.positions));
+      stat "games" 20 162;
+      stat "at_bats" 50 600;
+      stat "hits" 10 220;
+      stat "home_runs" 0 55;
+      stat "runs_batted_in" 5 140;
+      stat "average" 180 360;
+    ]
+
+let team rng config =
+  let city = Rng.pick rng Vocab.team_cities in
+  let nick = Rng.pick rng Vocab.team_nicknames in
+  Tree.elem "team"
+    (Tree.Elem (Tree.leaf "team_name" nick)
+     :: Tree.Elem (Tree.leaf "team_city" city)
+     :: List.init config.players_per_team (fun _ -> Tree.Elem (player rng)))
+
+let division rng config i =
+  let dname = [| "east"; "central"; "west"; "north"; "south" |].(i mod 5) in
+  Tree.elem "division"
+    (Tree.Elem (Tree.leaf "division_name" dname)
+     :: List.init config.teams_per_division (fun _ -> Tree.Elem (team rng config)))
+
+let league rng config i =
+  let lname = if i = 0 then "american" else "national" in
+  Tree.elem "league"
+    (Tree.Elem (Tree.leaf "league_name" lname)
+     :: List.init config.divisions_per_league (fun j -> Tree.Elem (division rng config j)))
+
+let generate ?(config = default_config) () =
+  let rng = Rng.create config.seed in
+  Tree.elem "season"
+    (Tree.Elem (Tree.leaf "year" "1998")
+     :: List.init config.leagues (fun i -> Tree.Elem (league rng config i)))
+
+let doc ?config () = Doc.of_tree (generate ?config ())

@@ -1,0 +1,17 @@
+(** Synthetic Baseball dataset generator, following the classic
+    [season/league/division/team/player] schema of the paper's second
+    (small, deeply structured, low-vocabulary) corpus. *)
+
+type config = {
+  seed : int;
+  leagues : int;
+  divisions_per_league : int;
+  teams_per_division : int;
+  players_per_team : int;
+}
+
+val default_config : config
+
+val generate : ?config:config -> unit -> Xr_xml.Tree.t
+
+val doc : ?config:config -> unit -> Xr_xml.Doc.t

@@ -1,0 +1,72 @@
+open Xr_xml
+
+type config = {
+  publications : int;
+  seed : int;
+  year_lo : int;
+  year_hi : int;
+  title_len_lo : int;
+  title_len_hi : int;
+  zipf_s : float;
+}
+
+let default_config =
+  {
+    publications = 2000;
+    seed = 42;
+    year_lo = 1990;
+    year_hi = 2007;
+    title_len_lo = 4;
+    title_len_hi = 9;
+    zipf_s = 1.05;
+  }
+
+let author_name rng =
+  Rng.pick rng Vocab.first_names ^ " " ^ Rng.pick rng Vocab.last_names
+
+let title rng zipf n =
+  let rec distinct acc k =
+    if k = 0 then acc
+    else
+      let w = Zipf.pick zipf rng Vocab.title_words in
+      if List.mem w acc then distinct acc k else distinct (w :: acc) (k - 1)
+  in
+  String.concat " " (List.rev (distinct [] n))
+
+let publication rng zipf cfg =
+  let is_article = Rng.int rng 10 < 3 in
+  let tag = if is_article then "article" else "inproceedings" in
+  let nauthors = 1 + Rng.int rng 3 in
+  let authors =
+    List.init nauthors (fun _ -> Tree.Elem (Tree.leaf "author" (author_name rng)))
+  in
+  let ntitle = Rng.range rng cfg.title_len_lo cfg.title_len_hi in
+  let fields =
+    [
+      Tree.Elem (Tree.leaf "title" (title rng zipf ntitle));
+      Tree.Elem (Tree.leaf "year" (string_of_int (Rng.range rng cfg.year_lo cfg.year_hi)));
+      Tree.Elem
+        (Tree.leaf
+           (if is_article then "journal" else "booktitle")
+           (Rng.pick rng Vocab.venues));
+      Tree.Elem
+        (Tree.leaf "pages"
+           (let lo = 1 + Rng.int rng 500 in
+            Printf.sprintf "%d %d" lo (lo + 5 + Rng.int rng 20)));
+      Tree.Elem
+        (Tree.leaf "month"
+           [| "january"; "february"; "march"; "april"; "may"; "june"; "july"; "august";
+              "september"; "october"; "november"; "december" |].(Rng.int rng 12));
+    ]
+  in
+  Tree.elem tag (authors @ fields)
+
+let generate ?(config = default_config) () =
+  let rng = Rng.create config.seed in
+  let zipf = Zipf.create ~n:(Array.length Vocab.title_words) ~s:config.zipf_s in
+  Tree.elem "dblp"
+    (List.init config.publications (fun _ -> Tree.Elem (publication rng zipf config)))
+
+let doc ?config () = Doc.of_tree (generate ?config ())
+
+let scaled ~publications ~seed = generate ~config:{ default_config with publications; seed } ()

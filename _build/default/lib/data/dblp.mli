@@ -1,0 +1,34 @@
+(** Synthetic DBLP-like corpus generator (the substitute for the paper's
+    420 MB DBLP snapshot).
+
+    The generated document has the properties the experiments rely on:
+    a root with very large fanout (one publication per child, so document
+    partitions are publications), Zipf-skewed title vocabulary (so keyword
+    inverted lists differ in length by orders of magnitude, the premise of
+    the short-list-eager algorithm), several node types
+    ([article]/[inproceedings] with [author], [title], [year],
+    [booktitle]/[journal], [pages]) and shared author names across
+    publications (so co-occurrence statistics are non-trivial). *)
+
+type config = {
+  publications : int;  (** number of children of the root *)
+  seed : int;
+  year_lo : int;
+  year_hi : int;
+  title_len_lo : int;
+  title_len_hi : int;
+  zipf_s : float;  (** skew of the title-word distribution *)
+}
+
+val default_config : config
+
+(** [generate ?config ()] builds the corpus tree. Deterministic in
+    [config.seed]. *)
+val generate : ?config:config -> unit -> Xr_xml.Tree.t
+
+(** [doc ?config ()] compiles the generated corpus. *)
+val doc : ?config:config -> unit -> Xr_xml.Doc.t
+
+(** [scaled ~publications ~seed] is [generate] with just the two knobs the
+    benchmarks sweep. *)
+val scaled : publications:int -> seed:int -> Xr_xml.Tree.t

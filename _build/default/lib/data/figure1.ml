@@ -1,0 +1,46 @@
+open Xr_xml
+
+let tree () =
+  let t = Tree.leaf and e = Tree.elem in
+  let pub tag title year venue_tag venue =
+    e tag [ Tree.Elem (t "title" title); Tree.Elem (t "year" year); Tree.Elem (t venue_tag venue) ]
+  in
+  e "bib"
+    [
+      Tree.Elem
+        (e "author"
+           [
+             Tree.Elem (t "name" "John Ben");
+             Tree.Elem
+               (e "publications"
+                  [
+                    Tree.Elem
+                      (pub "inproceedings" "base line keyword search" "2000" "booktitle" "VLDB");
+                    Tree.Elem
+                      (pub "inproceedings" "online database systems" "2005" "booktitle" "SIGMOD");
+                    Tree.Elem
+                      (pub "article" "twig pattern matching algorithms" "2006" "journal" "TODS");
+                  ]);
+             Tree.Elem (t "interest" "web search");
+           ]);
+      Tree.Elem
+        (e "author"
+           [
+             Tree.Elem (t "name" "Mary Lee");
+             Tree.Elem
+               (e "publications"
+                  [
+                    Tree.Elem
+                      (pub "inproceedings" "XML keyword query processing" "2003" "booktitle" "ICDE");
+                    Tree.Elem
+                      (pub "inproceedings" "XML twig join for streams" "2003" "booktitle"
+                         "VLDB");
+                    Tree.Elem (pub "proceedings" "management systems conference" "2007" "publisher" "ACM");
+                  ]);
+             Tree.Elem (t "hobby" "on line games");
+           ]);
+    ]
+
+let doc () = Doc.of_tree (tree ())
+
+let text () = Printer.to_string (tree ())

@@ -1,0 +1,17 @@
+(** The paper's running-example bibliography (Figure 1), reconstructed
+    from the worked examples.
+
+    Two [author] partitions under [bib]; the document is shaped so that
+    the paper's examples behave as described: [{database, publication}]
+    has no match (the data says [proceedings]/[article]/[inproceedings]);
+    [{on, line, data, base}] exercises term merging against a title
+    containing "online database"; the second author has a [hobby] element
+    ("on line games"); "XML" occurs in the subtrees of exactly two
+    [inproceedings] nodes. *)
+
+val tree : unit -> Xr_xml.Tree.t
+
+val doc : unit -> Xr_xml.Doc.t
+
+(** The document as an XML string. *)
+val text : unit -> string

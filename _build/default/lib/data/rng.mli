@@ -1,0 +1,31 @@
+(** Deterministic splittable RNG (SplitMix64), so every generated dataset
+    and workload is reproducible from its seed. *)
+
+type t
+
+val create : int -> t
+
+(** [int t bound] is uniform in [0, bound). @raise Invalid_argument if
+    [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [float t] is uniform in [0, 1). *)
+val float : t -> float
+
+(** [bool t] is a fair coin. *)
+val bool : t -> bool
+
+(** [range t lo hi] is uniform in [lo, hi] inclusive. *)
+val range : t -> int -> int -> int
+
+(** [pick t arr] is a uniform element of [arr]. *)
+val pick : t -> 'a array -> 'a
+
+(** [pick_list t l] is a uniform element of [l]. *)
+val pick_list : t -> 'a list -> 'a
+
+(** [shuffle t l] is a uniform permutation of [l]. *)
+val shuffle : t -> 'a list -> 'a list
+
+(** [split t] derives an independent generator (consuming one draw). *)
+val split : t -> t

@@ -1,0 +1,183 @@
+let title_words =
+  [|
+    (* very common *)
+    "data"; "system"; "analysis"; "model"; "query"; "database"; "efficient";
+    "xml"; "web"; "search"; "network"; "algorithm"; "distributed"; "learning";
+    "design"; "processing"; "information"; "performance"; "approach"; "management";
+    (* common *)
+    "keyword"; "semantic"; "parallel"; "optimization"; "mining"; "language";
+    "evaluation"; "dynamic"; "structure"; "framework"; "application"; "scalable";
+    "index"; "indexing"; "storage"; "memory"; "cache"; "transaction"; "schema";
+    "stream"; "graph"; "tree"; "pattern"; "matching"; "join"; "twig"; "ranking";
+    "retrieval"; "clustering"; "classification"; "knowledge"; "integration";
+    "adaptive"; "probabilistic"; "logic"; "relational"; "spatial"; "temporal";
+    "online"; "interactive"; "incremental"; "approximate"; "similarity";
+    (* medium *)
+    "skyline"; "computation"; "aggregation"; "partition"; "compression";
+    "encryption"; "security"; "privacy"; "authentication"; "verification";
+    "recovery"; "replication"; "consistency"; "concurrency"; "scheduling";
+    "workload"; "benchmark"; "sampling"; "estimation"; "selectivity";
+    "histogram"; "materialized"; "view"; "cube"; "warehouse"; "federated";
+    "mediator"; "wrapper"; "ontology"; "annotation"; "extraction"; "wrapper2";
+    "crawling"; "filtering"; "recommendation"; "personalization"; "profile";
+    "sensor"; "mobile"; "wireless"; "peer"; "overlay"; "routing"; "multicast";
+    "protocol"; "latency"; "throughput"; "bandwidth"; "topology"; "fault";
+    "tolerance"; "availability"; "reliability"; "monitoring"; "diagnosis";
+    "visualization"; "interface"; "usability"; "collaboration"; "workflow";
+    "provenance"; "lineage"; "versioning"; "archiving"; "deduplication";
+    "cleaning"; "quality"; "uncertainty"; "fuzzy"; "probabilistic2"; "bayesian";
+    "markov"; "neural"; "genetic"; "evolutionary"; "heuristic"; "greedy";
+    "randomized"; "deterministic"; "polynomial"; "complexity"; "bound";
+    "lower"; "upper"; "optimal"; "approximation"; "hardness"; "reduction";
+    (* rarer *)
+    "bitemporal"; "multiversion"; "snapshot"; "isolation"; "serializable";
+    "lock"; "latch"; "logging"; "checkpoint"; "buffer"; "prefetching";
+    "vectorized"; "columnar"; "row"; "hybrid"; "adaptive2"; "autonomic";
+    "declarative"; "imperative"; "functional"; "object"; "oriented";
+    "deductive"; "active"; "trigger"; "constraint"; "dependency"; "normal";
+    "form"; "decomposition"; "lossless"; "chase"; "tableau"; "datalog";
+    "xpath"; "xquery"; "xslt"; "dtd"; "namespace"; "dom"; "sax"; "dewey";
+    "labeling"; "numbering"; "region"; "interval"; "containment"; "ancestor";
+    "descendant"; "sibling"; "preorder"; "postorder"; "traversal"; "holistic";
+    "stack"; "merge"; "hash"; "sort"; "nested"; "loop"; "pipeline";
+    "operator"; "cardinality"; "cost"; "plan"; "rewrite"; "unnesting";
+    "decorrelation"; "predicate"; "pushdown"; "projection"; "selection";
+    "duplicate"; "elimination"; "grouping"; "windowed"; "continuous";
+    "punctuation"; "watermark"; "load"; "shedding"; "elastic"; "cloud";
+    "virtualization"; "container"; "microservice"; "serverless"; "edge";
+    "federation"; "blockchain"; "ledger"; "consensus"; "paxos"; "quorum";
+    "gossip"; "epidemic"; "vector"; "clock"; "causal"; "eventual";
+    "linearizable"; "byzantine"; "failure"; "detector"; "membership";
+    "partitioning"; "sharding"; "rebalancing"; "migration"; "placement";
+    "locality"; "affinity"; "numa"; "simd"; "gpu"; "fpga"; "accelerator";
+    "offloading"; "codesign"; "tiered"; "persistent"; "nonvolatile"; "flash";
+    "ssd"; "disk"; "tape"; "hierarchical"; "lsm"; "btree"; "trie"; "bitmap";
+    "bloom"; "sketch"; "wavelet"; "fourier"; "dimensionality"; "embedding";
+    "manifold"; "kernel"; "margin"; "ensemble"; "boosting"; "bagging";
+    "regression"; "inference"; "entropy"; "divergence"; "likelihood";
+    "posterior"; "prior"; "gibbs"; "variational"; "gradient"; "descent";
+    "convex"; "lagrangian"; "dual"; "primal"; "simplex"; "integer";
+    "programming"; "satisfiability"; "automata"; "grammar"; "parsing";
+    "compiler"; "interpreter"; "bytecode"; "garbage"; "collection";
+    "escape"; "aliasing"; "pointer"; "shape"; "abstract"; "interpretation";
+    "refinement"; "specification"; "theorem"; "proving"; "tactic"; "calculus";
+    (* long tail *)
+    "semistructured"; "heterogeneous"; "mediation"; "translation"; "mapping";
+    "matching2"; "alignment"; "merging"; "fusion"; "entity"; "resolution";
+    "record"; "linkage"; "canonicalization"; "normalization"; "segmentation";
+    "tokenization"; "stemming"; "lemmatization"; "thesaurus"; "synonym";
+    "polysemy"; "disambiguation"; "coreference"; "anaphora"; "discourse";
+    "summarization"; "translation2"; "generation"; "dialogue"; "question";
+    "answering"; "snippet"; "highlighting"; "faceted"; "browsing";
+    "navigation"; "exploration"; "drill"; "rollup"; "pivot"; "slicing";
+    "dicing"; "lattice"; "concept"; "taxonomy"; "folksonomy"; "tagging";
+    "bookmark"; "citation"; "bibliometric"; "impact"; "venue"; "authorship";
+    "attribution"; "plagiarism"; "duplication"; "novelty"; "diversity";
+    "serendipity"; "coverage"; "freshness"; "staleness"; "expiration";
+    "invalidation"; "admission"; "eviction"; "prefetch"; "speculation";
+    "branch"; "prediction"; "pipelining"; "superscalar"; "vectorization";
+    "parallelization"; "synchronization"; "barrier"; "semaphore"; "mutex";
+    "deadlock"; "livelock"; "starvation"; "fairness"; "priority";
+    "inversion"; "preemption"; "quantum"; "timeslice"; "affinity2";
+    "oversubscription"; "utilization"; "saturation"; "contention";
+    "interference"; "isolation2"; "multitenancy"; "provisioning";
+    "autoscaling"; "orchestration"; "deployment"; "rollback"; "canary";
+    "bluegreen"; "observability"; "tracing"; "profiling"; "instrumentation";
+    "telemetry"; "alerting"; "anomaly"; "outlier"; "drift"; "seasonality";
+    "forecasting"; "smoothing"; "interpolation"; "extrapolation";
+    "quantization"; "pruning"; "distillation"; "finetuning"; "pretraining";
+    "transformer"; "attention"; "convolution"; "recurrent"; "dropout";
+    "regularization"; "overfitting"; "generalization"; "calibration";
+    "fairness2"; "interpretability"; "explainability"; "robustness";
+    "adversarial"; "perturbation"; "certification"; "verification2";
+    "abstraction"; "bisimulation"; "invariant"; "liveness"; "safety";
+    "temporal2"; "modal"; "epistemic"; "deontic"; "fixpoint"; "induction";
+    "coinduction"; "unification"; "substitution"; "rewriting"; "confluence";
+    "termination"; "normalisation"; "strategy"; "heuristics"; "metaheuristic";
+    "annealing"; "tabu"; "swarm"; "colony"; "gradient2"; "momentum";
+    "stochastic"; "minibatch"; "epoch"; "convergence"; "divergence2";
+    "oscillation"; "stability"; "conditioning"; "preconditioner"; "sparse";
+    "dense"; "factorization"; "decomposition2"; "eigenvalue"; "singular";
+    "orthogonal"; "projection2"; "subspace"; "manifold2"; "geodesic";
+    "curvature"; "topology2"; "homology"; "persistence2"; "filtration";
+  |]
+
+let first_names =
+  [|
+    "john"; "wei"; "michael"; "david"; "james"; "robert"; "mary"; "jennifer";
+    "lei"; "jing"; "yong"; "hui"; "ming"; "feng"; "xiaofeng"; "jiaheng";
+    "zhifeng"; "tok"; "beng"; "chee"; "kian"; "anthony"; "divesh"; "surajit";
+    "rakesh"; "jeffrey"; "hector"; "jim"; "pat"; "bruce"; "donald"; "edgar";
+    "christos"; "dan"; "daniel"; "susan"; "laura"; "anne"; "maria"; "elena";
+    "peter"; "paul"; "mark"; "steven"; "kevin"; "brian"; "george"; "kenneth";
+    "timothy"; "jose"; "carlos"; "luis"; "juan"; "pedro"; "ana"; "sofia";
+    "yuki"; "hiroshi"; "takeshi"; "kenji"; "akira"; "satoshi"; "naoko";
+    "raj"; "amit"; "ankit"; "priya"; "deepak"; "sanjay"; "vijay"; "arun";
+    "olga"; "ivan"; "dmitri"; "sergei"; "natasha"; "andrei"; "mikhail";
+    "hans"; "klaus"; "jurgen"; "wolfgang"; "gerhard"; "fritz"; "heinz";
+    "pierre"; "jean"; "francois"; "michel"; "claude"; "henri"; "luc";
+    "fatima"; "ahmed"; "omar"; "layla"; "yusuf"; "amina"; "khalid";
+    "chinedu"; "ngozi"; "kwame"; "ama"; "thabo"; "zanele"; "sipho";
+    "linnea"; "bjorn"; "astrid"; "soren"; "ingrid"; "magnus"; "freja";
+    "katarzyna"; "piotr"; "agnieszka"; "marek"; "zofia"; "tomasz";
+    "beatriz"; "rafael"; "camila"; "thiago"; "fernanda"; "gustavo";
+    "mei"; "xiu"; "lan"; "ting"; "yan"; "qing"; "hong"; "ping";
+  |]
+
+let last_names =
+  [|
+    "smith"; "johnson"; "williams"; "brown"; "jones"; "miller"; "davis";
+    "wang"; "li"; "zhang"; "liu"; "chen"; "yang"; "huang"; "zhao"; "wu";
+    "zhou"; "xu"; "sun"; "ma"; "zhu"; "hu"; "guo"; "lin"; "he"; "gao";
+    "lu"; "bao"; "ling"; "meng"; "ooi"; "tan"; "lee"; "kim"; "park";
+    "garcia"; "rodriguez"; "martinez"; "hernandez"; "lopez"; "gonzalez";
+    "wilson"; "anderson"; "thomas"; "taylor"; "moore"; "jackson"; "martin";
+    "thompson"; "white"; "harris"; "clark"; "lewis"; "robinson"; "walker";
+    "young"; "allen"; "king"; "wright"; "scott"; "torres"; "nguyen";
+    "hill"; "flores"; "green"; "adams"; "nelson"; "baker"; "hall";
+    "rivera"; "campbell"; "mitchell"; "carter"; "roberts"; "gomez";
+    "phillips"; "evans"; "turner"; "diaz"; "parker"; "cruz"; "edwards";
+    "collins"; "reyes"; "stewart"; "morris"; "morales"; "murphy"; "cook";
+    "rogers"; "gutierrez"; "ortiz"; "morgan"; "cooper"; "peterson"; "bailey";
+    "reed"; "kelly"; "howard"; "ramos"; "cox"; "ward"; "richardson";
+    "watson"; "brooks"; "chavez"; "wood"; "james"; "bennett"; "gray";
+    "mendoza"; "ruiz"; "hughes"; "price"; "alvarez"; "castillo"; "sanders";
+    "patel"; "myers"; "long"; "ross"; "foster"; "jimenez"; "tanaka";
+    "suzuki"; "watanabe"; "ito"; "yamamoto"; "nakamura"; "kobayashi";
+    "mueller"; "schmidt"; "schneider"; "fischer"; "weber"; "meyer";
+    "ivanov"; "petrov"; "sidorov"; "volkov"; "kuznetsov"; "sokolov";
+  |]
+
+let venues =
+  [|
+    "sigmod"; "vldb"; "icde"; "edbt"; "cikm"; "sigir"; "www"; "kdd";
+    "icdm"; "pods"; "soda"; "focs"; "stoc"; "icalp"; "popl"; "pldi";
+    "osdi"; "sosp"; "nsdi"; "usenix"; "eurosys"; "middleware"; "icdcs";
+    "infocom"; "sigcomm"; "mobicom"; "sensys"; "ipsn"; "icml"; "nips";
+    "aaai"; "ijcai"; "acl"; "emnlp"; "cvpr"; "iccv"; "eccv"; "chi";
+    "uist"; "vis";
+  |]
+
+let team_cities =
+  [|
+    "atlanta"; "baltimore"; "boston"; "chicago"; "cleveland"; "detroit";
+    "houston"; "kansas"; "anaheim"; "minnesota"; "york"; "oakland";
+    "seattle"; "tampa"; "texas"; "toronto"; "arizona"; "colorado";
+    "cincinnati"; "florida"; "milwaukee"; "montreal"; "philadelphia";
+    "pittsburgh"; "diego"; "francisco"; "louis";
+  |]
+
+let team_nicknames =
+  [|
+    "braves"; "orioles"; "sox"; "cubs"; "indians"; "tigers"; "astros";
+    "royals"; "angels"; "twins"; "yankees"; "athletics"; "mariners";
+    "rays"; "rangers"; "jays"; "diamondbacks"; "rockies"; "reds";
+    "marlins"; "brewers"; "expos"; "phillies"; "pirates"; "padres";
+    "giants"; "cardinals"; "mets"; "dodgers"; "nationals";
+  |]
+
+let positions =
+  [|
+    "pitcher"; "catcher"; "first"; "second"; "third"; "shortstop";
+    "leftfield"; "centerfield"; "rightfield"; "designated";
+  |]

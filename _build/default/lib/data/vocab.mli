@@ -1,0 +1,22 @@
+(** Curated vocabularies for the synthetic corpora. Title words are
+    ordered roughly by how common they are in CS bibliographies, so a
+    Zipf sampler over the array position produces realistic skew. *)
+
+(** Title vocabulary for DBLP-like documents, most common first. *)
+val title_words : string array
+
+(** Author first names. *)
+val first_names : string array
+
+(** Author last names. *)
+val last_names : string array
+
+(** Conference/venue names (single tokens). *)
+val venues : string array
+
+(** Baseball player surnames (reuses {!last_names}) and team/city names. *)
+val team_cities : string array
+
+val team_nicknames : string array
+
+val positions : string array

@@ -1,0 +1,26 @@
+type t = { cdf : float array }
+
+let create ~n ~s =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  let cdf = Array.make n 0. in
+  let total = ref 0. in
+  for k = 0 to n - 1 do
+    total := !total +. (1. /. (float_of_int (k + 1) ** s));
+    cdf.(k) <- !total
+  done;
+  let z = !total in
+  Array.iteri (fun i v -> cdf.(i) <- v /. z) cdf;
+  { cdf }
+
+let sample t rng =
+  let u = Rng.float rng in
+  let lo = ref 0 and hi = ref (Array.length t.cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let pick t rng arr =
+  if Array.length arr <> Array.length t.cdf then invalid_arg "Zipf.pick: size mismatch";
+  arr.(sample t rng)

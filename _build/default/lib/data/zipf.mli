@@ -1,0 +1,17 @@
+(** Zipfian sampling over ranked items — keyword frequencies in real text
+    (and in DBLP titles in particular) are heavily skewed, and the paper's
+    short-list-eager algorithm exploits exactly that skew, so workload
+    realism matters here. *)
+
+type t
+
+(** [create ~n ~s] prepares a sampler over ranks [0..n-1] with exponent
+    [s] (typically ~1.0): P(rank k) proportional to 1/(k+1)^s. *)
+val create : n:int -> s:float -> t
+
+(** [sample t rng] draws a rank. *)
+val sample : t -> Rng.t -> int
+
+(** [pick t rng arr] draws an element of [arr] (which must have length
+    [n]) Zipf-weighted by position. *)
+val pick : t -> Rng.t -> 'a array -> 'a

@@ -1,0 +1,1 @@
+lib/eval/judge.ml: Array Dewey Float Hashtbl List String Token Xr_refine Xr_xml

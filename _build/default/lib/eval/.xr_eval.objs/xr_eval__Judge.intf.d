@@ -1,0 +1,1 @@
+lib/eval/judge.mli: Dewey Xr_index Xr_xml

@@ -1,0 +1,1 @@
+lib/eval/metrics.ml: Dewey List Xr_xml

@@ -1,0 +1,1 @@
+lib/eval/querylog.ml: Array Doc List String Token Tree Xr_data Xr_index Xr_refine Xr_text Xr_xml

@@ -1,0 +1,1 @@
+lib/eval/querylog.mli: Xr_data Xr_index Xr_refine Xr_text

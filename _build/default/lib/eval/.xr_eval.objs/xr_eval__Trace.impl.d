@@ -1,0 +1,1 @@
+lib/eval/trace.ml: Buffer Printf Querylog String Xr_refine Xr_store

@@ -1,0 +1,60 @@
+let cumulate gains =
+  let n = Array.length gains in
+  let cg = Array.make n 0. in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    acc := !acc +. gains.(i);
+    cg.(i) <- !acc
+  done;
+  cg
+
+let at gains i =
+  if i < 1 then invalid_arg "Cg.at: positions are 1-based";
+  let cg = cumulate gains in
+  let n = Array.length cg in
+  if n = 0 then 0. else cg.(min (i - 1) (n - 1))
+
+let dcg ?(base = 2.) gains =
+  let n = Array.length gains in
+  let v = Array.make n 0. in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    let g = if i = 0 then gains.(0) else gains.(i) /. (log (float_of_int (i + 1)) /. log base) in
+    acc := !acc +. g;
+    v.(i) <- !acc
+  done;
+  v
+
+let ndcg gains ~ideal =
+  let ideal_sorted = Array.copy ideal in
+  Array.sort (fun a b -> Float.compare b a) ideal_sorted;
+  let d = dcg gains in
+  let di = dcg ideal_sorted in
+  Array.mapi
+    (fun i v ->
+      let denom = if i < Array.length di then di.(i) else if Array.length di = 0 then 0. else di.(Array.length di - 1) in
+      if denom <= 0. then 0. else v /. denom)
+    d
+
+let mean vectors =
+  match vectors with
+  | [] -> [||]
+  | _ ->
+    let len = List.fold_left (fun a v -> max a (Array.length v)) 0 vectors in
+    if len = 0 then [||]
+    else begin
+      let sum = Array.make len 0. in
+      List.iter
+        (fun v ->
+          for i = 0 to len - 1 do
+            let x =
+              if Array.length v = 0 then 0.
+              else if i < Array.length v then v.(i)
+              else v.(Array.length v - 1)
+            in
+            sum.(i) <- sum.(i) +. x
+          done)
+        vectors;
+      let n = float_of_int (List.length vectors) in
+      Array.map (fun s -> s /. n) sum
+    end

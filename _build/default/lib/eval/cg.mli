@@ -1,0 +1,27 @@
+(** Cumulated-Gain evaluation (Järvelin & Kekäläinen), the metric of the
+    paper's effectiveness study (Section VIII-C): a ranked list of graded
+    gains [G] turns into the vector [CG] with [CG(1) = G(1)] and
+    [CG(i) = CG(i-1) + G(i)]. *)
+
+(** [cumulate gains] is the CG vector. *)
+val cumulate : float array -> float array
+
+(** [at gains i] is [CG(i)] with 1-based [i]; positions beyond the list
+    repeat the final value (a shorter result list gains nothing more). *)
+val at : float array -> int -> float
+
+(** [dcg ?base gains] is the discounted variant
+    [G(1) + sum_{i>=2} G(i)/log_base(i)] (default base 2), provided for
+    completeness. *)
+val dcg : ?base:float -> float array -> float array
+
+(** [ndcg gains ~ideal] is the normalized DCG vector: each position's DCG
+    divided by the DCG of the ideal (descending) ordering of [ideal]
+    (typically the same gains, or the best achievable set); positions
+    where the ideal is 0 yield 0. *)
+val ndcg : float array -> ideal:float array -> float array
+
+(** [mean vectors] averages CG vectors position-wise (shorter vectors are
+    padded with their last value; the result has the longest length).
+    Returns [[||]] on an empty input. *)
+val mean : float array list -> float array

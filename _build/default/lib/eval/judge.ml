@@ -1,0 +1,66 @@
+open Xr_xml
+module Engine = Xr_refine.Engine
+
+type judgment = Irrelevant | Marginal | Fair | Highly
+
+let gain = function Irrelevant -> 0. | Marginal -> 1. | Fair -> 2. | Highly -> 3.
+
+let related a b = Dewey.is_prefix a b || Dewey.is_prefix b a
+
+let list_overlap truth results =
+  match (truth, results) with
+  | [], _ | _, [] -> 0.
+  | _ ->
+    let hit r = List.exists (related r) truth in
+    let covered t = List.exists (related t) results in
+    let precision =
+      float_of_int (List.length (List.filter hit results))
+      /. float_of_int (List.length results)
+    in
+    let recall =
+      float_of_int (List.length (List.filter covered truth))
+      /. float_of_int (List.length truth)
+    in
+    if precision +. recall = 0. then 0. else 2. *. precision *. recall /. (precision +. recall)
+
+let keyword_overlap intent rq =
+  let intent = List.sort_uniq String.compare (List.map Token.normalize intent) in
+  let rq = List.sort_uniq String.compare (List.map Token.normalize rq) in
+  match (intent, rq) with
+  | [], _ | _, [] -> 0.
+  | _ ->
+    let inter = List.length (List.filter (fun k -> List.mem k rq) intent) in
+    let union = List.length (List.sort_uniq String.compare (intent @ rq)) in
+    float_of_int inter /. float_of_int union
+
+let raw_score index ~intent ~rq ~slcas =
+  let truth = Engine.search index intent in
+  let results_part = list_overlap truth slcas in
+  let keywords_part = keyword_overlap intent rq in
+  (0.7 *. results_part) +. (0.3 *. keywords_part)
+
+(* Deterministic per-judge jitter in [-0.12, 0.12]. *)
+let jitter seed intent rq =
+  let h = Hashtbl.hash (seed, intent, rq) in
+  (float_of_int (h mod 1000) /. 1000. -. 0.5) *. 0.24
+
+let discretize score =
+  if score >= 0.75 then Highly
+  else if score >= 0.45 then Fair
+  else if score >= 0.15 then Marginal
+  else Irrelevant
+
+let judge ~seed index ~intent ~rq ~slcas =
+  let s = raw_score index ~intent ~rq ~slcas +. jitter seed intent rq in
+  discretize (Float.max 0. (Float.min 1. s))
+
+let panel ~judges ~seed index ~intent ranked =
+  Array.of_list
+    (List.map
+       (fun (rq, slcas) ->
+         let total = ref 0. in
+         for j = 0 to judges - 1 do
+           total := !total +. gain (judge ~seed:(seed + j) index ~intent ~rq ~slcas)
+         done;
+         !total /. float_of_int judges)
+       ranked)

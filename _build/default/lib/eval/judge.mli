@@ -1,0 +1,49 @@
+(** Simulated relevance judges.
+
+    The paper calls up six human judges who grade each refined query (with
+    its results) on a four-point scale. Our judges grade automatically
+    against the known ground truth — the intent query the corruption
+    generator started from — by comparing the refined query's meaningful
+    SLCAs with the intent query's, plus keyword fidelity; each judge
+    perturbs the raw score with seeded noise before discretizing, so the
+    panel disagrees mildly, like humans do. *)
+
+open Xr_xml
+
+type judgment =
+  | Irrelevant  (** gain 0 *)
+  | Marginal  (** gain 1: few results partially match the intention *)
+  | Fair  (** gain 2: some results fully match *)
+  | Highly  (** gain 3: almost all results match *)
+
+val gain : judgment -> float
+
+(** [raw_score index ~intent ~rq ~slcas] in [0,1]: harmonic blend of
+    result overlap (a result counts if it equals, contains or is contained
+    in an intent result) and keyword overlap with the intent query. *)
+val raw_score :
+  Xr_index.Index.t ->
+  intent:string list ->
+  rq:string list ->
+  slcas:Dewey.t list ->
+  float
+
+(** [judge ~seed index ~intent ~rq ~slcas] is one judge's verdict. *)
+val judge :
+  seed:int ->
+  Xr_index.Index.t ->
+  intent:string list ->
+  rq:string list ->
+  slcas:Dewey.t list ->
+  judgment
+
+(** [panel ~judges ~seed index ~intent ranked] grades a ranked list of
+    refined queries ([keywords], [results]) and returns the panel-mean
+    gain vector, ready for {!Cg.cumulate}. *)
+val panel :
+  judges:int ->
+  seed:int ->
+  Xr_index.Index.t ->
+  intent:string list ->
+  (string list * Dewey.t list) list ->
+  float array

@@ -1,0 +1,38 @@
+open Xr_xml
+
+let related a b = Dewey.is_prefix a b || Dewey.is_prefix b a
+
+let precision_recall ~relevant ~retrieved =
+  match (relevant, retrieved) with
+  | [], _ | _, [] -> (0., 0.)
+  | _ ->
+    let hit r = List.exists (related r) relevant in
+    let covered t = List.exists (related t) retrieved in
+    let p =
+      float_of_int (List.length (List.filter hit retrieved))
+      /. float_of_int (List.length retrieved)
+    in
+    let r =
+      float_of_int (List.length (List.filter covered relevant))
+      /. float_of_int (List.length relevant)
+    in
+    (p, r)
+
+let f1 ~relevant ~retrieved =
+  let p, r = precision_recall ~relevant ~retrieved in
+  if p +. r = 0. then 0. else 2. *. p *. r /. (p +. r)
+
+let reciprocal_rank hits =
+  let rec go i = function
+    | [] -> 0.
+    | true :: _ -> 1. /. float_of_int i
+    | false :: rest -> go (i + 1) rest
+  in
+  go 1 hits
+
+let mean_reciprocal_rank hitss =
+  match hitss with
+  | [] -> 0.
+  | _ ->
+    List.fold_left (fun a h -> a +. reciprocal_rank h) 0. hitss
+    /. float_of_int (List.length hitss)

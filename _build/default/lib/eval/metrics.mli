@@ -1,0 +1,22 @@
+(** Classical binary-judgement IR metrics (precision, recall, F-measure,
+    reciprocal rank) — the measures the paper contrasts CG against
+    (Section VIII-C cites their use in prior keyword-search work). Used by
+    the benchmarks to report MRR of the intent repair alongside CG. *)
+
+open Xr_xml
+
+(** [precision_recall ~relevant ~retrieved] with the containment-tolerant
+    match of {!Judge} (a retrieved node counts if it equals, contains or
+    is contained in a relevant node). Both 0 when either side is empty. *)
+val precision_recall : relevant:Dewey.t list -> retrieved:Dewey.t list -> float * float
+
+(** [f1 ~relevant ~retrieved] is the harmonic mean of the above. *)
+val f1 : relevant:Dewey.t list -> retrieved:Dewey.t list -> float
+
+(** [reciprocal_rank hits] is [1/i] for the first [true] at 1-based
+    position [i], or 0 if none. *)
+val reciprocal_rank : bool list -> float
+
+(** [mean_reciprocal_rank hitss] averages {!reciprocal_rank} over
+    queries. *)
+val mean_reciprocal_rank : bool list list -> float

@@ -1,0 +1,256 @@
+open Xr_xml
+module Rng = Xr_data.Rng
+module Engine = Xr_refine.Engine
+module Rule = Xr_refine.Rule
+module Thesaurus = Xr_text.Thesaurus
+
+type kind =
+  | Misspell
+  | Split_word
+  | Merged_words
+  | Synonym_mismatch
+  | Acronym_mismatch
+  | Overconstrain
+
+let kind_name = function
+  | Misspell -> "misspell"
+  | Split_word -> "split-word"
+  | Merged_words -> "merged-words"
+  | Synonym_mismatch -> "synonym"
+  | Acronym_mismatch -> "acronym"
+  | Overconstrain -> "overconstrain"
+
+let all_kinds =
+  [ Misspell; Split_word; Merged_words; Synonym_mismatch; Acronym_mismatch; Overconstrain ]
+
+type case = {
+  kind : kind;
+  intent : string list;
+  corrupted : string list;
+  repair : Rule.t list;
+  intent_result_count : int;
+}
+
+let subtree_keywords (doc : Doc.t) dewey =
+  match Doc.subtree doc dewey with
+  | None -> []
+  | Some t ->
+    let acc = ref [] in
+    let rec walk (e : Tree.t) =
+      acc := Token.tokenize e.tag @ Token.tokenize (Tree.text e) @ !acc;
+      List.iter walk (Tree.element_children e)
+    in
+    walk t;
+    List.sort_uniq String.compare !acc
+
+let sample_intent rng (index : Xr_index.Index.t) ~len =
+  let doc = index.Xr_index.Index.doc in
+  let partitions = List.length (Tree.element_children doc.Doc.tree) in
+  if partitions = 0 then None
+  else begin
+    let attempt () =
+      let pid = Rng.int rng partitions in
+      let kws = subtree_keywords doc [| pid |] in
+      (* keep value-ish keywords: drop one/two-letter tokens *)
+      let kws = List.filter (fun k -> String.length k >= 3) kws in
+      if List.length kws < len then None
+      else begin
+        let chosen = List.filteri (fun i _ -> i < len) (Rng.shuffle rng kws) in
+        if Engine.search index chosen <> [] then Some chosen else None
+      end
+    in
+    let rec try_n n = if n = 0 then None else match attempt () with Some q -> Some q | None -> try_n (n - 1) in
+    try_n 50
+  end
+
+let in_doc (index : Xr_index.Index.t) k = Doc.keyword_id index.Xr_index.Index.doc k <> None
+
+let random_edit rng w =
+  let letters = "abcdefghijklmnopqrstuvwxyz" in
+  let n = String.length w in
+  match Rng.int rng 3 with
+  | 0 when n > 3 ->
+    (* drop a character *)
+    let i = Rng.int rng n in
+    String.sub w 0 i ^ String.sub w (i + 1) (n - i - 1)
+  | 1 ->
+    (* substitute a character *)
+    let i = Rng.int rng n in
+    let c = letters.[Rng.int rng 26] in
+    String.sub w 0 i ^ String.make 1 c ^ String.sub w (i + 1) (n - i - 1)
+  | _ ->
+    (* insert a character *)
+    let i = Rng.int rng (n + 1) in
+    let c = letters.[Rng.int rng 26] in
+    String.sub w 0 i ^ String.make 1 c ^ String.sub w i (n - i)
+
+let replace_at l i repl = List.concat (List.mapi (fun j k -> if j = i then repl else [ k ]) l)
+
+let pick_index rng p l =
+  let idx = List.filteri (fun _ _ -> true) (List.mapi (fun i k -> (i, k)) l) in
+  let ok = List.filter (fun (_, k) -> p k) idx in
+  match ok with [] -> None | _ -> Some (Rng.pick_list rng ok)
+
+let corrupt ?thesaurus rng (index : Xr_index.Index.t) kind intent =
+  let finish corrupted repair =
+    if
+      corrupted <> intent
+      && List.for_all (fun k -> String.length k > 0) corrupted
+      && Engine.needs_refinement index corrupted
+    then
+      Some
+        {
+          kind;
+          intent;
+          corrupted;
+          repair;
+          intent_result_count = List.length (Engine.search index intent);
+        }
+    else None
+  in
+  match kind with
+  | Misspell -> (
+    match pick_index rng (fun k -> String.length k >= 5) intent with
+    | None -> None
+    | Some (i, k) ->
+      let wrong = random_edit rng k in
+      if in_doc index wrong then None
+      else finish (replace_at intent i [ wrong ]) [ Rule.spelling wrong k ])
+  | Split_word -> (
+    match pick_index rng (fun k -> String.length k >= 6) intent with
+    | None -> None
+    | Some (i, k) ->
+      let cut = 2 + Rng.int rng (String.length k - 3) in
+      let a = String.sub k 0 cut and b = String.sub k cut (String.length k - cut) in
+      finish (replace_at intent i [ a; b ]) [ Rule.merging [ a; b ] k ])
+  | Merged_words -> (
+    if List.length intent < 2 then None
+    else begin
+      let i = Rng.int rng (List.length intent - 1) in
+      let a = List.nth intent i and b = List.nth intent (i + 1) in
+      let glued = a ^ b in
+      let corrupted =
+        List.concat
+          (List.mapi (fun j k -> if j = i then [ glued ] else if j = i + 1 then [] else [ k ]) intent)
+      in
+      finish corrupted [ Rule.split glued [ a; b ] ]
+    end)
+  | Synonym_mismatch -> (
+    match thesaurus with
+    | None -> None
+    | Some th -> (
+      (* replace an intent keyword by a synonym that is absent from the
+         document, so the corrupted query cannot match *)
+      let candidates =
+        List.concat
+          (List.mapi
+             (fun i k ->
+               List.filter_map
+                 (fun (s, ds) -> if in_doc index s then None else Some (i, k, s, ds))
+                 (Thesaurus.synonyms th k))
+             intent)
+      in
+      match candidates with
+      | [] -> None
+      | _ ->
+        let i, k, s, ds = Rng.pick_list rng candidates in
+        finish (replace_at intent i [ s ]) [ Rule.synonym ~ds s k ]))
+  | Acronym_mismatch -> (
+    match thesaurus with
+    | None -> None
+    | Some th -> (
+      (* an intent window that spells out a known acronym gets contracted *)
+      let arr = Array.of_list intent in
+      let hits = ref [] in
+      for i = 0 to Array.length arr - 1 do
+        for len = 2 to min 4 (Array.length arr - i) do
+          let window = Array.to_list (Array.sub arr i len) in
+          match Thesaurus.acronym_of th window with
+          | Some acro when not (in_doc index acro) -> hits := (i, len, window, acro) :: !hits
+          | Some _ | None -> ()
+        done
+      done;
+      match !hits with
+      | [] -> None
+      | _ ->
+        let i, len, window, acro = Rng.pick_list rng !hits in
+        let corrupted =
+          List.concat
+            (List.mapi
+               (fun j k -> if j = i then [ acro ] else if j > i && j < i + len then [] else [ k ])
+               intent)
+        in
+        finish corrupted [ Rule.acronym_expand acro window ]))
+  | Overconstrain -> (
+    (* add a keyword from a different partition *)
+    let doc = index.Xr_index.Index.doc in
+    let partitions = List.length (Tree.element_children doc.Doc.tree) in
+    if partitions < 2 then None
+    else begin
+      let pid = Rng.int rng partitions in
+      let kws =
+        List.filter
+          (fun k -> String.length k >= 4 && not (List.mem k intent))
+          (subtree_keywords doc [| pid |])
+      in
+      match kws with
+      | [] -> None
+      | _ ->
+        let extra = Rng.pick_list rng kws in
+        let corrupted = intent @ [ extra ] in
+        finish corrupted [ Rule.deletion extra ~ds:2 ]
+    end)
+
+let generate ?thesaurus rng index ~kind ~n =
+  let cases = ref [] in
+  (match (kind, thesaurus) with
+  | Acronym_mismatch, Some th ->
+    (* Random intents rarely spell out an acronym; instead, start from the
+       thesaurus: any expansion whose words form a meaningful result is a
+       valid intent, which the corruption then contracts. *)
+    let entries =
+      List.sort compare (Thesaurus.acronyms th)
+      |> List.filter (fun (_, expansion) ->
+             List.for_all (in_doc index) expansion && Engine.search index expansion <> [])
+    in
+    List.iter
+      (fun (_, expansion) ->
+        if List.length !cases < n then
+          (* optionally widen the intent with a co-occurring keyword *)
+          let intents =
+            match Engine.search index expansion with
+            | dewey :: _ ->
+              let extras =
+                subtree_keywords index.Xr_index.Index.doc dewey
+                |> List.filter (fun k -> String.length k >= 4 && not (List.mem k expansion))
+              in
+              let widened =
+                match extras with [] -> [] | _ -> [ expansion @ [ Rng.pick_list rng extras ] ]
+              in
+              (expansion :: widened)
+            | [] -> [ expansion ]
+          in
+          List.iter
+            (fun intent ->
+              if List.length !cases < n && Engine.search index intent <> [] then
+                match corrupt ~thesaurus:th rng index kind intent with
+                | Some case -> cases := case :: !cases
+                | None -> ())
+            intents)
+      entries
+  | _ ->
+    let attempts = ref (n * 40) in
+    while List.length !cases < n && !attempts > 0 do
+      decr attempts;
+      let len = 2 + Rng.int rng 3 in
+      match sample_intent rng index ~len with
+      | None -> ()
+      | Some intent -> (
+        match corrupt ?thesaurus rng index kind intent with
+        | Some case -> cases := case :: !cases
+        | None -> ())
+    done);
+  List.rev !cases
+
+let pool ?thesaurus rng index ~per_kind =
+  List.concat_map (fun kind -> generate ?thesaurus rng index ~kind ~n:per_kind) all_kinds

@@ -1,0 +1,67 @@
+(** Workload generator: the substitute for the paper's live query log and
+    human annotators.
+
+    Starting from {e intent} queries sampled from the document (and
+    therefore guaranteed to have meaningful results), each corruption
+    injects exactly the defect one refinement operation repairs —
+    misspelling, wrongly split word, wrongly merged words, term mismatch
+    fixed by synonym/acronym substitution, or an overconstraining extra
+    term — and records the annotator-style rule that undoes it. Every
+    emitted case is verified to actually need refinement (Definition 3.4),
+    mirroring the paper's pool of 219 empty-result queries with known
+    fixes. *)
+
+type kind =
+  | Misspell  (** random edits produce an out-of-vocabulary word *)
+  | Split_word  (** user typed one intent word as two: needs merging *)
+  | Merged_words  (** user glued two intent words: needs splitting *)
+  | Synonym_mismatch  (** user's word is a synonym of the data's word *)
+  | Acronym_mismatch  (** user typed an acronym for a spelled-out phrase *)
+  | Overconstrain  (** an extra term from elsewhere: needs deletion *)
+
+val kind_name : kind -> string
+
+val all_kinds : kind list
+
+type case = {
+  kind : kind;
+  intent : string list;  (** the clean query, which has meaningful results *)
+  corrupted : string list;  (** the query a user would issue *)
+  repair : Xr_refine.Rule.t list;  (** annotator rules that undo the damage *)
+  intent_result_count : int;
+}
+
+(** [sample_intent rng index ~len] draws a query of [len] distinct
+    keywords from one random partition subtree, retrying until it has a
+    meaningful SLCA; [None] if the document cannot yield one. *)
+val sample_intent : Xr_data.Rng.t -> Xr_index.Index.t -> len:int -> string list option
+
+(** [corrupt ?thesaurus rng index kind intent] applies one corruption;
+    [None] when [kind] is not applicable to this intent (e.g. no synonym
+    available) or the corrupted query would not need refinement. *)
+val corrupt :
+  ?thesaurus:Xr_text.Thesaurus.t ->
+  Xr_data.Rng.t ->
+  Xr_index.Index.t ->
+  kind ->
+  string list ->
+  case option
+
+(** [generate ?thesaurus rng index ~kind ~n] emits up to [n] verified
+    cases of one kind (best effort within a bounded number of attempts). *)
+val generate :
+  ?thesaurus:Xr_text.Thesaurus.t ->
+  Xr_data.Rng.t ->
+  Xr_index.Index.t ->
+  kind:kind ->
+  n:int ->
+  case list
+
+(** [pool ?thesaurus rng index ~per_kind] is the full mixed pool in a
+    deterministic order. *)
+val pool :
+  ?thesaurus:Xr_text.Thesaurus.t ->
+  Xr_data.Rng.t ->
+  Xr_index.Index.t ->
+  per_kind:int ->
+  case list

@@ -1,0 +1,93 @@
+module Codec = Xr_store.Codec
+module Rule = Xr_refine.Rule
+
+let magic = "XRTRACE1"
+
+let kind_code = function
+  | Querylog.Misspell -> 0
+  | Querylog.Split_word -> 1
+  | Querylog.Merged_words -> 2
+  | Querylog.Synonym_mismatch -> 3
+  | Querylog.Acronym_mismatch -> 4
+  | Querylog.Overconstrain -> 5
+
+let kind_of_code = function
+  | 0 -> Querylog.Misspell
+  | 1 -> Querylog.Split_word
+  | 2 -> Querylog.Merged_words
+  | 3 -> Querylog.Synonym_mismatch
+  | 4 -> Querylog.Acronym_mismatch
+  | 5 -> Querylog.Overconstrain
+  | c -> failwith (Printf.sprintf "Trace: unknown corruption kind %d" c)
+
+let op_code = function
+  | Rule.Deletion -> 0
+  | Rule.Merging -> 1
+  | Rule.Split -> 2
+  | Rule.Substitution -> 3
+
+let op_of_code = function
+  | 0 -> Rule.Deletion
+  | 1 -> Rule.Merging
+  | 2 -> Rule.Split
+  | 3 -> Rule.Substitution
+  | c -> failwith (Printf.sprintf "Trace: unknown operation %d" c)
+
+let write_strings buf l = Codec.write_list Codec.write_string buf l
+
+let read_strings r = Codec.read_list Codec.read_string r
+
+let write_rule buf (r : Rule.t) =
+  Codec.write_varint buf (op_code r.op);
+  Codec.write_varint buf r.ds;
+  write_strings buf r.lhs;
+  write_strings buf r.rhs
+
+let read_rule r =
+  let op = op_of_code (Codec.read_varint r) in
+  let ds = Codec.read_varint r in
+  let lhs = read_strings r in
+  let rhs = read_strings r in
+  (* deletion rules have an empty RHS; Rule.make rejects empty LHS only *)
+  Rule.make ~op ~ds lhs rhs
+
+let write_case buf (c : Querylog.case) =
+  Codec.write_varint buf (kind_code c.Querylog.kind);
+  write_strings buf c.Querylog.intent;
+  write_strings buf c.Querylog.corrupted;
+  Codec.write_list write_rule buf c.Querylog.repair;
+  Codec.write_varint buf c.Querylog.intent_result_count
+
+let read_case r =
+  let kind = kind_of_code (Codec.read_varint r) in
+  let intent = read_strings r in
+  let corrupted = read_strings r in
+  let repair = Codec.read_list read_rule r in
+  let intent_result_count = Codec.read_varint r in
+  { Querylog.kind; intent; corrupted; repair; intent_result_count }
+
+let encode cases =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  Codec.write_list write_case buf cases;
+  Buffer.contents buf
+
+let decode s =
+  if String.length s < String.length magic || String.sub s 0 (String.length magic) <> magic
+  then failwith "Trace: not a trace file";
+  let r = Codec.reader ~off:(String.length magic) s in
+  let cases = Codec.read_list read_case r in
+  if not (Codec.at_end r) then failwith "Trace: trailing bytes";
+  cases
+
+let save path cases =
+  let oc = open_out_bin path in
+  output_string oc (encode cases);
+  close_out oc
+
+let load path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  decode s

@@ -1,0 +1,17 @@
+(** Workload trace persistence: save a generated query pool to disk and
+    replay it later, so an evaluation run is reproducible independently of
+    the generator (and traces can be shared across machines, like the
+    paper's fixed 219-query pool). *)
+
+(** [save path cases] writes the pool to [path] (binary, via the store
+    codecs). *)
+val save : string -> Querylog.case list -> unit
+
+(** [load path] reads a pool written by {!save}.
+    @raise Failure on a malformed or truncated trace. *)
+val load : string -> Querylog.case list
+
+(** In-memory variants, used by the round-trip tests. *)
+val encode : Querylog.case list -> string
+
+val decode : string -> Querylog.case list

@@ -1,0 +1,1 @@
+lib/index/cursor.ml: Array Dewey Inverted Xr_xml

@@ -1,0 +1,1 @@
+lib/index/cursor.mli: Dewey Inverted Xr_xml

@@ -1,0 +1,1 @@
+lib/index/index.ml: Array Doc Hashtbl Interner Inverted List Path Printer Stats Xr_store Xr_xml

@@ -1,0 +1,1 @@
+lib/index/index.mli: Doc Inverted Stats Tree Xr_store Xr_xml

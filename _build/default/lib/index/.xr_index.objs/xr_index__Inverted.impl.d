@@ -1,0 +1,1 @@
+lib/index/inverted.ml: Array Dewey Doc Interner List Path Xr_xml

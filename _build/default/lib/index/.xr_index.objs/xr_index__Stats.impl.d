@@ -1,0 +1,1 @@
+lib/index/stats.ml: Array Dewey Doc Hashtbl Int Interner Inverted List Path Xr_xml

@@ -1,0 +1,1 @@
+lib/index/stats.mli: Doc Interner Inverted Path Xr_xml

@@ -1,0 +1,47 @@
+open Xr_xml
+
+type t = {
+  data : Inverted.posting array;
+  mutable pos : int;
+  mutable seq : int;
+  mutable rand : int;
+}
+
+let make data = { data; pos = 0; seq = 0; rand = 0 }
+
+let at_end c = c.pos >= Array.length c.data
+
+let peek c = if at_end c then None else Some c.data.(c.pos)
+
+let advance c =
+  if not (at_end c) then begin
+    c.pos <- c.pos + 1;
+    c.seq <- c.seq + 1
+  end
+
+let seek_geq c dewey =
+  if not (at_end c) then begin
+    let lo = ref c.pos and hi = ref (Array.length c.data) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if Dewey.compare c.data.(mid).Inverted.dewey dewey < 0 then lo := mid + 1 else hi := mid
+    done;
+    if !lo > c.pos then begin
+      c.pos <- !lo;
+      c.rand <- c.rand + 1
+    end
+  end
+
+let skip_to c idx =
+  if idx > c.pos then begin
+    c.pos <- min idx (Array.length c.data);
+    c.rand <- c.rand + 1
+  end
+
+let position c = c.pos
+
+let list_length c = Array.length c.data
+
+let sequential_accesses c = c.seq
+
+let random_accesses c = c.rand

@@ -1,0 +1,43 @@
+(** Monotone cursors over inverted lists, with access accounting.
+
+    Every refinement algorithm in the paper claims a one-time scan of the
+    involved inverted lists; cursors make that claim checkable: they only
+    move forward, and they count sequential advances and indexed seeks so
+    tests (and the benchmark harness) can assert the scan discipline. *)
+
+open Xr_xml
+
+type t
+
+(** [make list] is a cursor positioned before the first posting. *)
+val make : Inverted.posting array -> t
+
+(** [peek c] is the posting under the cursor, or [None] at end of list. *)
+val peek : t -> Inverted.posting option
+
+(** [advance c] moves one posting forward (counted as a sequential
+    access). No-op at end of list. *)
+val advance : t -> unit
+
+(** [seek_geq c dewey] moves forward to the first posting whose label is
+    [>= dewey] (binary search over the remaining suffix; counted as one
+    random access). Never moves backward. *)
+val seek_geq : t -> Dewey.t -> unit
+
+(** [skip_to c idx] moves the cursor to absolute index [idx] if that is
+    forward; counted as one random access. *)
+val skip_to : t -> int -> unit
+
+(** [at_end c] is true when the cursor is exhausted. *)
+val at_end : t -> bool
+
+(** [position c] is the current absolute index into the list. *)
+val position : t -> int
+
+(** [list_length c] is the length of the underlying list. *)
+val list_length : t -> int
+
+(** [sequential_accesses c] / [random_accesses c]: access counters. *)
+val sequential_accesses : t -> int
+
+val random_accesses : t -> int

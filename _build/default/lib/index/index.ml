@@ -1,0 +1,120 @@
+open Xr_xml
+module Codec = Xr_store.Codec
+module Kv = Xr_store.Kv
+
+type t = {
+  doc : Doc.t;
+  inverted : Inverted.t;
+  stats : Stats.t;
+}
+
+let build doc =
+  let inverted = Inverted.build doc in
+  let stats = Stats.build doc inverted in
+  { doc; inverted; stats }
+
+let append_partition t subtree =
+  let doc, added = Doc.append_child t.doc subtree in
+  let additions : (Interner.id, Inverted.posting list) Hashtbl.t = Hashtbl.create 64 in
+  Array.iter
+    (fun (node : Doc.node) ->
+      List.iter
+        (fun (kw, _) ->
+          let old = try Hashtbl.find additions kw with Not_found -> [] in
+          Hashtbl.replace additions kw ({ Inverted.dewey = node.Doc.dewey; path = node.Doc.path } :: old))
+        node.Doc.keywords)
+    added;
+  (* [added] is in document order, so reversing each accumulated list
+     restores it *)
+  let additions =
+    Hashtbl.fold (fun kw l acc -> (kw, List.rev l) :: acc) additions []
+  in
+  let inverted =
+    Inverted.extend t.inverted ~vocab_size:(Interner.size doc.Doc.keywords) additions
+  in
+  let stats = Stats.append t.stats ~doc ~inverted ~added in
+  { doc; inverted; stats }
+
+let of_string s = build (Doc.of_string s)
+
+let of_file path = build (Doc.of_file path)
+
+(* ---- persistence ------------------------------------------------------ *)
+
+let write_posting buf (p : Inverted.posting) =
+  Codec.write_int_array buf p.dewey;
+  Codec.write_varint buf p.path
+
+let read_posting r =
+  let dewey = Codec.read_int_array r in
+  let path = Codec.read_varint r in
+  { Inverted.dewey; path }
+
+let write_freq_row buf (path, kw, d, f) =
+  Codec.write_varint buf path;
+  Codec.write_varint buf kw;
+  Codec.write_varint buf d;
+  Codec.write_varint buf f
+
+let read_freq_row r =
+  let path = Codec.read_varint r in
+  let kw = Codec.read_varint r in
+  let d = Codec.read_varint r in
+  let f = Codec.read_varint r in
+  (path, kw, d, f)
+
+let save t (kv : Kv.t) =
+  kv.insert ~key:"doc" ~value:(Printer.to_string ~indent:false t.doc.tree);
+  Inverted.iter
+    (fun kw postings ->
+      if Array.length postings > 0 then
+        kv.insert
+          ~key:("il:" ^ Doc.keyword_name t.doc kw)
+          ~value:
+            (Codec.encode
+               (fun buf l -> Codec.write_list write_posting buf l)
+               (Array.to_list postings)))
+    t.inverted;
+  kv.insert ~key:"ft"
+    ~value:(Codec.encode (fun buf l -> Codec.write_list write_freq_row buf l) (Stats.export t.stats));
+  let nodes_per_path =
+    Array.init (Path.size t.doc.paths) (fun p -> Stats.node_count t.stats p)
+  in
+  kv.insert ~key:"npt" ~value:(Codec.encode Codec.write_int_array nodes_per_path);
+  kv.insert ~key:"vocab"
+    ~value:
+      (Codec.encode (fun buf l -> Codec.write_list Codec.write_string buf l) (Doc.vocabulary t.doc));
+  kv.sync ()
+
+let load (kv : Kv.t) =
+  let get key =
+    match kv.find key with
+    | Some v -> v
+    | None -> failwith ("Index.load: store is missing key " ^ key)
+  in
+  let doc = Doc.of_string (get "doc") in
+  let vocab = Codec.decode (Codec.read_list Codec.read_string) (get "vocab") in
+  if List.length vocab <> Interner.size doc.keywords then
+    failwith "Index.load: vocabulary size mismatch with stored document";
+  List.iteri
+    (fun i k ->
+      match Doc.keyword_id doc k with
+      | Some id when id = i -> ()
+      | _ -> failwith "Index.load: vocabulary order mismatch with stored document")
+    vocab;
+  let n = Interner.size doc.keywords in
+  let lists = Array.make n [||] in
+  List.iteri
+    (fun i k ->
+      match kv.find ("il:" ^ k) with
+      | None -> ()
+      | Some v ->
+        lists.(i) <- Array.of_list (Codec.decode (Codec.read_list read_posting) v))
+    vocab;
+  let inverted = Inverted.of_lists lists in
+  let rows = Codec.decode (Codec.read_list read_freq_row) (get "ft") in
+  let nodes_per_path = Codec.decode Codec.read_int_array (get "npt") in
+  if Array.length nodes_per_path <> Path.size doc.paths then
+    failwith "Index.load: node-type table mismatch with stored document";
+  let stats = Stats.import doc inverted ~rows ~nodes_per_path in
+  { doc; inverted; stats }

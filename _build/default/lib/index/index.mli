@@ -1,0 +1,39 @@
+(** The index bundle: compiled document + inverted lists + statistics,
+    with persistence to any {!Xr_store.Kv.t} (Section VII of the paper;
+    Berkeley DB there, our B+tree here). *)
+
+open Xr_xml
+
+type t = {
+  doc : Doc.t;
+  inverted : Inverted.t;
+  stats : Stats.t;
+}
+
+(** [build doc] builds all in-memory indices. *)
+val build : Doc.t -> t
+
+(** [of_string s] parses, compiles and indexes an XML document. *)
+val of_string : string -> t
+
+(** [of_file path] reads, parses, compiles and indexes an XML file. *)
+val of_file : string -> t
+
+(** [append_partition t subtree] incrementally indexes [subtree] as a new
+    last child of the document root (a new partition): nodes, inverted
+    lists and statistics are extended without rescanning the existing
+    document. Returns the updated bundle; the input bundle must not be
+    used afterwards (its statistics tables are shared and bumped in
+    place). *)
+val append_partition : t -> Tree.t -> t
+
+(** [save t kv] persists the document text, every inverted list, the
+    frequency table and the per-type aggregates into [kv] (and syncs). *)
+val save : t -> Xr_store.Kv.t -> unit
+
+(** [load kv] restores an index bundle saved by {!save}: the document is
+    re-parsed from the stored text; inverted lists and statistics are
+    decoded from the store without rescanning the document.
+    @raise Failure if the store does not hold a saved index or is
+    inconsistent with the stored document. *)
+val load : Xr_store.Kv.t -> t

@@ -1,0 +1,69 @@
+open Xr_xml
+
+type posting = { dewey : Dewey.t; path : Path.id }
+
+type t = posting array array (* indexed by keyword id *)
+
+let build (doc : Doc.t) =
+  let n = Interner.size doc.keywords in
+  let acc = Array.make n [] in
+  (* Nodes are in document order; build lists in reverse then flip. *)
+  Array.iter
+    (fun (node : Doc.node) ->
+      List.iter
+        (fun (kw, _count) ->
+          acc.(kw) <- { dewey = node.dewey; path = node.path } :: acc.(kw))
+        node.keywords)
+    doc.nodes;
+  Array.map (fun l -> Array.of_list (List.rev l)) acc
+
+let of_lists lists = lists
+
+let extend t ~vocab_size additions =
+  let fresh = Array.make (max vocab_size (Array.length t)) [||] in
+  Array.blit t 0 fresh 0 (Array.length t);
+  List.iter
+    (fun (kw, postings) ->
+      let old = fresh.(kw) in
+      (match (postings, Array.length old) with
+      | p :: _, n when n > 0 && Dewey.compare old.(n - 1).dewey p.dewey >= 0 ->
+        invalid_arg "Inverted.extend: appended postings must extend document order"
+      | _ -> ());
+      fresh.(kw) <- Array.append old (Array.of_list postings))
+    additions;
+  fresh
+
+let list t kw = if kw >= 0 && kw < Array.length t then t.(kw) else [||]
+
+let list_by_name t doc k =
+  match Doc.keyword_id doc k with Some kw -> list t kw | None -> [||]
+
+let length t kw = Array.length (list t kw)
+
+let keyword_count t =
+  Array.fold_left (fun a l -> if Array.length l > 0 then a + 1 else a) 0 t
+
+let iter f t = Array.iteri f t
+
+(* First index in [start, |l|) whose posting satisfies [cmp >= 0]. *)
+let lower_bound l start cmp =
+  let lo = ref start and hi = ref (Array.length l) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cmp l.(mid) < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let prefix_slice_from l start dewey =
+  (* Postings inside the subtree rooted at [dewey] form a contiguous run:
+     those whose label has [dewey] as prefix. The run starts at the first
+     posting >= dewey and ends before the first posting that is >= dewey
+     but not prefixed by it. *)
+  let lo = lower_bound l start (fun p -> Dewey.compare p.dewey dewey) in
+  let hi =
+    lower_bound l start (fun p ->
+        if Dewey.is_prefix dewey p.dewey then -1 else Dewey.compare p.dewey dewey)
+  in
+  (lo, hi)
+
+let prefix_slice l dewey = prefix_slice_from l 0 dewey

@@ -1,0 +1,51 @@
+(** Keyword inverted lists.
+
+    For each keyword of the document, the list of element nodes that
+    contain it directly (in their tag name or own text), in document
+    order, each entry carrying the node's Dewey label and node type — the
+    [<DeweyID, prefixPath>] form of the paper's first index. *)
+
+open Xr_xml
+
+type posting = { dewey : Dewey.t; path : Path.id }
+
+type t
+
+(** [build doc] scans the compiled document once and builds all lists. *)
+val build : Doc.t -> t
+
+(** [of_lists lists] wraps per-keyword posting arrays (indexed by keyword
+    id, document order within each); used when restoring a persisted
+    index. *)
+val of_lists : posting array array -> t
+
+(** [extend t ~vocab_size additions] is a new table covering ids up to
+    [vocab_size - 1], with each [(kw, postings)] of [additions] appended
+    to [kw]'s list; every appended posting must sort after the existing
+    tail of its list (they do when a new partition is appended at the end
+    of the document). The input table is unchanged. *)
+val extend : t -> vocab_size:int -> (Interner.id * posting list) list -> t
+
+(** [list t kw] is the posting list of keyword [kw] (empty if absent). *)
+val list : t -> Interner.id -> posting array
+
+(** [list_by_name t doc k] resolves keyword [k] (normalized) first. *)
+val list_by_name : t -> Doc.t -> string -> posting array
+
+(** [length t kw] is the posting-list length of [kw]. *)
+val length : t -> Interner.id -> int
+
+(** [keyword_count t] is the number of keywords with a non-empty list. *)
+val keyword_count : t -> int
+
+(** [iter f t] applies [f kw list] to every keyword in id order. *)
+val iter : (Interner.id -> posting array -> unit) -> t -> unit
+
+(** [prefix_slice list dewey] is the contiguous sub-range [(lo, hi)]
+    (half-open index interval) of postings lying in the subtree rooted at
+    [dewey], found by binary search. *)
+val prefix_slice : posting array -> Dewey.t -> int * int
+
+(** [prefix_slice_from list start dewey] restricts the search to indices
+    [>= start]. *)
+val prefix_slice_from : posting array -> int -> Dewey.t -> int * int

@@ -1,0 +1,70 @@
+(** Document statistics: the paper's frequency table and co-occurrence
+    table (Section VII), plus the per-type aggregates used by the ranking
+    model.
+
+    For a node type [T] and keyword [k]:
+    - [df] is the XML document frequency {% $f_k^T$ %} (Definition 3.2):
+      the number of [T]-typed nodes containing [k] in their subtrees;
+    - [tf] is the XML term frequency {% $tf(k,T)$ %}: the total number of
+      occurrences of [k] within subtrees rooted at [T]-typed nodes;
+    - [distinct_keywords] is {% $G_T$ %}: the number of distinct keywords
+      occurring in subtrees of type [T];
+    - [node_count] is {% $N_T$ %}: the number of [T]-typed nodes;
+    - [cooccur] is {% $f_{k_i,k_j}^T$ %}: the number of [T]-typed nodes
+      whose subtree contains both keywords. Computed on demand by a
+      linear merge of the two inverted lists and memoized (the paper
+      stores the full table in Berkeley DB; the memo table is its
+      equivalent, built lazily to avoid the {% $K^2 T$ %} worst case). *)
+
+open Xr_xml
+
+type t
+
+(** [build doc inverted] computes all eager statistics in one pass over
+    the document's keyword occurrences. *)
+val build : Doc.t -> Inverted.t -> t
+
+(** [doc t] is the document these statistics describe. *)
+val doc : t -> Doc.t
+
+val df : t -> path:Path.id -> kw:Interner.id -> int
+
+val tf : t -> path:Path.id -> kw:Interner.id -> int
+
+val distinct_keywords : t -> Path.id -> int
+
+val node_count : t -> Path.id -> int
+
+(** [cooccur t ~path k1 k2] is symmetric in [k1]/[k2]. *)
+val cooccur : t -> path:Path.id -> Interner.id -> Interner.id -> int
+
+(** [paths_containing t kw] is every node type whose subtrees contain
+    [kw], with its [df], ascending by path id. *)
+val paths_containing : t -> Interner.id -> (Path.id * int) list
+
+(** [path_count t] is the number of node types in the document. *)
+val path_count : t -> int
+
+(** [append t ~doc ~inverted ~added] updates the statistics for nodes of
+    a freshly appended document partition (see {!Doc.append_child}): the
+    frequency table is bumped in place (the old [t] becomes stale), the
+    per-type aggregates grow to cover new node types, and the
+    co-occurrence memo is reset. [doc]/[inverted] are the post-append
+    versions. *)
+val append : t -> doc:Doc.t -> inverted:Inverted.t -> added:Doc.node array -> t
+
+(** [export t] dumps the frequency table as [(path, kw, df, tf)] rows,
+    for persistence. *)
+val export : t -> (Path.id * Interner.id * int * int) list
+
+(** [import doc inverted ~rows ~nodes_per_path] rebuilds a statistics
+    table from persisted rows without rescanning the document. *)
+val import :
+  Doc.t ->
+  Inverted.t ->
+  rows:(Path.id * Interner.id * int * int) list ->
+  nodes_per_path:int array ->
+  t
+
+(** [total_nodes t] is the number of element nodes in the document. *)
+val total_nodes : t -> int

@@ -1,0 +1,1 @@
+lib/slca/elca.ml: Array Dewey Doc Fun List String Token Xr_index Xr_xml

@@ -1,0 +1,1 @@
+lib/slca/elca.mli: Dewey Xr_index Xr_xml

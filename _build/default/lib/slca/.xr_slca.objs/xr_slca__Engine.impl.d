@@ -1,0 +1,1 @@
+lib/slca/engine.ml: Doc Indexed_lookup List Multiway Scan_eager Stack_slca String Token Xr_index Xr_xml

@@ -1,0 +1,1 @@
+lib/slca/engine.mli: Dewey Xr_index Xr_xml

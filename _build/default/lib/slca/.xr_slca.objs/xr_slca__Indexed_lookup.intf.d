@@ -1,0 +1,1 @@
+lib/slca/indexed_lookup.mli: Dewey Xr_index Xr_xml

@@ -1,0 +1,1 @@
+lib/slca/interconnection.ml: Array Dewey Doc Hashtbl List String Token Xr_index Xr_xml

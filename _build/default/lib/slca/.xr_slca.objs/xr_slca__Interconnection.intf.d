@@ -1,0 +1,1 @@
+lib/slca/interconnection.mli: Dewey Doc Xr_index Xr_xml

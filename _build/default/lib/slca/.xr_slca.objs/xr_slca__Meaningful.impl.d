@@ -1,0 +1,1 @@
+lib/slca/meaningful.ml: Doc List Path Search_for Xr_index Xr_xml

@@ -1,0 +1,1 @@
+lib/slca/meaningful.mli: Dewey Interner Path Search_for Xr_index Xr_xml

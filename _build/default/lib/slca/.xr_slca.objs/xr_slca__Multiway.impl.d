@@ -1,0 +1,1 @@
+lib/slca/multiway.ml: Array Dewey List Slca_common Xr_index Xr_xml

@@ -1,0 +1,1 @@
+lib/slca/multiway.mli: Dewey Xr_index Xr_xml

@@ -1,0 +1,1 @@
+lib/slca/or_search.ml: Array Dewey Doc Float List String Token Xr_index Xr_xml

@@ -1,0 +1,1 @@
+lib/slca/or_search.mli: Dewey Xr_index Xr_xml

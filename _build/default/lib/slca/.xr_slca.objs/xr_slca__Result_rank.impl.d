@@ -1,0 +1,1 @@
+lib/slca/result_rank.ml: Array Dewey Doc Float List Xr_index Xr_xml

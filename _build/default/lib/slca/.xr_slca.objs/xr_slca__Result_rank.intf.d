@@ -1,0 +1,1 @@
+lib/slca/result_rank.mli: Dewey Interner Xr_index Xr_xml

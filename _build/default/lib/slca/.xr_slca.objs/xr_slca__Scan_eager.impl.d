@@ -1,0 +1,1 @@
+lib/slca/scan_eager.ml: Array Dewey Int List Slca_common Xr_index Xr_xml

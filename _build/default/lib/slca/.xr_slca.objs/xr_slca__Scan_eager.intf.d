@@ -1,0 +1,1 @@
+lib/slca/scan_eager.mli: Dewey Xr_index Xr_xml

@@ -1,0 +1,1 @@
+lib/slca/search_for.ml: Doc Float Int List Path Xr_index Xr_xml

@@ -1,0 +1,1 @@
+lib/slca/search_for.mli: Interner Path Xr_index Xr_xml

@@ -1,0 +1,1 @@
+lib/slca/slca_common.ml: Array Dewey List Xr_index Xr_xml

@@ -1,0 +1,1 @@
+lib/slca/slca_common.mli: Dewey Xr_index Xr_xml

@@ -1,0 +1,1 @@
+lib/slca/snippet.ml: Doc List Printf String Token Tree Xr_xml

@@ -1,0 +1,1 @@
+lib/slca/snippet.mli: Dewey Doc Interner Xr_xml

@@ -1,0 +1,1 @@
+lib/slca/stack_slca.ml: Array Dewey Fun List Xr_index Xr_xml

@@ -1,0 +1,1 @@
+lib/slca/stack_slca.mli: Dewey Xr_index Xr_xml

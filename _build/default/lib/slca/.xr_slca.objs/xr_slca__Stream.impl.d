@@ -1,0 +1,1 @@
+lib/slca/stream.ml: Array Dewey Int List Slca_common Xr_index Xr_xml

@@ -1,0 +1,1 @@
+lib/slca/stream.mli: Dewey Xr_index Xr_xml

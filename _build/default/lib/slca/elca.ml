@@ -1,0 +1,98 @@
+open Xr_xml
+module Inverted = Xr_index.Inverted
+module Cursor = Xr_index.Cursor
+
+(* Same merged-stream stack as {!Stack_slca}, with the ELCA twist. Each
+   entry tracks two witness sets: [total] — every keyword occurring in
+   the subtree — and [open_w] — keywords with an occurrence that is not
+   inside an all-keyword-containing descendant. A popped entry whose
+   [total] is complete is such a container: it is an ELCA iff its
+   [open_w] is also complete, and either way none of its occurrences are
+   visible to ancestors ([total] still propagates, for containment). *)
+
+type entry = { total : bool array; open_w : bool array }
+
+let compute lists =
+  let m = List.length lists in
+  if m = 0 || List.exists (fun l -> Array.length l = 0) lists then []
+  else begin
+    let cursors = Array.of_list (List.map Cursor.make lists) in
+    let results = ref [] in
+    let fresh () = { total = Array.make m false; open_w = Array.make m false } in
+    let stack = ref [ fresh () ] in
+    let path = ref [||] in
+    let all_true w = Array.for_all Fun.id w in
+    let pop_to target_len =
+      while Array.length !path > target_len do
+        match !stack with
+        | e :: (parent :: _ as rest) ->
+          Array.iteri (fun i w -> if w then parent.total.(i) <- true) e.total;
+          if all_true e.total then begin
+            if all_true e.open_w then results := !path :: !results
+          end
+          else Array.iteri (fun i w -> if w then parent.open_w.(i) <- true) e.open_w;
+          stack := rest;
+          path := Array.sub !path 0 (Array.length !path - 1)
+        | _ -> assert false
+      done
+    in
+    let next_smallest () =
+      let best = ref (-1) in
+      Array.iteri
+        (fun i c ->
+          match Cursor.peek c with
+          | None -> ()
+          | Some p ->
+            let better =
+              match !best with
+              | -1 -> true
+              | j -> (
+                match Cursor.peek cursors.(j) with
+                | Some q -> Dewey.compare p.Inverted.dewey q.Inverted.dewey < 0
+                | None -> true)
+            in
+            if better then best := i)
+        cursors;
+      if !best < 0 then None
+      else
+        match Cursor.peek cursors.(!best) with
+        | Some p ->
+          Cursor.advance cursors.(!best);
+          Some (p.Inverted.dewey, !best)
+        | None -> None
+    in
+    let rec loop () =
+      match next_smallest () with
+      | None -> ()
+      | Some (dewey, kw) ->
+        let lcp = Dewey.common_prefix_len dewey !path in
+        pop_to lcp;
+        for i = lcp to Array.length dewey - 1 do
+          stack := fresh () :: !stack;
+          path := Dewey.child !path dewey.(i)
+        done;
+        (match !stack with
+        | top :: _ ->
+          top.total.(kw) <- true;
+          top.open_w.(kw) <- true
+        | [] -> assert false);
+        loop ()
+    in
+    loop ();
+    pop_to 0;
+    (match !stack with
+    | [ root ] -> if all_true root.total && all_true root.open_w then results := [||] :: !results
+    | _ -> assert false);
+    (* ELCAs may nest (unlike SLCAs), so pop order is postorder; restore
+       document order *)
+    List.sort Dewey.compare !results
+  end
+
+let query (index : Xr_index.Index.t) keywords =
+  let resolve k =
+    match Doc.keyword_id index.Xr_index.Index.doc k with
+    | Some kw -> Inverted.list index.Xr_index.Index.inverted kw
+    | None -> [||]
+  in
+  let distinct = List.sort_uniq String.compare (List.map Token.normalize keywords) in
+  compute (List.map resolve distinct)

@@ -1,0 +1,20 @@
+(** ELCA (Exclusive LCA) semantics — the XRank-style alternative to SLCA
+    from the related-work family the paper builds on (Section II).
+
+    A node [v] is an ELCA of a query iff the subtree of [v] contains every
+    keyword {e after excluding} the subtrees of v's descendants that
+    already contain every keyword. Every SLCA is an ELCA; an ELCA may
+    additionally sit {e above} an SLCA when it has its own independent
+    witnesses — e.g. an [author] with a matching [inproceedings] child and
+    also loose matching text of its own. Offered alongside the four SLCA
+    engines so downstream users can pick the result semantics. *)
+
+open Xr_xml
+
+(** [compute lists] is the ELCA set of the conjunction of the keywords
+    whose posting lists are given, in document order. *)
+val compute : Xr_index.Inverted.posting array list -> Dewey.t list
+
+(** [query alg index keywords] is the convenience form mirroring
+    {!Engine.query}. *)
+val query : Xr_index.Index.t -> string list -> Dewey.t list

@@ -1,0 +1,35 @@
+open Xr_xml
+
+type algorithm = Stack | Scan_eager | Indexed_lookup | Multiway
+
+let all = [ Stack; Scan_eager; Indexed_lookup; Multiway ]
+
+let name = function
+  | Stack -> "stack"
+  | Scan_eager -> "scan-eager"
+  | Indexed_lookup -> "indexed-lookup"
+  | Multiway -> "multiway"
+
+let of_name = function
+  | "stack" -> Some Stack
+  | "scan-eager" -> Some Scan_eager
+  | "indexed-lookup" -> Some Indexed_lookup
+  | "multiway" -> Some Multiway
+  | _ -> None
+
+let compute alg lists =
+  match alg with
+  | Stack -> Stack_slca.compute lists
+  | Scan_eager -> Scan_eager.compute lists
+  | Indexed_lookup -> Indexed_lookup.compute lists
+  | Multiway -> Multiway.compute lists
+
+let query alg (index : Xr_index.Index.t) keywords =
+  let resolve k =
+    match Doc.keyword_id index.doc k with
+    | Some kw -> Xr_index.Inverted.list index.inverted kw
+    | None -> [||]
+  in
+  (* duplicate keywords add no constraint under conjunctive semantics *)
+  let distinct = List.sort_uniq String.compare (List.map Token.normalize keywords) in
+  compute alg (List.map resolve distinct)

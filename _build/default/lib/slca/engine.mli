@@ -1,0 +1,25 @@
+(** Uniform front door over the four SLCA algorithms — the pluggable
+    "existing SLCA computation method" of the paper's Lemma 3. *)
+
+open Xr_xml
+
+type algorithm =
+  | Stack  (** sort-merge stack, the paper's [stack-slca] *)
+  | Scan_eager  (** XKSearch scan-eager, the paper's [scan-slca] *)
+  | Indexed_lookup  (** XKSearch indexed-lookup-eager *)
+  | Multiway  (** Multiway-SLCA, anchor-based *)
+
+val all : algorithm list
+
+val name : algorithm -> string
+
+(** [of_name s] inverts {!name}. *)
+val of_name : string -> algorithm option
+
+(** [compute alg lists] is the SLCA set (document order) of the
+    conjunction of the keywords whose posting lists are given. *)
+val compute : algorithm -> Xr_index.Inverted.posting array list -> Dewey.t list
+
+(** [query alg index keywords] resolves keywords against the document and
+    computes SLCAs; a keyword absent from the document yields []. *)
+val query : algorithm -> Xr_index.Index.t -> string list -> Dewey.t list

@@ -1,0 +1,25 @@
+open Xr_xml
+module Inverted = Xr_index.Inverted
+
+let candidates_of_driver driver others =
+  let cands = ref [] in
+  Array.iter
+    (fun (v : Inverted.posting) ->
+      let depth =
+        List.fold_left
+          (fun acc list ->
+            min acc (Slca_common.deepest_prefix_depth v.dewey (Slca_common.closest list 0 v.dewey)))
+          (Dewey.depth v.dewey) others
+      in
+      if depth >= 0 then cands := Dewey.prefix v.dewey depth :: !cands)
+    driver;
+  !cands
+
+let compute lists =
+  if lists = [] || List.exists (fun l -> Array.length l = 0) lists then []
+  else begin
+    let sorted = List.sort (fun a b -> Int.compare (Array.length a) (Array.length b)) lists in
+    match sorted with
+    | driver :: others -> Slca_common.prune_non_smallest (candidates_of_driver driver others)
+    | [] -> []
+  end

@@ -1,0 +1,12 @@
+(** Indexed-Lookup-Eager SLCA (XKSearch).
+
+    Drives on the shortest keyword list: for each of its nodes [v], the
+    candidate SLCA is the deepest prefix of [v] whose subtree contains a
+    witness of every other keyword, found with two binary searches per
+    list (left/right closest match). Cost
+    [O(|S1| * m * d * log |Smax|)] — best when one list is much shorter
+    than the rest. *)
+
+open Xr_xml
+
+val compute : Xr_index.Inverted.posting array list -> Dewey.t list

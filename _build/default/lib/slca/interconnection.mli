@@ -1,0 +1,32 @@
+(** XSEarch's interconnection relation (reference [2] of the paper,
+    described verbatim in its Section II): two match nodes are
+    {e interconnected} iff the path between them through their LCA
+    contains no two distinct nodes with the same tag name, the endpoints
+    excluded.
+
+    Intuition: a path that passes through two different [author] nodes
+    connects matches belonging to two different entities, so the pair is
+    semantically unrelated even though an LCA exists. Offered as a result
+    filter: an SLCA whose witnesses cannot be chosen pairwise
+    interconnected is demoted. *)
+
+open Xr_xml
+
+(** [related doc a b] is the interconnection test for two element nodes
+    (false if either label is unknown). A node is always related to
+    itself and to its ancestors/descendants ("through the LCA" the path
+    is one-sided). *)
+val related : Doc.t -> Dewey.t -> Dewey.t -> bool
+
+(** [witness_choice doc ~per_keyword ~root] searches for one witness per
+    keyword — all inside the subtree of [root], pairwise interconnected.
+    [per_keyword] lists each keyword's candidate nodes within the
+    subtree. Bounded backtracking (the candidate lists are clipped to
+    [limit], default 8); [None] when no choice works. *)
+val witness_choice :
+  ?limit:int -> Doc.t -> per_keyword:Dewey.t list list -> Dewey.t list option
+
+(** [filter index keywords slcas] keeps the SLCAs whose keyword witnesses
+    can be chosen pairwise interconnected — the XSEarch-style
+    tightening of an SLCA result list. *)
+val filter : Xr_index.Index.t -> string list -> Dewey.t list -> Dewey.t list

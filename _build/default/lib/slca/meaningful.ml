@@ -1,0 +1,23 @@
+open Xr_xml
+module Stats = Xr_index.Stats
+
+type t = { doc : Doc.t; candidates : (Path.id * float) list }
+
+let make ?config stats keywords =
+  { doc = Stats.doc stats; candidates = Search_for.infer ?config stats keywords }
+
+let candidates t = t.candidates
+
+let is_meaningful t ~path =
+  List.exists
+    (fun (cand, _) -> Path.is_prefix t.doc.Doc.paths ~ancestor:cand ~descendant:path)
+    t.candidates
+
+let is_meaningful_dewey t dewey =
+  match Doc.path_of_dewey t.doc dewey with
+  | Some path -> is_meaningful t ~path
+  | None -> false
+
+let filter t slcas = List.filter (is_meaningful_dewey t) slcas
+
+let compute t engine lists = filter t (engine lists)

@@ -1,0 +1,46 @@
+open Xr_xml
+module Inverted = Xr_index.Inverted
+
+let compute lists =
+  if lists = [] || List.exists (fun l -> Array.length l = 0) lists then []
+  else begin
+    let lists = Array.of_list lists in
+    let m = Array.length lists in
+    let pos = Array.make m 0 in
+    let cands = ref [] in
+    let running = ref true in
+    while !running do
+      (* anchor = maximum of the current heads *)
+      let anchor = ref None in
+      for i = 0 to m - 1 do
+        if pos.(i) >= Array.length lists.(i) then running := false
+        else begin
+          let d = lists.(i).(pos.(i)).Inverted.dewey in
+          match !anchor with
+          | None -> anchor := Some d
+          | Some a -> if Dewey.compare d a > 0 then anchor := Some d
+        end
+      done;
+      if !running then begin
+        match !anchor with
+        | None -> running := false
+        | Some a ->
+          let depth = ref (Dewey.depth a) in
+          for i = 0 to m - 1 do
+            depth := min !depth (Slca_common.deepest_prefix_depth a (Slca_common.closest lists.(i) 0 a))
+          done;
+          if !depth >= 0 then cands := Dewey.prefix a !depth :: !cands;
+          (* skip every cursor past the anchor *)
+          for i = 0 to m - 1 do
+            let list = lists.(i) in
+            let lo = ref pos.(i) and hi = ref (Array.length list) in
+            while !lo < !hi do
+              let mid = (!lo + !hi) / 2 in
+              if Dewey.compare list.(mid).Inverted.dewey a <= 0 then lo := mid + 1 else hi := mid
+            done;
+            pos.(i) <- !lo
+          done
+      end
+    done;
+    Slca_common.prune_non_smallest !cands
+  end

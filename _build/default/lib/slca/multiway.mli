@@ -1,0 +1,16 @@
+(** Multiway-SLCA (Sun, Chan, Goenka — reference [8] of the paper),
+    anchor-based variant.
+
+    Instead of probing every node of the shortest list, each iteration
+    anchors on the *maximum* of the current cursor heads, computes one
+    candidate from the closest matches around the anchor, and then skips
+    every cursor past the anchor — so runs of postings that contribute to
+    the same SLCA are consumed in one step.
+
+    Completeness: every SLCA subtree contains a witness from every list,
+    so the maximum of the heads can never jump past an unreported SLCA's
+    subtree; anchors increase strictly and must land inside it. *)
+
+open Xr_xml
+
+val compute : Xr_index.Inverted.posting array list -> Dewey.t list

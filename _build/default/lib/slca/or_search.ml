@@ -1,0 +1,99 @@
+open Xr_xml
+module Inverted = Xr_index.Inverted
+module Index = Xr_index.Index
+
+type hit = {
+  dewey : Dewey.t;
+  matched : int;
+  score : float;
+}
+
+(* an entry remembers its children's witness sets: if one child already
+   covered everything the entry covers, the entry adds no specificity and
+   is not reported *)
+type entry = { witness : bool array; mutable children_witness : bool array list }
+
+let query ?(limit = 20) (index : Index.t) keywords =
+  let doc = index.Index.doc in
+  let distinct = List.sort_uniq String.compare (List.map Token.normalize keywords) in
+  let ids = List.filter_map (Doc.keyword_id doc) distinct in
+  let lists = List.map (fun kw -> Inverted.list index.Index.inverted kw) ids in
+  let m = List.length lists in
+  if m = 0 then []
+  else begin
+    (* IDF per keyword from its posting-list length *)
+    let n = float_of_int (max 1 (Doc.node_count doc)) in
+    let idf =
+      Array.of_list
+        (List.map (fun l -> log (n /. (1. +. float_of_int (Array.length l))) +. 0.1) lists)
+    in
+    let pos = Array.make m 0 in
+    let lists = Array.of_list lists in
+    let hits = ref [] in
+    let stack = ref [ { witness = Array.make m false; children_witness = [] } ] in
+    let path = ref [||] in
+    let consider e dewey =
+      let matched = Array.fold_left (fun a w -> if w then a + 1 else a) 0 e.witness in
+      let dominated =
+        List.exists (fun cw -> cw = e.witness) e.children_witness
+      in
+      if matched > 0 && not dominated then begin
+        let score = ref 0. in
+        Array.iteri (fun i w -> if w then score := !score +. idf.(i)) e.witness;
+        (* mild specificity bonus for deeper nodes *)
+        let score = !score *. (1. +. (0.02 *. float_of_int (Dewey.depth dewey))) in
+        hits := { dewey; matched; score } :: !hits
+      end
+    in
+    let pop_to target_len =
+      while Array.length !path > target_len do
+        match !stack with
+        | e :: (parent :: _ as rest) ->
+          consider e !path;
+          parent.children_witness <- Array.copy e.witness :: parent.children_witness;
+          Array.iteri (fun i w -> if w then parent.witness.(i) <- true) e.witness;
+          stack := rest;
+          path := Array.sub !path 0 (Array.length !path - 1)
+        | _ -> assert false
+      done
+    in
+    let smallest () =
+      let best = ref None in
+      Array.iteri
+        (fun i list ->
+          if pos.(i) < Array.length list then begin
+            let d = list.(pos.(i)).Inverted.dewey in
+            match !best with
+            | None -> best := Some (i, d)
+            | Some (_, d') -> if Dewey.compare d d' < 0 then best := Some (i, d)
+          end)
+        lists;
+      !best
+    in
+    let rec loop () =
+      match smallest () with
+      | None -> ()
+      | Some (i, dewey) ->
+        pos.(i) <- pos.(i) + 1;
+        let lcp = Dewey.common_prefix_len dewey !path in
+        pop_to lcp;
+        for j = lcp to Array.length dewey - 1 do
+          stack := { witness = Array.make m false; children_witness = [] } :: !stack;
+          path := Dewey.child !path dewey.(j)
+        done;
+        (match !stack with
+        | top :: _ -> top.witness.(i) <- true
+        | [] -> assert false);
+        loop ()
+    in
+    loop ();
+    pop_to 0;
+    (match !stack with [ root ] -> consider root [||] | _ -> assert false);
+    List.stable_sort
+      (fun a b ->
+        match Float.compare b.score a.score with
+        | 0 -> Dewey.compare a.dewey b.dewey
+        | c -> c)
+      !hits
+    |> List.filteri (fun i _ -> i < limit)
+  end

@@ -1,0 +1,24 @@
+(** Boolean-OR relaxation — the other baseline the paper positions itself
+    against (Section I: relaxing to OR "heavily relaxes the search
+    intention of original queries").
+
+    Instead of repairing the query, OR search returns nodes matching
+    {e any} keyword, scored by how many distinct query keywords their
+    subtree covers, IDF-weighted, with deeper (more specific) nodes
+    preferred among equals. The benchmark harness grades these results
+    against the refined queries' results to quantify the relaxation's
+    intention loss. *)
+
+open Xr_xml
+
+type hit = {
+  dewey : Dewey.t;
+  matched : int;  (** distinct query keywords in the subtree *)
+  score : float;
+}
+
+(** [query ?limit index keywords] is the Top-[limit] (default 20) OR hits,
+    best first. Nodes whose subtree covers more (and rarer) keywords win;
+    an ancestor is dropped in favour of a descendant covering the same
+    keyword set (minimality, as in LCA-style semantics). *)
+val query : ?limit:int -> Xr_index.Index.t -> string list -> hit list

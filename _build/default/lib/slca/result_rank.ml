@@ -1,0 +1,41 @@
+open Xr_xml
+module Stats = Xr_index.Stats
+
+let score stats ~query dewey =
+  let doc = Stats.doc stats in
+  match Doc.find doc dewey with
+  | None -> 0.
+  | Some node ->
+    let lo, hi = Doc.subtree_node_range doc dewey in
+    let size = hi - lo in
+    if size = 0 then 0.
+    else begin
+      let tf kw =
+        let total = ref 0 in
+        for i = lo to hi - 1 do
+          List.iter
+            (fun (k, c) -> if k = kw then total := !total + c)
+            doc.Doc.nodes.(i).Doc.keywords
+        done;
+        !total
+      in
+      let n_t = float_of_int (max 1 (Stats.node_count stats node.Doc.path)) in
+      let raw =
+        List.fold_left
+          (fun acc kw ->
+            let f = Stats.df stats ~path:node.Doc.path ~kw in
+            let idf = max 0. (log (n_t /. (1. +. float_of_int f))) in
+            (* a keyword shared by every T-subtree still carries some
+               evidence of the match; keep a small floor *)
+            acc +. (log (1. +. float_of_int (tf kw)) *. (0.1 +. idf)))
+          0. query
+      in
+      raw /. log (1. +. float_of_int size)
+    end
+
+let rank stats ~query slcas =
+  let scored = List.map (fun d -> (d, score stats ~query d)) slcas in
+  List.stable_sort
+    (fun (d1, s1) (d2, s2) ->
+      match Float.compare s2 s1 with 0 -> Dewey.compare d1 d2 | c -> c)
+    scored

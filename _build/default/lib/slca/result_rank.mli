@@ -1,0 +1,21 @@
+(** Relevance-oriented ranking of SLCA results — the XML TF*IDF of the
+    authors' companion work (reference [6] of the paper), which the paper
+    uses for its search-for statistics and cites for result ranking.
+
+    A result subtree [r] of type [T] scores
+    [sum_k ln(1 + tf(k, r)) * ln(N_T / (1 + f_k^T)) / ln(1 + |r|)]:
+    term-frequency of each query keyword inside the subtree, dampened,
+    weighted by the keyword's inverse document frequency among [T]-typed
+    subtrees, normalized by subtree size so small, focused results are not
+    drowned by large ones. *)
+
+open Xr_xml
+
+(** [score stats ~query dewey] is the relevance of one result. Unknown
+    labels score 0. *)
+val score : Xr_index.Stats.t -> query:Interner.id list -> Dewey.t -> float
+
+(** [rank stats ~query slcas] sorts results best-first (ties: document
+    order), returning scores alongside. *)
+val rank :
+  Xr_index.Stats.t -> query:Interner.id list -> Dewey.t list -> (Dewey.t * float) list

@@ -1,0 +1,31 @@
+open Xr_xml
+module Inverted = Xr_index.Inverted
+
+let compute lists =
+  if lists = [] || List.exists (fun l -> Array.length l = 0) lists then []
+  else begin
+    let sorted = List.sort (fun a b -> Int.compare (Array.length a) (Array.length b)) lists in
+    match sorted with
+    | [] -> []
+    | driver :: others ->
+      let others = Array.of_list others in
+      let pos = Array.make (Array.length others) 0 in
+      let cands = ref [] in
+      Array.iter
+        (fun (v : Inverted.posting) ->
+          let depth = ref (Dewey.depth v.dewey) in
+          Array.iteri
+            (fun i list ->
+              (* advance cursor to the first posting >= v *)
+              let n = Array.length list in
+              while pos.(i) < n && Dewey.compare list.(pos.(i)).Inverted.dewey v.dewey < 0 do
+                pos.(i) <- pos.(i) + 1
+              done;
+              let lm = if pos.(i) > 0 then Some list.(pos.(i) - 1) else None in
+              let rm = if pos.(i) < n then Some list.(pos.(i)) else None in
+              depth := min !depth (Slca_common.deepest_prefix_depth v.dewey (lm, rm)))
+            others;
+          if !depth >= 0 then cands := Dewey.prefix v.dewey !depth :: !cands)
+        driver;
+      Slca_common.prune_non_smallest !cands
+  end

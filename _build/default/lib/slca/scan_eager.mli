@@ -1,0 +1,12 @@
+(** Scan-Eager SLCA (XKSearch).
+
+    Same candidate characterization as {!Indexed_lookup}, but the closest
+    matches in the non-driving lists are located by advancing a cursor
+    sequentially instead of binary search — a single merge-like pass over
+    all lists, best when keyword frequencies are comparable. This is the
+    SLCA engine the paper plugs into its Partition and SLE refinement
+    algorithms. *)
+
+open Xr_xml
+
+val compute : Xr_index.Inverted.posting array list -> Dewey.t list

@@ -1,0 +1,63 @@
+open Xr_xml
+module Stats = Xr_index.Stats
+
+type config = {
+  reduction : float;
+  threshold : float;
+  max_candidates : int;
+  include_root : bool;
+  min_instances : int;
+}
+
+let default_config =
+  {
+    reduction = 0.8;
+    threshold = 0.8;
+    max_candidates = 3;
+    include_root = false;
+    min_instances = 2;
+  }
+
+let confidence ?(config = default_config) stats keywords path =
+  let doc = Stats.doc stats in
+  let sum =
+    List.fold_left (fun acc kw -> acc + Stats.df stats ~path ~kw) 0 keywords
+  in
+  log (1. +. float_of_int sum) *. (config.reduction ** float_of_int (Path.depth doc.Doc.paths path))
+
+let infer ?(config = default_config) stats keywords =
+  let doc = Stats.doc stats in
+  let collect ~respect_min =
+    let scored = ref [] in
+    Path.iter
+      (fun path ->
+        if
+          (config.include_root || path <> doc.Doc.root_path)
+          && ((not respect_min) || Stats.node_count stats path >= config.min_instances)
+        then begin
+          let c = confidence ~config stats keywords path in
+          if c > 0. then scored := (path, c) :: !scored
+        end)
+      doc.Doc.paths;
+    !scored
+  in
+  let scored =
+    match collect ~respect_min:true with [] -> collect ~respect_min:false | l -> l
+  in
+  let scored = ref scored in
+  let sorted =
+    List.sort
+      (fun (p1, c1) (p2, c2) ->
+        match Float.compare c2 c1 with 0 -> Int.compare p1 p2 | c -> c)
+      !scored
+  in
+  match sorted with
+  | [] -> []
+  | (_, best) :: _ ->
+    let cutoff = config.threshold *. best in
+    let rec take n = function
+      | [] -> []
+      | _ when n = 0 -> []
+      | (p, c) :: rest -> if c >= cutoff then (p, c) :: take (n - 1) rest else []
+    in
+    take config.max_candidates sorted

@@ -1,0 +1,35 @@
+(** Search-for node inference (Section III-A, Formula 1).
+
+    The confidence of node type [T] being the target a query searches for
+    is [C_for(T,Q) = ln(1 + sum_k f_k^T) * r^depth(T)] with reduction
+    factor [r in (0,1)]: deep types are discounted, types whose subtrees
+    cover many query keywords are promoted. The candidate list [L] keeps
+    the non-root types whose confidence is within a fraction [tau] of the
+    best. *)
+
+open Xr_xml
+
+type config = {
+  reduction : float;  (** [r] of Formula 1; default 0.8 *)
+  threshold : float;  (** keep [T] with confidence >= threshold * max; default 0.8 *)
+  max_candidates : int;  (** cap on [|L|]; default 3 *)
+  include_root : bool;  (** admit the document-root type; default false *)
+  min_instances : int;
+      (** exclude types with fewer than this many nodes (default 2): a
+          singleton type — e.g. a section container holding everything of
+          one kind — is statistically indistinguishable from the root,
+          which the paper already calls "a typical meaningless SLCA".
+          When no type qualifies, the filter is dropped rather than
+          returning nothing. *)
+}
+
+val default_config : config
+
+(** [infer ?config stats keywords] is the candidate list [L]: node types
+    with their confidence, best first. Keywords absent from the document
+    contribute zero. *)
+val infer :
+  ?config:config -> Xr_index.Stats.t -> Interner.id list -> (Path.id * float) list
+
+(** [confidence ?config stats keywords path] is [C_for(path, Q)]. *)
+val confidence : ?config:config -> Xr_index.Stats.t -> Interner.id list -> Path.id -> float

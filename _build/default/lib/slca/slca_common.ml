@@ -1,0 +1,38 @@
+open Xr_xml
+
+let prune_non_smallest candidates =
+  let sorted = List.sort_uniq Dewey.compare candidates in
+  (* In document order an ancestor precedes all its descendants and every
+     node between them is also a descendant, so a single backward check
+     against the last kept candidate suffices. *)
+  let rec go kept = function
+    | [] -> List.rev kept
+    | c :: rest -> (
+      match kept with
+      | last :: kept' when Dewey.is_prefix last c -> go (c :: kept') rest
+      | _ -> go (c :: kept) rest)
+  in
+  go [] sorted
+
+let closest (list : Xr_index.Inverted.posting array) lo v =
+  let n = Array.length list in
+  (* first index in [lo, n) with dewey >= v *)
+  let l = ref lo and h = ref n in
+  while !l < !h do
+    let mid = (!l + !h) / 2 in
+    if Dewey.compare list.(mid).Xr_index.Inverted.dewey v < 0 then l := mid + 1 else h := mid
+  done;
+  let rm = if !l < n then Some list.(!l) else None in
+  let lm =
+    if !l < n && Dewey.equal list.(!l).Xr_index.Inverted.dewey v then Some list.(!l)
+    else if !l > lo then Some list.(!l - 1)
+    else None
+  in
+  (lm, rm)
+
+let deepest_prefix_depth v (lm, rm) =
+  let d = function
+    | None -> -1
+    | Some (p : Xr_index.Inverted.posting) -> Dewey.common_prefix_len v p.dewey
+  in
+  max (d lm) (d rm)

@@ -1,0 +1,24 @@
+(** Shared pieces of the SLCA engines. *)
+
+open Xr_xml
+
+(** [prune_non_smallest candidates] removes duplicates and every node that
+    is a proper ancestor of another candidate, returning the smallest-LCA
+    subset in document order. Input need not be sorted. *)
+val prune_non_smallest : Dewey.t list -> Dewey.t list
+
+(** [closest list lo v] is the pair [(lm, rm)] around [v] in [list]:
+    [lm] = greatest posting [<= v] at index [>= lo], [rm] = least posting
+    [>= v]; either may be [None] at the list ends. Found by binary search
+    over [list.(lo..)]. *)
+val closest :
+  Xr_index.Inverted.posting array ->
+  int ->
+  Dewey.t ->
+  Xr_index.Inverted.posting option * Xr_index.Inverted.posting option
+
+(** [deepest_prefix_depth v (lm, rm)] is the depth of the deepest prefix
+    of [v] whose subtree provably contains one of the two matches — i.e.
+    [max (|lca v lm|) (|lca v rm|)], or [-1] if both are [None]. *)
+val deepest_prefix_depth :
+  Dewey.t -> Xr_index.Inverted.posting option * Xr_index.Inverted.posting option -> int

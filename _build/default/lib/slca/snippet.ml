@@ -1,0 +1,46 @@
+open Xr_xml
+
+let clip width s = if String.length s <= width then s else String.sub s 0 (width - 3) ^ "..."
+
+(* bracket every token of [text] whose normalized form is a query keyword *)
+let highlight doc query text =
+  String.concat " "
+    (List.map
+       (fun raw ->
+         let is_match =
+           match Doc.keyword_id doc raw with Some id -> List.mem id query | None -> false
+         in
+         if is_match then "[" ^ raw ^ "]" else raw)
+       (Token.tokenize text))
+
+let of_result doc ~query ?(max_fragments = 3) ?(width = 60) dewey =
+  match Doc.subtree doc dewey with
+  | None -> ""
+  | Some subtree ->
+    let fragments = ref [] in
+    let fallback = ref None in
+    let rec walk (e : Tree.t) =
+      let text = Tree.text e in
+      if String.length (String.trim text) > 0 then begin
+        if !fallback = None then fallback := Some (e.Tree.tag, text);
+        let tokens = Token.tokenize text in
+        let hit =
+          List.exists
+            (fun tok ->
+              match Doc.keyword_id doc tok with Some id -> List.mem id query | None -> false)
+            tokens
+        in
+        if hit then fragments := (e.Tree.tag, text) :: !fragments
+      end;
+      List.iter walk (Tree.element_children e)
+    in
+    walk subtree;
+    let chosen =
+      match List.rev !fragments with
+      | [] -> ( match !fallback with Some f -> [ f ] | None -> [])
+      | l -> List.filteri (fun i _ -> i < max_fragments) l
+    in
+    String.concat " | "
+      (List.map
+         (fun (tag, text) -> Printf.sprintf "%s: %s" tag (clip width (highlight doc query text)))
+         chosen)

@@ -1,0 +1,14 @@
+(** Result snippets: a one-line, keyword-highlighted summary of a result
+    subtree, the way a search UI (like the paper's XRefine prototype demo)
+    would present an SLCA hit. *)
+
+open Xr_xml
+
+(** [of_result doc ~query ?max_fragments ?width dewey] renders e.g.
+    ["title: efficient [keyword] [search] on xml | year: 2003"] — one
+    fragment per element whose own text matches a query keyword (matched
+    keywords bracketed), at most [max_fragments] (default 3), each clipped
+    to [width] characters (default 60). Falls back to the subtree's first
+    text when nothing matches; [""] for an unknown label. *)
+val of_result :
+  Doc.t -> query:Interner.id list -> ?max_fragments:int -> ?width:int -> Dewey.t -> string

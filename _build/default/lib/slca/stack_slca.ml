@@ -1,0 +1,83 @@
+open Xr_xml
+module Inverted = Xr_index.Inverted
+module Cursor = Xr_index.Cursor
+
+(* One entry per component of the current path (plus a root sentinel);
+   [witness.(i)] records that keyword [i] occurs in the subtree below. *)
+type entry = {
+  witness : bool array;
+  mutable slca_below : bool;
+}
+
+let compute lists =
+  let m = List.length lists in
+  if m = 0 || List.exists (fun l -> Array.length l = 0) lists then []
+  else begin
+    let cursors = Array.of_list (List.map Cursor.make lists) in
+    let results = ref [] in
+    (* The stack models the path of the last visited node: entry [i] (from
+       the bottom, above the sentinel) carries component [dewey.(i-1)]. *)
+    let stack = ref [ { witness = Array.make m false; slca_below = false } ] in
+    let path = ref [||] in
+    let all_true w = Array.for_all Fun.id w in
+    let pop_to target_len =
+      while Array.length !path > target_len do
+        match !stack with
+        | e :: (parent :: _ as rest) ->
+          let emitted = all_true e.witness && not e.slca_below in
+          if emitted then results := !path :: !results;
+          Array.iteri (fun i w -> if w then parent.witness.(i) <- true) e.witness;
+          if e.slca_below || emitted then parent.slca_below <- true;
+          stack := rest;
+          path := Array.sub !path 0 (Array.length !path - 1)
+        | _ -> assert false
+      done
+    in
+    let next_smallest () =
+      let best = ref (-1) in
+      Array.iteri
+        (fun i c ->
+          match Cursor.peek c with
+          | None -> ()
+          | Some p ->
+            let better =
+              match !best with
+              | -1 -> true
+              | j -> (
+                match Cursor.peek cursors.(j) with
+                | Some q -> Dewey.compare p.Inverted.dewey q.Inverted.dewey < 0
+                | None -> true)
+            in
+            if better then best := i)
+        cursors;
+      if !best < 0 then None
+      else
+        match Cursor.peek cursors.(!best) with
+        | Some p ->
+          Cursor.advance cursors.(!best);
+          Some (p.Inverted.dewey, !best)
+        | None -> None
+    in
+    let rec loop () =
+      match next_smallest () with
+      | None -> ()
+      | Some (dewey, kw) ->
+        let lcp = Dewey.common_prefix_len dewey !path in
+        pop_to lcp;
+        for i = lcp to Array.length dewey - 1 do
+          stack := { witness = Array.make m false; slca_below = false } :: !stack;
+          path := Dewey.child !path dewey.(i)
+        done;
+        (match !stack with
+        | top :: _ -> top.witness.(kw) <- true
+        | [] -> assert false);
+        loop ()
+    in
+    loop ();
+    pop_to 0;
+    (* Finally consider the root sentinel itself. *)
+    (match !stack with
+    | [ root ] -> if all_true root.witness && not root.slca_below then results := [||] :: !results
+    | _ -> assert false);
+    List.rev !results
+  end

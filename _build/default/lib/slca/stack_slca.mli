@@ -1,0 +1,14 @@
+(** Stack-based SLCA computation (the sort-merge stack algorithm of
+    XKSearch, reference [3] of the paper).
+
+    All keyword lists are merged into one document-ordered stream; a stack
+    of Dewey components carries, per entry, the set of keywords witnessed
+    in the subtree below it. When an entry is popped with every keyword
+    witnessed and no SLCA already reported below it, its node is an SLCA. *)
+
+open Xr_xml
+
+(** [compute lists] is the SLCA set of the conjunction of the keywords
+    whose posting lists are given, in document order. Empty if any list is
+    empty. *)
+val compute : Xr_index.Inverted.posting array list -> Dewey.t list

@@ -1,0 +1,56 @@
+open Xr_xml
+module Inverted = Xr_index.Inverted
+
+(* Candidates arrive in document order (driver list order); a pending
+   candidate is final once the next candidate is not its descendant,
+   because any later candidate is even further right. *)
+let iter lists f =
+  if lists <> [] && not (List.exists (fun l -> Array.length l = 0) lists) then begin
+    let sorted = List.sort (fun a b -> Int.compare (Array.length a) (Array.length b)) lists in
+    match sorted with
+    | [] -> ()
+    | driver :: others ->
+      let others = Array.of_list others in
+      let pos = Array.make (Array.length others) 0 in
+      let pending = ref None in
+      let continue = ref true in
+      let emit c =
+        match !pending with
+        | Some p when Dewey.is_prefix p c -> pending := Some c (* deeper: replaces ancestor *)
+        | Some p when Dewey.is_prefix c p || Dewey.compare c p <= 0 ->
+          (* an ancestor of (or not beyond) the pending candidate: a later
+             driving node can map to a shallower prefix, which is never a
+             new SLCA *)
+          ()
+        | Some p -> if f p then pending := Some c else continue := false
+        | None -> pending := Some c
+      in
+      let i = ref 0 in
+      while !continue && !i < Array.length driver do
+        let v = driver.(!i) in
+        incr i;
+        let depth = ref (Dewey.depth v.Inverted.dewey) in
+        Array.iteri
+          (fun j list ->
+            let n = Array.length list in
+            while pos.(j) < n && Dewey.compare list.(pos.(j)).Inverted.dewey v.Inverted.dewey < 0 do
+              pos.(j) <- pos.(j) + 1
+            done;
+            let lm = if pos.(j) > 0 then Some list.(pos.(j) - 1) else None in
+            let rm = if pos.(j) < n then Some list.(pos.(j)) else None in
+            depth := min !depth (Slca_common.deepest_prefix_depth v.Inverted.dewey (lm, rm)))
+          others;
+        if !depth >= 0 then emit (Dewey.prefix v.Inverted.dewey !depth)
+      done;
+      if !continue then begin
+        match !pending with Some p -> ignore (f p) | None -> ()
+      end
+  end
+
+let first_n lists n =
+  let acc = ref [] and count = ref 0 in
+  iter lists (fun d ->
+      acc := d :: !acc;
+      incr count;
+      !count < n);
+  List.rev !acc

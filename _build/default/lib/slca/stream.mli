@@ -1,0 +1,15 @@
+(** Streaming SLCA: the "eager" property of XKSearch made explicit — each
+    SLCA is delivered as soon as it can no longer be invalidated by a
+    deeper match, so a consumer wanting only the first few results stops
+    the scan early instead of materializing everything. *)
+
+open Xr_xml
+
+(** [iter lists f] runs the scan-eager computation, calling [f] on each
+    SLCA in document order; the scan stops as soon as [f] returns
+    [false]. *)
+val iter : Xr_index.Inverted.posting array list -> (Dewey.t -> bool) -> unit
+
+(** [first_n lists n] is the first [n] SLCAs in document order, visiting
+    only as much of the driving list as needed. *)
+val first_n : Xr_index.Inverted.posting array list -> int -> Dewey.t list

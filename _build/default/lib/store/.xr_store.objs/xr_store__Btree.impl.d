@@ -1,0 +1,1 @@
+lib/store/btree.ml: Buffer Bytes Hashtbl List Option Pager String

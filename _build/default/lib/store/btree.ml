@@ -1,0 +1,485 @@
+let max_key = 512
+
+let max_inline = 256
+
+let header = 7 (* kind byte + 2 bytes count + 4 bytes next/leftmost *)
+
+let capacity = Pager.page_size - header
+
+type value_ref =
+  | Inline of string
+  | Big of { first : int; len : int }
+
+type node =
+  | Leaf of { mutable entries : (string * value_ref) list; mutable next : int }
+  | Node of { mutable keys : string list; mutable children : int list }
+      (* |children| = |keys| + 1; keys.(i) = smallest key reachable via
+         children.(i+1) *)
+
+type t = {
+  pager : Pager.t;
+  nodes : (int, node) Hashtbl.t; (* parsed-page cache *)
+  dirty : (int, unit) Hashtbl.t;
+}
+
+(* ---- serialization ---------------------------------------------------- *)
+
+let entry_size (k, v) =
+  2 + String.length k + 1 + (match v with Inline s -> 2 + String.length s | Big _ -> 8)
+
+let leaf_size entries = List.fold_left (fun a e -> a + entry_size e) 0 entries
+
+let node_size keys = List.fold_left (fun a k -> a + 2 + String.length k + 4) 0 keys
+
+let set_u16 b off v =
+  Bytes.set_uint8 b off (v land 0xff);
+  Bytes.set_uint8 b (off + 1) ((v lsr 8) land 0xff)
+
+let get_u16 b off = Bytes.get_uint8 b off lor (Bytes.get_uint8 b (off + 1) lsl 8)
+
+let set_u32 b off v =
+  set_u16 b off (v land 0xffff);
+  set_u16 b (off + 2) ((v lsr 16) land 0xffff)
+
+let get_u32 b off = get_u16 b off lor (get_u16 b (off + 2) lsl 16)
+
+let serialize node =
+  let b = Bytes.make Pager.page_size '\000' in
+  (match node with
+  | Leaf l ->
+    Bytes.set_uint8 b 0 1;
+    set_u16 b 1 (List.length l.entries);
+    set_u32 b 3 l.next;
+    let off = ref header in
+    List.iter
+      (fun (k, v) ->
+        set_u16 b !off (String.length k);
+        Bytes.blit_string k 0 b (!off + 2) (String.length k);
+        off := !off + 2 + String.length k;
+        (match v with
+        | Inline s ->
+          Bytes.set_uint8 b !off 0;
+          set_u16 b (!off + 1) (String.length s);
+          Bytes.blit_string s 0 b (!off + 3) (String.length s);
+          off := !off + 3 + String.length s
+        | Big { first; len } ->
+          Bytes.set_uint8 b !off 1;
+          set_u32 b (!off + 1) first;
+          set_u32 b (!off + 5) len;
+          off := !off + 9))
+      l.entries
+  | Node n ->
+    Bytes.set_uint8 b 0 2;
+    set_u16 b 1 (List.length n.keys);
+    (match n.children with
+    | leftmost :: _ -> set_u32 b 3 leftmost
+    | [] -> invalid_arg "Btree: internal node without children");
+    let off = ref header in
+    List.iter2
+      (fun k child ->
+        set_u16 b !off (String.length k);
+        Bytes.blit_string k 0 b (!off + 2) (String.length k);
+        set_u32 b (!off + 2 + String.length k) child;
+        off := !off + 2 + String.length k + 4)
+      n.keys (List.tl n.children));
+  b
+
+let deserialize b =
+  match Bytes.get_uint8 b 0 with
+  | 1 ->
+    let count = get_u16 b 1 in
+    let next = get_u32 b 3 in
+    let off = ref header in
+    let entries =
+      List.init count (fun _ ->
+          let klen = get_u16 b !off in
+          let k = Bytes.sub_string b (!off + 2) klen in
+          off := !off + 2 + klen;
+          let v =
+            match Bytes.get_uint8 b !off with
+            | 0 ->
+              let vlen = get_u16 b (!off + 1) in
+              let s = Bytes.sub_string b (!off + 3) vlen in
+              off := !off + 3 + vlen;
+              Inline s
+            | 1 ->
+              let first = get_u32 b (!off + 1) in
+              let len = get_u32 b (!off + 5) in
+              off := !off + 9;
+              Big { first; len }
+            | _ -> failwith "Btree: corrupt leaf entry"
+          in
+          (k, v))
+    in
+    Leaf { entries; next }
+  | 2 ->
+    let count = get_u16 b 1 in
+    let leftmost = get_u32 b 3 in
+    let off = ref header in
+    let pairs =
+      List.init count (fun _ ->
+          let klen = get_u16 b !off in
+          let k = Bytes.sub_string b (!off + 2) klen in
+          let child = get_u32 b (!off + 2 + klen) in
+          off := !off + 2 + klen + 4;
+          (k, child))
+    in
+    Node { keys = List.map fst pairs; children = leftmost :: List.map snd pairs }
+  | _ -> failwith "Btree: corrupt page kind"
+
+(* ---- node cache ------------------------------------------------------- *)
+
+let load t id =
+  match Hashtbl.find_opt t.nodes id with
+  | Some n -> n
+  | None ->
+    let n = deserialize (Pager.read t.pager id) in
+    Hashtbl.replace t.nodes id n;
+    n
+
+let touch t id = Hashtbl.replace t.dirty id ()
+
+let alloc_node t node =
+  let id = Pager.alloc t.pager in
+  Hashtbl.replace t.nodes id node;
+  touch t id;
+  id
+
+(* ---- meta ------------------------------------------------------------- *)
+
+let root t = Pager.get_meta t.pager 0
+
+let set_root t id = Pager.set_meta t.pager 0 id
+
+let length t = Pager.get_meta t.pager 1
+
+let set_length t n = Pager.set_meta t.pager 1 n
+
+(* Free list of recycled overflow pages, threaded through their [next]
+   field; meta slot 2 holds the head (0 = empty). *)
+let free_head t = Pager.get_meta t.pager 2
+
+let set_free_head t id = Pager.set_meta t.pager 2 id
+
+let create pager = { pager; nodes = Hashtbl.create 256; dirty = Hashtbl.create 64 }
+
+let open_file path = create (Pager.open_file path)
+
+let in_memory () = create (Pager.in_memory ())
+
+(* ---- overflow values -------------------------------------------------- *)
+
+let overflow_capacity = Pager.page_size - 7
+
+(* Allocate an overflow page, preferring the free list. *)
+let alloc_overflow t =
+  let head = free_head t in
+  if head = 0 then Pager.alloc t.pager
+  else begin
+    let p = Pager.read t.pager head in
+    set_free_head t (get_u32 p 1);
+    head
+  end
+
+(* Return a whole overflow chain to the free list. *)
+let free_chain t first =
+  if first <> 0 then begin
+    let rec last id =
+      let p = Pager.read t.pager id in
+      if Bytes.get_uint8 p 0 <> 3 then failwith "Btree: corrupt overflow chain";
+      let next = get_u32 p 1 in
+      if next = 0 then id else last next
+    in
+    let tail = last first in
+    let p = Bytes.copy (Pager.read t.pager tail) in
+    set_u32 p 1 (free_head t);
+    Pager.write t.pager tail p;
+    set_free_head t first
+  end
+
+let free_value t = function Inline _ -> () | Big { first; _ } -> free_chain t first
+
+let write_big t s =
+  let len = String.length s in
+  let rec chunks off =
+    if off >= len then []
+    else begin
+      let n = min overflow_capacity (len - off) in
+      let id = alloc_overflow t in
+      (id, off, n) :: chunks (off + n)
+    end
+  in
+  let cs = chunks 0 in
+  let rec link = function
+    | [] -> ()
+    | (id, off, n) :: rest ->
+      let b = Bytes.make Pager.page_size '\000' in
+      Bytes.set_uint8 b 0 3;
+      set_u32 b 1 (match rest with (nid, _, _) :: _ -> nid | [] -> 0);
+      set_u16 b 5 n;
+      Bytes.blit_string s off b 7 n;
+      Pager.write t.pager id b;
+      link rest
+  in
+  link cs;
+  match cs with
+  | (first, _, _) :: _ -> Big { first; len }
+  | [] -> Big { first = 0; len = 0 }
+
+let read_value t = function
+  | Inline s -> s
+  | Big { first; len } ->
+    let b = Buffer.create len in
+    let rec go id =
+      if id <> 0 then begin
+        let p = Pager.read t.pager id in
+        if Bytes.get_uint8 p 0 <> 3 then failwith "Btree: corrupt overflow chain";
+        let used = get_u16 p 5 in
+        Buffer.add_subbytes b p 7 used;
+        go (get_u32 p 1)
+      end
+    in
+    go first;
+    if Buffer.length b <> len then failwith "Btree: overflow length mismatch";
+    Buffer.contents b
+
+let make_value t s = if String.length s <= max_inline then Inline s else write_big t s
+
+(* ---- search ----------------------------------------------------------- *)
+
+(* Child index for key [k]: number of separator keys <= k. *)
+let child_index keys k =
+  let rec go i = function
+    | [] -> i
+    | sep :: rest -> if String.compare sep k <= 0 then go (i + 1) rest else i
+  in
+  go 0 keys
+
+let rec find_leaf t id k =
+  match load t id with
+  | Leaf _ -> id
+  | Node n -> find_leaf t (List.nth n.children (child_index n.keys k)) k
+
+let find t key =
+  if root t = 0 then None
+  else
+    let leaf = find_leaf t (root t) key in
+    match load t leaf with
+    | Leaf l -> Option.map (read_value t) (List.assoc_opt key l.entries)
+    | Node _ -> assert false
+
+let mem t key = find t key <> None
+
+(* ---- insert ----------------------------------------------------------- *)
+
+let split_list l =
+  let n = List.length l in
+  let rec go i acc = function
+    | rest when i = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | x :: rest -> go (i - 1) (x :: acc) rest
+  in
+  go (n / 2) [] l
+
+(* Insert into subtree [id]; returns [Some (sep, right_id)] if it split. *)
+let rec insert_at t id key value =
+  match load t id with
+  | Leaf l ->
+    let rec put = function
+      | [] -> ([ (key, value) ], true, None)
+      | (k, v) :: rest ->
+        let c = String.compare key k in
+        if c = 0 then ((key, value) :: rest, false, Some v)
+        else if c < 0 then ((key, value) :: (k, v) :: rest, true, None)
+        else
+          let rest', fresh, old = put rest in
+          ((k, v) :: rest', fresh, old)
+    in
+    let entries, fresh, replaced = put l.entries in
+    (match replaced with Some old -> free_value t old | None -> ());
+    if fresh then set_length t (length t + 1);
+    l.entries <- entries;
+    touch t id;
+    if leaf_size entries <= capacity then None
+    else begin
+      let left, right = split_list entries in
+      let right_id = alloc_node t (Leaf { entries = right; next = l.next }) in
+      l.entries <- left;
+      l.next <- right_id;
+      touch t id;
+      match right with
+      | (sep, _) :: _ -> Some (sep, right_id)
+      | [] -> assert false
+    end
+  | Node n -> (
+    let i = child_index n.keys key in
+    match insert_at t (List.nth n.children i) key value with
+    | None -> None
+    | Some (sep, right_id) ->
+      (* insert sep at position i in keys, right_id at i+1 in children *)
+      let rec ins_key j = function
+        | rest when j = 0 -> sep :: rest
+        | [] -> [ sep ]
+        | k :: rest -> k :: ins_key (j - 1) rest
+      in
+      let rec ins_child j = function
+        | rest when j = 0 -> right_id :: rest
+        | [] -> [ right_id ]
+        | c :: rest -> c :: ins_child (j - 1) rest
+      in
+      n.keys <- ins_key i n.keys;
+      n.children <- ins_child (i + 1) n.children;
+      touch t id;
+      if node_size n.keys <= capacity then None
+      else begin
+        (* split internal node: middle key moves up *)
+        let keys_left, keys_rest = split_list n.keys in
+        match keys_rest with
+        | [] -> assert false
+        | mid :: keys_right ->
+          let nleft = List.length keys_left in
+          let children_left, children_right = split_list_at (nleft + 1) n.children in
+          let right_id =
+            alloc_node t (Node { keys = keys_right; children = children_right })
+          in
+          n.keys <- keys_left;
+          n.children <- children_left;
+          touch t id;
+          Some (mid, right_id)
+      end)
+
+and split_list_at n l =
+  let rec go i acc = function
+    | rest when i = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | x :: rest -> go (i - 1) (x :: acc) rest
+  in
+  go n [] l
+
+let insert t ~key ~value =
+  if String.length key = 0 || String.length key > max_key then
+    invalid_arg "Btree.insert: key must be 1..512 bytes";
+  let v = make_value t value in
+  if root t = 0 then begin
+    let id = alloc_node t (Leaf { entries = [ (key, v) ]; next = 0 }) in
+    set_root t id;
+    set_length t 1
+  end
+  else
+    match insert_at t (root t) key v with
+    | None -> ()
+    | Some (sep, right_id) ->
+      let new_root = alloc_node t (Node { keys = [ sep ]; children = [ root t; right_id ] }) in
+      set_root t new_root
+
+(* ---- delete ----------------------------------------------------------- *)
+
+let delete t key =
+  if root t = 0 then false
+  else begin
+    let leaf_id = find_leaf t (root t) key in
+    match load t leaf_id with
+    | Node _ -> assert false
+    | Leaf l ->
+      let existed = List.mem_assoc key l.entries in
+      if existed then begin
+        (match List.assoc_opt key l.entries with
+        | Some v -> free_value t v
+        | None -> ());
+        l.entries <- List.filter (fun (k, _) -> not (String.equal k key)) l.entries;
+        touch t leaf_id;
+        set_length t (length t - 1)
+      end;
+      existed
+  end
+
+(* ---- iteration -------------------------------------------------------- *)
+
+let iter_from t key f =
+  if root t <> 0 then begin
+    let leaf_id = ref (find_leaf t (root t) key) in
+    let continue = ref true in
+    while !continue && !leaf_id <> 0 do
+      match load t !leaf_id with
+      | Node _ -> assert false
+      | Leaf l ->
+        List.iter
+          (fun (k, v) ->
+            if !continue && String.compare k key >= 0 then
+              if not (f k (read_value t v)) then continue := false)
+          l.entries;
+        leaf_id := l.next
+    done
+  end
+
+let iter t f =
+  iter_from t ""
+    (fun k v ->
+      f k v;
+      true)
+
+let fold_range t ~lo ~hi init f =
+  let acc = ref init in
+  iter_from t lo (fun k v ->
+      if String.compare k hi >= 0 then false
+      else begin
+        acc := f !acc k v;
+        true
+      end);
+  !acc
+
+(* ---- maintenance ------------------------------------------------------ *)
+
+let sync t =
+  Hashtbl.iter (fun id () -> Pager.write t.pager id (serialize (load t id))) t.dirty;
+  Hashtbl.reset t.dirty;
+  Pager.sync t.pager
+
+let close t =
+  sync t;
+  Pager.close t.pager
+
+let check t =
+  if root t <> 0 then begin
+    let counted = ref 0 in
+    (* every key in subtree [id] must lie in [lo, hi) (None = unbounded) *)
+    let in_bounds lo hi k =
+      (match lo with None -> true | Some l -> String.compare l k <= 0)
+      && match hi with None -> true | Some h -> String.compare k h < 0
+    in
+    let rec walk id lo hi =
+      match load t id with
+      | Leaf l ->
+        let rec sorted = function
+          | a :: (b :: _ as rest) ->
+            if String.compare a b >= 0 then failwith "Btree.check: leaf keys out of order";
+            sorted rest
+          | _ -> ()
+        in
+        sorted (List.map fst l.entries);
+        List.iter
+          (fun (k, _) -> if not (in_bounds lo hi k) then failwith "Btree.check: key out of bounds")
+          l.entries;
+        counted := !counted + List.length l.entries
+      | Node n ->
+        if List.length n.children <> List.length n.keys + 1 then
+          failwith "Btree.check: child count mismatch";
+        let rec sorted = function
+          | a :: (b :: _ as rest) ->
+            if String.compare a b >= 0 then failwith "Btree.check: separators out of order";
+            sorted rest
+          | _ -> ()
+        in
+        sorted n.keys;
+        let bounds =
+          (* child i holds keys in [sep_{i-1}, sep_i) *)
+          let seps = List.map Option.some n.keys in
+          let los = lo :: seps and his = seps @ [ hi ] in
+          List.combine los his
+        in
+        List.iter2 (fun child (clo, chi) -> walk child clo chi) n.children bounds
+    in
+    walk (root t) None None;
+    if !counted <> length t then failwith "Btree.check: length mismatch"
+  end
+  else if length t <> 0 then failwith "Btree.check: empty tree with nonzero length"

@@ -1,0 +1,63 @@
+(** Disk-oriented B+tree over {!Pager}: the ordered key/value store that
+    stands in for Berkeley DB in the paper's index layer.
+
+    Keys are byte strings up to 512 bytes, ordered lexicographically.
+    Values up to 256 bytes are stored inline in leaf pages; larger values
+    spill into overflow-page chains. Leaves are chained left-to-right, so
+    range scans are sequential. Deletion removes entries without
+    rebalancing (pages never merge), which preserves all invariants needed
+    for correctness. Overflow pages released by deleting or replacing a
+    large value go to a free list (pager meta slot 2) and are reused by
+    later large values, so repeatedly rewriting big values does not grow
+    the file. *)
+
+type t
+
+(** [create pager] opens the tree stored in [pager] (creating an empty one
+    on a fresh pager). The tree uses pager meta slots 0, 1 and 2. *)
+val create : Pager.t -> t
+
+(** [open_file path] is [create (Pager.open_file path)]. *)
+val open_file : string -> t
+
+(** [in_memory ()] is [create (Pager.in_memory ())]. *)
+val in_memory : unit -> t
+
+(** [insert t ~key ~value] inserts or replaces the binding of [key].
+    @raise Invalid_argument if [key] is empty or longer than 512 bytes. *)
+val insert : t -> key:string -> value:string -> unit
+
+(** [find t key] is the value bound to [key], if any. *)
+val find : t -> string -> string option
+
+(** [mem t key] is [find t key <> None]. *)
+val mem : t -> string -> bool
+
+(** [delete t key] removes the binding of [key]; returns whether a binding
+    existed. *)
+val delete : t -> string -> bool
+
+(** [length t] is the number of live bindings. *)
+val length : t -> int
+
+(** [iter_from t key f] applies [f k v] to every binding with [k >= key],
+    ascending, while [f] returns [true]. *)
+val iter_from : t -> string -> (string -> string -> bool) -> unit
+
+(** [iter t f] applies [f k v] to every binding, ascending. *)
+val iter : t -> (string -> string -> unit) -> unit
+
+(** [fold_range t ~lo ~hi init f] folds [f] over bindings with
+    [lo <= k < hi], ascending. *)
+val fold_range : t -> lo:string -> hi:string -> 'a -> ('a -> string -> string -> 'a) -> 'a
+
+(** [sync t] flushes all cached nodes and pager state. *)
+val sync : t -> unit
+
+(** [close t] syncs and closes the underlying pager. *)
+val close : t -> unit
+
+(** [check t] verifies structural invariants (key order within and across
+    pages, separator consistency, leaf-chain order); used by tests.
+    @raise Failure with a description on violation. *)
+val check : t -> unit

@@ -1,0 +1,77 @@
+type reader = { src : string; mutable off : int }
+
+let reader ?(off = 0) src = { src; off }
+
+let at_end r = r.off >= String.length r.src
+
+let byte r =
+  if r.off >= String.length r.src then failwith "Codec: truncated input";
+  let b = Char.code r.src.[r.off] in
+  r.off <- r.off + 1;
+  b
+
+let write_varint buf n =
+  if n < 0 then invalid_arg "Codec.write_varint: negative";
+  let rec go n =
+    if n < 0x80 then Buffer.add_char buf (Char.chr n)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7f)));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+let read_varint r =
+  let rec go shift acc =
+    let b = byte r in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let write_int buf n =
+  (* zig-zag *)
+  let z = (n lsl 1) lxor (n asr (Sys.int_size - 1)) in
+  write_varint buf (z land max_int)
+
+let read_int r =
+  let z = read_varint r in
+  (z lsr 1) lxor (-(z land 1))
+
+let write_string buf s =
+  write_varint buf (String.length s);
+  Buffer.add_string buf s
+
+let read_string r =
+  let n = read_varint r in
+  if r.off + n > String.length r.src then failwith "Codec: truncated string";
+  let s = String.sub r.src r.off n in
+  r.off <- r.off + n;
+  s
+
+let write_int_array buf a =
+  write_varint buf (Array.length a);
+  Array.iter (write_int buf) a
+
+let read_int_array r =
+  let n = read_varint r in
+  Array.init n (fun _ -> read_int r)
+
+let write_list f buf l =
+  write_varint buf (List.length l);
+  List.iter (f buf) l
+
+let read_list f r =
+  let n = read_varint r in
+  List.init n (fun _ -> f r)
+
+let encode f v =
+  let buf = Buffer.create 64 in
+  f buf v;
+  Buffer.contents buf
+
+let decode f s =
+  let r = reader s in
+  let v = f r in
+  if not (at_end r) then failwith "Codec: trailing bytes";
+  v

@@ -1,0 +1,41 @@
+(** Binary codecs for index persistence: little-endian varints and
+    length-prefixed composites over [Buffer]/[string]. *)
+
+type reader = { src : string; mutable off : int }
+
+val reader : ?off:int -> string -> reader
+
+(** [at_end r] is true when the reader has consumed all bytes. *)
+val at_end : reader -> bool
+
+(** Unsigned LEB128 varint. *)
+val write_varint : Buffer.t -> int -> unit
+
+val read_varint : reader -> int
+
+(** Signed integers via zig-zag + varint. *)
+val write_int : Buffer.t -> int -> unit
+
+val read_int : reader -> int
+
+(** Length-prefixed string. *)
+val write_string : Buffer.t -> string -> unit
+
+val read_string : reader -> string
+
+(** Length-prefixed int array (e.g. a Dewey label). *)
+val write_int_array : Buffer.t -> int array -> unit
+
+val read_int_array : reader -> int array
+
+(** Length-prefixed list with an element codec. *)
+val write_list : (Buffer.t -> 'a -> unit) -> Buffer.t -> 'a list -> unit
+
+val read_list : (reader -> 'a) -> reader -> 'a list
+
+(** [encode f v] runs a writer into a fresh string. *)
+val encode : (Buffer.t -> 'a -> unit) -> 'a -> string
+
+(** [decode f s] reads a value from a full string.
+    @raise Failure if bytes remain or the string is truncated. *)
+val decode : (reader -> 'a) -> string -> 'a

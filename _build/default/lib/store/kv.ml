@@ -1,0 +1,59 @@
+module Smap = Map.Make (String)
+
+type t = {
+  insert : key:string -> value:string -> unit;
+  find : string -> string option;
+  delete : string -> bool;
+  iter_from : string -> (string -> string -> bool) -> unit;
+  length : unit -> int;
+  sync : unit -> unit;
+  close : unit -> unit;
+}
+
+let memory () =
+  let m = ref Smap.empty in
+  {
+    insert = (fun ~key ~value -> m := Smap.add key value !m);
+    find = (fun key -> Smap.find_opt key !m);
+    delete =
+      (fun key ->
+        let existed = Smap.mem key !m in
+        m := Smap.remove key !m;
+        existed);
+    iter_from =
+      (fun key f ->
+        let exception Stop in
+        try
+          Smap.iter
+            (fun k v -> if String.compare k key >= 0 && not (f k v) then raise Stop)
+            !m
+        with Stop -> ());
+    length = (fun () -> Smap.cardinal !m);
+    sync = (fun () -> ());
+    close = (fun () -> ());
+  }
+
+let of_btree b =
+  {
+    insert = (fun ~key ~value -> Btree.insert b ~key ~value);
+    find = (fun key -> Btree.find b key);
+    delete = (fun key -> Btree.delete b key);
+    iter_from = (fun key f -> Btree.iter_from b key f);
+    length = (fun () -> Btree.length b);
+    sync = (fun () -> Btree.sync b);
+    close = (fun () -> Btree.close b);
+  }
+
+let btree_file path = of_btree (Btree.open_file path)
+
+let fold_prefix t prefix init f =
+  let acc = ref init in
+  t.iter_from prefix (fun k v ->
+      if String.length k >= String.length prefix
+         && String.equal (String.sub k 0 (String.length prefix)) prefix
+      then begin
+        acc := f !acc k v;
+        true
+      end
+      else false);
+  !acc

@@ -1,0 +1,28 @@
+(** Ordered key/value store abstraction.
+
+    Index persistence is written against this interface so that the
+    backing store is pluggable: [memory ()] for tests and ephemeral runs,
+    [btree ...] for the durable Berkeley-DB-like backend. *)
+
+type t = {
+  insert : key:string -> value:string -> unit;
+  find : string -> string option;
+  delete : string -> bool;
+  iter_from : string -> (string -> string -> bool) -> unit;
+  length : unit -> int;
+  sync : unit -> unit;
+  close : unit -> unit;
+}
+
+(** [memory ()] is a fresh in-memory store (backed by a [Map]). *)
+val memory : unit -> t
+
+(** [of_btree b] wraps a {!Btree.t}. *)
+val of_btree : Btree.t -> t
+
+(** [btree_file path] opens a file-backed store at [path]. *)
+val btree_file : string -> t
+
+(** [fold_prefix t prefix init f] folds over all bindings whose key starts
+    with [prefix], ascending. *)
+val fold_prefix : t -> string -> 'a -> ('a -> string -> string -> 'a) -> 'a

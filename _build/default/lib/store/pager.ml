@@ -1,0 +1,153 @@
+let page_size = 4096
+
+let magic = "XRSTORE1"
+
+let header_ints = 9 (* page count + 8 meta slots *)
+
+type backend =
+  | Memory
+  | File of Unix.file_descr
+
+type t = {
+  backend : backend;
+  cache : (int, bytes) Hashtbl.t;
+  dirty : (int, unit) Hashtbl.t;
+  mutable count : int; (* allocated data pages *)
+  meta : int array;
+  mutable header_dirty : bool;
+  mutable closed : bool;
+}
+
+let in_memory () =
+  {
+    backend = Memory;
+    cache = Hashtbl.create 256;
+    dirty = Hashtbl.create 64;
+    count = 0;
+    meta = Array.make 8 0;
+    header_dirty = false;
+    closed = false;
+  }
+
+let write_header t =
+  match t.backend with
+  | Memory -> ()
+  | File fd ->
+    let b = Bytes.make page_size '\000' in
+    Bytes.blit_string magic 0 b 0 (String.length magic);
+    Bytes.set_int64_le b 8 (Int64.of_int t.count);
+    for i = 0 to 7 do
+      Bytes.set_int64_le b (16 + (8 * i)) (Int64.of_int t.meta.(i))
+    done;
+    ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+    let n = Unix.write fd b 0 page_size in
+    if n <> page_size then failwith "Pager: short header write";
+    t.header_dirty <- false
+
+let read_page_from_file fd id =
+  let b = Bytes.create page_size in
+  ignore (Unix.lseek fd (id * page_size) Unix.SEEK_SET);
+  let rec fill off =
+    if off < page_size then begin
+      let n = Unix.read fd b off (page_size - off) in
+      if n = 0 then failwith "Pager: short read";
+      fill (off + n)
+    end
+  in
+  fill 0;
+  b
+
+let open_file path =
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  let size = (Unix.fstat fd).Unix.st_size in
+  let t =
+    {
+      backend = File fd;
+      cache = Hashtbl.create 256;
+      dirty = Hashtbl.create 64;
+      count = 0;
+      meta = Array.make 8 0;
+      header_dirty = true;
+      closed = false;
+    }
+  in
+  if size = 0 then write_header t
+  else begin
+    let h = read_page_from_file fd 0 in
+    if Bytes.sub_string h 0 (String.length magic) <> magic then
+      failwith (path ^ ": not a pager file");
+    t.count <- Int64.to_int (Bytes.get_int64_le h 8);
+    for i = 0 to 7 do
+      t.meta.(i) <- Int64.to_int (Bytes.get_int64_le h (16 + (8 * i)))
+    done;
+    t.header_dirty <- false;
+    ignore header_ints
+  end;
+  t
+
+let check_open t = if t.closed then invalid_arg "Pager: closed"
+
+let alloc t =
+  check_open t;
+  t.count <- t.count + 1;
+  let id = t.count in
+  Hashtbl.replace t.cache id (Bytes.make page_size '\000');
+  Hashtbl.replace t.dirty id ();
+  t.header_dirty <- true;
+  id
+
+let read t id =
+  check_open t;
+  if id < 1 || id > t.count then invalid_arg "Pager.read: unallocated page";
+  match Hashtbl.find_opt t.cache id with
+  | Some b -> b
+  | None -> (
+    match t.backend with
+    | Memory -> invalid_arg "Pager.read: unallocated page"
+    | File fd ->
+      let b = read_page_from_file fd id in
+      Hashtbl.replace t.cache id b;
+      b)
+
+let write t id page =
+  check_open t;
+  if id < 1 || id > t.count then invalid_arg "Pager.write: unallocated page";
+  if Bytes.length page <> page_size then invalid_arg "Pager.write: wrong size";
+  Hashtbl.replace t.cache id page;
+  Hashtbl.replace t.dirty id ()
+
+let page_count t = t.count
+
+let get_meta t slot =
+  if slot < 0 || slot > 7 then invalid_arg "Pager.get_meta: slot";
+  t.meta.(slot)
+
+let set_meta t slot v =
+  if slot < 0 || slot > 7 then invalid_arg "Pager.set_meta: slot";
+  if v < 0 then invalid_arg "Pager.set_meta: negative";
+  t.meta.(slot) <- v;
+  t.header_dirty <- true
+
+let sync t =
+  check_open t;
+  match t.backend with
+  | Memory -> Hashtbl.reset t.dirty
+  | File fd ->
+    Hashtbl.iter
+      (fun id () ->
+        match Hashtbl.find_opt t.cache id with
+        | None -> ()
+        | Some b ->
+          ignore (Unix.lseek fd (id * page_size) Unix.SEEK_SET);
+          let n = Unix.write fd b 0 page_size in
+          if n <> page_size then failwith "Pager: short write")
+      t.dirty;
+    Hashtbl.reset t.dirty;
+    if t.header_dirty then write_header t
+
+let close t =
+  if not t.closed then begin
+    sync t;
+    (match t.backend with Memory -> () | File fd -> Unix.close fd);
+    t.closed <- true
+  end

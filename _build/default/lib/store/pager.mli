@@ -1,0 +1,46 @@
+(** Fixed-size page storage, the layer under {!Btree}.
+
+    Two backends share one interface: an anonymous in-memory backend and a
+    file backend (write-through, whole-file page cache). Page 0 is a
+    header page owned by the pager itself; it persists a magic number, the
+    allocation count and eight user metadata slots (the B+tree keeps its
+    root pointer there). *)
+
+type t
+
+val page_size : int
+(** 4096 bytes. *)
+
+(** [in_memory ()] is a fresh anonymous pager. *)
+val in_memory : unit -> t
+
+(** [open_file path] opens (or creates) a pager file.
+    @raise Failure if [path] exists but is not a pager file. *)
+val open_file : string -> t
+
+(** [alloc t] allocates a fresh zeroed page and returns its id (≥ 1). *)
+val alloc : t -> int
+
+(** [read t id] is the current contents of page [id] (do not mutate).
+    @raise Invalid_argument on an unallocated id. *)
+val read : t -> int -> bytes
+
+(** [write t id page] replaces page [id]. [page] must be exactly
+    [page_size] bytes; the pager takes ownership of it. *)
+val write : t -> int -> bytes -> unit
+
+(** [page_count t] is the number of allocated pages (header excluded). *)
+val page_count : t -> int
+
+(** [get_meta t slot] / [set_meta t slot v]: eight persistent user slots
+    ([0..7]) of non-negative ints. *)
+val get_meta : t -> int -> int
+
+val set_meta : t -> int -> int -> unit
+
+(** [sync t] flushes dirty pages and the header to disk (no-op in
+    memory). *)
+val sync : t -> unit
+
+(** [close t] syncs and releases the backing file. *)
+val close : t -> unit

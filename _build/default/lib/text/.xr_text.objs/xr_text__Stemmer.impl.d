@@ -1,0 +1,1 @@
+lib/text/stemmer.ml: Bytes List String

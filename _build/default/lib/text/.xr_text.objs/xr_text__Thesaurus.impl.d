@@ -1,0 +1,1 @@
+lib/text/thesaurus.ml: Hashtbl List Printf String Token Xr_xml

@@ -1,0 +1,1 @@
+lib/text/trie.ml: Buffer Char Hashtbl Int List String Token Xr_xml

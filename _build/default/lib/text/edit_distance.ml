@@ -1,0 +1,56 @@
+let distance a b =
+  let la = String.length a and lb = String.length b in
+  if la = 0 then lb
+  else if lb = 0 then la
+  else begin
+    let prev = Array.init (lb + 1) (fun j -> j) in
+    let cur = Array.make (lb + 1) 0 in
+    for i = 1 to la do
+      cur.(0) <- i;
+      for j = 1 to lb do
+        let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+        cur.(j) <- min (min (cur.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+      done;
+      Array.blit cur 0 prev 0 (lb + 1)
+    done;
+    prev.(lb)
+  end
+
+let within ~limit a b =
+  let la = String.length a and lb = String.length b in
+  if abs (la - lb) > limit then None
+  else if la = 0 || lb = 0 then if max la lb <= limit then Some (max la lb) else None
+  else begin
+    (* banded DP: cells farther than [limit] off the diagonal can never
+       come back under the limit *)
+    let inf = limit + 1 in
+    let prev = Array.make (lb + 1) inf in
+    let cur = Array.make (lb + 1) inf in
+    for j = 0 to min lb limit do
+      prev.(j) <- j
+    done;
+    let exceeded = ref false in
+    let i = ref 1 in
+    while (not !exceeded) && !i <= la do
+      let lo = max 1 (!i - limit) and hi = min lb (!i + limit) in
+      Array.fill cur 0 (lb + 1) inf;
+      if !i - limit <= 0 then cur.(0) <- !i;
+      let row_min = ref inf in
+      for j = lo to hi do
+        let cost = if a.[!i - 1] = b.[j - 1] then 0 else 1 in
+        let v = min (min (cur.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost) in
+        let v = min v inf in
+        cur.(j) <- v;
+        if v < !row_min then row_min := v
+      done;
+      if !i - limit <= 0 && cur.(0) < !row_min then row_min := cur.(0);
+      if !row_min > limit then exceeded := true;
+      Array.blit cur 0 prev 0 (lb + 1);
+      incr i
+    done;
+    if !exceeded || prev.(lb) > limit then None else Some prev.(lb)
+  end
+
+let similarity a b =
+  let m = max (String.length a) (String.length b) in
+  if m = 0 then 1. else 1. -. (float_of_int (distance a b) /. float_of_int m)

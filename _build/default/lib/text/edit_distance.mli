@@ -1,0 +1,15 @@
+(** Levenshtein edit distance, the morphological dissimilarity metric for
+    spelling-correction rules (Section III-B). *)
+
+(** [distance a b] is the minimum number of single-character insertions,
+    deletions and substitutions turning [a] into [b]. *)
+val distance : string -> string -> int
+
+(** [within ~limit a b] is [Some (distance a b)] when that distance is
+    [<= limit], [None] otherwise — computed with a banded DP that stops
+    early, so probing a large vocabulary is cheap. *)
+val within : limit:int -> string -> string -> int option
+
+(** [similarity a b] is [1 - distance/(max length)], in [0,1]; [1.] for
+    equal strings. *)
+val similarity : string -> string -> float

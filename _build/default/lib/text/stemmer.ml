@@ -1,0 +1,192 @@
+(* A faithful port of Porter's 1980 algorithm. [b] holds the word being
+   stemmed; [k] is the index of its current last letter; [j] marks the
+   stem end while a suffix match is under consideration. *)
+
+type state = { mutable b : Bytes.t; mutable k : int; mutable j : int }
+
+let rec is_cons s i =
+  match Bytes.get s.b i with
+  | 'a' | 'e' | 'i' | 'o' | 'u' -> false
+  | 'y' -> if i = 0 then true else not (is_cons s (i - 1))
+  | _ -> true
+
+(* Number of VC sequences in [0..j]. *)
+let measure s =
+  let n = ref 0 and i = ref 0 in
+  let break = ref false in
+  (* skip initial consonants *)
+  while not !break do
+    if !i > s.j then break := true
+    else if not (is_cons s !i) then break := true
+    else incr i
+  done;
+  if !i <= s.j then begin
+    let continue = ref true in
+    while !continue do
+      (* skip vowels *)
+      let b1 = ref false in
+      while not !b1 do
+        if !i > s.j then b1 := true
+        else if is_cons s !i then b1 := true
+        else incr i
+      done;
+      if !i > s.j then continue := false
+      else begin
+        incr n;
+        (* skip consonants *)
+        let b2 = ref false in
+        while not !b2 do
+          if !i > s.j then b2 := true
+          else if not (is_cons s !i) then b2 := true
+          else incr i
+        done;
+        if !i > s.j then continue := false
+      end
+    done
+  end;
+  !n
+
+let vowel_in_stem s =
+  let rec go i = i <= s.j && (not (is_cons s i) || go (i + 1)) in
+  go 0
+
+let double_cons s i = i >= 1 && Bytes.get s.b i = Bytes.get s.b (i - 1) && is_cons s i
+
+(* consonant-vowel-consonant ending at [i], last consonant not w, x or y *)
+let cvc s i =
+  if i < 2 || (not (is_cons s i)) || is_cons s (i - 1) || not (is_cons s (i - 2)) then false
+  else
+    match Bytes.get s.b i with
+    | 'w' | 'x' | 'y' -> false
+    | _ -> true
+
+(* Does [0..k] end with [suffix]? Sets [j] to the stem end if so. *)
+let ends s suffix =
+  let l = String.length suffix in
+  if l > s.k + 1 then false
+  else if Bytes.sub_string s.b (s.k - l + 1) l <> suffix then false
+  else begin
+    s.j <- s.k - l;
+    true
+  end
+
+(* Replace the suffix [j+1..k] by [rep]. *)
+let set_to s rep =
+  let l = String.length rep in
+  Bytes.blit_string rep 0 s.b (s.j + 1) l;
+  s.k <- s.j + l
+
+let replace_if_m_positive s rep = if measure s > 0 then set_to s rep
+
+(* step 1a: plurals *)
+let step1a s =
+  if Bytes.get s.b s.k = 's' then begin
+    if ends s "sses" then s.k <- s.k - 2
+    else if ends s "ies" then set_to s "i"
+    else if Bytes.get s.b (s.k - 1) <> 's' then s.k <- s.k - 1
+  end
+
+(* step 1b: -ed, -ing *)
+let step1b s =
+  let continue_1b = ref false in
+  if ends s "eed" then begin
+    if measure s > 0 then s.k <- s.k - 1
+  end
+  else if ends s "ed" then begin
+    if vowel_in_stem s then begin
+      s.k <- s.j;
+      continue_1b := true
+    end
+  end
+  else if ends s "ing" then
+    if vowel_in_stem s then begin
+      s.k <- s.j;
+      continue_1b := true
+    end;
+  if !continue_1b then begin
+    if ends s "at" then set_to s "ate"
+    else if ends s "bl" then set_to s "ble"
+    else if ends s "iz" then set_to s "ize"
+    else if double_cons s s.k then begin
+      match Bytes.get s.b s.k with
+      | 'l' | 's' | 'z' -> ()
+      | _ -> s.k <- s.k - 1
+    end
+    else begin
+      s.j <- s.k;
+      if measure s = 1 && cvc s s.k then set_to s "e"
+    end
+  end
+
+(* step 1c: -y -> -i when the stem has a vowel *)
+let step1c s =
+  if ends s "y" && vowel_in_stem s then Bytes.set s.b s.k 'i'
+
+let pairs2 =
+  [
+    ("ational", "ate"); ("tional", "tion"); ("enci", "ence"); ("anci", "ance");
+    ("izer", "ize"); ("abli", "able"); ("alli", "al"); ("entli", "ent");
+    ("eli", "e"); ("ousli", "ous"); ("ization", "ize"); ("ation", "ate");
+    ("ator", "ate"); ("alism", "al"); ("iveness", "ive"); ("fulness", "ful");
+    ("ousness", "ous"); ("aliti", "al"); ("iviti", "ive"); ("biliti", "ble");
+  ]
+
+let pairs3 =
+  [
+    ("icate", "ic"); ("ative", ""); ("alize", "al"); ("iciti", "ic");
+    ("ical", "ic"); ("ful", ""); ("ness", "");
+  ]
+
+let apply_pairs s pairs =
+  match List.find_opt (fun (suf, _) -> ends s suf) pairs with
+  | Some (_, rep) -> replace_if_m_positive s rep
+  | None -> ()
+
+let step2 s = apply_pairs s pairs2
+
+let step3 s = apply_pairs s pairs3
+
+let suffixes4 =
+  [
+    "al"; "ance"; "ence"; "er"; "ic"; "able"; "ible"; "ant"; "ement"; "ment";
+    "ent"; "ou"; "ism"; "ate"; "iti"; "ous"; "ive"; "ize";
+  ]
+
+(* step 4: drop the suffix when m(stem) > 1 *)
+let step4 s =
+  let matched =
+    if ends s "ion" then
+      s.j >= 0 && (Bytes.get s.b s.j = 's' || Bytes.get s.b s.j = 't')
+    else List.exists (fun suf -> ends s suf) suffixes4
+  in
+  if matched && measure s > 1 then s.k <- s.j
+
+(* step 5a: drop trailing -e *)
+let step5a s =
+  s.j <- s.k;
+  if Bytes.get s.b s.k = 'e' then begin
+    let m = measure s in
+    if m > 1 || (m = 1 && not (cvc s (s.k - 1))) then s.k <- s.k - 1
+  end
+
+(* step 5b: -ll -> -l when m > 1 *)
+let step5b s =
+  s.j <- s.k;
+  if Bytes.get s.b s.k = 'l' && double_cons s s.k && measure s > 1 then s.k <- s.k - 1
+
+let stem w =
+  if String.length w <= 2 then w
+  else begin
+    let s = { b = Bytes.of_string w; k = String.length w - 1; j = 0 } in
+    step1a s;
+    step1b s;
+    step1c s;
+    step2 s;
+    step3 s;
+    step4 s;
+    step5a s;
+    step5b s;
+    Bytes.sub_string s.b 0 (s.k + 1)
+  end
+
+let same_stem a b = (not (String.equal a b)) && String.equal (stem a) (stem b)

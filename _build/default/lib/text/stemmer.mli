@@ -1,0 +1,11 @@
+(** Porter stemmer (M.F. Porter, 1980), used to derive word-stemming
+    substitution rules (e.g. [match <-> matching], the paper's QX4). *)
+
+(** [stem w] is the Porter stem of the lowercase word [w]. Words of
+    length <= 2 are returned unchanged. *)
+val stem : string -> string
+
+(** [same_stem a b] is true iff [a] and [b] reduce to the same stem but
+    are different words — the condition under which a stemming
+    substitution rule applies. *)
+val same_stem : string -> string -> bool

@@ -1,0 +1,141 @@
+open Xr_xml
+
+type t = {
+  syn : (string, (string * int) list) Hashtbl.t;
+  acro : (string, string list) Hashtbl.t;
+  acro_rev : (string, string) Hashtbl.t; (* joined expansion -> acronym *)
+}
+
+let empty () = { syn = Hashtbl.create 64; acro = Hashtbl.create 16; acro_rev = Hashtbl.create 16 }
+
+let add_syn_link t a b ds =
+  let l = try Hashtbl.find t.syn a with Not_found -> [] in
+  if not (List.mem_assoc b l) then Hashtbl.replace t.syn a ((b, ds) :: l)
+
+let add_synonyms t ~ds words =
+  let words = List.map Token.normalize words in
+  List.iter
+    (fun a -> List.iter (fun b -> if not (String.equal a b) then add_syn_link t a b ds) words)
+    words
+
+let add_acronym t ~acronym ~expansion =
+  let acronym = Token.normalize acronym in
+  let expansion = List.map Token.normalize expansion in
+  Hashtbl.replace t.acro acronym expansion;
+  Hashtbl.replace t.acro_rev (String.concat " " expansion) acronym
+
+let synonyms t w = try Hashtbl.find t.syn (Token.normalize w) with Not_found -> []
+
+let expansion t w = Hashtbl.find_opt t.acro (Token.normalize w)
+
+let acronym_of t words =
+  Hashtbl.find_opt t.acro_rev (String.concat " " (List.map Token.normalize words))
+
+let acronyms t = Hashtbl.fold (fun a e acc -> (a, e) :: acc) t.acro []
+
+let size t = Hashtbl.length t.syn + Hashtbl.length t.acro
+
+let parse content =
+  let t = empty () in
+  let lines = String.split_on_char '\n' content in
+  let rec go n = function
+    | [] -> Ok t
+    | line :: rest -> (
+      let line =
+        match String.index_opt line '#' with
+        | Some i -> String.sub line 0 i
+        | None -> line
+      in
+      let line = String.trim line in
+      if line = "" then go (n + 1) rest
+      else begin
+        let words s =
+          String.split_on_char ' ' s |> List.map String.trim
+          |> List.filter (fun w -> w <> "")
+        in
+        let starts p = String.length line > String.length p
+                       && String.sub line 0 (String.length p) = p in
+        if starts "syn:" then begin
+          let body = String.sub line 4 (String.length line - 4) in
+          let group, ds =
+            match String.index_opt body ':' with
+            | Some i -> (
+              let d = String.trim (String.sub body (i + 1) (String.length body - i - 1)) in
+              match int_of_string_opt d with
+              | Some v when v >= 1 -> (String.sub body 0 i, v)
+              | _ -> (body, -1))
+            | None -> (body, 1)
+          in
+          if ds < 0 then Error (Printf.sprintf "line %d: bad dissimilarity" n)
+          else begin
+            match words group with
+            | _ :: _ :: _ as ws ->
+              add_synonyms t ~ds ws;
+              go (n + 1) rest
+            | _ -> Error (Printf.sprintf "line %d: a synonym group needs two words" n)
+          end
+        end
+        else if starts "acr:" then begin
+          let body = String.sub line 4 (String.length line - 4) in
+          match String.index_opt body '=' with
+          | Some i -> (
+            let acro = String.trim (String.sub body 0 i) in
+            let expansion = words (String.sub body (i + 1) (String.length body - i - 1)) in
+            match (words acro, expansion) with
+            | [ a ], _ :: _ ->
+              add_acronym t ~acronym:a ~expansion;
+              go (n + 1) rest
+            | _ -> Error (Printf.sprintf "line %d: expected 'acr: word = expansion words'" n))
+          | None -> Error (Printf.sprintf "line %d: expected '=' in acronym entry" n)
+        end
+        else Error (Printf.sprintf "line %d: expected 'syn:' or 'acr:'" n)
+      end)
+  in
+  go 1 lines
+
+let load path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let content = really_input_string ic n in
+  close_in ic;
+  match parse content with Ok t -> t | Error msg -> failwith (path ^ ": " ^ msg)
+
+let merge a b =
+  Hashtbl.iter
+    (fun w links -> List.iter (fun (s, ds) -> add_syn_link a w s ds) links)
+    b.syn;
+  Hashtbl.iter (fun acro expansion -> add_acronym a ~acronym:acro ~expansion) b.acro
+
+let default () =
+  let t = empty () in
+  (* Bibliographic node-type vocabulary (the paper's running example:
+     publication ~ proceedings ~ article ~ inproceedings). *)
+  add_synonyms t ~ds:1 [ "publication"; "article"; "inproceedings"; "proceedings"; "paper" ];
+  add_synonyms t ~ds:1 [ "author"; "writer" ];
+  add_synonyms t ~ds:1 [ "booktitle"; "venue" ];
+  add_synonyms t ~ds:1 [ "journal"; "periodical" ];
+  add_synonyms t ~ds:1 [ "year"; "date" ];
+  (* Domain terms. *)
+  add_synonyms t ~ds:1 [ "database"; "databases"; "db" ];
+  add_synonyms t ~ds:1 [ "query"; "queries" ];
+  add_synonyms t ~ds:1 [ "keyword"; "keywords" ];
+  add_synonyms t ~ds:1 [ "search"; "retrieval" ];
+  add_synonyms t ~ds:1 [ "index"; "indexing" ];
+  add_synonyms t ~ds:1 [ "graph"; "network" ];
+  add_synonyms t ~ds:1 [ "learning"; "training" ];
+  add_synonyms t ~ds:1 [ "efficient"; "fast" ];
+  add_synonyms t ~ds:1 [ "parallel"; "concurrent" ];
+  (* Baseball vocabulary. *)
+  add_synonyms t ~ds:1 [ "player"; "athlete" ];
+  add_synonyms t ~ds:1 [ "team"; "club" ];
+  add_synonyms t ~ds:1 [ "pitcher"; "hurler" ];
+  (* Acronyms (Table II row 6 style). *)
+  add_acronym t ~acronym:"www" ~expansion:[ "world"; "wide"; "web" ];
+  add_acronym t ~acronym:"xml" ~expansion:[ "extensible"; "markup"; "language" ];
+  add_acronym t ~acronym:"ir" ~expansion:[ "information"; "retrieval" ];
+  add_acronym t ~acronym:"ml" ~expansion:[ "machine"; "learning" ];
+  add_acronym t ~acronym:"dbms" ~expansion:[ "database"; "management"; "system" ];
+  add_acronym t ~acronym:"olap" ~expansion:[ "online"; "analytical"; "processing" ];
+  add_acronym t ~acronym:"oltp" ~expansion:[ "online"; "transaction"; "processing" ];
+  add_acronym t ~acronym:"nlp" ~expansion:[ "natural"; "language"; "processing" ];
+  t

@@ -1,0 +1,60 @@
+(** Embedded thesaurus: the WordNet substitute that supplies synonym and
+    acronym substitution rules (Table II rows 3 and 6).
+
+    A thesaurus maps words to synonym sets with a dissimilarity score (the
+    paper takes the score from WordNet; here each group carries one) and
+    acronyms to their multi-word expansions. The [default] instance covers
+    the computer-science / bibliography domain the paper's workloads come
+    from; more entries can be layered on top for custom corpora. *)
+
+type t
+
+(** [empty ()] has no entries. *)
+val empty : unit -> t
+
+(** [default ()] is the built-in CS/bibliography thesaurus. *)
+val default : unit -> t
+
+(** [add_synonyms t ~ds words] declares all of [words] pairwise synonymous
+    at dissimilarity [ds] (words are normalized first). *)
+val add_synonyms : t -> ds:int -> string list -> unit
+
+(** [add_acronym t ~acronym ~expansion] declares e.g.
+    [~acronym:"www" ~expansion:["world"; "wide"; "web"]]. *)
+val add_acronym : t -> acronym:string -> expansion:string list -> unit
+
+(** [synonyms t w] is every synonym of [w] (excluding [w] itself) with its
+    dissimilarity score. *)
+val synonyms : t -> string -> (string * int) list
+
+(** [expansion t w] is the expansion of acronym [w], if declared. *)
+val expansion : t -> string -> string list option
+
+(** [acronym_of t words] is the acronym whose expansion is [words], if
+    declared (the reverse of {!expansion}). *)
+val acronym_of : t -> string list -> string option
+
+(** [acronyms t] lists all [(acronym, expansion)] pairs. *)
+val acronyms : t -> (string * string list) list
+
+(** [size t] is the number of synonym links plus acronym entries. *)
+val size : t -> int
+
+(** Plain-text thesaurus files, one entry per line:
+    {v
+    # synonym group, optional dissimilarity (default 1)
+    syn: publication article inproceedings proceedings
+    syn: fast quick speedy : 2
+    # acronym and its expansion
+    acr: www = world wide web
+    v} *)
+
+(** [parse content] builds a thesaurus from a file's content.
+    Returns [Error msg] (with a line number) on the first bad line. *)
+val parse : string -> (t, string) result
+
+(** [load path] parses a file. @raise Failure on malformed content. *)
+val load : string -> t
+
+(** [merge a b] layers [b]'s entries on top of [a] (in place on [a]). *)
+val merge : t -> t -> unit

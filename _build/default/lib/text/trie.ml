@@ -1,0 +1,86 @@
+open Xr_xml
+
+type node = {
+  children : (char, node) Hashtbl.t;
+  mutable weight : int option; (* Some w iff a word ends here *)
+}
+
+type t = { root : node; mutable count : int }
+
+let make_node () = { children = Hashtbl.create 4; weight = None }
+
+let empty () = { root = make_node (); count = 0 }
+
+let add t word weight =
+  let word = Token.normalize word in
+  if String.length word > 0 then begin
+    let rec go node i =
+      if i = String.length word then begin
+        if node.weight = None then t.count <- t.count + 1;
+        node.weight <- Some weight
+      end
+      else begin
+        let c = word.[i] in
+        let child =
+          match Hashtbl.find_opt node.children c with
+          | Some n -> n
+          | None ->
+            let n = make_node () in
+            Hashtbl.add node.children c n;
+            n
+        in
+        go child (i + 1)
+      end
+    in
+    go t.root 0
+  end
+
+let of_vocabulary pairs =
+  let t = empty () in
+  List.iter (fun (w, weight) -> add t w weight) pairs;
+  t
+
+let find_node t prefix =
+  let rec go node i =
+    if i = String.length prefix then Some node
+    else
+      match Hashtbl.find_opt node.children prefix.[i] with
+      | Some child -> go child (i + 1)
+      | None -> None
+  in
+  go t.root 0
+
+let mem t word =
+  match find_node t (Token.normalize word) with
+  | Some node -> node.weight <> None
+  | None -> false
+
+let size t = t.count
+
+let complete t ?(limit = 10) prefix =
+  let prefix = Token.normalize prefix in
+  match find_node t prefix with
+  | None -> []
+  | Some start ->
+    let acc = ref [] in
+    let buf = Buffer.create 16 in
+    Buffer.add_string buf prefix;
+    let rec walk node =
+      (match node.weight with
+      | Some w -> acc := (Buffer.contents buf, w) :: !acc
+      | None -> ());
+      (* deterministic traversal: sorted children *)
+      let keys = Hashtbl.fold (fun c _ l -> c :: l) node.children [] in
+      List.iter
+        (fun c ->
+          Buffer.add_char buf c;
+          walk (Hashtbl.find node.children c);
+          Buffer.truncate buf (Buffer.length buf - 1))
+        (List.sort Char.compare keys)
+    in
+    walk start;
+    List.sort
+      (fun (w1, n1) (w2, n2) ->
+        match Int.compare n2 n1 with 0 -> String.compare w1 w2 | c -> c)
+      !acc
+    |> List.filteri (fun i _ -> i < limit)

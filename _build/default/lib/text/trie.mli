@@ -1,0 +1,27 @@
+(** Weighted prefix trie over the document vocabulary: query
+    auto-completion ("dat" → data, database, ...) ordered by how often a
+    completion occurs in the corpus — the front-of-house counterpart to
+    refinement (fix the query before it is even submitted). *)
+
+type t
+
+val empty : unit -> t
+
+(** [add t word weight] registers (or re-weights) a word. Words are
+    normalized; empty words are ignored. *)
+val add : t -> string -> int -> unit
+
+(** [of_vocabulary pairs] bulk-builds from [(word, weight)] pairs —
+    typically the vocabulary with posting-list lengths as weights. *)
+val of_vocabulary : (string * int) list -> t
+
+(** [complete t ?limit prefix] is the completions of [prefix] (itself
+    included if it is a word), heaviest first, ties alphabetical;
+    at most [limit] (default 10). *)
+val complete : t -> ?limit:int -> string -> (string * int) list
+
+(** [mem t word] is true iff [word] was added. *)
+val mem : t -> string -> bool
+
+(** [size t] is the number of distinct words. *)
+val size : t -> int

@@ -1,0 +1,1 @@
+lib/xml/doc.ml: Array Dewey Hashtbl Int Interner List Option Parser Path Printf Token Tree

@@ -1,0 +1,1 @@
+lib/xml/interner.ml: Array Hashtbl

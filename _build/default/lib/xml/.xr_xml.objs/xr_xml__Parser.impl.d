@@ -1,0 +1,1 @@
+lib/xml/parser.ml: Lexer List Printf String Tree

@@ -1,0 +1,1 @@
+lib/xml/path.ml: Array Hashtbl Interner List String

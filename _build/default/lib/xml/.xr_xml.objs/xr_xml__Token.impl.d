@@ -1,0 +1,1 @@
+lib/xml/token.ml: Buffer Char List String

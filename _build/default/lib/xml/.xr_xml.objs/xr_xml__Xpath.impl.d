@@ -1,0 +1,1 @@
+lib/xml/xpath.ml: Array Buffer Doc Interner List Path Printf String Token

@@ -1,0 +1,1 @@
+lib/xml/xpath.mli: Dewey Doc

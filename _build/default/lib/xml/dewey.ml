@@ -1,0 +1,74 @@
+type t = int array
+
+let root = [||]
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  let n = if la < lb then la else lb in
+  let rec go i =
+    if i = n then Stdlib.compare la lb
+    else
+      let c = Stdlib.compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let equal a b = compare a b = 0
+
+let child d i =
+  let n = Array.length d in
+  let r = Array.make (n + 1) 0 in
+  Array.blit d 0 r 0 n;
+  r.(n) <- i;
+  r
+
+let parent d =
+  let n = Array.length d in
+  if n = 0 then None else Some (Array.sub d 0 (n - 1))
+
+let depth = Array.length
+
+let is_prefix p d =
+  let lp = Array.length p in
+  lp <= Array.length d
+  &&
+  let rec go i = i = lp || (p.(i) = d.(i) && go (i + 1)) in
+  go 0
+
+let common_prefix_len a b =
+  let n = min (Array.length a) (Array.length b) in
+  let rec go i = if i < n && a.(i) = b.(i) then go (i + 1) else i in
+  go 0
+
+let lca a b = Array.sub a 0 (common_prefix_len a b)
+
+let prefix d n =
+  if n > Array.length d then invalid_arg "Dewey.prefix: too deep"
+  else Array.sub d 0 n
+
+let to_string d =
+  if Array.length d = 0 then "0"
+  else
+    let b = Buffer.create 16 in
+    Buffer.add_char b '0';
+    Array.iter
+      (fun i ->
+        Buffer.add_char b '.';
+        Buffer.add_string b (string_of_int i))
+      d;
+    Buffer.contents b
+
+let of_string s =
+  match String.split_on_char '.' s with
+  | "0" :: rest ->
+    let comp c =
+      match int_of_string_opt c with
+      | Some i when i >= 0 -> i
+      | _ -> invalid_arg ("Dewey.of_string: bad component " ^ c)
+    in
+    Array.of_list (List.map comp rest)
+  | _ -> invalid_arg ("Dewey.of_string: must start with 0: " ^ s)
+
+let pp ppf d = Format.pp_print_string ppf (to_string d)
+
+let hash d = Hashtbl.hash (Array.to_list d)

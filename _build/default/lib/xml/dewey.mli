@@ -1,0 +1,57 @@
+(** Dewey labels for XML nodes.
+
+    A Dewey label encodes the path of child ordinals from the document root
+    to a node: the root is [[||]]; its second child is [[|1|]]; the first
+    child of that node is [[|1; 0|]]. Lexicographic order on labels
+    coincides with document order, and the lowest common ancestor of two
+    nodes is the longest common prefix of their labels. *)
+
+type t = int array
+
+(** [compare a b] orders labels in document order (lexicographic, with a
+    prefix ordered before its extensions). *)
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+(** [root] is the label of the document root ([[||]]). *)
+val root : t
+
+(** [child d i] is the label of the [i]-th child (0-based) of [d]. *)
+val child : t -> int -> t
+
+(** [parent d] is the label of [d]'s parent, or [None] for the root. *)
+val parent : t -> t option
+
+(** [depth d] is the number of components, i.e. 0 for the root. *)
+val depth : t -> int
+
+(** [is_prefix p d] is true iff [p] is a (non-strict) prefix of [d], i.e.
+    the node labeled [p] is [d] or an ancestor of [d]. *)
+val is_prefix : t -> t -> bool
+
+(** [lca a b] is the longest common prefix of [a] and [b]: the Dewey label
+    of the lowest common ancestor of the two nodes. *)
+val lca : t -> t -> t
+
+(** [prefix d n] is the first [n] components of [d].
+    @raise Invalid_argument if [n > depth d]. *)
+val prefix : t -> int -> t
+
+(** [common_prefix_len a b] is the number of leading components shared by
+    [a] and [b]. *)
+val common_prefix_len : t -> t -> int
+
+(** [to_string d] renders [d] as ["0.1.2"] (the root renders as ["0"];
+    non-root labels are printed with a leading ["0."] component standing
+    for the root, matching the paper's notation). *)
+val to_string : t -> string
+
+(** [of_string s] parses the notation produced by {!to_string}.
+    @raise Invalid_argument on malformed input. *)
+val of_string : string -> t
+
+val pp : Format.formatter -> t -> unit
+
+(** [hash d] is a hash compatible with {!equal}. *)
+val hash : t -> int

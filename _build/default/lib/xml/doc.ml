@@ -1,0 +1,148 @@
+type node = {
+  dewey : Dewey.t;
+  path : Path.id;
+  tag : Interner.id;
+  keywords : (Interner.id * int) list;
+}
+
+type t = {
+  tree : Tree.t;
+  nodes : node array;
+  tags : Interner.t;
+  keywords : Interner.t;
+  paths : Path.table;
+  root_path : Path.id;
+}
+
+(* Direct keyword occurrences of an element: tokens of its tag name plus
+   tokens of its own text and attribute values, with multiplicities. *)
+let direct_keywords keywords (e : Tree.t) =
+  let counts = Hashtbl.create 8 in
+  let add tok =
+    let id = Interner.intern keywords tok in
+    let c = try Hashtbl.find counts id with Not_found -> 0 in
+    Hashtbl.replace counts id (c + 1)
+  in
+  List.iter add (Token.tokenize e.tag);
+  List.iter add (Token.tokenize (Tree.text e));
+  Hashtbl.fold (fun k c acc -> (k, c) :: acc) counts []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let of_tree tree =
+  let tags = Interner.create () in
+  let keywords = Interner.create () in
+  let paths = Path.create () in
+  let acc = ref [] in
+  let count = ref 0 in
+  let rec walk (e : Tree.t) dewey path =
+    let tag = Interner.intern tags e.tag in
+    let node = { dewey; path; tag; keywords = direct_keywords keywords e } in
+    acc := node :: !acc;
+    incr count;
+    List.iteri
+      (fun i child ->
+        let ctag = Interner.intern tags child.Tree.tag in
+        let cpath = Path.child paths ~parent:path ~tag:ctag in
+        walk child (Dewey.child dewey i) cpath)
+      (Tree.element_children e)
+  in
+  let root_tag = Interner.intern tags tree.Tree.tag in
+  let root_path = Path.root paths ~tag:root_tag in
+  walk tree Dewey.root root_path;
+  let nodes = Array.make !count (List.hd !acc) in
+  List.iteri (fun i n -> nodes.(!count - 1 - i) <- n) !acc;
+  { tree; nodes; tags; keywords; paths; root_path }
+
+let append_child d (subtree : Tree.t) =
+  let child_index = List.length (Tree.element_children d.tree) in
+  let acc = ref [] in
+  let count = ref 0 in
+  let rec walk (e : Tree.t) dewey path =
+    let tag = Interner.intern d.tags e.Tree.tag in
+    let node = { dewey; path; tag; keywords = direct_keywords d.keywords e } in
+    acc := node :: !acc;
+    incr count;
+    List.iteri
+      (fun i child ->
+        let ctag = Interner.intern d.tags child.Tree.tag in
+        let cpath = Path.child d.paths ~parent:path ~tag:ctag in
+        walk child (Dewey.child dewey i) cpath)
+      (Tree.element_children e)
+  in
+  let tag = Interner.intern d.tags subtree.Tree.tag in
+  let path = Path.child d.paths ~parent:d.root_path ~tag in
+  walk subtree [| child_index |] path;
+  let added = Array.make !count (List.hd !acc) in
+  List.iteri (fun i n -> added.(!count - 1 - i) <- n) !acc;
+  let tree =
+    { d.tree with Tree.children = d.tree.Tree.children @ [ Tree.Elem subtree ] }
+  in
+  ( { d with tree; nodes = Array.append d.nodes added }, added )
+
+let of_string s = of_tree (Parser.parse_string s)
+
+let of_file path = of_tree (Parser.parse_file path)
+
+let node_count d = Array.length d.nodes
+
+let find d dewey =
+  let lo = ref 0 and hi = ref (Array.length d.nodes - 1) in
+  let found = ref None in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let c = Dewey.compare d.nodes.(mid).dewey dewey in
+    if c = 0 then begin
+      found := Some d.nodes.(mid);
+      lo := !hi + 1
+    end
+    else if c < 0 then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
+let path_of_dewey d dewey = Option.map (fun n -> n.path) (find d dewey)
+
+let subtree d dewey =
+  let rec go (e : Tree.t) i =
+    if i = Array.length dewey then Some e
+    else
+      match List.nth_opt (Tree.element_children e) dewey.(i) with
+      | None -> None
+      | Some c -> go c (i + 1)
+  in
+  go d.tree 0
+
+let subtree_node_range d dewey =
+  let n = Array.length d.nodes in
+  let lower cmp =
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cmp d.nodes.(mid) < 0 then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  in
+  let lo = lower (fun node -> Dewey.compare node.dewey dewey) in
+  let hi =
+    lower (fun node ->
+        if Dewey.is_prefix dewey node.dewey then -1 else Dewey.compare node.dewey dewey)
+  in
+  (lo, hi)
+
+let keyword_id d k = Interner.find d.keywords (Token.normalize k)
+
+let keyword_name d id = Interner.name d.keywords id
+
+let tag_name d node = Interner.name d.tags node.tag
+
+let path_string d p = Path.to_string d.paths d.tags p
+
+let label d dewey =
+  match find d dewey with
+  | Some n -> Printf.sprintf "%s:%s" (Interner.name d.tags n.tag) (Dewey.to_string dewey)
+  | None -> Printf.sprintf "?:%s" (Dewey.to_string dewey)
+
+let vocabulary d =
+  let acc = ref [] in
+  Interner.iter (fun _ name -> acc := name :: !acc) d.keywords;
+  List.rev !acc

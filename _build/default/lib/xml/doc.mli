@@ -1,0 +1,78 @@
+(** Compiled XML documents.
+
+    [Doc.of_tree] walks a {!Tree.t} once and produces the representation
+    every other layer works on: element nodes in document order, each
+    carrying its Dewey label, its node type (interned prefix path) and its
+    direct keyword occurrences (tokens of the tag name and of the element's
+    own text/attribute values). *)
+
+type node = {
+  dewey : Dewey.t;
+  path : Path.id;  (** node type: interned prefix path *)
+  tag : Interner.id;  (** tag name, interned in [tags] *)
+  keywords : (Interner.id * int) list;
+      (** direct keyword occurrences with multiplicities, interned in
+          [keywords]; includes the tokens of the tag name *)
+}
+
+type t = {
+  tree : Tree.t;
+  nodes : node array;  (** all element nodes, in document order *)
+  tags : Interner.t;
+  keywords : Interner.t;  (** keyword vocabulary of the document *)
+  paths : Path.table;
+  root_path : Path.id;
+}
+
+(** [of_tree tree] compiles [tree]. *)
+val of_tree : Tree.t -> t
+
+(** [of_string s] parses and compiles an XML document. *)
+val of_string : string -> t
+
+(** [of_file path] reads, parses and compiles an XML document. *)
+val of_file : string -> t
+
+(** [append_child d subtree] compiles a document extended with [subtree]
+    as a new last child of the root — the incremental-maintenance
+    primitive (a new document partition in the paper's terms). Returns
+    the new document and the newly created nodes (in document order).
+    Interner and path tables are shared and extended in place; the old
+    document value remains readable. *)
+val append_child : t -> Tree.t -> t * node array
+
+(** [node_count d] is the number of element nodes. *)
+val node_count : t -> int
+
+(** [find d dewey] is the node labeled [dewey], if any (binary search). *)
+val find : t -> Dewey.t -> node option
+
+(** [path_of_dewey d dewey] is the node type of the node labeled [dewey]. *)
+val path_of_dewey : t -> Dewey.t -> Path.id option
+
+(** [subtree d dewey] is the XML subtree rooted at [dewey], if any. *)
+val subtree : t -> Dewey.t -> Tree.t option
+
+(** [subtree_node_range d dewey] is the half-open index interval of
+    [nodes] lying in the subtree rooted at [dewey] (empty if the label is
+    unknown); the nodes of a subtree are contiguous in document order. *)
+val subtree_node_range : t -> Dewey.t -> int * int
+
+(** [keyword_id d k] is the interned id of keyword [k] (normalized first),
+    or [None] if [k] does not occur anywhere in the document. *)
+val keyword_id : t -> string -> Interner.id option
+
+(** [keyword_name d id] is the keyword spelled out. *)
+val keyword_name : t -> Interner.id -> string
+
+(** [tag_name d node] is the tag of [node] spelled out. *)
+val tag_name : t -> node -> string
+
+(** [path_string d p] renders node type [p] as ["/bib/author"]. *)
+val path_string : t -> Path.id -> string
+
+(** [label d dewey] renders a node as ["tag:0.1.2"] (paper notation). *)
+val label : t -> Dewey.t -> string
+
+(** [vocabulary d] is every keyword of the document, in id order. *)
+val vocabulary : t -> string list

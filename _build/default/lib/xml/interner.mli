@@ -1,0 +1,25 @@
+(** String interning: a bidirectional map between strings and dense
+    integer ids, used for tag names, keywords and prefix paths. *)
+
+type t
+
+type id = int
+
+val create : ?capacity:int -> unit -> t
+
+(** [intern t s] returns the id of [s], allocating a fresh one on first
+    sight. Ids are dense, starting at 0, in order of first interning. *)
+val intern : t -> string -> id
+
+(** [find t s] is the id of [s] if it has been interned. *)
+val find : t -> string -> id option
+
+(** [name t id] is the string with id [id].
+    @raise Invalid_argument if [id] was never allocated. *)
+val name : t -> id -> string
+
+(** [size t] is the number of distinct interned strings. *)
+val size : t -> int
+
+(** [iter f t] applies [f id name] to every interned string in id order. *)
+val iter : (id -> string -> unit) -> t -> unit

@@ -1,0 +1,217 @@
+type token =
+  | Open_tag of string * (string * string) list
+  | Open_close_tag of string * (string * string) list
+  | Close_tag of string
+  | Chars of string
+  | Eof
+
+exception Error of int * string
+
+type t = { src : string; mutable i : int }
+
+let of_string src = { src; i = 0 }
+
+let pos t = t.i
+
+let err t msg = raise (Error (t.i, msg))
+
+let eof t = t.i >= String.length t.src
+
+let peek t = t.src.[t.i]
+
+let advance t = t.i <- t.i + 1
+
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+let skip_spaces t =
+  while (not (eof t)) && is_space (peek t) do
+    advance t
+  done
+
+let read_name t =
+  if eof t || not (is_name_start (peek t)) then err t "expected a name";
+  let start = t.i in
+  while (not (eof t)) && is_name_char (peek t) do
+    advance t
+  done;
+  String.sub t.src start (t.i - start)
+
+(* Resolve an entity reference; [t.i] points just after '&'. *)
+let read_entity t =
+  let start = t.i in
+  let limit = min (String.length t.src) (t.i + 12) in
+  let rec find j =
+    if j >= limit then err t "unterminated entity reference"
+    else if t.src.[j] = ';' then j
+    else find (j + 1)
+  in
+  let semi = find start in
+  let body = String.sub t.src start (semi - start) in
+  t.i <- semi + 1;
+  match body with
+  | "amp" -> "&"
+  | "lt" -> "<"
+  | "gt" -> ">"
+  | "quot" -> "\""
+  | "apos" -> "'"
+  | _ ->
+    if String.length body > 1 && body.[0] = '#' then begin
+      let code =
+        if body.[1] = 'x' || body.[1] = 'X' then
+          int_of_string_opt ("0x" ^ String.sub body 2 (String.length body - 2))
+        else int_of_string_opt (String.sub body 1 (String.length body - 1))
+      in
+      match code with
+      | Some c when c >= 0 && c < 128 -> String.make 1 (Char.chr c)
+      | Some _ -> "?" (* non-ASCII code points degrade to '?' *)
+      | None -> err t ("bad character reference &" ^ body ^ ";")
+    end
+    else err t ("unknown entity &" ^ body ^ ";")
+
+let read_quoted t =
+  if eof t then err t "expected attribute value";
+  let quote = peek t in
+  if quote <> '"' && quote <> '\'' then err t "attribute value must be quoted";
+  advance t;
+  let b = Buffer.create 16 in
+  let rec go () =
+    if eof t then err t "unterminated attribute value";
+    let c = peek t in
+    if c = quote then advance t
+    else if c = '&' then begin
+      advance t;
+      Buffer.add_string b (read_entity t);
+      go ()
+    end
+    else begin
+      Buffer.add_char b c;
+      advance t;
+      go ()
+    end
+  in
+  go ();
+  Buffer.contents b
+
+let read_attrs t =
+  let rec go acc =
+    skip_spaces t;
+    if eof t then err t "unterminated tag"
+    else
+      match peek t with
+      | '>' | '/' | '?' -> List.rev acc
+      | _ ->
+        let name = read_name t in
+        skip_spaces t;
+        if eof t || peek t <> '=' then err t "expected '=' after attribute name";
+        advance t;
+        skip_spaces t;
+        let value = read_quoted t in
+        go ((name, value) :: acc)
+  in
+  go []
+
+let expect t c =
+  if eof t || peek t <> c then err t (Printf.sprintf "expected '%c'" c);
+  advance t
+
+(* Skip until the closing [stop] string; [t.i] points inside the construct. *)
+let skip_until t stop =
+  let n = String.length stop in
+  let len = String.length t.src in
+  let rec go i =
+    if i + n > len then err t ("unterminated construct, expected " ^ stop)
+    else if String.sub t.src i n = stop then t.i <- i + n
+    else go (i + 1)
+  in
+  go t.i
+
+let read_chars t =
+  let b = Buffer.create 64 in
+  let rec go () =
+    if eof t then ()
+    else
+      match peek t with
+      | '<' ->
+        (* CDATA sections continue character data. *)
+        if
+          t.i + 9 <= String.length t.src
+          && String.sub t.src t.i 9 = "<![CDATA["
+        then begin
+          t.i <- t.i + 9;
+          let start = t.i in
+          skip_until t "]]>";
+          Buffer.add_string b (String.sub t.src start (t.i - 3 - start));
+          go ()
+        end
+      | '&' ->
+        advance t;
+        Buffer.add_string b (read_entity t);
+        go ()
+      | c ->
+        Buffer.add_char b c;
+        advance t;
+        go ()
+  in
+  go ();
+  Buffer.contents b
+
+let is_blank s = String.for_all is_space s
+
+let rec next t =
+  if eof t then Eof
+  else if peek t <> '<' then begin
+    let s = read_chars t in
+    if is_blank s then next t else Chars s
+  end
+  else begin
+    (* markup *)
+    if t.i + 9 <= String.length t.src && String.sub t.src t.i 9 = "<![CDATA[" then begin
+      let s = read_chars t in
+      if is_blank s then next t else Chars s
+    end
+    else begin
+      advance t;
+      if eof t then err t "unterminated markup";
+      match peek t with
+      | '?' ->
+        skip_until t "?>";
+        next t
+      | '!' ->
+        advance t;
+        if t.i + 2 <= String.length t.src && String.sub t.src t.i 2 = "--" then begin
+          t.i <- t.i + 2;
+          skip_until t "-->";
+          next t
+        end
+        else begin
+          (* DOCTYPE (no internal subset) *)
+          skip_until t ">";
+          next t
+        end
+      | '/' ->
+        advance t;
+        let name = read_name t in
+        skip_spaces t;
+        expect t '>';
+        Close_tag name
+      | _ ->
+        let name = read_name t in
+        let attrs = read_attrs t in
+        if eof t then err t "unterminated tag"
+        else if peek t = '/' then begin
+          advance t;
+          expect t '>';
+          Open_close_tag (name, attrs)
+        end
+        else begin
+          expect t '>';
+          Open_tag (name, attrs)
+        end
+    end
+  end

@@ -1,0 +1,28 @@
+(** Hand-written XML tokenizer.
+
+    Covers the subset of XML 1.0 needed for data-oriented documents:
+    element tags with attributes, character data, the five predefined
+    entities plus numeric character references, comments, CDATA sections,
+    processing instructions and the XML declaration (both skipped), and a
+    DOCTYPE declaration without an internal subset (skipped). *)
+
+type token =
+  | Open_tag of string * (string * string) list  (** [<tag a="v" ...>] *)
+  | Open_close_tag of string * (string * string) list  (** [<tag ... />] *)
+  | Close_tag of string  (** [</tag>] *)
+  | Chars of string  (** character data, entities resolved *)
+  | Eof
+
+exception Error of int * string
+(** [Error (pos, msg)]: lexical error at byte offset [pos]. *)
+
+type t
+
+val of_string : string -> t
+
+(** [next t] consumes and returns the next token. Whitespace-only
+    character data between markup is skipped. *)
+val next : t -> token
+
+(** [pos t] is the current byte offset, for error reporting. *)
+val pos : t -> int

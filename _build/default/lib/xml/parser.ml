@@ -1,0 +1,44 @@
+exception Error of int * string
+
+(* Parse the children of the currently open element [tag], until its close
+   tag. Returns children in document order. *)
+let rec parse_children lx tag =
+  let rec go acc =
+    match Lexer.next lx with
+    | Lexer.Eof -> raise (Error (Lexer.pos lx, "unexpected end of input inside <" ^ tag ^ ">"))
+    | Lexer.Close_tag name ->
+      if String.equal name tag then List.rev acc
+      else
+        raise
+          (Error (Lexer.pos lx, Printf.sprintf "mismatched close tag </%s> inside <%s>" name tag))
+    | Lexer.Chars s -> go (Tree.Text s :: acc)
+    | Lexer.Open_close_tag (name, attrs) -> go (Tree.Elem (Tree.elem ~attrs name []) :: acc)
+    | Lexer.Open_tag (name, attrs) ->
+      let children = parse_children lx name in
+      go (Tree.Elem (Tree.elem ~attrs name children) :: acc)
+  in
+  go []
+
+let parse_string s =
+  let lx = Lexer.of_string s in
+  try
+    let root =
+      match Lexer.next lx with
+      | Lexer.Open_tag (name, attrs) -> Tree.elem ~attrs name (parse_children lx name)
+      | Lexer.Open_close_tag (name, attrs) -> Tree.elem ~attrs name []
+      | Lexer.Chars _ -> raise (Error (Lexer.pos lx, "character data before root element"))
+      | Lexer.Close_tag _ -> raise (Error (Lexer.pos lx, "close tag before root element"))
+      | Lexer.Eof -> raise (Error (Lexer.pos lx, "empty document"))
+    in
+    (match Lexer.next lx with
+    | Lexer.Eof -> ()
+    | _ -> raise (Error (Lexer.pos lx, "content after root element")));
+    root
+  with Lexer.Error (pos, msg) -> raise (Error (pos, msg))
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  parse_string s

@@ -1,0 +1,12 @@
+(** XML parser: turns a document string into a {!Tree.t}. *)
+
+exception Error of int * string
+(** [Error (pos, msg)]: syntax error at byte offset [pos]. *)
+
+(** [parse_string s] parses a complete XML document with a single root
+    element. @raise Error on malformed input. *)
+val parse_string : string -> Tree.t
+
+(** [parse_file path] reads [path] and parses it.
+    @raise Error on malformed input, [Sys_error] on I/O failure. *)
+val parse_file : string -> Tree.t

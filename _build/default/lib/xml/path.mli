@@ -1,0 +1,53 @@
+(** Node types as interned prefix paths (Definition 3.1 of the paper).
+
+    The type of a node is the path of tag names from the document root down
+    to the node. Two nodes share a node type iff they share that prefix
+    path. Paths are interned into dense integer ids so statistics tables
+    can be arrays indexed by path id. *)
+
+type id = int
+
+type table
+
+val create : unit -> table
+
+(** [root tbl ~tag] interns (or finds) the root path [/tag]. *)
+val root : table -> tag:Interner.id -> id
+
+(** [child tbl ~parent ~tag] interns (or finds) the path [parent/tag]. *)
+val child : table -> parent:id -> tag:Interner.id -> id
+
+(** [parent tbl p] is the parent path of [p], or [None] for a root path. *)
+val parent : table -> id -> id option
+
+(** [tag tbl p] is the tag (interned) of the last step of [p]. *)
+val tag : table -> id -> Interner.id
+
+(** [depth tbl p] is the number of steps in [p]: a root path has depth 1,
+    matching the paper's [depth(T)] where the reduction factor is
+    [r^depth(T)]. *)
+val depth : table -> id -> int
+
+(** [is_prefix tbl ~ancestor ~descendant] is true iff [ancestor] is a
+    non-strict prefix path of [descendant] — i.e. every
+    [descendant]-typed node is a self-or-descendant of an
+    [ancestor]-typed node. *)
+val is_prefix : table -> ancestor:id -> descendant:id -> bool
+
+(** [ancestor_at tbl p ~depth] is the prefix of [p] with the given depth
+    (so [ancestor_at tbl p ~depth:(depth tbl p) = Some p]), or [None] if
+    [p] is shallower than [depth]. *)
+val ancestor_at : table -> id -> depth:int -> id option
+
+(** [ancestors tbl p] lists [p] and all its prefixes, outermost last
+    (i.e. [p :: parent :: ... :: root]). *)
+val ancestors : table -> id -> id list
+
+(** [size tbl] is the number of distinct paths interned. *)
+val size : table -> int
+
+(** [to_string tbl tags p] renders [p] as ["/bib/author/name"]. *)
+val to_string : table -> Interner.t -> id -> string
+
+(** [iter f tbl] applies [f] to every path id in id order. *)
+val iter : (id -> unit) -> table -> unit

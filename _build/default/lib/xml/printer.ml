@@ -1,0 +1,68 @@
+let escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string b "&amp;"
+      | '<' -> Buffer.add_string b "&lt;"
+      | '>' -> Buffer.add_string b "&gt;"
+      | '"' -> Buffer.add_string b "&quot;"
+      | '\'' -> Buffer.add_string b "&apos;"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let add_attrs b attrs =
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char b ' ';
+      Buffer.add_string b k;
+      Buffer.add_string b "=\"";
+      Buffer.add_string b (escape v);
+      Buffer.add_char b '"')
+    attrs
+
+let text_only (t : Tree.t) =
+  List.for_all (function Tree.Text _ -> true | Tree.Elem _ -> false) t.children
+
+let to_string ?(indent = true) t =
+  let b = Buffer.create 4096 in
+  let pad n = if indent then Buffer.add_string b (String.make (2 * n) ' ') in
+  let nl () = if indent then Buffer.add_char b '\n' in
+  let rec elem level (t : Tree.t) =
+    pad level;
+    Buffer.add_char b '<';
+    Buffer.add_string b t.tag;
+    add_attrs b t.attrs;
+    if t.children = [] then Buffer.add_string b "/>"
+    else begin
+      Buffer.add_char b '>';
+      if text_only t then
+        List.iter (function Tree.Text s -> Buffer.add_string b (escape s) | Tree.Elem _ -> ()) t.children
+      else begin
+        nl ();
+        List.iter
+          (function
+            | Tree.Elem e ->
+              elem (level + 1) e;
+              nl ()
+            | Tree.Text s ->
+              pad (level + 1);
+              Buffer.add_string b (escape s);
+              nl ())
+          t.children
+      end;
+      if not (text_only t) then pad level;
+      Buffer.add_string b "</";
+      Buffer.add_string b t.tag;
+      Buffer.add_char b '>'
+    end
+  in
+  elem 0 t;
+  nl ();
+  Buffer.contents b
+
+let to_file ?indent path t =
+  let oc = open_out_bin path in
+  output_string oc (to_string ?indent t);
+  close_out oc

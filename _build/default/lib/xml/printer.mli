@@ -1,0 +1,13 @@
+(** XML serialization (inverse of {!Parser}). *)
+
+(** [to_string ?indent t] renders [t] as an XML document. With
+    [~indent:true] (default) elements are pretty-printed two spaces per
+    level; text-only elements stay on one line. *)
+val to_string : ?indent:bool -> Tree.t -> string
+
+(** [to_file ?indent path t] writes the document to [path]. *)
+val to_file : ?indent:bool -> string -> Tree.t -> unit
+
+(** [escape s] escapes the five XML special characters for use in character data or attribute
+    values. *)
+val escape : string -> string

@@ -1,0 +1,28 @@
+let is_alnum c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+
+let lower c = if c >= 'A' && c <= 'Z' then Char.chr (Char.code c + 32) else c
+
+let tokenize s =
+  let n = String.length s in
+  let acc = ref [] in
+  let b = Buffer.create 16 in
+  let flush () =
+    if Buffer.length b > 0 then begin
+      acc := Buffer.contents b :: !acc;
+      Buffer.clear b
+    end
+  in
+  for i = 0 to n - 1 do
+    let c = s.[i] in
+    if is_alnum c then Buffer.add_char b (lower c) else flush ()
+  done;
+  flush ();
+  List.rev !acc
+
+let normalize s =
+  let b = Buffer.create (String.length s) in
+  String.iter (fun c -> if is_alnum c then Buffer.add_char b (lower c)) s;
+  Buffer.contents b
+
+let is_keyword s =
+  String.length s > 0 && String.for_all (fun c -> is_alnum c && c = lower c) s

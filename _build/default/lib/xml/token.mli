@@ -1,0 +1,18 @@
+(** Keyword tokenization shared by indexing and query parsing.
+
+    A keyword is a maximal run of ASCII letters or digits, lowercased.
+    Both tag names and text values are tokenized this way, so a query
+    keyword can match either (as required by the paper's data model). *)
+
+(** [tokenize s] is the list of keywords of [s], in order, duplicates
+    preserved. *)
+val tokenize : string -> string list
+
+(** [normalize s] lowercases [s] and strips non-alphanumeric characters;
+    the identity on well-formed keywords. Returns [""] if nothing
+    survives. *)
+val normalize : string -> string
+
+(** [is_keyword s] is true iff [s] is a single non-empty normalized
+    keyword. *)
+val is_keyword : string -> bool

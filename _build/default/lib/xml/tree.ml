@@ -1,0 +1,55 @@
+type t = {
+  tag : string;
+  attrs : (string * string) list;
+  children : child list;
+}
+
+and child =
+  | Elem of t
+  | Text of string
+
+let elem ?(attrs = []) tag children = { tag; attrs; children }
+
+let leaf ?(attrs = []) tag text = { tag; attrs; children = [ Text text ] }
+
+let text t =
+  let b = Buffer.create 32 in
+  List.iter
+    (function
+      | Text s ->
+        if Buffer.length b > 0 then Buffer.add_char b ' ';
+        Buffer.add_string b s
+      | Elem _ -> ())
+    t.children;
+  List.iter
+    (fun (_, v) ->
+      if Buffer.length b > 0 then Buffer.add_char b ' ';
+      Buffer.add_string b v)
+    t.attrs;
+  Buffer.contents b
+
+let element_children t =
+  List.filter_map (function Elem e -> Some e | Text _ -> None) t.children
+
+let rec size t = 1 + List.fold_left (fun a c -> a + size c) 0 (element_children t)
+
+let rec depth t =
+  1 + List.fold_left (fun a c -> max a (depth c)) 0 (element_children t)
+
+let find_all t p =
+  let rec go acc t =
+    let acc = if p t then t :: acc else acc in
+    List.fold_left go acc (element_children t)
+  in
+  List.rev (go [] t)
+
+let rec equal a b =
+  String.equal a.tag b.tag
+  && List.equal (fun (k, v) (k', v') -> String.equal k k' && String.equal v v') a.attrs b.attrs
+  && List.equal equal_child a.children b.children
+
+and equal_child a b =
+  match (a, b) with
+  | Elem a, Elem b -> equal a b
+  | Text a, Text b -> String.equal a b
+  | Elem _, Text _ | Text _, Elem _ -> false

@@ -1,0 +1,37 @@
+(** In-memory XML trees: the surface representation produced by the parser
+    and consumed by {!Doc.of_tree}. *)
+
+type t = {
+  tag : string;
+  attrs : (string * string) list;
+  children : child list;
+}
+
+and child =
+  | Elem of t
+  | Text of string
+
+(** [elem ?attrs tag children] builds an element node. *)
+val elem : ?attrs:(string * string) list -> string -> child list -> t
+
+(** [leaf tag text] builds [<tag>text</tag>]. *)
+val leaf : ?attrs:(string * string) list -> string -> string -> t
+
+(** [text t] concatenates the direct text children of [t] (attribute
+    values are appended as well, since keyword search treats them as value
+    terms of the element). *)
+val text : t -> string
+
+(** [element_children t] is the list of element children, in order. *)
+val element_children : t -> t list
+
+(** [size t] is the number of element nodes in [t]. *)
+val size : t -> int
+
+(** [depth t] is the maximum element nesting depth ([1] for a leaf root). *)
+val depth : t -> int
+
+(** [find_all t p] is every element of [t] (preorder) satisfying [p]. *)
+val find_all : t -> (t -> bool) -> t list
+
+val equal : t -> t -> bool

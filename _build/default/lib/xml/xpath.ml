@@ -1,0 +1,111 @@
+type axis = Child | Descendant
+
+type step = { axis : axis; tag : string option (* None = wildcard *) }
+
+type t = { steps : step list; filter : string option }
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_' || c = '-'
+
+let parse s =
+  let n = String.length s in
+  let rec steps i acc =
+    if i >= n then Ok (List.rev acc, None)
+    else if s.[i] = '[' then begin
+      match String.index_from_opt s i ']' with
+      | Some j when j = n - 1 ->
+        let kw = Token.normalize (String.sub s (i + 1) (j - i - 1)) in
+        if kw = "" then Error "empty filter keyword"
+        else Ok (List.rev acc, Some kw)
+      | Some _ -> Error "filter must end the expression"
+      | None -> Error "unterminated filter"
+    end
+    else if s.[i] <> '/' then Error (Printf.sprintf "expected '/' at position %d" i)
+    else begin
+      let axis, j = if i + 1 < n && s.[i + 1] = '/' then (Descendant, i + 2) else (Child, i + 1) in
+      if j < n && s.[j] = '*' then steps (j + 1) ({ axis; tag = None } :: acc)
+      else begin
+        let k = ref j in
+        while !k < n && is_name_char s.[!k] do
+          incr k
+        done;
+        if !k = j then Error (Printf.sprintf "expected a tag name at position %d" j)
+        else steps !k ({ axis; tag = Some (String.sub s j (!k - j)) } :: acc)
+      end
+    end
+  in
+  if n = 0 then Error "empty path"
+  else
+    match steps 0 [] with
+    | Error _ as e -> e
+    | Ok ([], _) -> Error "empty path"
+    | Ok (steps, filter) -> Ok { steps; filter }
+
+let parse_exn s =
+  match parse s with Ok p -> p | Error msg -> invalid_arg ("Xpath.parse: " ^ msg)
+
+let to_string p =
+  let b = Buffer.create 32 in
+  List.iter
+    (fun { axis; tag } ->
+      Buffer.add_string b (match axis with Child -> "/" | Descendant -> "//");
+      Buffer.add_string b (match tag with Some t -> t | None -> "*"))
+    p.steps;
+  (match p.filter with
+  | Some kw ->
+    Buffer.add_char b '[';
+    Buffer.add_string b kw;
+    Buffer.add_char b ']'
+  | None -> ());
+  Buffer.contents b
+
+(* Match the step sequence against a root-first tag list; the whole tag
+   list must be consumed (the path addresses the node itself). *)
+let rec match_steps steps tags =
+  match (steps, tags) with
+  | [], [] -> true
+  | [], _ :: _ -> false
+  | _ :: _, [] -> false
+  | { axis = Child; tag } :: steps', t :: tags' ->
+    tag_matches tag t && match_steps steps' tags'
+  | ({ axis = Descendant; tag } :: steps') as all, t :: tags' ->
+    (tag_matches tag t && match_steps steps' tags') || match_steps all tags'
+
+and tag_matches pattern t = match pattern with None -> true | Some p -> String.equal p t
+
+(* tag chain of a node type, root first *)
+let tag_chain doc path =
+  List.rev_map (fun p -> Interner.name doc.Doc.tags (Path.tag doc.Doc.paths p))
+    (Path.ancestors doc.Doc.paths path)
+
+let path_matches doc p path = match_steps p.steps (tag_chain doc path)
+
+let subtree_contains doc dewey kw =
+  match Doc.keyword_id doc kw with
+  | None -> false
+  | Some id ->
+    let lo, hi = Doc.subtree_node_range doc dewey in
+    let rec scan i =
+      i < hi
+      && (List.exists (fun (k, _) -> k = id) doc.Doc.nodes.(i).Doc.keywords || scan (i + 1))
+    in
+    scan lo
+
+let eval doc p =
+  (* decide once per node type, then collect matching nodes *)
+  let type_ok = Array.make (Path.size doc.Doc.paths) false in
+  Path.iter (fun path -> type_ok.(path) <- path_matches doc p path) doc.Doc.paths;
+  Array.to_list doc.Doc.nodes
+  |> List.filter_map (fun (node : Doc.node) ->
+         if
+           type_ok.(node.Doc.path)
+           && match p.filter with None -> true | Some kw -> subtree_contains doc node.Doc.dewey kw
+         then Some node.Doc.dewey
+         else None)
+
+let matches doc p dewey =
+  match Doc.find doc dewey with
+  | None -> false
+  | Some node ->
+    path_matches doc p node.Doc.path
+    && (match p.filter with None -> true | Some kw -> subtree_contains doc dewey kw)

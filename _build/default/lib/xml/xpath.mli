@@ -1,0 +1,31 @@
+(** A small XPath-like path language over compiled documents — enough to
+    inspect corpora and express node types (which are prefix paths,
+    Definition 3.1) from the CLI and tests:
+
+    {v
+    /bib/author/name          child steps from the root
+    //title                   descendant step: any depth
+    /dblp//author             mixed
+    /site/regions/*           wildcard tag
+    //inproceedings[xml]      subtree-keyword filter
+    v} *)
+
+type t
+
+(** [parse s] compiles a path expression.
+    Returns [Error msg] on syntax errors. *)
+val parse : string -> (t, string) result
+
+(** [parse_exn s] is {!parse}. @raise Invalid_argument on syntax errors. *)
+val parse_exn : string -> t
+
+(** [to_string p] renders the compiled path back. *)
+val to_string : t -> string
+
+(** [eval doc p] is every element node whose tag path matches [p] (and
+    whose subtree contains the filter keyword, if one was given), in
+    document order. *)
+val eval : Doc.t -> t -> Dewey.t list
+
+(** [matches doc p dewey] tests one node. *)
+val matches : Doc.t -> t -> Dewey.t -> bool

@@ -1,0 +1,1 @@
+test/test_data.ml: Alcotest Array Doc List Printer QCheck QCheck_alcotest Tree Xr_data Xr_index Xr_xml

@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Array Filename Lazy List Printf String Sys Xr_data Xr_eval Xr_index Xr_refine Xr_text Xr_xml

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Dewey Doc Float Lazy List Xr_data Xr_index Xr_refine Xr_slca Xr_xml

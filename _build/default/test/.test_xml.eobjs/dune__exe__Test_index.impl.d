@@ -1,0 +1,1 @@
+test/test_index.ml: Alcotest Array Dewey Doc Filename Lazy List Path QCheck QCheck_alcotest String Sys Tree Xr_data Xr_index Xr_slca Xr_store Xr_xml

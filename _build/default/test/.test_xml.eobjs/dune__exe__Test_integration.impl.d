@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Dewey Doc Engine Lazy List Printf Refined_query Result Rule String Tree Xr_data Xr_eval Xr_index Xr_refine Xr_slca Xr_store Xr_text Xr_xml

@@ -1,0 +1,1 @@
+test/test_slca.ml: Alcotest Array Dewey Doc Fmt Lazy List Option Path Printf QCheck QCheck_alcotest String Tree Xr_data Xr_index Xr_slca Xr_xml

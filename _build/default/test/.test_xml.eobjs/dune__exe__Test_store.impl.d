@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Bytes Char Filename List Printf QCheck QCheck_alcotest String Sys Unix Xr_store

@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Array Dewey Doc Interner List Parser Path Printer QCheck QCheck_alcotest String Token Tree Xpath Xr_data Xr_xml

@@ -1,0 +1,217 @@
+open Xr_xml
+module Rng = Xr_data.Rng
+module Zipf = Xr_data.Zipf
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* ---- rng ----------------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done;
+  let c = Rng.create 43 in
+  let differs = ref false in
+  for _ = 1 to 20 do
+    if Rng.int a 1000 <> Rng.int c 1000 then differs := true
+  done;
+  check Alcotest.bool "different seeds diverge" true !differs
+
+let test_rng_ranges () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 10 in
+    if v < 0 || v >= 10 then Alcotest.fail "int out of range";
+    let f = Rng.float rng in
+    if f < 0. || f >= 1. then Alcotest.fail "float out of range";
+    let r = Rng.range rng 5 8 in
+    if r < 5 || r > 8 then Alcotest.fail "range out of bounds"
+  done;
+  (try
+     ignore (Rng.int rng 0);
+     Alcotest.fail "bound 0 accepted"
+   with Invalid_argument _ -> ());
+  let l = Rng.shuffle rng [ 1; 2; 3; 4; 5 ] in
+  check (Alcotest.list Alcotest.int) "shuffle is a permutation" [ 1; 2; 3; 4; 5 ]
+    (List.sort compare l)
+
+let test_rng_uniformity () =
+  let rng = Rng.create 11 in
+  let buckets = Array.make 10 0 in
+  let n = 20000 in
+  for _ = 1 to n do
+    let v = Rng.int rng 10 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      if c < n / 10 * 8 / 10 || c > n / 10 * 12 / 10 then
+        Alcotest.failf "bucket %d skewed: %d" i c)
+    buckets
+
+(* ---- zipf ------------------------------------------------------------------ *)
+
+let test_zipf_skew () =
+  let z = Zipf.create ~n:100 ~s:1.0 in
+  let rng = Rng.create 3 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 20000 do
+    let r = Zipf.sample z rng in
+    counts.(r) <- counts.(r) + 1
+  done;
+  check Alcotest.bool "rank 0 dominates rank 10" true (counts.(0) > counts.(10));
+  check Alcotest.bool "rank 10 dominates rank 90" true (counts.(10) > counts.(90));
+  (* roughly harmonic: rank0/rank1 close to 2 *)
+  let ratio = float_of_int counts.(0) /. float_of_int (max 1 counts.(1)) in
+  check Alcotest.bool "harmonic-ish head" true (ratio > 1.4 && ratio < 2.8)
+
+let test_zipf_validation () =
+  (try
+     ignore (Zipf.create ~n:0 ~s:1.0);
+     Alcotest.fail "n=0 accepted"
+   with Invalid_argument _ -> ());
+  let z = Zipf.create ~n:3 ~s:1.0 in
+  let rng = Rng.create 1 in
+  try
+    ignore (Zipf.pick z rng [| 1; 2 |]);
+    Alcotest.fail "size mismatch accepted"
+  with Invalid_argument _ -> ()
+
+(* ---- figure 1 --------------------------------------------------------------- *)
+
+let test_figure1_shape () =
+  let doc = Xr_data.Figure1.doc () in
+  check Alcotest.string "root" "bib" doc.Doc.tree.Tree.tag;
+  check Alcotest.int "two partitions" 2 (List.length (Tree.element_children doc.Doc.tree));
+  (* the running-example guarantees *)
+  check Alcotest.bool "publication absent" true (Doc.keyword_id doc "publication" = None);
+  check Alcotest.bool "publications tag present" true (Doc.keyword_id doc "publications" <> None);
+  check Alcotest.bool "data absent (Example 4 shape)" true (Doc.keyword_id doc "data" = None);
+  List.iter
+    (fun k -> check Alcotest.bool (k ^ " present") true (Doc.keyword_id doc k <> None))
+    [ "online"; "database"; "on"; "line"; "base"; "xml"; "john"; "games"; "hobby" ];
+  (* parse/print roundtrip of the shipped text *)
+  let doc2 = Doc.of_string (Xr_data.Figure1.text ()) in
+  check Alcotest.int "text roundtrip" (Doc.node_count doc) (Doc.node_count doc2)
+
+(* ---- dblp -------------------------------------------------------------------- *)
+
+let test_dblp_shape () =
+  let config = { Xr_data.Dblp.default_config with publications = 300; seed = 9 } in
+  let tree = Xr_data.Dblp.generate ~config () in
+  check Alcotest.string "root" "dblp" tree.Tree.tag;
+  check Alcotest.int "fanout = publications" 300 (List.length (Tree.element_children tree));
+  List.iter
+    (fun (pub : Tree.t) ->
+      if pub.Tree.tag <> "article" && pub.Tree.tag <> "inproceedings" then
+        Alcotest.fail "unexpected publication tag";
+      let tags = List.map (fun (c : Tree.t) -> c.Tree.tag) (Tree.element_children pub) in
+      List.iter
+        (fun t ->
+          if not (List.mem t tags) then Alcotest.failf "publication missing %s" t)
+        [ "author"; "title"; "year"; "pages" ];
+      let venue = if pub.Tree.tag = "article" then "journal" else "booktitle" in
+      if not (List.mem venue tags) then Alcotest.failf "missing %s" venue)
+    (Tree.element_children tree)
+
+let test_dblp_deterministic_and_scaled () =
+  let t1 = Xr_data.Dblp.scaled ~publications:50 ~seed:4 in
+  let t2 = Xr_data.Dblp.scaled ~publications:50 ~seed:4 in
+  check Alcotest.bool "same seed, same corpus" true (Tree.equal t1 t2);
+  let t3 = Xr_data.Dblp.scaled ~publications:50 ~seed:5 in
+  check Alcotest.bool "different seed differs" false (Tree.equal t1 t3)
+
+let test_dblp_zipf_lists () =
+  (* inverted-list lengths must be heavily skewed *)
+  let index = Xr_index.Index.build (Xr_data.Dblp.doc ()) in
+  let lengths = ref [] in
+  Xr_index.Inverted.iter
+    (fun _ l -> if Array.length l > 0 then lengths := Array.length l :: !lengths)
+    index.Xr_index.Index.inverted;
+  let sorted = List.sort (fun a b -> compare b a) !lengths in
+  let longest = List.nth sorted 0 in
+  let median = List.nth sorted (List.length sorted / 2) in
+  check Alcotest.bool "skewed lists" true (longest > 50 * median)
+
+(* ---- baseball ------------------------------------------------------------------ *)
+
+let test_baseball_shape () =
+  let doc = Xr_data.Baseball.doc () in
+  let tree = doc.Doc.tree in
+  check Alcotest.string "root" "season" tree.Tree.tag;
+  let leagues =
+    List.filter (fun (c : Tree.t) -> c.Tree.tag = "league") (Tree.element_children tree)
+  in
+  check Alcotest.int "two leagues" 2 (List.length leagues);
+  let players = Tree.find_all tree (fun e -> e.Tree.tag = "player") in
+  check Alcotest.bool "many players" true (List.length players > 100);
+  List.iter
+    (fun (p : Tree.t) ->
+      let tags = List.map (fun (c : Tree.t) -> c.Tree.tag) (Tree.element_children p) in
+      if not (List.mem "name" tags && List.mem "position" tags && List.mem "home_runs" tags) then
+        Alcotest.fail "player missing fields")
+    players;
+  check Alcotest.int "depth" 6 (Tree.depth tree)
+
+let test_auction_shape () =
+  let doc = Xr_data.Auction.doc () in
+  let tree = doc.Doc.tree in
+  check Alcotest.string "root" "site" tree.Tree.tag;
+  (* the five top-level sections = document partitions *)
+  check Alcotest.int "five partitions" 5 (List.length (Tree.element_children tree));
+  let items = Tree.find_all tree (fun e -> e.Tree.tag = "item") in
+  check Alcotest.int "items" Xr_data.Auction.default_config.Xr_data.Auction.items
+    (List.length items);
+  let people = Tree.find_all tree (fun e -> e.Tree.tag = "person") in
+  check Alcotest.int "people" Xr_data.Auction.default_config.Xr_data.Auction.people
+    (List.length people);
+  (* cross references resolve: every itemref names an existing item id *)
+  let item_ids =
+    List.filter_map (fun (e : Tree.t) -> List.assoc_opt "id" e.Tree.attrs) items
+  in
+  let refs = Tree.find_all tree (fun e -> e.Tree.tag = "itemref") in
+  check Alcotest.bool "some auctions exist" true (refs <> []);
+  List.iter
+    (fun (r : Tree.t) ->
+      let target = Tree.text r in
+      if not (List.mem target item_ids) then Alcotest.failf "dangling itemref %s" target)
+    refs;
+  (* deterministic *)
+  let t2 = Xr_data.Auction.generate () in
+  check Alcotest.bool "deterministic" true (Tree.equal tree t2)
+
+let prop_dblp_valid_xml =
+  QCheck.Test.make ~name:"generated dblp parses back" ~count:10
+    (QCheck.make QCheck.Gen.(int_range 1 40))
+    (fun n ->
+      let tree = Xr_data.Dblp.scaled ~publications:n ~seed:n in
+      let doc = Doc.of_string (Printer.to_string tree) in
+      Doc.node_count doc = Tree.size tree)
+
+let () =
+  Alcotest.run "xr_data"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "ranges" `Quick test_rng_ranges;
+          Alcotest.test_case "uniformity" `Quick test_rng_uniformity;
+        ] );
+      ( "zipf",
+        [
+          Alcotest.test_case "skew" `Quick test_zipf_skew;
+          Alcotest.test_case "validation" `Quick test_zipf_validation;
+        ] );
+      ("figure1", [ Alcotest.test_case "running example shape" `Quick test_figure1_shape ]);
+      ( "dblp",
+        [
+          Alcotest.test_case "schema" `Quick test_dblp_shape;
+          Alcotest.test_case "determinism + scaling" `Quick test_dblp_deterministic_and_scaled;
+          Alcotest.test_case "zipf-skewed lists" `Quick test_dblp_zipf_lists;
+          qcheck prop_dblp_valid_xml;
+        ] );
+      ("baseball", [ Alcotest.test_case "schema" `Quick test_baseball_shape ]);
+      ("auction", [ Alcotest.test_case "schema + references" `Quick test_auction_shape ]);
+    ]

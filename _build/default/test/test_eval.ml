@@ -1,0 +1,320 @@
+module Cg = Xr_eval.Cg
+module Judge = Xr_eval.Judge
+module Querylog = Xr_eval.Querylog
+module Index = Xr_index.Index
+module Engine = Xr_refine.Engine
+module Result = Xr_refine.Result
+
+let check = Alcotest.check
+
+let dblp =
+  lazy
+    (Index.build
+       (Xr_data.Dblp.doc ~config:{ Xr_data.Dblp.default_config with publications = 250 } ()))
+
+(* ---- CG ----------------------------------------------------------------- *)
+
+let test_cg_vector () =
+  let cg = Cg.cumulate [| 3.; 0.; 2.; 1. |] in
+  check (Alcotest.array (Alcotest.float 1e-9)) "cumulation" [| 3.; 3.; 5.; 6. |] cg;
+  check (Alcotest.float 1e-9) "at 1" 3. (Cg.at [| 3.; 0.; 2.; 1. |] 1);
+  check (Alcotest.float 1e-9) "at 4" 6. (Cg.at [| 3.; 0.; 2.; 1. |] 4);
+  check (Alcotest.float 1e-9) "beyond end repeats" 6. (Cg.at [| 3.; 0.; 2.; 1. |] 10);
+  check (Alcotest.float 1e-9) "empty" 0. (Cg.at [||] 3);
+  (try
+     ignore (Cg.at [| 1. |] 0);
+     Alcotest.fail "0-based accepted"
+   with Invalid_argument _ -> ());
+  (* dcg discounts later positions *)
+  let d = Cg.dcg [| 2.; 2.; 2. |] in
+  (* log2 discount starts to bite at position 3 *)
+  check Alcotest.bool "dcg discount" true (d.(2) -. d.(1) < 2.)
+
+let test_ndcg () =
+  (* perfect ordering scores 1 everywhere *)
+  let g = [| 3.; 2.; 1. |] in
+  Array.iter
+    (fun v -> check (Alcotest.float 1e-9) "perfect" 1. v)
+    (Cg.ndcg g ~ideal:g);
+  (* a worse ordering scores below 1 at the top *)
+  let worse = Cg.ndcg [| 1.; 2.; 3. |] ~ideal:g in
+  check Alcotest.bool "inversion penalized" true (worse.(0) < 1.);
+  check Alcotest.bool "bounded by 1" true (Array.for_all (fun v -> v <= 1. +. 1e-9) worse);
+  (* all-zero ideal yields zeros *)
+  Array.iter
+    (fun v -> check (Alcotest.float 1e-9) "zero ideal" 0. v)
+    (Cg.ndcg [| 1. |] ~ideal:[| 0. |])
+
+let test_cg_mean () =
+  let m = Cg.mean [ [| 1.; 2. |]; [| 3. |] ] in
+  (* second vector pads with its last value *)
+  check (Alcotest.array (Alcotest.float 1e-9)) "mean with padding" [| 2.; 2.5 |] m;
+  check (Alcotest.array (Alcotest.float 1e-9)) "empty input" [||] (Cg.mean [])
+
+(* ---- judges ---------------------------------------------------------------- *)
+
+let test_judge_grades_truth_highest () =
+  let index = Lazy.force dblp in
+  let rng = Xr_data.Rng.create 17 in
+  match Querylog.sample_intent rng index ~len:3 with
+  | None -> Alcotest.fail "no intent sampled"
+  | Some intent ->
+    let truth = Engine.search index intent in
+    let perfect = Judge.raw_score index ~intent ~rq:intent ~slcas:truth in
+    let junk = Judge.raw_score index ~intent ~rq:[ "unrelated" ] ~slcas:[] in
+    check Alcotest.bool "perfect > junk" true (perfect > junk);
+    check Alcotest.bool "perfect is high" true (perfect > 0.9);
+    check (Alcotest.float 1e-9) "junk is zero" 0. junk;
+    (* judgments are deterministic per seed *)
+    let j1 = Judge.judge ~seed:1 index ~intent ~rq:intent ~slcas:truth in
+    let j2 = Judge.judge ~seed:1 index ~intent ~rq:intent ~slcas:truth in
+    check Alcotest.bool "deterministic" true (j1 = j2);
+    check Alcotest.bool "perfect graded highly" true (Judge.gain j1 >= 2.)
+
+let test_judge_gains () =
+  check (Alcotest.float 0.) "irrelevant" 0. (Judge.gain Judge.Irrelevant);
+  check (Alcotest.float 0.) "marginal" 1. (Judge.gain Judge.Marginal);
+  check (Alcotest.float 0.) "fair" 2. (Judge.gain Judge.Fair);
+  check (Alcotest.float 0.) "highly" 3. (Judge.gain Judge.Highly)
+
+let test_panel () =
+  let index = Lazy.force dblp in
+  let rng = Xr_data.Rng.create 21 in
+  match Querylog.sample_intent rng index ~len:2 with
+  | None -> Alcotest.fail "no intent"
+  | Some intent ->
+    let truth = Engine.search index intent in
+    let gains = Judge.panel ~judges:6 ~seed:7 index ~intent [ (intent, truth); ([ "zzz" ], []) ] in
+    check Alcotest.int "one gain per entry" 2 (Array.length gains);
+    check Alcotest.bool "truth beats junk" true (gains.(0) > gains.(1))
+
+(* ---- query log ---------------------------------------------------------------- *)
+
+let test_sample_intent_has_results () =
+  let index = Lazy.force dblp in
+  let rng = Xr_data.Rng.create 33 in
+  for _ = 1 to 10 do
+    match Querylog.sample_intent rng index ~len:3 with
+    | None -> Alcotest.fail "sampling failed"
+    | Some intent ->
+      check Alcotest.int "length" 3 (List.length intent);
+      check Alcotest.bool "meaningful results" true (Engine.search index intent <> [])
+  done
+
+let test_corruptions () =
+  let index = Lazy.force dblp in
+  let th = Xr_text.Thesaurus.default () in
+  let rng = Xr_data.Rng.create 55 in
+  let cases = Querylog.pool ~thesaurus:th rng index ~per_kind:3 in
+  check Alcotest.bool "pool non-trivial" true (List.length cases >= 12);
+  List.iter
+    (fun (c : Querylog.case) ->
+      (* every case needs refinement by construction *)
+      check Alcotest.bool
+        (Querylog.kind_name c.Querylog.kind ^ " needs refinement")
+        true
+        (Engine.needs_refinement index c.Querylog.corrupted);
+      check Alcotest.bool "intent has results" true (c.Querylog.intent_result_count > 0);
+      check Alcotest.bool "repair rules recorded" true (c.Querylog.repair <> []);
+      check Alcotest.bool "corruption changed the query" true
+        (c.Querylog.corrupted <> c.Querylog.intent))
+    cases;
+  (* at least 4 distinct kinds materialized on this corpus *)
+  let kinds = List.sort_uniq compare (List.map (fun c -> c.Querylog.kind) cases) in
+  check Alcotest.bool "kind diversity" true (List.length kinds >= 4)
+
+let test_corrupt_specific_kinds () =
+  let index = Lazy.force dblp in
+  let rng = Xr_data.Rng.create 77 in
+  let th = Xr_text.Thesaurus.default () in
+  (* split-word corruption splits one keyword into two *)
+  (match Querylog.generate ~thesaurus:th rng index ~kind:Querylog.Split_word ~n:1 with
+  | [ c ] ->
+    check Alcotest.int "one more keyword" (List.length c.Querylog.intent + 1)
+      (List.length c.Querylog.corrupted)
+  | _ -> Alcotest.fail "no split-word case");
+  (* merged-words corruption removes one *)
+  (match Querylog.generate ~thesaurus:th rng index ~kind:Querylog.Merged_words ~n:1 with
+  | [ c ] ->
+    check Alcotest.int "one fewer keyword" (List.length c.Querylog.intent - 1)
+      (List.length c.Querylog.corrupted)
+  | _ -> Alcotest.fail "no merged-words case");
+  (* overconstrain adds one *)
+  match Querylog.generate ~thesaurus:th rng index ~kind:Querylog.Overconstrain ~n:1 with
+  | [ c ] ->
+    check Alcotest.int "one extra keyword" (List.length c.Querylog.intent + 1)
+      (List.length c.Querylog.corrupted)
+  | _ -> Alcotest.fail "no overconstrain case"
+
+(* the whole evaluation pipeline is deterministic in its seeds: same seed,
+   same pool, same judgements — the reproducibility the paper's fixed
+   219-query pool provided *)
+let test_reproducibility () =
+  let index = Lazy.force dblp in
+  let th = Xr_text.Thesaurus.default () in
+  let pool seed = Querylog.pool ~thesaurus:th (Xr_data.Rng.create seed) index ~per_kind:2 in
+  let a = pool 123 and b = pool 123 in
+  check Alcotest.int "same size" (List.length a) (List.length b);
+  List.iter2
+    (fun (x : Querylog.case) (y : Querylog.case) ->
+      check (Alcotest.list Alcotest.string) "same corrupted" x.Querylog.corrupted
+        y.Querylog.corrupted;
+      check (Alcotest.list Alcotest.string) "same intent" x.Querylog.intent y.Querylog.intent)
+    a b;
+  (* different seeds give different pools *)
+  let c = pool 124 in
+  check Alcotest.bool "different seeds diverge" true
+    (List.map (fun (x : Querylog.case) -> x.Querylog.corrupted) a
+    <> List.map (fun (x : Querylog.case) -> x.Querylog.corrupted) c);
+  (* panel verdicts are stable *)
+  match a with
+  | case :: _ ->
+    let truth = Engine.search index case.Querylog.intent in
+    let g1 =
+      Judge.panel ~judges:6 ~seed:9 index ~intent:case.Querylog.intent
+        [ (case.Querylog.intent, truth) ]
+    in
+    let g2 =
+      Judge.panel ~judges:6 ~seed:9 index ~intent:case.Querylog.intent
+        [ (case.Querylog.intent, truth) ]
+    in
+    check (Alcotest.array (Alcotest.float 0.)) "panel deterministic" g1 g2
+  | [] -> Alcotest.fail "empty pool"
+
+(* ---- end-to-end effectiveness sanity ------------------------------------------- *)
+
+let test_refinement_recovers_intent () =
+  let index = Lazy.force dblp in
+  let th = Xr_text.Thesaurus.default () in
+  let rng = Xr_data.Rng.create 91 in
+  let cases = Querylog.pool ~thesaurus:th rng index ~per_kind:4 in
+  let hits = ref 0 and total = ref 0 in
+  List.iter
+    (fun (c : Querylog.case) ->
+      incr total;
+      match (Engine.refine index c.Querylog.corrupted).Engine.result with
+      | Result.Refined ({ Result.rq; _ } :: _) ->
+        let intent_set =
+          List.sort_uniq String.compare (List.map Xr_xml.Token.normalize c.Querylog.intent)
+        in
+        if rq.Xr_refine.Refined_query.keywords = intent_set then incr hits
+      | _ -> ())
+    cases;
+  (* the top-1 refined query should recover the exact intent most of the time *)
+  check Alcotest.bool
+    (Printf.sprintf "recovery rate %d/%d >= 60%%" !hits !total)
+    true
+    (float_of_int !hits >= 0.6 *. float_of_int !total)
+
+(* ---- metrics ----------------------------------------------------------------- *)
+
+let dw = Xr_xml.Dewey.of_string
+
+let test_metrics_precision_recall () =
+  let relevant = [ dw "0.1"; dw "0.2" ] in
+  let retrieved = [ dw "0.1"; dw "0.3" ] in
+  let p, r = Xr_eval.Metrics.precision_recall ~relevant ~retrieved in
+  check (Alcotest.float 1e-9) "precision" 0.5 p;
+  check (Alcotest.float 1e-9) "recall" 0.5 r;
+  check (Alcotest.float 1e-9) "f1" 0.5 (Xr_eval.Metrics.f1 ~relevant ~retrieved);
+  (* containment counts as a hit *)
+  let p2, r2 =
+    Xr_eval.Metrics.precision_recall ~relevant:[ dw "0.1" ] ~retrieved:[ dw "0.1.3" ]
+  in
+  check (Alcotest.float 1e-9) "descendant precision" 1. p2;
+  check (Alcotest.float 1e-9) "descendant recall" 1. r2;
+  let p3, r3 = Xr_eval.Metrics.precision_recall ~relevant:[] ~retrieved:[ dw "0" ] in
+  check (Alcotest.float 1e-9) "empty relevant p" 0. p3;
+  check (Alcotest.float 1e-9) "empty relevant r" 0. r3
+
+let test_metrics_mrr () =
+  check (Alcotest.float 1e-9) "first hit" 1. (Xr_eval.Metrics.reciprocal_rank [ true; false ]);
+  check (Alcotest.float 1e-9) "third hit" (1. /. 3.)
+    (Xr_eval.Metrics.reciprocal_rank [ false; false; true ]);
+  check (Alcotest.float 1e-9) "no hit" 0. (Xr_eval.Metrics.reciprocal_rank [ false; false ]);
+  check (Alcotest.float 1e-9) "mrr" 0.75
+    (Xr_eval.Metrics.mean_reciprocal_rank [ [ true ]; [ false; true ] ]);
+  check (Alcotest.float 1e-9) "mrr empty" 0. (Xr_eval.Metrics.mean_reciprocal_rank [])
+
+(* ---- trace persistence ----------------------------------------------------- *)
+
+let test_trace_roundtrip () =
+  let index = Lazy.force dblp in
+  let th = Xr_text.Thesaurus.default () in
+  let rng = Xr_data.Rng.create 321 in
+  let pool = Querylog.pool ~thesaurus:th rng index ~per_kind:2 in
+  let pool2 = Xr_eval.Trace.decode (Xr_eval.Trace.encode pool) in
+  check Alcotest.int "cardinality" (List.length pool) (List.length pool2);
+  List.iter2
+    (fun (a : Querylog.case) (b : Querylog.case) ->
+      check Alcotest.bool "kind" true (a.Querylog.kind = b.Querylog.kind);
+      check (Alcotest.list Alcotest.string) "intent" a.Querylog.intent b.Querylog.intent;
+      check (Alcotest.list Alcotest.string) "corrupted" a.Querylog.corrupted b.Querylog.corrupted;
+      check Alcotest.int "repair rules" (List.length a.Querylog.repair)
+        (List.length b.Querylog.repair);
+      List.iter2
+        (fun (r1 : Xr_refine.Rule.t) r2 ->
+          check Alcotest.bool "rule equal" true (Xr_refine.Rule.equal r1 r2))
+        a.Querylog.repair b.Querylog.repair;
+      check Alcotest.int "result count" a.Querylog.intent_result_count
+        b.Querylog.intent_result_count)
+    pool pool2;
+  (* file round trip *)
+  let path = Filename.temp_file "xrtrace" ".bin" in
+  Xr_eval.Trace.save path pool;
+  let pool3 = Xr_eval.Trace.load path in
+  Sys.remove path;
+  check Alcotest.int "file roundtrip" (List.length pool) (List.length pool3)
+
+let test_trace_rejects_garbage () =
+  (try
+     ignore (Xr_eval.Trace.decode "not a trace");
+     Alcotest.fail "garbage accepted"
+   with Failure _ -> ());
+  (* truncated payload *)
+  let index = Lazy.force dblp in
+  let th = Xr_text.Thesaurus.default () in
+  let rng = Xr_data.Rng.create 55 in
+  let pool = Querylog.pool ~thesaurus:th rng index ~per_kind:1 in
+  let s = Xr_eval.Trace.encode pool in
+  try
+    ignore (Xr_eval.Trace.decode (String.sub s 0 (String.length s - 3)));
+    Alcotest.fail "truncated trace accepted"
+  with Failure _ -> ()
+
+let () =
+  Alcotest.run "xr_eval"
+    [
+      ( "cg",
+        [
+          Alcotest.test_case "cumulated gain" `Quick test_cg_vector;
+          Alcotest.test_case "mean" `Quick test_cg_mean;
+          Alcotest.test_case "ndcg" `Quick test_ndcg;
+        ] );
+      ( "judges",
+        [
+          Alcotest.test_case "ground truth ranks top" `Quick test_judge_grades_truth_highest;
+          Alcotest.test_case "gain scale" `Quick test_judge_gains;
+          Alcotest.test_case "panel" `Quick test_panel;
+        ] );
+      ( "querylog",
+        [
+          Alcotest.test_case "intent sampling" `Quick test_sample_intent_has_results;
+          Alcotest.test_case "corruptions verified" `Quick test_corruptions;
+          Alcotest.test_case "corruption shapes" `Quick test_corrupt_specific_kinds;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "precision/recall/f1" `Quick test_metrics_precision_recall;
+          Alcotest.test_case "reciprocal rank" `Quick test_metrics_mrr;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_trace_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_trace_rejects_garbage;
+        ] );
+      ( "reproducibility", [ Alcotest.test_case "seeded pipeline" `Quick test_reproducibility ] );
+      ( "end-to-end",
+        [ Alcotest.test_case "refinement recovers intent" `Quick test_refinement_recovers_intent ]
+      );
+    ]

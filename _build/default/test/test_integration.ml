@@ -1,0 +1,389 @@
+(* End-to-end reproduction of the paper's worked examples (Section I,
+   Examples 1, 3, 4 and the Table I-style queries) plus cross-corpus
+   consistency checks. *)
+
+open Xr_xml
+open Xr_refine
+module Index = Xr_index.Index
+
+let check = Alcotest.check
+
+let fig1 = lazy (Index.build (Xr_data.Figure1.doc ()))
+
+let dblp =
+  lazy
+    (Index.build
+       (Xr_data.Dblp.doc ~config:{ Xr_data.Dblp.default_config with publications = 400 } ()))
+
+let baseball = lazy (Index.build (Xr_data.Baseball.doc ()))
+
+let refine ?(alg = Engine.Partition) ?(k = 4) index q =
+  let config = { Engine.default_config with algorithm = alg; k } in
+  (Engine.refine ~config index q).Engine.result
+
+let top_keywords result =
+  match result with
+  | Result.Refined ({ Result.rq; _ } :: _) -> Some rq.Refined_query.keywords
+  | Result.Refined [] | Result.Original _ | Result.No_result -> None
+
+(* Example 1: {database, publication} has no match because the data says
+   proceedings/article/inproceedings; refinement substitutes. *)
+let test_example1 () =
+  let index = Lazy.force fig1 in
+  check Alcotest.bool "needs refinement" true
+    (Engine.needs_refinement index [ "database"; "publication" ]);
+  match refine index [ "database"; "publication" ] with
+  | Result.Refined matches ->
+    let keys = List.map (fun (m : Result.rq_match) -> m.Result.rq.Refined_query.keywords) matches in
+    check Alcotest.bool "a synonym/stem substitution surfaced" true
+      (List.exists
+         (fun ks ->
+           List.mem "inproceedings" ks || List.mem "article" ks || List.mem "publications" ks
+           || List.mem "proceedings" ks)
+         keys);
+    List.iter
+      (fun (m : Result.rq_match) ->
+        check Alcotest.bool "every RQ has results" true (m.Result.slcas <> []))
+      matches
+  | Result.Original _ | Result.No_result -> Alcotest.fail "expected refinement"
+
+(* Example 4 (Section VI-A): Q = {on, line, data, base}; the optimal RQ is
+   {online, database} with dissimilarity 2 via two merges; the cheaper
+   mixed candidates have no meaningful SLCA. *)
+let test_example4 () =
+  let index = Lazy.force fig1 in
+  List.iter
+    (fun alg ->
+      match refine ~alg index [ "on"; "line"; "data"; "base" ] with
+      | Result.Refined matches ->
+        let best_ds =
+          List.fold_left
+            (fun a (m : Result.rq_match) -> min a m.Result.rq.Refined_query.dissimilarity)
+            max_int matches
+        in
+        check Alcotest.int (Engine.algorithm_name alg ^ ": optimal dissimilarity") 2 best_ds;
+        let winner =
+          List.find
+            (fun (m : Result.rq_match) -> m.Result.rq.Refined_query.dissimilarity = 2)
+            matches
+        in
+        check
+          (Alcotest.list Alcotest.string)
+          (Engine.algorithm_name alg ^ ": the paper's winner")
+          [ "database"; "online" ]
+          winner.Result.rq.Refined_query.keywords;
+        check
+          (Alcotest.list Alcotest.string)
+          "SLCA is the online-database title" [ "0.0.1.1.0" ]
+          (List.map Dewey.to_string winner.Result.slcas)
+      | Result.Original _ | Result.No_result ->
+        Alcotest.failf "%s found no refinement" (Engine.algorithm_name alg))
+    Engine.[ Stack_refine; Partition; Short_list_eager ]
+
+(* Table I style Q4: {john, xml, 2003} matches only at the root, which is
+   meaningless; deleting "john" (the term absent from the XML/2003 author)
+   yields the meaningful results. *)
+let test_q4_overconstrained () =
+  let index = Lazy.force fig1 in
+  check Alcotest.bool "slca exists but meaningless" true
+    (Xr_slca.Engine.query Xr_slca.Engine.Stack index [ "john"; "xml"; "2003" ] <> []);
+  check Alcotest.bool "needs refinement" true
+    (Engine.needs_refinement index [ "john"; "xml"; "2003" ]);
+  match refine index [ "john"; "xml"; "2003" ] with
+  | Result.Refined ({ Result.rq; slcas; _ } :: _) ->
+    check (Alcotest.list Alcotest.string) "keeps xml+2003" [ "2003"; "xml" ] rq.Refined_query.keywords;
+    check Alcotest.int "two inproceedings" 2 (List.length slcas)
+  | _ -> Alcotest.fail "expected refinement"
+
+(* Example with hobby: {online, games} -> split "online" -> hobby node. *)
+let test_hobby_split () =
+  let index = Lazy.force fig1 in
+  check Alcotest.bool "needs refinement" true (Engine.needs_refinement index [ "online"; "games" ]);
+  match refine index [ "online"; "games" ] with
+  | Result.Refined matches ->
+    let hit =
+      List.exists
+        (fun (m : Result.rq_match) ->
+          m.Result.rq.Refined_query.keywords = [ "games"; "line"; "on" ]
+          && List.exists (fun d -> Dewey.to_string d = "0.1.2") m.Result.slcas)
+        matches
+    in
+    check Alcotest.bool "hobby:0.1.2 via split" true hit
+  | Result.Original _ | Result.No_result -> Alcotest.fail "expected refinement"
+
+(* Mixed refinements (the paper's QX1 style): one misspelled keyword and
+   one wrongly split keyword in the same query, built from a sampled
+   satisfiable intent. *)
+let test_mixed_refinements () =
+  let index = Lazy.force dblp in
+  let rng = Xr_data.Rng.create 404 in
+  let rec find_case attempts =
+    if attempts = 0 then None
+    else
+      match Xr_eval.Querylog.sample_intent rng index ~len:3 with
+      | Some intent when List.exists (fun k -> String.length k >= 6) intent -> (
+        (* split the first long keyword, misspell another *)
+        let long = List.find (fun k -> String.length k >= 6) intent in
+        let rest = List.filter (fun k -> k <> long) intent in
+        match rest with
+        | other :: _ when String.length other >= 5 ->
+          let cut = String.length long / 2 in
+          let a = String.sub long 0 cut and b = String.sub long cut (String.length long - cut) in
+          let wrong = String.sub other 0 (String.length other - 1) ^ "zq" in
+          if Doc.keyword_id index.Index.doc wrong = None then
+            Some (intent, List.map (fun k -> if k = other then wrong else k) rest @ [ a; b ])
+          else find_case (attempts - 1)
+        | _ -> find_case (attempts - 1))
+      | _ -> find_case (attempts - 1)
+  in
+  match find_case 50 with
+  | None -> () (* corpus did not yield a suitable intent; nothing to assert *)
+  | Some (intent, corrupted) -> (
+    match refine index corrupted with
+    | Result.Refined ({ Result.rq; _ } :: _) ->
+      check
+        (Alcotest.list Alcotest.string)
+        "mixed corruption fully repaired"
+        (List.sort_uniq String.compare intent)
+        rq.Refined_query.keywords
+    | Result.Refined [] | Result.Original _ | Result.No_result ->
+      Alcotest.fail "expected refinement")
+
+(* The rules_used trace only contains rules relevant to the query. *)
+let test_rules_used_relevant () =
+  let index = Lazy.force fig1 in
+  let resp = Engine.refine index [ "on"; "line" ] in
+  List.iter
+    (fun (r : Rule.t) ->
+      check Alcotest.bool "lhs within query" true
+        (List.for_all (fun k -> List.mem k [ "on"; "line" ]) r.Rule.lhs))
+    resp.Engine.rules_used
+
+(* User-provided rules merge with mined rules. *)
+let test_user_rules () =
+  let index = Lazy.force fig1 in
+  let my_rule = Rule.synonym ~ds:1 "footy" "games" in
+  let config = { Engine.default_config with auto_mine = false } in
+  let resp = Engine.refine ~config ~rules:[ my_rule ] index [ "on"; "line"; "footy" ] in
+  match resp.Engine.result with
+  | Result.Refined matches ->
+    check Alcotest.bool "user synonym applied" true
+      (List.exists
+         (fun (m : Result.rq_match) -> List.mem "games" m.Result.rq.Refined_query.keywords)
+         matches)
+  | Result.Original _ | Result.No_result -> Alcotest.fail "expected refinement via user rule"
+
+(* With auto_mine off and no rules, only deletions are possible. *)
+let test_no_rules_only_deletion () =
+  let index = Lazy.force fig1 in
+  let config = { Engine.default_config with auto_mine = false } in
+  let resp = Engine.refine ~config index [ "xml"; "qqqq" ] in
+  match resp.Engine.result with
+  | Result.Refined ({ Result.rq; _ } :: _) ->
+    check (Alcotest.list Alcotest.string) "deletion only" [ "xml" ] rq.Refined_query.keywords;
+    check Alcotest.int "deletion cost" 2 rq.Refined_query.dissimilarity
+  | _ -> Alcotest.fail "expected deletion-based refinement"
+
+(* Cross-corpus: every algorithm agrees on the optimal dissimilarity for a
+   generated workload on DBLP and Baseball. *)
+let agreement_on index seed =
+  let th = Xr_text.Thesaurus.default () in
+  let rng = Xr_data.Rng.create seed in
+  let cases = Xr_eval.Querylog.pool ~thesaurus:th rng index ~per_kind:2 in
+  List.iter
+    (fun (c : Xr_eval.Querylog.case) ->
+      let best alg =
+        match refine ~alg index c.Xr_eval.Querylog.corrupted with
+        | Result.Refined ms ->
+          List.fold_left
+            (fun a (m : Result.rq_match) -> min a m.Result.rq.Refined_query.dissimilarity)
+            max_int ms
+        | Result.Original _ -> -1
+        | Result.No_result -> -2
+      in
+      let s = best Engine.Stack_refine
+      and p = best Engine.Partition
+      and e = best Engine.Short_list_eager in
+      if not (s = p && p = e) then
+        Alcotest.failf "disagreement on {%s}: stack=%d partition=%d sle=%d"
+          (String.concat "," c.Xr_eval.Querylog.corrupted)
+          s p e)
+    cases
+
+let test_agreement_dblp () = agreement_on (Lazy.force dblp) 101
+
+let test_agreement_baseball () = agreement_on (Lazy.force baseball) 102
+
+let auction = lazy (Index.build (Xr_data.Auction.doc ()))
+
+let test_agreement_auction () = agreement_on (Lazy.force auction) 103
+
+(* Index persistence end-to-end: refinement over a reloaded index gives the
+   same answers. *)
+let test_refine_after_reload () =
+  let index = Lazy.force fig1 in
+  let kv = Xr_store.Kv.memory () in
+  Index.save index kv;
+  let index2 = Index.load kv in
+  let q = [ "on"; "line"; "data"; "base" ] in
+  let r1 = top_keywords (refine index q) and r2 = top_keywords (refine index2 q) in
+  check Alcotest.bool "same top refinement" true (r1 = r2 && r1 <> None)
+
+(* Example 5 flavor: within the partition scan, candidates that cannot
+   beat the current Top-2K are pruned before any SLCA computation — the
+   skipped-partition counter must be visible on suitable queries. *)
+let test_example5_partition_pruning () =
+  let index = Lazy.force dblp in
+  let config = { Engine.default_config with algorithm = Engine.Partition; k = 1 } in
+  (* a query whose repair keywords are rare: most partitions offer only
+     expensive deletion-based candidates and are skipped *)
+  let resp = Engine.refine ~config index [ "databse"; "optimzation"; "pages" ] in
+  match resp.Engine.stats with
+  | Engine.Partition_stats s ->
+    Alcotest.(check bool) "partitions were visited" true (s.Xr_refine.Partition.partitions_visited > 0);
+    Alcotest.(check bool)
+      (Printf.sprintf "some partitions skipped before SLCA (%d/%d)"
+         s.Xr_refine.Partition.partitions_skipped s.Xr_refine.Partition.partitions_visited)
+      true
+      (s.Xr_refine.Partition.partitions_skipped > 0);
+    Alcotest.(check bool) "dp runs bounded by signature cache" true
+      (s.Xr_refine.Partition.dp_runs <= s.Xr_refine.Partition.partitions_visited)
+  | _ -> Alcotest.fail "wrong stats"
+
+(* Example 6 flavor: SLE stops before consuming every keyword list when
+   the optimistic bound exceeds the K-th dissimilarity. *)
+let test_example6_sle_early_stop () =
+  let index = Lazy.force dblp in
+  let config = { Engine.default_config with algorithm = Engine.Short_list_eager; k = 1 } in
+  (* the misspelled token has a tiny corrected list; the common keyword
+     list should never be consumed *)
+  let resp = Engine.refine ~config index [ "author"; "databse" ] in
+  match resp.Engine.stats with
+  | Engine.Sle_stats s ->
+    Alcotest.(check bool) "ran" true (s.Xr_refine.Sle.dp_runs > 0);
+    Alcotest.(check bool)
+      (Printf.sprintf "stopped before consuming all lists (consumed %d)"
+         s.Xr_refine.Sle.keywords_processed)
+      true
+      (s.Xr_refine.Sle.stopped_early || s.Xr_refine.Sle.keywords_processed < 3)
+  | _ -> Alcotest.fail "wrong stats"
+
+(* refinement over an incrementally grown index equals a rebuilt one *)
+let test_incremental_refinement_equivalence () =
+  let full_tree = Xr_data.Dblp.scaled ~publications:60 ~seed:23 in
+  let children = Tree.element_children full_tree in
+  let base =
+    Tree.elem full_tree.Tree.tag
+      (List.filteri (fun i _ -> i < 40) children |> List.map (fun c -> Tree.Elem c))
+  in
+  let grown =
+    List.fold_left
+      (fun idx pub -> Index.append_partition idx pub)
+      (Index.build (Doc.of_tree base))
+      (List.filteri (fun i _ -> i >= 40) children)
+  in
+  let rebuilt = Index.build (Doc.of_tree full_tree) in
+  let th = Xr_text.Thesaurus.default () in
+  let rng = Xr_data.Rng.create 404 in
+  let cases = Xr_eval.Querylog.pool ~thesaurus:th rng rebuilt ~per_kind:2 in
+  List.iter
+    (fun (c : Xr_eval.Querylog.case) ->
+      let outcome index =
+        match (Engine.refine index c.Xr_eval.Querylog.corrupted).Engine.result with
+        | Result.Original slcas -> ("original", List.map Dewey.to_string slcas)
+        | Result.No_result -> ("none", [])
+        | Result.Refined ms ->
+          ( "refined",
+            List.concat_map
+              (fun (m : Result.rq_match) ->
+                Refined_query.key m.Result.rq :: List.map Dewey.to_string m.Result.slcas)
+              ms )
+      in
+      if outcome grown <> outcome rebuilt then
+        Alcotest.failf "incremental/rebuilt divergence on {%s}"
+          (String.concat "," c.Xr_eval.Querylog.corrupted))
+    cases;
+  (* plain searches agree too *)
+  List.iter
+    (fun q ->
+      if Engine.search grown q <> Engine.search rebuilt q then
+        Alcotest.failf "search divergence on {%s}" (String.concat "," q))
+    (List.map (fun (c : Xr_eval.Querylog.case) -> c.Xr_eval.Querylog.intent) cases)
+
+(* a larger corpus end to end (kept as a slow test) *)
+let test_scale_smoke () =
+  let index = Index.build (Xr_xml.Doc.of_tree (Xr_data.Dblp.scaled ~publications:5000 ~seed:3)) in
+  let th = Xr_text.Thesaurus.default () in
+  let rng = Xr_data.Rng.create 3000 in
+  let cases = Xr_eval.Querylog.pool ~thesaurus:th rng index ~per_kind:2 in
+  Alcotest.(check bool) "cases generated" true (List.length cases >= 8);
+  List.iter
+    (fun (c : Xr_eval.Querylog.case) ->
+      match (Engine.refine index c.Xr_eval.Querylog.corrupted).Engine.result with
+      | Result.Refined (_ :: _) -> ()
+      | Result.Original _ -> Alcotest.fail "corrupted query matched directly"
+      | Result.Refined [] | Result.No_result ->
+        Alcotest.failf "no refinement at scale for {%s}"
+          (String.concat "," c.Xr_eval.Querylog.corrupted))
+    cases
+
+(* full configuration matrix smoke: every algorithm x SLCA engine x
+   result-ranking setting behaves sanely on both query classes *)
+let test_config_matrix () =
+  let index = Lazy.force fig1 in
+  List.iter
+    (fun algorithm ->
+      List.iter
+        (fun slca ->
+          List.iter
+            (fun rank_results ->
+              let config = { Engine.default_config with algorithm; slca; rank_results; k = 2 } in
+              (* a broken query refines *)
+              (match (Engine.refine ~config index [ "on"; "line"; "data"; "base" ]).Engine.result with
+              | Result.Refined (_ :: _) -> ()
+              | _ -> Alcotest.fail "matrix: expected refinement");
+              (* a good query passes through *)
+              match (Engine.refine ~config index [ "xml"; "2003" ]).Engine.result with
+              | Result.Original (_ :: _) -> ()
+              | _ -> Alcotest.fail "matrix: expected original")
+            [ false; true ])
+        Xr_slca.Engine.all)
+    Engine.[ Stack_refine; Partition; Short_list_eager ]
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "paper-examples",
+        [
+          Alcotest.test_case "example 1 (term mismatch)" `Quick test_example1;
+          Alcotest.test_case "example 4 (merging)" `Quick test_example4;
+          Alcotest.test_case "Q4 (overconstrained)" `Quick test_q4_overconstrained;
+          Alcotest.test_case "hobby via split" `Quick test_hobby_split;
+          Alcotest.test_case "mixed refinements (QX1)" `Quick test_mixed_refinements;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "rules_used are relevant" `Quick test_rules_used_relevant;
+          Alcotest.test_case "user-provided rules" `Quick test_user_rules;
+          Alcotest.test_case "no rules -> deletion only" `Quick test_no_rules_only_deletion;
+          Alcotest.test_case "reload roundtrip" `Quick test_refine_after_reload;
+        ] );
+      ( "config-matrix", [ Alcotest.test_case "24 configurations" `Quick test_config_matrix ] );
+      ( "algorithm-behavior",
+        [
+          Alcotest.test_case "example 5: partition pruning" `Quick test_example5_partition_pruning;
+          Alcotest.test_case "example 6: SLE early stop" `Quick test_example6_sle_early_stop;
+        ] );
+      ( "incremental",
+        [
+          Alcotest.test_case "grown index = rebuilt index" `Quick
+            test_incremental_refinement_equivalence;
+          Alcotest.test_case "5000-publication smoke" `Slow test_scale_smoke;
+        ] );
+      ( "cross-corpus",
+        [
+          Alcotest.test_case "agreement on dblp" `Quick test_agreement_dblp;
+          Alcotest.test_case "agreement on baseball" `Quick test_agreement_baseball;
+          Alcotest.test_case "agreement on auction" `Quick test_agreement_auction;
+        ] );
+    ]

@@ -1,0 +1,388 @@
+module Codec = Xr_store.Codec
+module Pager = Xr_store.Pager
+module Btree = Xr_store.Btree
+module Kv = Xr_store.Kv
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+let tmp_file suffix = Filename.temp_file "xrstore" suffix
+
+(* ---- Codec ------------------------------------------------------------ *)
+
+let test_codec_scalars () =
+  List.iter
+    (fun n ->
+      check Alcotest.int
+        (Printf.sprintf "varint %d" n)
+        n
+        (Codec.decode Codec.read_varint (Codec.encode Codec.write_varint n)))
+    [ 0; 1; 127; 128; 300; 65535; 1 lsl 30 ];
+  List.iter
+    (fun n ->
+      check Alcotest.int
+        (Printf.sprintf "zigzag %d" n)
+        n
+        (Codec.decode Codec.read_int (Codec.encode Codec.write_int n)))
+    [ 0; -1; 1; -300; 300; min_int / 4; max_int / 4 ]
+
+let test_codec_composites () =
+  let s = "hello \x00 world" in
+  check Alcotest.string "string" s (Codec.decode Codec.read_string (Codec.encode Codec.write_string s));
+  let a = [| 0; 5; 3; 42 |] in
+  check (Alcotest.array Alcotest.int) "int array" a
+    (Codec.decode Codec.read_int_array (Codec.encode Codec.write_int_array a));
+  let l = [ "a"; ""; "bc" ] in
+  check (Alcotest.list Alcotest.string) "list" l
+    (Codec.decode (Codec.read_list Codec.read_string)
+       (Codec.encode (fun b v -> Codec.write_list Codec.write_string b v) l))
+
+let test_codec_errors () =
+  (try
+     ignore (Codec.decode Codec.read_string "\x05ab");
+     Alcotest.fail "expected truncation failure"
+   with Failure _ -> ());
+  try
+    ignore (Codec.decode Codec.read_varint "\x01\x01");
+    Alcotest.fail "expected trailing-bytes failure"
+  with Failure _ -> ()
+
+let prop_codec_roundtrip =
+  QCheck.Test.make ~name:"codec string-list roundtrip" ~count:200
+    QCheck.(list (string_of_size (QCheck.Gen.int_bound 40)))
+    (fun l ->
+      l
+      = Codec.decode (Codec.read_list Codec.read_string)
+          (Codec.encode (fun b v -> Codec.write_list Codec.write_string b v) l))
+
+(* ---- Pager ------------------------------------------------------------ *)
+
+let test_pager_memory () =
+  let p = Pager.in_memory () in
+  let id = Pager.alloc p in
+  check Alcotest.int "first page id" 1 id;
+  let page = Bytes.make Pager.page_size 'x' in
+  Pager.write p id page;
+  check Alcotest.string "read back" (Bytes.to_string page) (Bytes.to_string (Pager.read p id));
+  Pager.set_meta p 0 42;
+  check Alcotest.int "meta" 42 (Pager.get_meta p 0);
+  check Alcotest.int "page count" 1 (Pager.page_count p)
+
+let test_pager_file_persistence () =
+  let path = tmp_file ".pg" in
+  let p = Pager.open_file path in
+  let id1 = Pager.alloc p and id2 = Pager.alloc p in
+  Pager.write p id1 (Bytes.make Pager.page_size 'a');
+  Pager.write p id2 (Bytes.make Pager.page_size 'b');
+  Pager.set_meta p 3 123;
+  Pager.close p;
+  let p2 = Pager.open_file path in
+  check Alcotest.int "count persists" 2 (Pager.page_count p2);
+  check Alcotest.int "meta persists" 123 (Pager.get_meta p2 3);
+  check Alcotest.char "page 1" 'a' (Bytes.get (Pager.read p2 id1) 0);
+  check Alcotest.char "page 2" 'b' (Bytes.get (Pager.read p2 id2) 0);
+  Pager.close p2;
+  Sys.remove path
+
+let test_pager_bad_magic () =
+  let path = tmp_file ".bad" in
+  let oc = open_out path in
+  output_string oc (String.make 8192 'z');
+  close_out oc;
+  (try
+     ignore (Pager.open_file path);
+     Alcotest.fail "expected magic failure"
+   with Failure _ -> ());
+  Sys.remove path
+
+(* ---- Btree ------------------------------------------------------------ *)
+
+let test_btree_basic () =
+  let t = Btree.in_memory () in
+  check Alcotest.bool "empty find" true (Btree.find t "k" = None);
+  Btree.insert t ~key:"k" ~value:"v";
+  check (Alcotest.option Alcotest.string) "find" (Some "v") (Btree.find t "k");
+  Btree.insert t ~key:"k" ~value:"v2";
+  check (Alcotest.option Alcotest.string) "replace" (Some "v2") (Btree.find t "k");
+  check Alcotest.int "length counts replace once" 1 (Btree.length t);
+  check Alcotest.bool "delete" true (Btree.delete t "k");
+  check Alcotest.bool "delete missing" false (Btree.delete t "k");
+  check Alcotest.int "length after delete" 0 (Btree.length t);
+  Btree.check t
+
+let test_btree_many_and_ordered_scan () =
+  let t = Btree.in_memory () in
+  let n = 5000 in
+  (* insert in a scrambled order *)
+  for i = 0 to n - 1 do
+    let j = i * 2654435761 mod n in
+    Btree.insert t ~key:(Printf.sprintf "key%06d" j) ~value:(string_of_int j)
+  done;
+  Btree.check t;
+  check Alcotest.int "length" n (Btree.length t);
+  (* full scan is ordered and complete *)
+  let prev = ref "" and count = ref 0 in
+  Btree.iter t (fun k _ ->
+      if String.compare !prev k >= 0 then Alcotest.fail "scan out of order";
+      prev := k;
+      incr count);
+  check Alcotest.int "scan count" n !count;
+  (* point lookups *)
+  for j = 0 to n - 1 do
+    match Btree.find t (Printf.sprintf "key%06d" j) with
+    | Some v when v = string_of_int j -> ()
+    | _ -> Alcotest.failf "lookup %d failed" j
+  done
+
+let test_btree_range () =
+  let t = Btree.in_memory () in
+  List.iter (fun k -> Btree.insert t ~key:k ~value:(String.uppercase_ascii k))
+    [ "apple"; "banana"; "cherry"; "date"; "fig" ];
+  let got = Btree.fold_range t ~lo:"b" ~hi:"e" [] (fun acc k _ -> k :: acc) in
+  check (Alcotest.list Alcotest.string) "range" [ "banana"; "cherry"; "date" ] (List.rev got);
+  (* iter_from stops when callback returns false *)
+  let seen = ref [] in
+  Btree.iter_from t "banana" (fun k _ ->
+      seen := k :: !seen;
+      List.length !seen < 2);
+  check Alcotest.int "early stop" 2 (List.length !seen)
+
+let test_btree_big_values () =
+  let t = Btree.in_memory () in
+  let big = String.init 100_000 (fun i -> Char.chr (65 + (i mod 26))) in
+  Btree.insert t ~key:"big" ~value:big;
+  Btree.insert t ~key:"small" ~value:"s";
+  check (Alcotest.option Alcotest.string) "overflow value" (Some big) (Btree.find t "big");
+  check (Alcotest.option Alcotest.string) "small value" (Some "s") (Btree.find t "small");
+  Btree.insert t ~key:"big" ~value:"now small";
+  check (Alcotest.option Alcotest.string) "replace overflow" (Some "now small") (Btree.find t "big");
+  Btree.check t
+
+let test_btree_persistence () =
+  let path = tmp_file ".bt" in
+  Sys.remove path;
+  let t = Btree.open_file path in
+  for i = 0 to 999 do
+    Btree.insert t ~key:(Printf.sprintf "k%04d" i) ~value:(Printf.sprintf "v%d" i)
+  done;
+  Btree.close t;
+  let t2 = Btree.open_file path in
+  check Alcotest.int "length persists" 1000 (Btree.length t2);
+  check (Alcotest.option Alcotest.string) "value persists" (Some "v500") (Btree.find t2 "k0500");
+  Btree.check t2;
+  Btree.close t2;
+  Sys.remove path
+
+let test_btree_key_validation () =
+  let t = Btree.in_memory () in
+  (try
+     Btree.insert t ~key:"" ~value:"v";
+     Alcotest.fail "empty key accepted"
+   with Invalid_argument _ -> ());
+  try
+    Btree.insert t ~key:(String.make 600 'k') ~value:"v";
+    Alcotest.fail "oversized key accepted"
+  with Invalid_argument _ -> ()
+
+(* model-based property: btree behaves like Map *)
+let prop_btree_model =
+  let op_gen =
+    QCheck.Gen.(
+      pair (int_bound 2) (pair (int_bound 60) (string_size ~gen:printable (int_bound 12))))
+  in
+  QCheck.Test.make ~name:"btree = reference map under random ops" ~count:60
+    (QCheck.make QCheck.Gen.(list_size (int_bound 400) op_gen))
+    (fun ops ->
+      let t = Btree.in_memory () in
+      let m = ref [] in
+      List.iter
+        (fun (op, (ki, v)) ->
+          let k = Printf.sprintf "k%03d" ki in
+          match op with
+          | 0 ->
+            Btree.insert t ~key:k ~value:v;
+            m := (k, v) :: List.remove_assoc k !m
+          | 1 ->
+            let expected = List.mem_assoc k !m in
+            if Btree.delete t k <> expected then failwith "delete mismatch";
+            m := List.remove_assoc k !m
+          | _ ->
+            if Btree.find t k <> List.assoc_opt k !m then failwith "find mismatch")
+        ops;
+      Btree.check t;
+      Btree.length t = List.length !m)
+
+(* ---- Kv ---------------------------------------------------------------- *)
+
+let kv_suite make cleanup =
+  let kv = make () in
+  kv.Kv.insert ~key:"a:1" ~value:"x";
+  kv.Kv.insert ~key:"a:2" ~value:"y";
+  kv.Kv.insert ~key:"b:1" ~value:"z";
+  check (Alcotest.option Alcotest.string) "find" (Some "y") (kv.Kv.find "a:2");
+  check Alcotest.int "length" 3 (kv.Kv.length ());
+  let pre = Kv.fold_prefix kv "a:" [] (fun acc k _ -> k :: acc) in
+  check (Alcotest.list Alcotest.string) "prefix fold" [ "a:1"; "a:2" ] (List.rev pre);
+  check Alcotest.bool "delete" true (kv.Kv.delete "a:1");
+  check Alcotest.int "length after delete" 2 (kv.Kv.length ());
+  kv.Kv.close ();
+  cleanup ()
+
+let test_kv_memory () = kv_suite Kv.memory (fun () -> ())
+
+let test_kv_btree () =
+  let path = tmp_file ".kv" in
+  Sys.remove path;
+  kv_suite (fun () -> Kv.btree_file path) (fun () -> Sys.remove path)
+
+let test_btree_overflow_recycling () =
+  let t = Btree.in_memory () in
+  let big i = String.init 20_000 (fun j -> Char.chr (97 + ((i + j) mod 26))) in
+  Btree.insert t ~key:"k" ~value:(big 0);
+  (* replace the value many times: recycled pages keep everything sound *)
+  for i = 1 to 50 do
+    Btree.insert t ~key:"k" ~value:(big i)
+  done;
+  check (Alcotest.option Alcotest.string) "latest value wins" (Some (big 50)) (Btree.find t "k");
+  Btree.check t;
+  (* delete then insert an equally big value under another key: recycled *)
+  ignore (Btree.delete t "k");
+  Btree.insert t ~key:"k2" ~value:(big 7);
+  check (Alcotest.option Alcotest.string) "recycled chain readable" (Some (big 7))
+    (Btree.find t "k2");
+  Btree.check t
+
+let test_btree_overflow_file_stable () =
+  let path = tmp_file ".ovf" in
+  Sys.remove path;
+  let t = Btree.open_file path in
+  let big i = String.init 30_000 (fun j -> Char.chr (65 + ((i * 7 + j) mod 26))) in
+  Btree.insert t ~key:"x" ~value:(big 0);
+  Btree.sync t;
+  let size1 = (Unix.stat path).Unix.st_size in
+  for i = 1 to 40 do
+    Btree.insert t ~key:"x" ~value:(big i)
+  done;
+  Btree.sync t;
+  let size2 = (Unix.stat path).Unix.st_size in
+  Btree.close t;
+  Sys.remove path;
+  (* steady state: one live chain plus one free chain (the new value is
+     written before the old chain is released); without recycling this
+     would be ~40 chains *)
+  check Alcotest.bool
+    (Printf.sprintf "file stable under rewrites (%d -> %d)" size1 size2)
+    true
+    (size2 <= 2 * size1)
+
+(* ---- fault injection --------------------------------------------------------- *)
+
+let test_btree_corrupt_page_detected () =
+  (* flip a page-kind byte on disk; the next cold read must fail loudly,
+     not return garbage *)
+  let path = tmp_file ".cor" in
+  Sys.remove path;
+  let t = Btree.open_file path in
+  for i = 0 to 500 do
+    Btree.insert t ~key:(Printf.sprintf "key%04d" i) ~value:(String.make 40 'v')
+  done;
+  Btree.close t;
+  (* corrupt the first data page *)
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+  ignore (Unix.lseek fd Pager.page_size Unix.SEEK_SET);
+  ignore (Unix.write_substring fd "\xff" 0 1);
+  Unix.close fd;
+  let t2 = Btree.open_file path in
+  (try
+     (* touch every page *)
+     Btree.iter t2 (fun _ _ -> ());
+     Btree.check t2;
+     Alcotest.fail "corruption not detected"
+   with Failure _ -> ());
+  Sys.remove path
+
+let test_pager_truncated_file () =
+  let path = tmp_file ".tr" in
+  Sys.remove path;
+  let t = Btree.open_file path in
+  for i = 0 to 2000 do
+    Btree.insert t ~key:(Printf.sprintf "k%05d" i) ~value:"v"
+  done;
+  Btree.close t;
+  (* truncate to half *)
+  let size = (Unix.stat path).Unix.st_size in
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+  Unix.ftruncate fd (size / 2);
+  Unix.close fd;
+  let t2 = Btree.open_file path in
+  (try
+     Btree.iter t2 (fun _ _ -> ());
+     Alcotest.fail "truncation not detected"
+   with Failure _ | Invalid_argument _ -> ());
+  Sys.remove path
+
+let test_btree_reopen_after_sync_mid_stream () =
+  (* sync, keep writing without closing, reopen from the synced prefix:
+     the synced bindings must all be there and the tree well-formed *)
+  let path = tmp_file ".syn" in
+  Sys.remove path;
+  let t = Btree.open_file path in
+  for i = 0 to 299 do
+    Btree.insert t ~key:(Printf.sprintf "s%04d" i) ~value:(string_of_int i)
+  done;
+  Btree.sync t;
+  for i = 300 to 599 do
+    Btree.insert t ~key:(Printf.sprintf "u%04d" i) ~value:(string_of_int i)
+  done;
+  (* no close: simulate a crash by reopening the file as written so far *)
+  let t2 = Btree.open_file path in
+  Btree.check t2;
+  for i = 0 to 299 do
+    match Btree.find t2 (Printf.sprintf "s%04d" i) with
+    | Some v when v = string_of_int i -> ()
+    | _ -> Alcotest.failf "synced binding %d lost" i
+  done;
+  Btree.close t2;
+  Btree.close t;
+  Sys.remove path
+
+let () =
+  Alcotest.run "xr_store"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "scalars" `Quick test_codec_scalars;
+          Alcotest.test_case "composites" `Quick test_codec_composites;
+          Alcotest.test_case "errors" `Quick test_codec_errors;
+          qcheck prop_codec_roundtrip;
+        ] );
+      ( "pager",
+        [
+          Alcotest.test_case "memory" `Quick test_pager_memory;
+          Alcotest.test_case "file persistence" `Quick test_pager_file_persistence;
+          Alcotest.test_case "bad magic" `Quick test_pager_bad_magic;
+        ] );
+      ( "btree",
+        [
+          Alcotest.test_case "basics" `Quick test_btree_basic;
+          Alcotest.test_case "bulk + ordered scan" `Quick test_btree_many_and_ordered_scan;
+          Alcotest.test_case "range scans" `Quick test_btree_range;
+          Alcotest.test_case "overflow values" `Quick test_btree_big_values;
+          Alcotest.test_case "persistence" `Quick test_btree_persistence;
+          Alcotest.test_case "key validation" `Quick test_btree_key_validation;
+          Alcotest.test_case "overflow recycling" `Quick test_btree_overflow_recycling;
+          Alcotest.test_case "file stable under rewrites" `Quick test_btree_overflow_file_stable;
+          qcheck prop_btree_model;
+        ] );
+      ( "fault-injection",
+        [
+          Alcotest.test_case "corrupt page detected" `Quick test_btree_corrupt_page_detected;
+          Alcotest.test_case "truncated file detected" `Quick test_pager_truncated_file;
+          Alcotest.test_case "reopen after sync" `Quick test_btree_reopen_after_sync_mid_stream;
+        ] );
+      ( "kv",
+        [
+          Alcotest.test_case "memory backend" `Quick test_kv_memory;
+          Alcotest.test_case "btree backend" `Quick test_kv_btree;
+        ] );
+    ]

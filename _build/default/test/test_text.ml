@@ -1,0 +1,279 @@
+module Ed = Xr_text.Edit_distance
+module Stemmer = Xr_text.Stemmer
+module Thesaurus = Xr_text.Thesaurus
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* ---- edit distance ----------------------------------------------------- *)
+
+let test_distance_known () =
+  List.iter
+    (fun (a, b, d) ->
+      check Alcotest.int (Printf.sprintf "d(%s,%s)" a b) d (Ed.distance a b);
+      check Alcotest.int (Printf.sprintf "d(%s,%s) sym" b a) d (Ed.distance b a))
+    [
+      ("", "", 0);
+      ("a", "", 1);
+      ("kitten", "sitting", 3);
+      ("flaw", "lawn", 2);
+      ("database", "databases", 1);
+      ("mecin", "machine", 3);
+      ("eficient", "efficient", 1);
+      ("same", "same", 0);
+    ]
+
+let test_within () =
+  check (Alcotest.option Alcotest.int) "within hit" (Some 1) (Ed.within ~limit:2 "databse" "database");
+  check (Alcotest.option Alcotest.int) "within limit edge" (Some 2) (Ed.within ~limit:2 "flaw" "lawn");
+  check (Alcotest.option Alcotest.int) "within miss" None (Ed.within ~limit:2 "kitten" "sitting");
+  check (Alcotest.option Alcotest.int) "length gap shortcut" None (Ed.within ~limit:1 "ab" "abcdef");
+  check (Alcotest.option Alcotest.int) "empty both" (Some 0) (Ed.within ~limit:0 "" "")
+
+let word_gen = QCheck.Gen.(string_size ~gen:(char_range 'a' 'e') (int_bound 10))
+
+let prop_metric_axioms =
+  QCheck.Test.make ~name:"edit distance metric axioms" ~count:300
+    (QCheck.make QCheck.Gen.(triple word_gen word_gen word_gen))
+    (fun (a, b, c) ->
+      let d = Ed.distance in
+      d a b = d b a
+      && (d a b = 0) = (a = b)
+      && d a c <= d a b + d b c)
+
+let prop_within_agrees =
+  QCheck.Test.make ~name:"within agrees with distance" ~count:300
+    (QCheck.make QCheck.Gen.(pair word_gen word_gen))
+    (fun (a, b) ->
+      let full = Ed.distance a b in
+      List.for_all
+        (fun limit ->
+          match Ed.within ~limit a b with
+          | Some d -> d = full && d <= limit
+          | None -> full > limit)
+        [ 0; 1; 2; 3 ])
+
+(* ---- stemmer ----------------------------------------------------------- *)
+
+let test_stemmer_known () =
+  List.iter
+    (fun (w, s) -> check Alcotest.string (Printf.sprintf "stem %s" w) s (Stemmer.stem w))
+    [
+      ("caresses", "caress");
+      ("ponies", "poni");
+      ("cats", "cat");
+      ("feed", "feed");
+      ("agreed", "agre");
+      ("plastered", "plaster");
+      ("motoring", "motor");
+      ("sing", "sing");
+      ("conflated", "conflat");
+      ("troubling", "troubl");
+      ("sized", "size");
+      ("hopping", "hop");
+      ("falling", "fall");
+      ("hissing", "hiss");
+      ("fizzed", "fizz");
+      ("failing", "fail");
+      ("filing", "file");
+      ("happy", "happi");
+      ("sky", "sky");
+      ("relational", "relat");
+      ("conditional", "condit");
+      ("rational", "ration");
+      ("digitizer", "digit");
+      ("operator", "oper");
+      ("feudalism", "feudal");
+      ("decisiveness", "decis");
+      ("hopefulness", "hope");
+      ("formality", "formal");
+      ("sensitivity", "sensit");
+      ("triplicate", "triplic");
+      ("formative", "form");
+      ("formalize", "formal");
+      ("electricity", "electr");
+      ("electrical", "electr");
+      ("hopeful", "hope");
+      ("goodness", "good");
+      ("revival", "reviv");
+      ("allowance", "allow");
+      ("inference", "infer");
+      ("airliner", "airlin");
+      ("adjustable", "adjust");
+      ("defensible", "defens");
+      ("irritant", "irrit");
+      ("replacement", "replac");
+      ("adjustment", "adjust");
+      ("dependent", "depend");
+      ("adoption", "adopt");
+      ("communism", "commun");
+      ("activate", "activ");
+      ("angularity", "angular");
+      ("homologous", "homolog");
+      ("effective", "effect");
+      ("rate", "rate");
+      ("cease", "ceas");
+      ("controll", "control");
+      ("roll", "roll");
+      ("matching", "match");
+      ("match", "match");
+      ("ab", "ab");
+    ]
+
+let test_same_stem () =
+  check Alcotest.bool "match/matching" true (Stemmer.same_stem "match" "matching");
+  check Alcotest.bool "publication/publications" true
+    (Stemmer.same_stem "publication" "publications");
+  check Alcotest.bool "identical words excluded" false (Stemmer.same_stem "match" "match");
+  check Alcotest.bool "unrelated" false (Stemmer.same_stem "match" "query")
+
+(* ---- thesaurus --------------------------------------------------------- *)
+
+let test_thesaurus_default () =
+  let th = Thesaurus.default () in
+  let syns = List.map fst (Thesaurus.synonyms th "publication") in
+  check Alcotest.bool "publication ~ article" true (List.mem "article" syns);
+  check Alcotest.bool "publication ~ inproceedings" true (List.mem "inproceedings" syns);
+  check Alcotest.bool "symmetric" true
+    (List.mem "publication" (List.map fst (Thesaurus.synonyms th "article")));
+  check Alcotest.bool "no self link" false (List.mem "publication" syns);
+  check
+    (Alcotest.option (Alcotest.list Alcotest.string))
+    "www expansion"
+    (Some [ "world"; "wide"; "web" ])
+    (Thesaurus.expansion th "WWW");
+  check (Alcotest.option Alcotest.string) "reverse acronym" (Some "www")
+    (Thesaurus.acronym_of th [ "world"; "wide"; "web" ]);
+  check (Alcotest.option Alcotest.string) "reverse miss" None
+    (Thesaurus.acronym_of th [ "wide"; "world"; "web" ])
+
+let test_thesaurus_custom () =
+  let th = Thesaurus.empty () in
+  check Alcotest.int "empty size" 0 (Thesaurus.size th);
+  Thesaurus.add_synonyms th ~ds:2 [ "Foo"; "BAR" ];
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "normalized + scored" [ ("bar", 2) ] (Thesaurus.synonyms th "foo");
+  Thesaurus.add_acronym th ~acronym:"ab" ~expansion:[ "alpha"; "beta" ];
+  check Alcotest.int "size" 3 (Thesaurus.size th);
+  check Alcotest.int "acronym list" 1 (List.length (Thesaurus.acronyms th))
+
+(* ---- trie -------------------------------------------------------------- *)
+
+let test_trie_completion () =
+  let t =
+    Xr_text.Trie.of_vocabulary
+      [ ("data", 100); ("database", 60); ("databases", 10); ("date", 5); ("query", 40) ]
+  in
+  check Alcotest.int "size" 5 (Xr_text.Trie.size t);
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "weighted order"
+    [ ("data", 100); ("database", 60); ("databases", 10); ("date", 5) ]
+    (Xr_text.Trie.complete t "dat");
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "limit"
+    [ ("data", 100); ("database", 60) ]
+    (Xr_text.Trie.complete t ~limit:2 "dat");
+  check (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int)) "miss" []
+    (Xr_text.Trie.complete t "xyz");
+  check Alcotest.bool "mem" true (Xr_text.Trie.mem t "query");
+  check Alcotest.bool "prefix not a word" false (Xr_text.Trie.mem t "dat");
+  (* re-adding re-weights without duplicating *)
+  Xr_text.Trie.add t "date" 500;
+  check Alcotest.int "size stable" 5 (Xr_text.Trie.size t);
+  check Alcotest.string "re-weighted to front" "date"
+    (fst (List.hd (Xr_text.Trie.complete t "dat")))
+
+let prop_trie_complete_sound =
+  let words = [ "aa"; "ab"; "abc"; "b"; "ba"; "bab"; "c" ] in
+  QCheck.Test.make ~name:"trie completions = filtered vocabulary" ~count:200
+    (QCheck.make
+       QCheck.Gen.(
+         pair
+           (list_size (int_bound 7) (pair (oneofl words) (int_range 1 50)))
+           (oneofl [ "a"; "ab"; "b"; "ba"; "c"; "z"; "" ])))
+    (fun (pairs, prefix) ->
+      let t = Xr_text.Trie.of_vocabulary pairs in
+      let got = List.map fst (Xr_text.Trie.complete t ~limit:100 prefix) in
+      let expected =
+        List.sort_uniq compare (List.map fst pairs)
+        |> List.filter (fun w ->
+               String.length w >= String.length prefix
+               && String.sub w 0 (String.length prefix) = prefix)
+      in
+      List.sort compare got = expected)
+
+(* ---- thesaurus files ----------------------------------------------------- *)
+
+let test_thesaurus_file () =
+  let content =
+    "# comment\nsyn: fast quick speedy : 2\nsyn: car automobile\nacr: www = world wide web\n"
+  in
+  match Thesaurus.parse content with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok t ->
+    check
+      (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+      "scored group"
+      [ ("quick", 2); ("speedy", 2) ]
+      (List.sort compare (Thesaurus.synonyms t "fast"));
+    check Alcotest.bool "default score" true (List.mem_assoc "automobile" (Thesaurus.synonyms t "car"));
+    check
+      (Alcotest.option (Alcotest.list Alcotest.string))
+      "acronym" (Some [ "world"; "wide"; "web" ]) (Thesaurus.expansion t "www")
+
+let test_thesaurus_file_errors () =
+  let bad content =
+    match Thesaurus.parse content with
+    | Ok _ -> Alcotest.failf "accepted %S" content
+    | Error _ -> ()
+  in
+  bad "nonsense line";
+  bad "syn: onlyone";
+  bad "syn: a b : zero";
+  bad "acr: www world wide web";
+  bad "acr: two words = x"
+
+let test_thesaurus_merge () =
+  let a = Thesaurus.empty () in
+  Thesaurus.add_synonyms a ~ds:1 [ "x"; "y" ];
+  let b = Thesaurus.empty () in
+  Thesaurus.add_synonyms b ~ds:1 [ "x"; "z" ];
+  Thesaurus.add_acronym b ~acronym:"ab" ~expansion:[ "alpha"; "beta" ];
+  Thesaurus.merge a b;
+  let syns = List.map fst (Thesaurus.synonyms a "x") in
+  check Alcotest.bool "kept own" true (List.mem "y" syns);
+  check Alcotest.bool "gained merged" true (List.mem "z" syns);
+  check Alcotest.bool "gained acronym" true (Thesaurus.expansion a "ab" <> None)
+
+let () =
+  Alcotest.run "xr_text"
+    [
+      ( "edit-distance",
+        [
+          Alcotest.test_case "known distances" `Quick test_distance_known;
+          Alcotest.test_case "bounded variant" `Quick test_within;
+          qcheck prop_metric_axioms;
+          qcheck prop_within_agrees;
+        ] );
+      ( "stemmer",
+        [
+          Alcotest.test_case "porter vectors" `Quick test_stemmer_known;
+          Alcotest.test_case "same_stem" `Quick test_same_stem;
+        ] );
+      ( "thesaurus",
+        [
+          Alcotest.test_case "default entries" `Quick test_thesaurus_default;
+          Alcotest.test_case "custom entries" `Quick test_thesaurus_custom;
+          Alcotest.test_case "file parsing" `Quick test_thesaurus_file;
+          Alcotest.test_case "file errors" `Quick test_thesaurus_file_errors;
+          Alcotest.test_case "merge" `Quick test_thesaurus_merge;
+        ] );
+      ( "trie",
+        [
+          Alcotest.test_case "completion" `Quick test_trie_completion;
+          qcheck prop_trie_complete_sound;
+        ] );
+    ]
