@@ -1,4 +1,4 @@
-.PHONY: all build test bench examples quickbench clean
+.PHONY: all build test check smoke bench examples quickbench clean
 
 all: build
 
@@ -7,6 +7,12 @@ build:
 
 test:
 	dune runtest
+
+check:
+	dune build @all && dune runtest
+
+smoke: build
+	scripts/smoke.sh
 
 bench:
 	dune exec bench/main.exe

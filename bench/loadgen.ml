@@ -1,0 +1,342 @@
+(* Load generator for `xrefine serve`: the serving-layer counterpart of
+   bench/main.ml. N client domains drive a mixed /search + /refine
+   workload over persistent connections (TCP or Unix-domain socket) and
+   report throughput and latency percentiles; --check verifies every
+   response byte-for-byte against a sequentially fetched baseline, and
+   --smoke is the CI mode that hits every endpoint once and asserts
+   HTTP 200 + well-formed JSON.
+
+     loadgen --port 8080 --clients 4 --duration 5 --check \
+             --query "database title" --query "database publication" *)
+
+module Http = Xr_server.Http
+module Json = Xr_server.Json
+
+type target_addr = Tcp of string * int | Unix_path of string
+
+let addr_host = ref "127.0.0.1"
+let addr_port = ref 8080
+let addr_unix = ref ""
+let duration = ref 5.0
+let clients = ref 4
+let mix = ref 0.7
+let queries : string list ref = ref []
+let check = ref false
+let smoke = ref false
+let seed = ref 2009
+let queries_file = ref ""
+let json_summary = ref false
+
+let speclist =
+  [
+    ("--host", Arg.Set_string addr_host, "HOST server host (default 127.0.0.1)");
+    ("--port", Arg.Set_int addr_port, "PORT server port (default 8080)");
+    ("--unix", Arg.Set_string addr_unix, "PATH connect to a Unix-domain socket instead of TCP");
+    ("--duration", Arg.Set_float duration, "S seconds of load (default 5)");
+    ("--clients", Arg.Set_int clients, "N client domains (default 4)");
+    ("--mix", Arg.Set_float mix, "F fraction of /search requests, rest /refine (default 0.7)");
+    ("--query", Arg.String (fun q -> queries := q :: !queries), "Q add a query (repeatable)");
+    ("--queries", Arg.Set_string queries_file, "FILE one query per line");
+    ("--check", Arg.Set check, " verify responses byte-identical to a sequential baseline");
+    ("--smoke", Arg.Set smoke, " hit every endpoint once, assert 200 + well-formed JSON");
+    ("--seed", Arg.Set_int seed, "N workload seed (default 2009)");
+    ("--json", Arg.Set json_summary, " print the summary as one JSON object");
+  ]
+
+let usage = "loadgen: drive xrefine serve and report throughput/latency"
+
+(* ---- tiny HTTP client --------------------------------------------------- *)
+
+let resolve () =
+  if !addr_unix <> "" then Unix_path !addr_unix else Tcp (!addr_host, !addr_port)
+
+let connect addr =
+  match addr with
+  | Tcp (host, port) ->
+    let inet =
+      try Unix.inet_addr_of_string host
+      with Failure _ -> (
+        match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+        | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> a
+        | _ -> failwith ("cannot resolve " ^ host))
+    in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_INET (inet, port));
+    Unix.setsockopt fd Unix.TCP_NODELAY true;
+    fd
+  | Unix_path path ->
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX path);
+    fd
+
+type client = { fd : Unix.file_descr; reader : Http.reader }
+
+let open_client addr =
+  let fd = connect addr in
+  { fd; reader = Http.reader_of_fd fd }
+
+let close_client c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+(* One GET over an open connection; the server keeps it alive unless it
+   answers [connection: close]. *)
+let get c target =
+  Http.write_all c.fd
+    (Printf.sprintf "GET %s HTTP/1.1\r\nhost: loadgen\r\n\r\n" target);
+  match Http.read_response c.reader with
+  | Ok (status, headers, body) ->
+    let closing =
+      match List.assoc_opt "connection" headers with
+      | Some v -> String.lowercase_ascii v = "close"
+      | None -> false
+    in
+    Ok (status, closing, body)
+  | Error e -> Error e
+
+(* GET on a throwaway connection (baseline fetches, smoke mode). *)
+let get_once addr target =
+  let c = open_client addr in
+  Fun.protect ~finally:(fun () -> close_client c) (fun () -> get c target)
+
+(* ---- workload ------------------------------------------------------------ *)
+
+let default_queries = [ "database title"; "database publication"; "title" ]
+
+let load_queries () =
+  let from_file =
+    if !queries_file = "" then []
+    else
+      In_channel.with_open_text !queries_file (fun ic ->
+          In_channel.input_lines ic |> List.map String.trim
+          |> List.filter (fun l -> l <> "" && l.[0] <> '#'))
+  in
+  match List.rev !queries @ from_file with [] -> default_queries | qs -> qs
+
+let encode_query q =
+  String.concat "+" (List.map Http.percent_encode (String.split_on_char ' ' q))
+
+let targets_of_queries qs =
+  let search = List.map (fun q -> "/search?q=" ^ encode_query q ^ "&rank=true") qs in
+  let refine = List.map (fun q -> "/refine?q=" ^ encode_query q) qs in
+  (Array.of_list search, Array.of_list refine)
+
+type client_stats = {
+  mutable sent : int;
+  mutable ok : int;
+  mutable shed : int;  (* 503: admission control / deadline *)
+  mutable client_errors : int;  (* 4xx *)
+  mutable server_errors : int;  (* 5xx other than 503 *)
+  mutable io_errors : int;
+  mutable mismatches : int;
+  mutable latencies_ms : float list;
+}
+
+let fresh_stats () =
+  {
+    sent = 0;
+    ok = 0;
+    shed = 0;
+    client_errors = 0;
+    server_errors = 0;
+    io_errors = 0;
+    mismatches = 0;
+    latencies_ms = [];
+  }
+
+let run_client addr ~idx ~deadline ~searches ~refines ~expected =
+  let rng = Random.State.make [| !seed; idx |] in
+  let stats = fresh_stats () in
+  let pick () =
+    if Random.State.float rng 1.0 < !mix || Array.length refines = 0 then
+      searches.(Random.State.int rng (Array.length searches))
+    else refines.(Random.State.int rng (Array.length refines))
+  in
+  let c = ref (try Some (open_client addr) with _ -> None) in
+  let ensure () =
+    match !c with
+    | Some cl -> Some cl
+    | None -> ( try
+        let cl = open_client addr in
+        c := Some cl;
+        Some cl
+      with _ -> None)
+  in
+  while Unix.gettimeofday () < deadline do
+    match ensure () with
+    | None -> stats.io_errors <- stats.io_errors + 1
+    | Some cl -> (
+      let target = pick () in
+      let t0 = Unix.gettimeofday () in
+      stats.sent <- stats.sent + 1;
+      match get cl target with
+      | Ok (status, closing, body) ->
+        let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+        stats.latencies_ms <- ms :: stats.latencies_ms;
+        (if status = 200 then begin
+           stats.ok <- stats.ok + 1;
+           match Hashtbl.find_opt expected target with
+           | Some baseline when not (String.equal baseline body) ->
+             stats.mismatches <- stats.mismatches + 1
+           | _ -> ()
+         end
+         else if status = 503 then stats.shed <- stats.shed + 1
+         else if status >= 500 then stats.server_errors <- stats.server_errors + 1
+         else stats.client_errors <- stats.client_errors + 1);
+        if closing then begin
+          close_client cl;
+          c := None
+        end
+      | Error _ ->
+        stats.io_errors <- stats.io_errors + 1;
+        close_client cl;
+        c := None)
+  done;
+  (match !c with Some cl -> close_client cl | None -> ());
+  stats
+
+(* ---- reporting ----------------------------------------------------------- *)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (int_of_float (p /. 100. *. float_of_int (n - 1) +. 0.5)))
+
+let report elapsed all =
+  let total f = List.fold_left (fun acc s -> acc + f s) 0 all in
+  let sent = total (fun s -> s.sent)
+  and ok = total (fun s -> s.ok)
+  and shed = total (fun s -> s.shed)
+  and c4 = total (fun s -> s.client_errors)
+  and c5 = total (fun s -> s.server_errors)
+  and io = total (fun s -> s.io_errors)
+  and mism = total (fun s -> s.mismatches) in
+  let lat = Array.of_list (List.concat_map (fun s -> s.latencies_ms) all) in
+  Array.sort compare lat;
+  let mean =
+    if Array.length lat = 0 then 0.
+    else Array.fold_left ( +. ) 0. lat /. float_of_int (Array.length lat)
+  in
+  let rps = if elapsed > 0. then float_of_int sent /. elapsed else 0. in
+  if !json_summary then
+    print_endline
+      (Json.to_string
+         (Json.Obj
+            [
+              ("clients", Json.Int !clients);
+              ("elapsed_s", Json.Float elapsed);
+              ("requests", Json.Int sent);
+              ("ok", Json.Int ok);
+              ("shed_503", Json.Int shed);
+              ("errors_4xx", Json.Int c4);
+              ("errors_5xx", Json.Int c5);
+              ("io_errors", Json.Int io);
+              ("mismatches", Json.Int mism);
+              ("rps", Json.Float rps);
+              ("latency_ms",
+               Json.Obj
+                 [
+                   ("mean", Json.Float mean);
+                   ("p50", Json.Float (percentile lat 50.));
+                   ("p90", Json.Float (percentile lat 90.));
+                   ("p99", Json.Float (percentile lat 99.));
+                   ("max", Json.Float (percentile lat 100.));
+                 ]);
+            ]))
+  else begin
+    Printf.printf "loadgen: %d client(s), %.2fs\n" !clients elapsed;
+    Printf.printf "  requests   %d (%.0f req/s)\n" sent rps;
+    Printf.printf "  ok         %d\n" ok;
+    Printf.printf "  shed(503)  %d\n" shed;
+    Printf.printf "  4xx        %d\n" c4;
+    Printf.printf "  5xx        %d\n" c5;
+    Printf.printf "  io errors  %d\n" io;
+    if !check then Printf.printf "  mismatches %d\n" mism;
+    Printf.printf "  latency ms mean %.2f  p50 %.2f  p90 %.2f  p99 %.2f  max %.2f\n" mean
+      (percentile lat 50.) (percentile lat 90.) (percentile lat 99.) (percentile lat 100.)
+  end;
+  if mism > 0 then exit 1
+
+(* ---- smoke mode ---------------------------------------------------------- *)
+
+let run_smoke addr qs =
+  let q = List.hd qs in
+  let kw = List.hd (String.split_on_char ' ' q) in
+  let prefix = String.sub kw 0 (min 3 (String.length kw)) in
+  let eps =
+    [
+      "/health";
+      "/stats";
+      "/metrics";
+      "/search?q=" ^ encode_query q;
+      "/search?q=" ^ encode_query q ^ "&rank=true";
+      "/refine?q=" ^ encode_query q;
+      "/suggest?q=" ^ encode_query q;
+      "/complete?prefix=" ^ Http.percent_encode prefix;
+      (* repeated on purpose: the second hit must come from the cache *)
+      "/search?q=" ^ encode_query q;
+    ]
+  in
+  let failures = ref 0 in
+  List.iter
+    (fun ep ->
+      match get_once addr ep with
+      | Ok (200, _, body) -> (
+        match Json.of_string body with
+        | Ok _ -> Printf.printf "ok   %s\n" ep
+        | Error msg ->
+          incr failures;
+          Printf.printf "FAIL %s: invalid JSON (%s)\n" ep msg)
+      | Ok (status, _, _) ->
+        incr failures;
+        Printf.printf "FAIL %s: HTTP %d\n" ep status
+      | Error e ->
+        incr failures;
+        Printf.printf "FAIL %s: %s\n" ep (Http.error_to_string e))
+    eps;
+  (* A repeated query must be answered by the result cache. *)
+  (match get_once addr "/metrics" with
+  | Ok (200, _, body) -> (
+    match Json.of_string body with
+    | Ok m -> (
+      match Option.bind (Json.member "cache" m) (Json.member "hits") with
+      | Some (Json.Int h) when h > 0 -> Printf.printf "ok   cache hits: %d\n" h
+      | _ ->
+        incr failures;
+        print_endline "FAIL metrics report no cache hits after repeated queries")
+    | Error _ -> incr failures)
+  | _ -> incr failures);
+  if !failures > 0 then begin
+    Printf.printf "smoke: %d failure(s)\n" !failures;
+    exit 1
+  end
+  else print_endline "smoke: all endpoints healthy"
+
+(* ---- main ----------------------------------------------------------------- *)
+
+let () =
+  Arg.parse speclist (fun q -> queries := q :: !queries) usage;
+  let addr = resolve () in
+  let qs = load_queries () in
+  if !smoke then run_smoke addr qs
+  else begin
+    let searches, refines = targets_of_queries qs in
+    let expected = Hashtbl.create 64 in
+    if !check then
+      Array.iter
+        (fun target ->
+          match get_once addr target with
+          | Ok (200, _, body) -> Hashtbl.replace expected target body
+          | Ok (status, _, _) ->
+            Printf.eprintf "loadgen: baseline %s -> HTTP %d\n" target status
+          | Error e ->
+            Printf.eprintf "loadgen: baseline %s -> %s\n" target (Http.error_to_string e))
+        (Array.append searches refines);
+    let started = Unix.gettimeofday () in
+    let deadline = started +. !duration in
+    let workers =
+      Array.init (max 1 !clients) (fun idx ->
+          Domain.spawn (fun () ->
+              run_client addr ~idx ~deadline ~searches ~refines ~expected))
+    in
+    let all = Array.to_list (Array.map Domain.join workers) in
+    report (Unix.gettimeofday () -. started) all
+  end

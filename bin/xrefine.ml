@@ -5,6 +5,7 @@
      index     build and persist the index of an XML file
      search    plain meaningful-SLCA search
      refine    automatic query refinement (the paper's pipeline)
+     serve     keep the index resident and answer queries over HTTP
      stats     document statistics: node types, search-for inference *)
 
 open Cmdliner
@@ -26,6 +27,9 @@ let query_args =
 let load_index file =
   if Filename.check_suffix file ".xrdb" then Index.load (Xr_store.Kv.btree_file file)
   else Index.of_file file
+
+let json_flag =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit the result as JSON (the server's schema).")
 
 (* ---- generate ----------------------------------------------------------- *)
 
@@ -105,7 +109,7 @@ let search_cmd =
       & info [ "interconnected" ]
           ~doc:"Keep only results whose witnesses are pairwise interconnected (XSEarch).")
   in
-  let run doc alg rank interconnected query =
+  let run doc alg rank interconnected json query =
     let index = load_index doc in
     let slca =
       match Xr_slca.Engine.of_name alg with
@@ -116,29 +120,35 @@ let search_cmd =
     let post slcas =
       if interconnected then Xr_slca.Interconnection.filter index query slcas else slcas
     in
-    match post (Engine.search ~config index query) with
-    | [] -> print_endline "no meaningful result (the query may need refinement; try `refine`)"
-    | slcas ->
-      let entries =
-        if rank then
-          let ids = List.filter_map (Xr_xml.Doc.keyword_id index.Index.doc) query in
-          Xr_slca.Result_rank.rank index.Index.stats ~query:ids slcas
-        else List.map (fun d -> (d, 0.)) slcas
-      in
-      Printf.printf "%d meaningful SLCA result(s):\n" (List.length slcas);
-      let ids = List.filter_map (Xr_xml.Doc.keyword_id index.Index.doc) query in
-      List.iter
-        (fun (d, score) ->
-          let snippet = Xr_slca.Snippet.of_result index.Index.doc ~query:ids d in
-          if rank then
-            Printf.printf "- %-24s (relevance %.3f)  %s\n"
-              (Xr_xml.Doc.label index.Index.doc d) score snippet
-          else Printf.printf "- %-24s %s\n" (Xr_xml.Doc.label index.Index.doc d) snippet)
-        entries
+    let slcas = post (Engine.search ~config index query) in
+    let entries =
+      if rank then
+        let ids = List.filter_map (Xr_xml.Doc.keyword_id index.Index.doc) query in
+        Xr_slca.Result_rank.rank index.Index.stats ~query:ids slcas
+      else List.map (fun d -> (d, 0.)) slcas
+    in
+    if json then
+      print_endline
+        (Xr_server.Json.to_string
+           (Xr_server.Api.search_payload index ~query ~ranked:rank entries))
+    else
+      match entries with
+      | [] -> print_endline "no meaningful result (the query may need refinement; try `refine`)"
+      | entries ->
+        Printf.printf "%d meaningful SLCA result(s):\n" (List.length slcas);
+        let ids = List.filter_map (Xr_xml.Doc.keyword_id index.Index.doc) query in
+        List.iter
+          (fun (d, score) ->
+            let snippet = Xr_slca.Snippet.of_result index.Index.doc ~query:ids d in
+            if rank then
+              Printf.printf "- %-24s (relevance %.3f)  %s\n"
+                (Xr_xml.Doc.label index.Index.doc d) score snippet
+            else Printf.printf "- %-24s %s\n" (Xr_xml.Doc.label index.Index.doc d) snippet)
+          entries
   in
   Cmd.v
     (Cmd.info "search" ~doc:"Meaningful-SLCA keyword search (no refinement).")
-    Term.(const run $ doc_file $ alg $ rank $ interconnected $ query_args)
+    Term.(const run $ doc_file $ alg $ rank $ interconnected $ json_flag $ query_args)
 
 (* ---- suggest -------------------------------------------------------------- *)
 
@@ -201,7 +211,7 @@ let refine_cmd =
       & opt (some file) None
       & info [ "thesaurus" ] ~docv:"FILE" ~doc:"Extra synonym/acronym entries (see Thesaurus format).")
   in
-  let run doc k alg show_rules rules_file no_mine explain thesaurus_file query =
+  let run doc k alg show_rules rules_file no_mine explain thesaurus_file json query =
     let index = load_index doc in
     let algorithm =
       match Engine.algorithm_of_name alg with
@@ -223,6 +233,10 @@ let refine_cmd =
       match rules_file with Some f -> Xr_refine.Rule_file.load f | None -> []
     in
     let resp = Engine.refine ~config ~rules index query in
+    if json then
+      print_endline
+        (Xr_server.Json.to_string (Xr_server.Api.refine_payload index ~query resp))
+    else begin
     if show_rules then begin
       print_endline "rules consulted:";
       List.iter (fun r -> Printf.printf "  %s\n" (Xr_refine.Rule.to_string r)) resp.Engine.rules_used
@@ -239,12 +253,110 @@ let refine_cmd =
           matches
       | Result.Original _ | Result.No_result -> ()
     end
+    end
   in
   Cmd.v
     (Cmd.info "refine" ~doc:"Automatic XML keyword query refinement (the paper's pipeline).")
     Term.(
       const run $ doc_file $ k $ alg $ show_rules $ rules_file $ no_mine $ explain
-      $ thesaurus_file $ query_args)
+      $ thesaurus_file $ json_flag $ query_args)
+
+(* ---- serve -------------------------------------------------------------------- *)
+
+let serve_cmd =
+  let port =
+    Arg.(value & opt int 8080 & info [ "p"; "port" ] ~docv:"PORT" ~doc:"TCP port to listen on.")
+  in
+  let host =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc:"Address to bind.")
+  in
+  let unix_socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "unix" ] ~docv:"PATH" ~doc:"Listen on a Unix-domain socket instead of TCP.")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt int (Domain.recommended_domain_count ())
+      & info [ "domains" ] ~docv:"N" ~doc:"Worker domains sharing the index.")
+  in
+  let queue =
+    Arg.(
+      value
+      & opt int 64
+      & info [ "queue" ] ~docv:"N"
+          ~doc:"Admission-control bound on queued connections (overload answers 503).")
+  in
+  let cache =
+    Arg.(
+      value
+      & opt int 512
+      & info [ "cache" ] ~docv:"N" ~doc:"Result-cache capacity in entries (0 disables).")
+  in
+  let cache_shards =
+    Arg.(value & opt int 8 & info [ "cache-shards" ] ~docv:"N" ~doc:"Result-cache lock shards.")
+  in
+  let deadline =
+    Arg.(
+      value
+      & opt float 5000.
+      & info [ "deadline-ms" ] ~docv:"MS" ~doc:"Per-request time budget in milliseconds.")
+  in
+  let limit =
+    Arg.(
+      value
+      & opt int 20
+      & info [ "limit" ] ~docv:"N" ~doc:"Default cap on result arrays in responses.")
+  in
+  let quiet = Arg.(value & flag & info [ "quiet" ] ~doc:"Disable the stderr request log.") in
+  let run doc port host unix_socket domains queue cache cache_shards deadline limit quiet =
+    let index = load_index doc in
+    let addr =
+      match unix_socket with
+      | Some path -> Xr_server.Server.Unix_socket path
+      | None -> Xr_server.Server.Tcp (host, port)
+    in
+    let config =
+      {
+        Xr_server.Server.default_config with
+        Xr_server.Server.addr;
+        domains;
+        queue_bound = queue;
+        cache_capacity = cache;
+        cache_shards;
+        deadline_ms = deadline;
+        result_limit = limit;
+        log = not quiet;
+      }
+    in
+    let server = Xr_server.Server.start config index in
+    let where =
+      match Xr_server.Server.bound_addr server with
+      | Unix.ADDR_INET (a, p) -> Printf.sprintf "http://%s:%d" (Unix.string_of_inet_addr a) p
+      | Unix.ADDR_UNIX p -> "unix:" ^ p
+    in
+    Printf.printf
+      "xrefine serve: %d nodes, %d keywords resident; %d worker domain(s), queue bound %d, \
+       cache %d, deadline %.0f ms\nlistening on %s\n%!"
+      (Xr_xml.Doc.node_count index.Index.doc)
+      (List.length (Xr_xml.Doc.vocabulary index.Index.doc))
+      domains queue cache deadline where;
+    let stop _ = Xr_server.Server.stop server in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+    Xr_server.Server.run server;
+    prerr_endline "xrefine serve: stopped"
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve /search, /refine, /suggest, /complete, /stats and /metrics as JSON over HTTP, \
+          keeping the index resident and answering from parallel worker domains.")
+    Term.(
+      const run $ doc_file $ port $ host $ unix_socket $ domains $ queue $ cache $ cache_shards
+      $ deadline $ limit $ quiet)
 
 (* ---- complete ----------------------------------------------------------------- *)
 
@@ -492,5 +604,5 @@ let () =
       ~doc:"Automatic XML keyword query refinement (XRefine reproduction)."
   in
   exit (Cmd.eval (Cmd.group info
-       [ generate_cmd; index_cmd; search_cmd; refine_cmd; suggest_cmd; complete_cmd; repl_cmd;
-         xpath_cmd; workload_cmd; replay_cmd; stats_cmd ]))
+       [ generate_cmd; index_cmd; search_cmd; refine_cmd; serve_cmd; suggest_cmd; complete_cmd;
+         repl_cmd; xpath_cmd; workload_cmd; replay_cmd; stats_cmd ]))

@@ -8,6 +8,10 @@ type t = {
   distinct : int array; (* G_T, by path id *)
   nodes_per_path : int array; (* N_T, by path id *)
   cooccur_memo : (Path.id * Interner.id * Interner.id, int) Hashtbl.t;
+  memo_lock : Mutex.t;
+      (* [cooccur] memoizes at query time; the index is otherwise
+         read-only after [build], so this is the one lock that makes a
+         shared [t] safe to query from parallel domains. *)
 }
 
 let build (doc : Doc.t) inverted =
@@ -61,6 +65,7 @@ let build (doc : Doc.t) inverted =
     distinct;
     nodes_per_path;
     cooccur_memo = Hashtbl.create 256;
+    memo_lock = Mutex.create ();
   }
 
 (* Incremental variant of [build] for an appended partition. New nodes'
@@ -113,7 +118,7 @@ let append t ~doc ~inverted ~added =
           node.keywords
       end)
     added;
-  Hashtbl.reset t.cooccur_memo;
+  Mutex.protect t.memo_lock (fun () -> Hashtbl.reset t.cooccur_memo);
   { t with doc; inverted; nodes_per_path; distinct }
 
 let doc t = t.doc
@@ -164,13 +169,19 @@ let cooccur_compute t ~path k1 k2 =
 let cooccur t ~path k1 k2 =
   let k1, k2 = if k1 <= k2 then (k1, k2) else (k2, k1) in
   if k1 = k2 then df t ~path ~kw:k1
-  else
-    match Hashtbl.find_opt t.cooccur_memo (path, k1, k2) with
+  else begin
+    let cached =
+      Mutex.protect t.memo_lock (fun () -> Hashtbl.find_opt t.cooccur_memo (path, k1, k2))
+    in
+    match cached with
     | Some v -> v
     | None ->
+      (* Compute outside the lock: a racing domain at worst recomputes the
+         same value; [replace] keeps the table consistent either way. *)
       let v = cooccur_compute t ~path k1 k2 in
-      Hashtbl.add t.cooccur_memo (path, k1, k2) v;
+      Mutex.protect t.memo_lock (fun () -> Hashtbl.replace t.cooccur_memo (path, k1, k2) v);
       v
+  end
 
 let paths_containing t kw =
   let acc = ref [] in
@@ -198,6 +209,15 @@ let import (doc : Doc.t) inverted ~rows ~nodes_per_path =
       Hashtbl.replace tf (path, kw) f;
       if path >= 0 && path < npaths then distinct.(path) <- distinct.(path) + 1)
     rows;
-  { doc; inverted; df; tf; distinct; nodes_per_path; cooccur_memo = Hashtbl.create 256 }
+  {
+    doc;
+    inverted;
+    df;
+    tf;
+    distinct;
+    nodes_per_path;
+    cooccur_memo = Hashtbl.create 256;
+    memo_lock = Mutex.create ();
+  }
 
 let total_nodes t = Doc.node_count t.doc

@@ -1,0 +1,152 @@
+open Xr_xml
+module Index = Xr_index.Index
+module Engine = Xr_refine.Engine
+module Result = Xr_refine.Result
+
+let take limit l =
+  let rec go n = function x :: rest when n > 0 -> x :: go (n - 1) rest | _ -> [] in
+  if limit < 0 then l else go limit l
+
+let result_item (index : Index.t) ~query_ids ?score dewey =
+  let doc = index.Index.doc in
+  let base =
+    [
+      ("dewey", Json.String (Dewey.to_string dewey));
+      ("label", Json.String (Doc.label doc dewey));
+      ("snippet", Json.String (Xr_slca.Snippet.of_result doc ~query:query_ids dewey));
+    ]
+  in
+  match score with
+  | Some s -> Json.Obj (base @ [ ("score", Json.Float s) ])
+  | None -> Json.Obj base
+
+let query_ids (index : Index.t) keywords =
+  List.filter_map (Doc.keyword_id index.Index.doc) keywords
+
+let keywords_json keywords = Json.List (List.map (fun k -> Json.String k) keywords)
+
+let search_payload index ~query ~ranked ?(limit = -1) entries =
+  let ids = query_ids index query in
+  let items =
+    List.map
+      (fun (d, s) ->
+        if ranked then result_item index ~query_ids:ids ~score:s d
+        else result_item index ~query_ids:ids d)
+      (take limit entries)
+  in
+  Json.Obj
+    [
+      ("query", keywords_json query);
+      ("count", Json.Int (List.length entries));
+      ("ranked", Json.Bool ranked);
+      ("results", Json.List items);
+    ]
+
+let scored_json (s : Xr_refine.Ranking.scored) =
+  Json.Obj
+    [
+      ("similarity", Json.Float s.Xr_refine.Ranking.similarity);
+      ("dependence", Json.Float s.Xr_refine.Ranking.dependence);
+      ("rank", Json.Float s.Xr_refine.Ranking.rank);
+    ]
+
+let rq_match_json index ~limit (m : Result.rq_match) =
+  let rq = m.Result.rq in
+  let ids = query_ids index rq.Xr_refine.Refined_query.keywords in
+  Json.Obj
+    [
+      ("keywords", keywords_json rq.Xr_refine.Refined_query.keywords);
+      ( "operations",
+        Json.List
+          (List.map (fun o -> Json.String o) (Xr_refine.Refined_query.operations rq)) );
+      ("dissimilarity", Json.Int rq.Xr_refine.Refined_query.dissimilarity);
+      ("score", match m.Result.score with Some s -> scored_json s | None -> Json.Null);
+      ("count", Json.Int (List.length m.Result.slcas));
+      ( "results",
+        Json.List
+          (List.map (fun d -> result_item index ~query_ids:ids d) (take limit m.Result.slcas))
+      );
+    ]
+
+let refine_payload index ~query ?(limit = -1) (resp : Engine.response) =
+  let ids = query_ids index query in
+  let outcome, fields =
+    match resp.Engine.result with
+    | Result.Original slcas ->
+      ( "matched",
+        [
+          ("count", Json.Int (List.length slcas));
+          ( "results",
+            Json.List
+              (List.map (fun d -> result_item index ~query_ids:ids d) (take limit slcas)) );
+        ] )
+    | Result.Refined matches ->
+      ( "refined",
+        [ ("refinements", Json.List (List.map (rq_match_json index ~limit) matches)) ] )
+    | Result.No_result -> ("no_result", [])
+  in
+  Json.Obj
+    ([ ("query", keywords_json query); ("outcome", Json.String outcome) ]
+    @ fields
+    @ [
+        ( "rules_used",
+          Json.List
+            (List.map (fun r -> Json.String (Xr_refine.Rule.to_string r)) resp.Engine.rules_used)
+        );
+      ])
+
+let suggest_payload index ~query ?(limit = -1) suggestions =
+  let item (s : Xr_refine.Specialize.suggestion) =
+    let ids = query_ids index s.Xr_refine.Specialize.keywords in
+    Json.Obj
+      [
+        ("keywords", keywords_json s.Xr_refine.Specialize.keywords);
+        ("added", Json.String s.Xr_refine.Specialize.added);
+        ("score", Json.Float s.Xr_refine.Specialize.score);
+        ("count", Json.Int (List.length s.Xr_refine.Specialize.slcas));
+        ( "results",
+          Json.List
+            (List.map
+               (fun d -> result_item index ~query_ids:ids d)
+               (take limit s.Xr_refine.Specialize.slcas)) );
+      ]
+  in
+  Json.Obj
+    [ ("query", keywords_json query); ("suggestions", Json.List (List.map item suggestions)) ]
+
+let complete_payload ~prefix completions =
+  Json.Obj
+    [
+      ("prefix", Json.String prefix);
+      ( "completions",
+        Json.List
+          (List.map
+             (fun (w, n) ->
+               Json.Obj [ ("keyword", Json.String w); ("occurrences", Json.Int n) ])
+             completions) );
+    ]
+
+let stats_payload (index : Index.t) =
+  let d = index.Index.doc in
+  let paths = ref [] in
+  Path.iter
+    (fun p ->
+      paths :=
+        Json.Obj
+          [
+            ("path", Json.String (Doc.path_string d p));
+            ("nodes", Json.Int (Xr_index.Stats.node_count index.Index.stats p));
+            ("distinct_keywords", Json.Int (Xr_index.Stats.distinct_keywords index.Index.stats p));
+          ]
+        :: !paths)
+    d.Doc.paths;
+  Json.Obj
+    [
+      ("nodes", Json.Int (Doc.node_count d));
+      ("keywords", Json.Int (List.length (Doc.vocabulary d)));
+      ("node_types", Json.Int (Path.size d.Doc.paths));
+      ("depth", Json.Int (Tree.depth d.Doc.tree));
+      ("paths", Json.List (List.rev !paths));
+    ]
+
+let error_payload msg = Json.Obj [ ("error", Json.String msg) ]

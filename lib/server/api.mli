@@ -1,0 +1,48 @@
+(** JSON views of engine results: one schema shared by the HTTP endpoints
+    and the CLI's [--json] output, so a scripted client sees identical
+    documents either way. Builders take already-computed engine output —
+    callers choose their own configuration — and render deterministically
+    (document order, stable field order), which is what lets the server
+    cache and compare responses byte-for-byte. *)
+
+open Xr_xml
+
+(** [result_item index ~query_ids ?score dewey] is one result object:
+    [{"dewey","label","snippet"}] plus ["score"] when given. *)
+val result_item :
+  Xr_index.Index.t -> query_ids:Interner.id list -> ?score:float -> Dewey.t -> Json.t
+
+(** [search_payload index ~query ~ranked ?limit entries] renders a
+    [/search] response; [entries] pair each SLCA with its relevance score
+    (ignored unless [ranked]). [count] is the full result count even when
+    [limit] truncates the rendered list. *)
+val search_payload :
+  Xr_index.Index.t ->
+  query:string list ->
+  ranked:bool ->
+  ?limit:int ->
+  (Dewey.t * float) list ->
+  Json.t
+
+(** [refine_payload index ~query resp] renders a [/refine] response:
+    outcome ([matched] / [refined] / [no_result]), the ranked refined
+    queries with edit trails, scores and per-query results, and the rules
+    consulted. *)
+val refine_payload :
+  Xr_index.Index.t -> query:string list -> ?limit:int -> Xr_refine.Engine.response -> Json.t
+
+val suggest_payload :
+  Xr_index.Index.t ->
+  query:string list ->
+  ?limit:int ->
+  Xr_refine.Specialize.suggestion list ->
+  Json.t
+
+val complete_payload : prefix:string -> (string * int) list -> Json.t
+
+(** [stats_payload index] is the document-statistics view: node and
+    keyword counts plus per-node-type aggregates. *)
+val stats_payload : Xr_index.Index.t -> Json.t
+
+(** [error_payload msg] is [{"error": msg}]. *)
+val error_payload : string -> Json.t

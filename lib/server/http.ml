@@ -1,0 +1,374 @@
+type meth = GET | HEAD | POST | Other of string
+
+let meth_to_string = function
+  | GET -> "GET"
+  | HEAD -> "HEAD"
+  | POST -> "POST"
+  | Other m -> m
+
+type request = {
+  meth : meth;
+  target : string;
+  path : string;
+  query : (string * string) list;
+  version : string;
+  headers : (string * string) list;
+  body : string;
+}
+
+type error =
+  | Bad_request of string
+  | Too_large of string
+  | Eof
+  | Timeout
+
+let error_to_string = function
+  | Bad_request msg -> "bad request: " ^ msg
+  | Too_large msg -> "too large: " ^ msg
+  | Eof -> "end of stream"
+  | Timeout -> "timeout"
+
+type limits = {
+  max_request_line : int;
+  max_header_count : int;
+  max_header_line : int;
+  max_body : int;
+}
+
+let default_limits =
+  { max_request_line = 8192; max_header_count = 64; max_header_line = 8192; max_body = 1 lsl 20 }
+
+(* ---- buffered reader --------------------------------------------------- *)
+
+type reader = {
+  fill : bytes -> int -> int -> int;
+  chunk : bytes;
+  mutable pos : int;
+  mutable len : int;
+}
+
+exception Read_timeout
+
+let reader ~fill = { fill; chunk = Bytes.create 4096; pos = 0; len = 0 }
+
+let reader_of_string s =
+  let consumed = ref 0 in
+  reader ~fill:(fun buf pos len ->
+      let n = min len (String.length s - !consumed) in
+      Bytes.blit_string s !consumed buf pos n;
+      consumed := !consumed + n;
+      n)
+
+let reader_of_fd fd =
+  reader ~fill:(fun buf pos len ->
+      try Unix.read fd buf pos len with
+      | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT), _, _) ->
+        raise Read_timeout
+      | Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> 0)
+
+(* Returns the next byte, or None at end of stream. *)
+let next_byte r =
+  if r.pos >= r.len then begin
+    r.len <- r.fill r.chunk 0 (Bytes.length r.chunk);
+    r.pos <- 0
+  end;
+  if r.len = 0 then None
+  else begin
+    let b = Bytes.get r.chunk r.pos in
+    r.pos <- r.pos + 1;
+    Some b
+  end
+
+(* Reads up to and including CRLF (tolerating bare LF); the terminator is
+   stripped. [None] at end of stream with nothing read. *)
+let read_line r ~max =
+  let b = Buffer.create 64 in
+  let rec loop () =
+    match next_byte r with
+    | None -> if Buffer.length b = 0 then Ok None else Ok (Some (Buffer.contents b))
+    | Some '\n' ->
+      let s = Buffer.contents b in
+      let s =
+        if String.length s > 0 && s.[String.length s - 1] = '\r' then
+          String.sub s 0 (String.length s - 1)
+        else s
+      in
+      Ok (Some s)
+    | Some c ->
+      if Buffer.length b >= max then Error (Too_large "line")
+      else begin
+        Buffer.add_char b c;
+        loop ()
+      end
+  in
+  loop ()
+
+let read_exact r n =
+  let b = Bytes.create n in
+  let rec loop off =
+    if off >= n then Some (Bytes.unsafe_to_string b)
+    else
+      match next_byte r with
+      | None -> None
+      | Some c ->
+        Bytes.set b off c;
+        loop (off + 1)
+  in
+  loop 0
+
+(* ---- percent / query-string decoding ----------------------------------- *)
+
+let hex_val c =
+  match c with
+  | '0' .. '9' -> Some (Char.code c - Char.code '0')
+  | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+  | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+  | _ -> None
+
+let percent_decode ?(plus_as_space = false) s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+    | '+' when plus_as_space -> Buffer.add_char b ' '
+    | '%' when !i + 2 < n -> (
+      match (hex_val s.[!i + 1], hex_val s.[!i + 2]) with
+      | Some h, Some l ->
+        Buffer.add_char b (Char.chr ((h * 16) + l));
+        i := !i + 2
+      | _ -> Buffer.add_char b '%')
+    | c -> Buffer.add_char b c);
+    incr i
+  done;
+  Buffer.contents b
+
+let percent_encode s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' | '~' -> Buffer.add_char b c
+      | ' ' -> Buffer.add_string b "%20"
+      | c -> Buffer.add_string b (Printf.sprintf "%%%02X" (Char.code c)))
+    s;
+  Buffer.contents b
+
+let split_target target =
+  let raw_path, raw_query =
+    match String.index_opt target '?' with
+    | None -> (target, "")
+    | Some i -> (String.sub target 0 i, String.sub target (i + 1) (String.length target - i - 1))
+  in
+  let params =
+    if raw_query = "" then []
+    else
+      String.split_on_char '&' raw_query
+      |> List.filter_map (fun kv ->
+             if kv = "" then None
+             else
+               let k, v =
+                 match String.index_opt kv '=' with
+                 | None -> (kv, "")
+                 | Some i -> (String.sub kv 0 i, String.sub kv (i + 1) (String.length kv - i - 1))
+               in
+               Some
+                 ( percent_decode ~plus_as_space:true k,
+                   percent_decode ~plus_as_space:true v ))
+  in
+  (percent_decode raw_path, params)
+
+(* ---- request parsing ---------------------------------------------------- *)
+
+let is_tchar c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> true
+  | '!' | '#' | '$' | '%' | '&' | '\'' | '*' | '+' | '-' | '.' | '^' | '_' | '`' | '|' | '~' ->
+    true
+  | _ -> false
+
+let meth_of_string = function
+  | "GET" -> GET
+  | "HEAD" -> HEAD
+  | "POST" -> POST
+  | m -> Other m
+
+let parse_request_line line =
+  match String.split_on_char ' ' line with
+  | [ m; target; version ] ->
+    if m = "" || not (String.for_all is_tchar m) then Error "invalid method"
+    else if target = "" then Error "empty target"
+    else if not (String.length version = 8 && String.sub version 0 7 = "HTTP/1.") then
+      Error ("unsupported version " ^ version)
+    else Ok (meth_of_string m, target, version)
+  | _ -> Error "malformed request line"
+
+let parse_header_line line =
+  match String.index_opt line ':' with
+  | None | Some 0 -> Error "malformed header"
+  | Some i ->
+    let name = String.sub line 0 i in
+    if not (String.for_all is_tchar name) then Error "invalid header name"
+    else
+      let value = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+      Ok (String.lowercase_ascii name, value)
+
+let read_request ?(limits = default_limits) r =
+  let ( let* ) = Result.bind in
+  try
+    (* Tolerate empty line(s) before the request line (RFC 9112 §2.2). *)
+    let rec first_line tries =
+      let* l = read_line r ~max:limits.max_request_line in
+      match l with
+      | None -> Error Eof
+      | Some "" when tries > 0 -> first_line (tries - 1)
+      | Some "" -> Error (Bad_request "blank request line")
+      | Some l -> Ok l
+    in
+    let* line = first_line 2 in
+    let* meth, target, version =
+      match parse_request_line line with
+      | Ok x -> Ok x
+      | Error msg -> Error (Bad_request msg)
+    in
+    let rec headers acc n =
+      if n > limits.max_header_count then Error (Too_large "header count")
+      else
+        let* l = read_line r ~max:limits.max_header_line in
+        match l with
+        | None -> Error (Bad_request "eof in headers")
+        | Some "" -> Ok (List.rev acc)
+        | Some l -> (
+          match parse_header_line l with
+          | Ok kv -> headers (kv :: acc) (n + 1)
+          | Error msg -> Error (Bad_request msg))
+    in
+    let* headers = headers [] 0 in
+    let* body =
+      match List.assoc_opt "content-length" headers with
+      | None -> Ok ""
+      | Some v -> (
+        match int_of_string_opt (String.trim v) with
+        | None -> Error (Bad_request "bad content-length")
+        | Some n when n < 0 -> Error (Bad_request "bad content-length")
+        | Some n when n > limits.max_body -> Error (Too_large "body")
+        | Some n -> (
+          match read_exact r n with
+          | Some b -> Ok b
+          | None -> Error (Bad_request "truncated body")))
+    in
+    let path, query = split_target target in
+    Ok { meth; target; path; query; version; headers; body }
+  with Read_timeout -> Error Timeout
+
+let read_response ?(limits = default_limits) r =
+  let ( let* ) = Result.bind in
+  try
+    let* line =
+      let* l = read_line r ~max:limits.max_request_line in
+      match l with None -> Error Eof | Some l -> Ok l
+    in
+    let* status =
+      match String.split_on_char ' ' line with
+      | version :: code :: _
+        when String.length version >= 7 && String.sub version 0 7 = "HTTP/1." -> (
+        match int_of_string_opt code with
+        | Some s -> Ok s
+        | None -> Error (Bad_request "bad status code"))
+      | _ -> Error (Bad_request "malformed status line")
+    in
+    let rec headers acc n =
+      if n > limits.max_header_count then Error (Too_large "header count")
+      else
+        let* l = read_line r ~max:limits.max_header_line in
+        match l with
+        | None -> Error (Bad_request "eof in headers")
+        | Some "" -> Ok (List.rev acc)
+        | Some l -> (
+          match parse_header_line l with
+          | Ok kv -> headers (kv :: acc) (n + 1)
+          | Error msg -> Error (Bad_request msg))
+    in
+    let* headers = headers [] 0 in
+    let* body =
+      match List.assoc_opt "content-length" headers with
+      | None -> Ok ""
+      | Some v -> (
+        match int_of_string_opt (String.trim v) with
+        | None -> Error (Bad_request "bad content-length")
+        | Some n -> (
+          match read_exact r n with
+          | Some b -> Ok b
+          | None -> Error (Bad_request "truncated body")))
+    in
+    Ok (status, headers, body)
+  with Read_timeout -> Error Timeout
+
+(* ---- accessors ---------------------------------------------------------- *)
+
+let header req name = List.assoc_opt (String.lowercase_ascii name) req.headers
+
+let query_param req name = List.assoc_opt name req.query
+
+let keep_alive req =
+  let conn = Option.map String.lowercase_ascii (header req "connection") in
+  match (req.version, conn) with
+  | _, Some "close" -> false
+  | "HTTP/1.0", Some "keep-alive" -> true
+  | "HTTP/1.0", _ -> false
+  | _, _ -> true
+
+(* ---- responses ----------------------------------------------------------- *)
+
+type response = {
+  status : int;
+  reason : string;
+  resp_headers : (string * string) list;
+  resp_body : string;
+}
+
+let status_reason = function
+  | 200 -> "OK"
+  | 204 -> "No Content"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
+  | 413 -> "Content Too Large"
+  | 414 -> "URI Too Long"
+  | 429 -> "Too Many Requests"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | 504 -> "Gateway Timeout"
+  | s when s >= 200 && s < 300 -> "OK"
+  | s when s >= 400 && s < 500 -> "Client Error"
+  | _ -> "Server Error"
+
+let response ?(headers = []) ~status body =
+  { status; reason = status_reason status; resp_headers = headers; resp_body = body }
+
+let json_response ?(status = 200) ?(headers = []) v =
+  response ~status
+    ~headers:(("content-type", "application/json") :: headers)
+    (Json.to_string v ^ "\n")
+
+let serialize ~keep_alive resp =
+  let b = Buffer.create (String.length resp.resp_body + 256) in
+  Buffer.add_string b (Printf.sprintf "HTTP/1.1 %d %s\r\n" resp.status resp.reason);
+  List.iter
+    (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%s: %s\r\n" k v))
+    resp.resp_headers;
+  Buffer.add_string b
+    (Printf.sprintf "content-length: %d\r\n" (String.length resp.resp_body));
+  Buffer.add_string b
+    (if keep_alive then "connection: keep-alive\r\n" else "connection: close\r\n");
+  Buffer.add_string b "\r\n";
+  Buffer.add_string b resp.resp_body;
+  Buffer.contents b
+
+let write_all fd s =
+  let n = String.length s in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write_substring fd s !off (n - !off)
+  done

@@ -1,0 +1,115 @@
+(** A minimal HTTP/1.1 layer on raw file descriptors: just enough of
+    RFC 9112 for a JSON query API — request parsing with hard limits
+    (request line length, header count and size, body size), percent
+    decoding, query-string parsing, keep-alive negotiation, and response
+    serialization. The reader is abstracted over a [fill] function so the
+    parser is testable on plain strings, and a response parser is included
+    for the load generator and the end-to-end tests. *)
+
+type meth = GET | HEAD | POST | Other of string
+
+val meth_to_string : meth -> string
+
+type request = {
+  meth : meth;
+  target : string;  (** the raw request target, e.g. ["/search?q=a+b"] *)
+  path : string;  (** decoded path component, e.g. ["/search"] *)
+  query : (string * string) list;  (** decoded query parameters, in order *)
+  version : string;  (** ["HTTP/1.1"] or ["HTTP/1.0"] *)
+  headers : (string * string) list;  (** names lowercased, in order *)
+  body : string;
+}
+
+type error =
+  | Bad_request of string  (** malformed syntax *)
+  | Too_large of string  (** a limit was exceeded *)
+  | Eof  (** clean end of stream before a request line *)
+  | Timeout  (** the socket read timed out *)
+
+val error_to_string : error -> string
+
+type limits = {
+  max_request_line : int;  (** bytes; default 8192 *)
+  max_header_count : int;  (** default 64 *)
+  max_header_line : int;  (** bytes per header line; default 8192 *)
+  max_body : int;  (** bytes; default 1 MiB *)
+}
+
+val default_limits : limits
+
+(** {1 Buffered reading} *)
+
+type reader
+
+(** [reader ~fill] wraps a [read]-like function ([fill buf pos len]
+    returns the number of bytes read, [0] at end of stream; it may raise
+    [Unix.Unix_error (EAGAIN | EWOULDBLOCK | ETIMEDOUT, _, _)] to signal
+    a receive timeout). *)
+val reader : fill:(bytes -> int -> int -> int) -> reader
+
+val reader_of_string : string -> reader
+
+val reader_of_fd : Unix.file_descr -> reader
+
+(** [read_request ?limits r] reads and parses one request. [Error Eof]
+    means the peer closed between requests (normal for keep-alive). *)
+val read_request : ?limits:limits -> reader -> (request, error) result
+
+(** [read_response r] parses one response (status, headers, body) —
+    the client half, used by the load generator and the tests. Responses
+    must carry [Content-Length] (ours always do). *)
+val read_response :
+  ?limits:limits -> reader -> (int * (string * string) list * string, error) result
+
+(** {1 Request accessors} *)
+
+val header : request -> string -> string option
+
+val query_param : request -> string -> string option
+
+(** [keep_alive r] implements the HTTP/1.x defaults: persistent unless
+    [Connection: close] (1.1) or unless [Connection: keep-alive] is absent
+    (1.0). *)
+val keep_alive : request -> bool
+
+(** {1 Pieces, exposed for tests} *)
+
+(** [parse_request_line l] splits [METHOD SP TARGET SP VERSION]. *)
+val parse_request_line : string -> (meth * string * string, string) result
+
+(** [parse_header_line l] splits [name ":" OWS value OWS], lowercasing
+    the name. *)
+val parse_header_line : string -> (string * string, string) result
+
+(** [split_target t] separates the path from the query string and decodes
+    both ([+] decodes to space in query values only). *)
+val split_target : string -> string * (string * string) list
+
+val percent_decode : ?plus_as_space:bool -> string -> string
+
+val percent_encode : string -> string
+
+(** {1 Responses} *)
+
+type response = {
+  status : int;
+  reason : string;
+  resp_headers : (string * string) list;
+  resp_body : string;
+}
+
+val response : ?headers:(string * string) list -> status:int -> string -> response
+
+(** [json_response ?status ?headers v] encodes [v] with
+    [Content-Type: application/json]. *)
+val json_response : ?status:int -> ?headers:(string * string) list -> Json.t -> response
+
+val status_reason : int -> string
+
+(** [serialize ~keep_alive resp] renders the full wire form, adding
+    [Content-Length] and a [Connection] header. *)
+val serialize : keep_alive:bool -> response -> string
+
+(** [write_all fd s] loops over [Unix.write_substring] until all of [s]
+    is written. Raises [Unix.Unix_error] on failure. *)
+val write_all : Unix.file_descr -> string -> unit

@@ -1,0 +1,117 @@
+(* Endpoints get a fixed counter slot each; unknown paths share "other".
+   Everything is an [Atomic] so workers never serialize on metrics. *)
+
+let endpoints =
+  [| "/search"; "/refine"; "/suggest"; "/complete"; "/stats"; "/metrics"; "/health"; "other" |]
+
+let latency_buckets_ms = [| 0.5; 1.; 2.; 5.; 10.; 20.; 50.; 100.; 200.; 500.; 1000.; 5000. |]
+
+type t = {
+  started_at : float;
+  total : int Atomic.t;
+  by_endpoint : int Atomic.t array;  (* indexed like [endpoints] *)
+  by_class : int Atomic.t array;  (* status div 100: 1xx..5xx at 0..4 *)
+  buckets : int Atomic.t array;  (* cumulative-histogram raw counts; last = +inf *)
+  latency_sum_us : int Atomic.t;
+  shed : int Atomic.t;
+  deadline_dropped : int Atomic.t;
+}
+
+let create () =
+  {
+    started_at = Unix.gettimeofday ();
+    total = Atomic.make 0;
+    by_endpoint = Array.init (Array.length endpoints) (fun _ -> Atomic.make 0);
+    by_class = Array.init 5 (fun _ -> Atomic.make 0);
+    buckets = Array.init (Array.length latency_buckets_ms + 1) (fun _ -> Atomic.make 0);
+    latency_sum_us = Atomic.make 0;
+    shed = Atomic.make 0;
+    deadline_dropped = Atomic.make 0;
+  }
+
+let endpoint_slot path =
+  let n = Array.length endpoints in
+  let rec find i = if i >= n - 1 then n - 1 else if endpoints.(i) = path then i else find (i + 1) in
+  find 0
+
+let incr a = Atomic.incr a
+
+let record t ~endpoint ~status ~ms =
+  incr t.total;
+  incr t.by_endpoint.(endpoint_slot endpoint);
+  let cls = (status / 100) - 1 in
+  if cls >= 0 && cls < 5 then incr t.by_class.(cls);
+  let rec slot i =
+    if i >= Array.length latency_buckets_ms then i
+    else if ms <= latency_buckets_ms.(i) then i
+    else slot (i + 1)
+  in
+  incr t.buckets.(slot 0);
+  ignore (Atomic.fetch_and_add t.latency_sum_us (int_of_float (ms *. 1000.)))
+
+let record_shed t = incr t.shed
+
+let record_deadline t = incr t.deadline_dropped
+
+let requests_total t = Atomic.get t.total
+
+let snapshot t ~queue_depth ~workers ~cache =
+  let by_endpoint =
+    Array.to_list
+      (Array.mapi (fun i c -> (endpoints.(i), Json.Int (Atomic.get c))) t.by_endpoint)
+  in
+  let by_class =
+    List.filter_map
+      (fun i ->
+        let c = Atomic.get t.by_class.(i) in
+        if c = 0 then None else Some (Printf.sprintf "%dxx" (i + 1), Json.Int c))
+      [ 0; 1; 2; 3; 4 ]
+  in
+  (* Cumulative ("le") counts, Prometheus-style. *)
+  let cumulative = ref 0 in
+  let hist =
+    Array.to_list
+      (Array.mapi
+         (fun i c ->
+           cumulative := !cumulative + Atomic.get c;
+           let le =
+             if i < Array.length latency_buckets_ms then
+               Json.Float latency_buckets_ms.(i)
+             else Json.String "+inf"
+           in
+           Json.Obj [ ("le_ms", le); ("count", Json.Int !cumulative) ])
+         t.buckets)
+  in
+  let { Lru.hits; misses; entries; evictions; capacity; shards } = cache in
+  Json.Obj
+    [
+      ("uptime_s", Json.Float (Unix.gettimeofday () -. t.started_at));
+      ( "requests",
+        Json.Obj
+          [
+            ("total", Json.Int (Atomic.get t.total));
+            ("by_endpoint", Json.Obj by_endpoint);
+            ("by_status", Json.Obj by_class);
+            ("shed", Json.Int (Atomic.get t.shed));
+            ("deadline_dropped", Json.Int (Atomic.get t.deadline_dropped));
+          ] );
+      ( "latency",
+        Json.Obj
+          [
+            ("count", Json.Int (Atomic.get t.total));
+            ("sum_ms", Json.Float (float_of_int (Atomic.get t.latency_sum_us) /. 1000.));
+            ("buckets", Json.List hist);
+          ] );
+      ( "cache",
+        Json.Obj
+          [
+            ("hits", Json.Int hits);
+            ("misses", Json.Int misses);
+            ("entries", Json.Int entries);
+            ("evictions", Json.Int evictions);
+            ("capacity", Json.Int capacity);
+            ("shards", Json.Int shards);
+          ] );
+      ( "queue",
+        Json.Obj [ ("depth", Json.Int queue_depth); ("workers", Json.Int workers) ] );
+    ]

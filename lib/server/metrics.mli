@@ -1,0 +1,29 @@
+(** Serving metrics, updated lock-free with [Atomic] counters from every
+    worker domain and rendered as the [/metrics] JSON document: request
+    counts by endpoint and status class, a cumulative latency histogram,
+    shed (admission-refused) and timed-out counts, and — joined in at
+    snapshot time — cache statistics and the current queue depth. *)
+
+type t
+
+val create : unit -> t
+
+(** Upper bounds (milliseconds) of the cumulative latency histogram
+    buckets; the implicit last bucket is [+inf]. *)
+val latency_buckets_ms : float array
+
+(** [record t ~endpoint ~status ~ms] accounts one completed request. *)
+val record : t -> endpoint:string -> status:int -> ms:float -> unit
+
+(** [record_shed t] accounts one connection refused by admission control. *)
+val record_shed : t -> unit
+
+(** [record_deadline t] accounts one request dropped because its deadline
+    had already passed when a worker picked it up. *)
+val record_deadline : t -> unit
+
+val requests_total : t -> int
+
+(** [snapshot t ~queue_depth ~workers ~cache] renders everything as one
+    JSON object. *)
+val snapshot : t -> queue_depth:int -> workers:int -> cache:Lru.stats -> Json.t

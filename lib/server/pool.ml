@@ -1,0 +1,79 @@
+type 'a t = {
+  lock : Mutex.t;
+  not_empty : Condition.t;
+  queue : 'a Queue.t;
+  bound : int;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t array;
+  errors : int Atomic.t;
+}
+
+let worker_loop t handler () =
+  let rec loop () =
+    let job =
+      Mutex.protect t.lock (fun () ->
+          let rec wait () =
+            if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
+            else if t.stopping then None
+            else begin
+              Condition.wait t.not_empty t.lock;
+              wait ()
+            end
+          in
+          wait ())
+    in
+    match job with
+    | None -> ()
+    | Some job ->
+      (try handler job with _ -> Atomic.incr t.errors);
+      loop ()
+  in
+  loop ()
+
+let create ~domains ~queue_bound handler =
+  let domains = max 1 domains in
+  let t =
+    {
+      lock = Mutex.create ();
+      not_empty = Condition.create ();
+      queue = Queue.create ();
+      bound = max 1 queue_bound;
+      stopping = false;
+      workers = [||];
+      errors = Atomic.make 0;
+    }
+  in
+  t.workers <- Array.init domains (fun _ -> Domain.spawn (worker_loop t handler));
+  t
+
+let submit t job =
+  let accepted =
+    Mutex.protect t.lock (fun () ->
+        if t.stopping || Queue.length t.queue >= t.bound then false
+        else begin
+          Queue.push job t.queue;
+          true
+        end)
+  in
+  if accepted then Condition.signal t.not_empty;
+  accepted
+
+let depth t = Mutex.protect t.lock (fun () -> Queue.length t.queue)
+
+let domains t = Array.length t.workers
+
+let handler_errors t = Atomic.get t.errors
+
+let shutdown t =
+  let first =
+    Mutex.protect t.lock (fun () ->
+        if t.stopping then false
+        else begin
+          t.stopping <- true;
+          true
+        end)
+  in
+  if first then begin
+    Condition.broadcast t.not_empty;
+    Array.iter Domain.join t.workers
+  end

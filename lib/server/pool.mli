@@ -1,0 +1,28 @@
+(** The multicore heart of the server: a bounded job queue drained by a
+    pool of worker domains. The bound is the admission-control knob —
+    [submit] never blocks and never queues unboundedly; when the queue is
+    full it refuses the job so the caller can shed load (answer [503])
+    instead of stacking latency. *)
+
+type 'a t
+
+(** [create ~domains ~queue_bound handler] spawns [domains] worker
+    domains (at least 1), each looping: pop a job, run [handler] on it.
+    Exceptions escaping [handler] are caught and counted, never fatal. *)
+val create : domains:int -> queue_bound:int -> ('a -> unit) -> 'a t
+
+(** [submit t job] enqueues without blocking: [false] means the queue is
+    at its bound (or the pool is shutting down) and the job was refused. *)
+val submit : 'a t -> 'a -> bool
+
+(** [depth t] is the current number of queued (not yet running) jobs. *)
+val depth : 'a t -> int
+
+val domains : 'a t -> int
+
+(** [handler_errors t] is how many jobs raised. *)
+val handler_errors : 'a t -> int
+
+(** [shutdown t] stops accepting jobs, lets the workers drain what is
+    already queued, and joins every domain. Idempotent. *)
+val shutdown : 'a t -> unit

@@ -1,0 +1,359 @@
+module Index = Xr_index.Index
+module Engine = Xr_refine.Engine
+
+type address = Tcp of string * int | Unix_socket of string
+
+type config = {
+  addr : address;
+  domains : int;
+  queue_bound : int;
+  cache_capacity : int;
+  cache_shards : int;
+  deadline_ms : float;
+  keepalive_requests : int;
+  result_limit : int;
+  limits : Http.limits;
+  log : bool;
+}
+
+let default_config =
+  {
+    addr = Tcp ("127.0.0.1", 8080);
+    domains = Domain.recommended_domain_count ();
+    queue_bound = 64;
+    cache_capacity = 512;
+    cache_shards = 8;
+    deadline_ms = 5000.;
+    keepalive_requests = 1000;
+    result_limit = 20;
+    limits = Http.default_limits;
+    log = false;
+  }
+
+type conn = { fd : Unix.file_descr; accepted_at : float }
+
+type t = {
+  config : config;
+  index : Index.t;
+  trie : Xr_text.Trie.t;
+  result_cache : Lru.t;
+  server_metrics : Metrics.t;
+  listen_fd : Unix.file_descr;
+  stop_r : Unix.file_descr;
+  stop_w : Unix.file_descr;
+  pool : conn Pool.t;
+  log_lock : Mutex.t;
+}
+
+let metrics t = t.server_metrics
+
+let cache t = t.result_cache
+
+let queue_depth t = Pool.depth t.pool
+
+(* ---- request handling --------------------------------------------------- *)
+
+let bad_request msg = Http.json_response ~status:400 (Api.error_payload msg)
+
+let tokenized_query req =
+  match Http.query_param req "q" with
+  | None -> Error (bad_request "missing query parameter q")
+  | Some raw -> (
+    match Xr_xml.Token.tokenize raw with
+    | [] -> Error (bad_request "query has no keywords")
+    | toks -> Ok toks)
+
+let int_param req name ~default =
+  match Http.query_param req name with
+  | None -> Ok default
+  | Some v -> (
+    match int_of_string_opt v with
+    | Some i -> Ok i
+    | None -> Error (bad_request (Printf.sprintf "parameter %s must be an integer" name)))
+
+let bool_param req name =
+  match Http.query_param req name with
+  | Some ("true" | "1" | "yes") -> true
+  | _ -> false
+
+(* Serve from the LRU under [key], computing (and caching) the JSON body
+   on a miss. The cached unit is the serialized body, so hits are
+   byte-identical to the response that populated them. *)
+let with_cache t key compute =
+  match Lru.find t.result_cache key with
+  | Some body ->
+    {
+      (Http.response ~status:200 ~headers:[ ("content-type", "application/json") ] body) with
+      Http.resp_headers =
+        [ ("content-type", "application/json"); ("x-cache", "hit") ];
+    }
+  | None ->
+    let payload = compute () in
+    let body = Json.to_string payload ^ "\n" in
+    Lru.add t.result_cache key body;
+    Http.response ~status:200
+      ~headers:[ ("content-type", "application/json"); ("x-cache", "miss") ]
+      body
+
+let handle_search t req =
+  let ( let* ) r f = match r with Error resp -> resp | Ok v -> f v in
+  let* query = tokenized_query req in
+  let alg_name =
+    match Http.query_param req "alg" with Some a -> a | None -> "scan-eager"
+  in
+  match Xr_slca.Engine.of_name alg_name with
+  | None -> bad_request (Printf.sprintf "unknown SLCA engine %s" alg_name)
+  | Some slca ->
+    let rank = bool_param req "rank" in
+    let* limit = int_param req "limit" ~default:t.config.result_limit in
+    let key =
+      Printf.sprintf "search|%s|%b|%d|%s" alg_name rank limit (String.concat " " query)
+    in
+    with_cache t key (fun () ->
+        let config = { Engine.default_config with Engine.slca } in
+        let slcas = Engine.search ~config t.index query in
+        let entries =
+          if rank then
+            let ids =
+              List.filter_map (Xr_xml.Doc.keyword_id t.index.Index.doc) query
+            in
+            Xr_slca.Result_rank.rank t.index.Index.stats ~query:ids slcas
+          else List.map (fun d -> (d, 0.)) slcas
+        in
+        Api.search_payload t.index ~query ~ranked:rank ~limit entries)
+
+let handle_refine t req =
+  let ( let* ) r f = match r with Error resp -> resp | Ok v -> f v in
+  let* query = tokenized_query req in
+  let alg_name =
+    match Http.query_param req "alg" with Some a -> a | None -> "partition"
+  in
+  match Engine.algorithm_of_name alg_name with
+  | None -> bad_request (Printf.sprintf "unknown refinement algorithm %s" alg_name)
+  | Some algorithm ->
+    let* k = int_param req "k" ~default:3 in
+    let* limit = int_param req "limit" ~default:t.config.result_limit in
+    let key =
+      Printf.sprintf "refine|%s|%d|%d|%s" alg_name k limit (String.concat " " query)
+    in
+    with_cache t key (fun () ->
+        let config = { Engine.default_config with Engine.k; algorithm } in
+        let resp = Engine.refine ~config t.index query in
+        Api.refine_payload t.index ~query ~limit resp)
+
+let handle_suggest t req =
+  let ( let* ) r f = match r with Error resp -> resp | Ok v -> f v in
+  let* query = tokenized_query req in
+  let* k = int_param req "k" ~default:5 in
+  let* limit = int_param req "limit" ~default:t.config.result_limit in
+  let key = Printf.sprintf "suggest|%d|%d|%s" k limit (String.concat " " query) in
+  with_cache t key (fun () ->
+      let config = { Xr_refine.Specialize.default_config with Xr_refine.Specialize.k } in
+      let suggestions = Xr_refine.Specialize.suggest ~config t.index query in
+      Api.suggest_payload t.index ~query ~limit suggestions)
+
+let handle_complete t req =
+  let ( let* ) r f = match r with Error resp -> resp | Ok v -> f v in
+  let prefix =
+    match Http.query_param req "prefix" with
+    | Some p -> Some p
+    | None -> Http.query_param req "q"
+  in
+  match prefix with
+  | None -> bad_request "missing query parameter prefix"
+  | Some raw ->
+    let prefix = Xr_xml.Token.normalize raw in
+    if prefix = "" then bad_request "prefix has no keyword characters"
+    else
+      let* k = int_param req "k" ~default:10 in
+      let key = Printf.sprintf "complete|%d|%s" k prefix in
+      with_cache t key (fun () ->
+          Api.complete_payload ~prefix (Xr_text.Trie.complete t.trie ~limit:k prefix))
+
+let handle t (req : Http.request) =
+  if req.Http.meth <> Http.GET then
+    Http.json_response ~status:405 (Api.error_payload "only GET is supported")
+  else
+    match req.Http.path with
+    | "/health" -> Http.json_response (Json.Obj [ ("status", Json.String "ok") ])
+    | "/metrics" ->
+      Http.json_response
+        (Metrics.snapshot t.server_metrics ~queue_depth:(Pool.depth t.pool)
+           ~workers:(Pool.domains t.pool) ~cache:(Lru.stats t.result_cache))
+    | "/stats" -> Http.json_response (Api.stats_payload t.index)
+    | "/search" -> handle_search t req
+    | "/refine" -> handle_refine t req
+    | "/suggest" -> handle_suggest t req
+    | "/complete" -> handle_complete t req
+    | p -> Http.json_response ~status:404 (Api.error_payload ("no such endpoint " ^ p))
+
+(* ---- per-connection worker ---------------------------------------------- *)
+
+let log_request t req status ms =
+  if t.config.log then
+    Mutex.protect t.log_lock (fun () ->
+        Printf.eprintf "xr_server: %s %s -> %d (%.1f ms)\n%!"
+          (Http.meth_to_string req.Http.meth)
+          req.Http.target status ms)
+
+let error_response err =
+  let open Http in
+  match err with
+  | Bad_request msg -> Some (json_response ~status:400 (Api.error_payload msg))
+  | Too_large msg -> Some (json_response ~status:413 (Api.error_payload msg))
+  | Timeout -> Some (json_response ~status:408 (Api.error_payload "request timed out"))
+  | Eof -> None
+
+let internal_error = Http.json_response ~status:500 (Api.error_payload "internal error")
+
+let handle_conn t conn =
+  let close () = try Unix.close conn.fd with Unix.Unix_error _ -> () in
+  let budget_s = t.config.deadline_ms /. 1000. in
+  let waited = Unix.gettimeofday () -. conn.accepted_at in
+  if waited > budget_s then begin
+    (* The connection blew its deadline sitting in the queue: shed it. *)
+    Metrics.record_deadline t.server_metrics;
+    (try
+       Http.write_all conn.fd
+         (Http.serialize ~keep_alive:false
+            (Http.json_response ~status:503
+               (Api.error_payload "deadline exceeded while queued")))
+     with Unix.Unix_error _ -> ());
+    close ()
+  end
+  else begin
+    (* Bound reads and writes by the remaining budget (refreshed per
+       request below; engine work itself is not interruptible). *)
+    (try
+       Unix.setsockopt_float conn.fd Unix.SO_RCVTIMEO budget_s;
+       Unix.setsockopt_float conn.fd Unix.SO_SNDTIMEO budget_s
+     with Unix.Unix_error _ -> () (* e.g. not supported on this socket *));
+    let reader = Http.reader_of_fd conn.fd in
+    let rec serve served =
+      if served >= t.config.keepalive_requests then close ()
+      else
+        match Http.read_request ~limits:t.config.limits reader with
+        | Error err -> (
+          (match error_response err with
+          | Some resp -> (
+            try Http.write_all conn.fd (Http.serialize ~keep_alive:false resp)
+            with Unix.Unix_error _ -> ())
+          | None -> ());
+          close ())
+        | Ok req -> (
+          let t0 = Unix.gettimeofday () in
+          let resp = try handle t req with _ -> internal_error in
+          let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+          let ka = Http.keep_alive req && served + 1 < t.config.keepalive_requests in
+          Metrics.record t.server_metrics ~endpoint:req.Http.path ~status:resp.Http.status ~ms;
+          log_request t req resp.Http.status ms;
+          match Http.write_all conn.fd (Http.serialize ~keep_alive:ka resp) with
+          | () -> if ka then serve (served + 1) else close ()
+          | exception Unix.Unix_error _ -> close ())
+    in
+    serve 0
+  end
+
+(* ---- lifecycle ----------------------------------------------------------- *)
+
+let build_trie (index : Index.t) =
+  let d = index.Index.doc in
+  Xr_text.Trie.of_vocabulary
+    (List.map
+       (fun w ->
+         ( w,
+           match Xr_xml.Doc.keyword_id d w with
+           | Some kw -> Xr_index.Inverted.length index.Index.inverted kw
+           | None -> 0 ))
+       (Xr_xml.Doc.vocabulary d))
+
+let bind_socket addr =
+  match addr with
+  | Tcp (host, port) ->
+    let inet =
+      try Unix.inet_addr_of_string host
+      with Failure _ -> (
+        match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+        | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> a
+        | _ -> failwith ("cannot resolve host " ^ host))
+    in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (inet, port));
+    Unix.listen fd 128;
+    fd
+  | Unix_socket path ->
+    (try Unix.unlink path with Unix.Unix_error _ -> ());
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd 128;
+    fd
+
+let start config index =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let listen_fd = bind_socket config.addr in
+  let stop_r, stop_w = Unix.pipe () in
+  let tref = ref None in
+  let pool =
+    Pool.create ~domains:config.domains ~queue_bound:config.queue_bound (fun conn ->
+        match !tref with
+        | Some t -> handle_conn t conn
+        | None -> ( try Unix.close conn.fd with Unix.Unix_error _ -> ()))
+  in
+  let t =
+    {
+      config;
+      index;
+      trie = build_trie index;
+      result_cache = Lru.create ~shards:config.cache_shards ~capacity:config.cache_capacity ();
+      server_metrics = Metrics.create ();
+      listen_fd;
+      stop_r;
+      stop_w;
+      pool;
+      log_lock = Mutex.create ();
+    }
+  in
+  tref := Some t;
+  t
+
+let bound_addr t = Unix.getsockname t.listen_fd
+
+let overloaded =
+  Http.json_response ~status:503
+    ~headers:[ ("retry-after", "1") ]
+    (Api.error_payload "server overloaded, request shed")
+
+let run t =
+  Unix.set_nonblock t.listen_fd;
+  let rec loop () =
+    match Unix.select [ t.listen_fd; t.stop_r ] [] [] (-1.) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+    | readable, _, _ ->
+      if List.mem t.stop_r readable then () (* stop requested *)
+      else begin
+        (match Unix.accept ~cloexec:true t.listen_fd with
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+        | fd, _peer ->
+          (try Unix.clear_nonblock fd with Unix.Unix_error _ -> ());
+          let conn = { fd; accepted_at = Unix.gettimeofday () } in
+          if not (Pool.submit t.pool conn) then begin
+            Metrics.record_shed t.server_metrics;
+            (try Http.write_all fd (Http.serialize ~keep_alive:false overloaded)
+             with Unix.Unix_error _ -> ());
+            try Unix.close fd with Unix.Unix_error _ -> ()
+          end);
+        loop ()
+      end
+  in
+  loop ();
+  Pool.shutdown t.pool;
+  List.iter
+    (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+    [ t.listen_fd; t.stop_r; t.stop_w ];
+  match t.config.addr with
+  | Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Tcp _ -> ()
+
+let stop t =
+  try ignore (Unix.write_substring t.stop_w "x" 0 1) with Unix.Unix_error _ -> ()

@@ -1,0 +1,62 @@
+(** The query-serving subsystem: one resident index, many worker domains.
+
+    An acceptor loop (run on the caller's domain by {!run}) accepts
+    connections and submits them to a bounded queue drained by a pool of
+    worker {!Domain}s ({!Pool}); the index is shared immutably across all
+    of them. Admission control: when the queue is at its bound the
+    acceptor answers [503] immediately instead of queueing unboundedly.
+    Each connection carries a deadline from the moment it is accepted —
+    connections that exceeded it while queued are dropped with [503], and
+    socket reads and writes are bounded by the same budget. Responses to
+    [/search], [/refine], [/suggest] and [/complete] are cached in a
+    sharded LRU ({!Lru}) keyed by the normalized query and parameters.
+
+    Endpoints (all [GET], all JSON — schemas in [doc/SERVER.md]):
+    [/search], [/refine], [/suggest], [/complete], [/stats], [/metrics],
+    [/health]. *)
+
+type address =
+  | Tcp of string * int  (** host, port; port [0] binds an ephemeral port *)
+  | Unix_socket of string  (** path; unlinked before binding *)
+
+type config = {
+  addr : address;
+  domains : int;  (** worker domains; default [Domain.recommended_domain_count ()] *)
+  queue_bound : int;  (** admission-control limit on queued connections; default 64 *)
+  cache_capacity : int;  (** result-cache entries overall; [0] disables; default 512 *)
+  cache_shards : int;  (** default 8 *)
+  deadline_ms : float;  (** per-request time budget; default 5000 *)
+  keepalive_requests : int;  (** max requests served per connection; default 1000 *)
+  result_limit : int;  (** default cap on rendered result arrays; default 20 *)
+  limits : Http.limits;
+  log : bool;  (** request log on stderr; default false *)
+}
+
+val default_config : config
+
+type t
+
+(** [start config index] binds the listening socket, builds the
+    completion trie, and spawns the worker pool. The acceptor is not
+    running yet — call {!run}. *)
+val start : config -> Xr_index.Index.t -> t
+
+(** [run t] is the blocking acceptor loop; it returns after {!stop},
+    once the workers have drained and joined. *)
+val run : t -> unit
+
+(** [bound_addr t] is the actual listening address (useful with port 0). *)
+val bound_addr : t -> Unix.sockaddr
+
+val stop : t -> unit
+
+(** [handle t req] is the routing/dispatch core used by the workers,
+    exposed for in-process testing: it touches the cache and metrics but
+    no sockets. *)
+val handle : t -> Http.request -> Http.response
+
+val metrics : t -> Metrics.t
+
+val cache : t -> Lru.t
+
+val queue_depth : t -> int

@@ -1,0 +1,77 @@
+#!/bin/sh
+# End-to-end smoke test: generate a scratch corpus, start `xrefine serve`
+# on it, curl every endpoint asserting 200 + well-formed JSON, check that
+# repeated queries hit the result cache, and shut the server down.
+set -eu
+
+PORT="${SMOKE_PORT:-18980}"
+TMP="$(mktemp -d)"
+SERVER_PID=""
+
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+  [ -n "$SERVER_PID" ] && wait "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+fail() { echo "smoke: FAIL - $*" >&2; exit 1; }
+
+command -v curl >/dev/null || fail "curl not found"
+
+# jq if present, python3 otherwise, for the well-formed-JSON assertion.
+if command -v jq >/dev/null; then
+  json_ok() { jq -e . >/dev/null 2>&1; }
+  json_get() { jq -r "$1"; }
+else
+  json_ok() { python3 -c 'import json,sys; json.load(sys.stdin)' 2>/dev/null; }
+  json_get() { python3 -c "import json,sys; d=json.load(sys.stdin)
+for k in '$1'.strip('.').split('.'): d=d[k]
+print(d)"; }
+fi
+
+echo "smoke: generating scratch corpus in $TMP"
+dune exec --no-build xrefine -- generate dblp -n 200 -o "$TMP/corpus.xml" >/dev/null
+
+echo "smoke: starting xrefine serve on port $PORT"
+dune exec --no-build xrefine -- serve -d "$TMP/corpus.xml" -p "$PORT" \
+  --domains 2 --quiet >"$TMP/server.log" 2>&1 &
+SERVER_PID=$!
+
+BASE="http://127.0.0.1:$PORT"
+i=0
+until curl -sf "$BASE/health" >/dev/null 2>&1; do
+  i=$((i + 1))
+  [ "$i" -gt 50 ] && { cat "$TMP/server.log" >&2; fail "server did not come up"; }
+  kill -0 "$SERVER_PID" 2>/dev/null || { cat "$TMP/server.log" >&2; fail "server exited early"; }
+  sleep 0.1
+done
+
+# Each endpoint must answer 200 with a parseable JSON body.
+# /search is queried twice on purpose: the second hit must come from the cache.
+for target in \
+  '/health' \
+  '/stats' \
+  '/search?q=database+title' \
+  '/search?q=database+title' \
+  '/search?q=database&rank=true&limit=5' \
+  '/refine?q=data+base&k=2' \
+  '/suggest?q=database' \
+  '/complete?prefix=dat' \
+  '/metrics'
+do
+  status=$(curl -s -o "$TMP/body" -w '%{http_code}' "$BASE$target")
+  [ "$status" = "200" ] || fail "$target returned $status"
+  json_ok <"$TMP/body" || fail "$target body is not well-formed JSON"
+  echo "smoke: ok $target"
+done
+
+hits=$(curl -s "$BASE/metrics" | json_get '.cache.hits')
+[ "$hits" -gt 0 ] 2>/dev/null || fail "expected cache hits > 0, got '$hits'"
+echo "smoke: ok cache hits: $hits"
+
+status=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/search")
+[ "$status" = "400" ] || fail "/search without q returned $status (want 400)"
+echo "smoke: ok /search without q -> 400"
+
+echo "smoke: PASS"
