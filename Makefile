@@ -1,4 +1,4 @@
-.PHONY: all build test check smoke bench examples quickbench clean
+.PHONY: all build test check smoke bench slcabench paperbench examples quickbench clean
 
 all: build
 
@@ -10,11 +10,21 @@ test:
 
 check:
 	dune build @all && dune runtest
+	dune exec bench/slca_bench.exe -- --smoke --out /tmp/BENCH_slca_check.json
 
 smoke: build
 	scripts/smoke.sh
 
+# SLCA kernel benchmark (packed vs reference); writes BENCH_slca.json.
 bench:
+	dune exec bench/slca_bench.exe -- --smoke
+
+# Full-size SLCA kernel benchmark (the committed BENCH_slca.json).
+slcabench:
+	dune exec bench/slca_bench.exe
+
+# The paper's full evaluation suite (tables and figures).
+paperbench:
 	dune exec bench/main.exe
 
 quickbench:

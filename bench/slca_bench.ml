@@ -1,0 +1,170 @@
+(* SLCA kernel benchmark: packed vs reference engines on the bundled
+   corpora. Usage:
+
+     dune exec bench/slca_bench.exe                 # full sizes
+     dune exec bench/slca_bench.exe -- --smoke      # small sizes (CI)
+     dune exec bench/slca_bench.exe -- --out PATH   # JSON location
+
+   Writes BENCH_slca.json (see doc/PERF.md for how to read it). *)
+
+module Engine = Xr_slca.Engine
+module Index = Xr_index.Index
+module Inverted = Xr_index.Inverted
+module Doc = Xr_xml.Doc
+module Json = Xr_server.Json
+
+let time_ns f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  (Unix.gettimeofday () -. t0) *. 1e9
+
+let median a =
+  let a = Array.copy a in
+  Array.sort Float.compare a;
+  a.(Array.length a / 2)
+
+(* Per-call nanoseconds: calibrate the repeat count until one sample runs
+   at least 10 ms, then take the median of five samples. The initial
+   warm-up call also materializes any lazily decoded index views, so all
+   engines are timed from a warm index. *)
+let bench_call f =
+  ignore (f ());
+  let iters = ref 1 in
+  let sample () = time_ns (fun () -> for _ = 1 to !iters do ignore (f ()) done) in
+  while sample () < 1e7 && !iters < 10_000_000 do
+    iters := !iters * 4
+  done;
+  median (Array.init 5 (fun _ -> sample () /. float_of_int !iters))
+
+let corpora ~smoke =
+  let dblp_pubs = if smoke then 300 else 3500 in
+  [
+    ("figure1", Xr_data.Figure1.doc ());
+    ("baseball", Xr_data.Baseball.doc ());
+    ("auction", Xr_data.Auction.doc ());
+    ( "dblp",
+      Doc.of_tree (Xr_data.Dblp.scaled ~publications:dblp_pubs ~seed:2009) );
+  ]
+
+(* Keyword ids by descending posting-list length. *)
+let frequent_keywords (index : Index.t) =
+  let acc = ref [] in
+  Inverted.iter_packed
+    (fun kw pk ->
+      let n = Inverted.packed_postings pk in
+      if n > 0 then acc := (kw, n) :: !acc)
+    index.Index.inverted;
+  List.map fst (List.sort (fun (_, a) (_, b) -> Int.compare b a) !acc)
+
+(* Query mix per corpus: high-frequency pairs and triples (the regime the
+   scan kernels are built for) plus one frequent/infrequent pair (large
+   seek distances, the galloping-cursor regime). *)
+let queries (index : Index.t) =
+  match frequent_keywords index with
+  | k0 :: k1 :: k2 :: k3 :: rest ->
+    let tail = match List.rev rest with t :: _ -> [ t ] | [] -> [] in
+    [ [ k0; k1 ]; [ k0; k1; k2 ]; [ k0; k1; k2; k3 ]; ([ k0 ] @ tail) ]
+    |> List.filter (fun q -> List.length q >= 2)
+  | k0 :: k1 :: _ -> [ [ k0; k1 ] ]
+  | _ -> []
+
+let engine_pairs = [ (Engine.Scan_eager, Engine.Scan_packed); (Engine.Stack, Engine.Stack_packed) ]
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let smoke = List.mem "--smoke" args in
+  let rec out_of = function
+    | "--out" :: p :: _ -> p
+    | _ :: rest -> out_of rest
+    | [] -> "BENCH_slca.json"
+  in
+  let out = out_of args in
+  let corpus_json = ref [] in
+  List.iter
+    (fun (name, doc) ->
+      let index = Index.build doc in
+      let postings = ref 0 and bytes = ref 0 in
+      Inverted.iter_packed
+        (fun _ pk ->
+          postings := !postings + Inverted.packed_postings pk;
+          bytes := !bytes + Inverted.packed_bytes pk)
+        index.Index.inverted;
+      Printf.printf "\n== %s: %d nodes, %d postings, %d packed bytes ==\n%!" name
+        (Doc.node_count doc) !postings !bytes;
+      let totals = Hashtbl.create 8 in
+      let add alg ns =
+        let k = Engine.name alg in
+        Hashtbl.replace totals k (ns +. (try Hashtbl.find totals k with Not_found -> 0.))
+      in
+      let query_json = ref [] in
+      List.iter
+        (fun ids ->
+          let words = List.map (Doc.keyword_name doc) ids in
+          let reference = Engine.query_ids Engine.Scan_eager index ids in
+          let engines = ref [] in
+          List.iter
+            (fun (ref_alg, packed_alg) ->
+              List.iter
+                (fun alg ->
+                  let got = Engine.query_ids alg index ids in
+                  if not (List.equal Xr_xml.Dewey.equal got reference) then
+                    failwith
+                      (Printf.sprintf "%s disagrees with scan-eager on %s {%s}"
+                         (Engine.name alg) name (String.concat " " words));
+                  let ns = bench_call (fun () -> Engine.query_ids alg index ids) in
+                  add alg ns;
+                  engines := (Engine.name alg, Json.Float ns) :: !engines)
+                [ ref_alg; packed_alg ])
+            engine_pairs;
+          let ns alg = match List.assoc (Engine.name alg) !engines with
+            | Json.Float f -> f
+            | _ -> assert false
+          in
+          let speedup_scan = ns Engine.Scan_eager /. ns Engine.Scan_packed in
+          let speedup_stack = ns Engine.Stack /. ns Engine.Stack_packed in
+          Printf.printf
+            "  {%s}: %d slca | scan %8.0fns -> %8.0fns (%.2fx) | stack %8.0fns -> %8.0fns (%.2fx)\n%!"
+            (String.concat " " words) (List.length reference) (ns Engine.Scan_eager)
+            (ns Engine.Scan_packed) speedup_scan (ns Engine.Stack) (ns Engine.Stack_packed)
+            speedup_stack;
+          query_json :=
+            Json.Obj
+              [
+                ("keywords", Json.List (List.map (fun w -> Json.String w) words));
+                ("results", Json.Int (List.length reference));
+                ("engines_ns", Json.Obj (List.rev !engines));
+                ("speedup_scan", Json.Float speedup_scan);
+                ("speedup_stack", Json.Float speedup_stack);
+              ]
+            :: !query_json)
+        (queries index);
+      let total alg = try Hashtbl.find totals (Engine.name alg) with Not_found -> 0. in
+      let agg_scan = total Engine.Scan_eager /. total Engine.Scan_packed in
+      let agg_stack = total Engine.Stack /. total Engine.Stack_packed in
+      Printf.printf "  aggregate: scan-packed %.2fx, stack-packed %.2fx\n%!" agg_scan agg_stack;
+      corpus_json :=
+        Json.Obj
+          [
+            ("name", Json.String name);
+            ("nodes", Json.Int (Doc.node_count doc));
+            ("postings", Json.Int !postings);
+            ("packed_bytes", Json.Int !bytes);
+            ("queries", Json.List (List.rev !query_json));
+            ("speedup_scan_total", Json.Float agg_scan);
+            ("speedup_stack_total", Json.Float agg_stack);
+          ]
+        :: !corpus_json)
+    (corpora ~smoke);
+  let payload =
+    Json.Obj
+      [
+        ("bench", Json.String "slca-packed-vs-reference");
+        ("mode", Json.String (if smoke then "smoke" else "full"));
+        ("corpora", Json.List (List.rev !corpus_json));
+      ]
+  in
+  let oc = open_out out in
+  output_string oc (Json.to_string payload);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "\nwrote %s\n" out

@@ -98,7 +98,7 @@ let search_cmd =
     Arg.(
       value
       & opt string "scan-eager"
-      & info [ "slca" ] ~docv:"ALG" ~doc:"SLCA engine: stack, scan-eager, indexed-lookup, multiway.")
+      & info [ "slca" ] ~docv:"ALG" ~doc:"SLCA engine: stack, scan-eager, indexed-lookup, multiway, stack-packed, scan-packed.")
   in
   let rank =
     Arg.(value & flag & info [ "rank" ] ~doc:"Order results by XML TF*IDF relevance.")

@@ -120,20 +120,24 @@ let search ?(config = default_config) (index : Index.t) query =
     |> List.sort_uniq String.compare
   in
   let doc = index.Index.doc in
-  let lists =
-    List.map
-      (fun k ->
-        match Doc.keyword_id doc k with
-        | Some kw -> Xr_index.Inverted.list index.Index.inverted kw
-        | None -> [||])
-      keywords
+  let rec resolve acc = function
+    | [] -> Some (List.rev acc)
+    | k :: rest -> (
+      match Doc.keyword_id doc k with
+      | Some kw -> resolve (kw :: acc) rest
+      | None -> None)
   in
-  if List.exists (fun l -> Array.length l = 0) lists then []
-  else begin
-    let ids = List.filter_map (fun k -> Doc.keyword_id doc k) keywords in
-    let meaningful = Meaningful.make ~config:config.search_for index.Index.stats ids in
-    Meaningful.filter meaningful (Slca_engine.compute config.slca lists)
-  end
+  match resolve [] keywords with
+  | None -> []
+  | Some ids ->
+    if List.exists (fun kw -> Xr_index.Inverted.length index.Index.inverted kw = 0) ids then
+      []
+    else begin
+      let meaningful = Meaningful.make ~config:config.search_for index.Index.stats ids in
+      (* [query_ids] keeps packed engines on the index's packed lists —
+         no posting materialization on the hot search path. *)
+      Meaningful.filter meaningful (Slca_engine.query_ids config.slca index ids)
+    end
 
 let needs_refinement ?config index query = search ?config index query = []
 

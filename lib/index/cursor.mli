@@ -41,3 +41,45 @@ val list_length : t -> int
 val sequential_accesses : t -> int
 
 val random_accesses : t -> int
+
+(** Monotone cursor over a packed label buffer ({!Dewey.Packed}) — the
+    scan substrate of the allocation-free SLCA kernels. Positional
+    peeking (no option allocation per step) and galloping seeks that
+    resume from the current position. *)
+module Packed : sig
+  type t
+
+  val make : Dewey.Packed.t -> t
+
+  (** [labels c] is the underlying packed list; combine with
+      {!position} to probe the entry under the cursor. *)
+  val labels : t -> Dewey.Packed.t
+
+  val length : t -> int
+
+  val at_end : t -> bool
+
+  val position : t -> int
+
+  (** [advance c] moves one entry forward (a sequential access). *)
+  val advance : t -> unit
+
+  (** [seek_geq_sub c v len] moves forward to the first entry [>=] the
+      first [len] components of [v], galloping from the current position
+      (one random access when the cursor moves). Never moves backward. *)
+  val seek_geq_sub : t -> int array -> int -> unit
+
+  val seek_geq : t -> Dewey.t -> unit
+
+  (** [match_probe c v len] is the scan kernels' fused inner step: seek
+      to the first entry [>=] the first [len] components of [v] (as
+      {!seek_geq_sub}) and return the deepest common prefix length of
+      [v] with the two entries bracketing that position, [-1] when
+      neither exists. Each entry compared during the search is walked
+      exactly once. *)
+  val match_probe : t -> int array -> int -> int
+
+  val sequential_accesses : t -> int
+
+  val random_accesses : t -> int
+end

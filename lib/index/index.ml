@@ -41,14 +41,24 @@ let of_file path = build (Doc.of_file path)
 
 (* ---- persistence ------------------------------------------------------ *)
 
-let write_posting buf (p : Inverted.posting) =
-  Codec.write_int_array buf p.dewey;
-  Codec.write_varint buf p.path
+(* A packed posting list round-trips to its stored form without an
+   intermediate boxed decode: the label buffer is written verbatim, the
+   offsets table as varint deltas (it is monotone by construction), node
+   types as varints. Loading re-adopts the buffer zero-copy. *)
+let write_packed_list buf (pk : Inverted.packed) =
+  let labels, offsets, max_depth = Dewey.Packed.to_raw pk.Inverted.labels in
+  Codec.write_varint buf max_depth;
+  Codec.write_delta_array buf offsets;
+  Codec.write_string buf labels;
+  Array.iter (Codec.write_varint buf) pk.Inverted.paths
 
-let read_posting r =
-  let dewey = Codec.read_int_array r in
-  let path = Codec.read_varint r in
-  { Inverted.dewey; path }
+let read_packed_list r =
+  let max_depth = Codec.read_varint r in
+  let offsets = Codec.read_delta_array r in
+  let buf = Codec.read_string r in
+  let labels = Dewey.Packed.of_raw ~buf ~offsets ~max_depth in
+  let paths = Array.init (Dewey.Packed.length labels) (fun _ -> Codec.read_varint r) in
+  { Inverted.labels; paths }
 
 let write_freq_row buf (path, kw, d, f) =
   Codec.write_varint buf path;
@@ -65,15 +75,12 @@ let read_freq_row r =
 
 let save t (kv : Kv.t) =
   kv.insert ~key:"doc" ~value:(Printer.to_string ~indent:false t.doc.tree);
-  Inverted.iter
-    (fun kw postings ->
-      if Array.length postings > 0 then
+  Inverted.iter_packed
+    (fun kw pk ->
+      if Inverted.packed_postings pk > 0 then
         kv.insert
           ~key:("il:" ^ Doc.keyword_name t.doc kw)
-          ~value:
-            (Codec.encode
-               (fun buf l -> Codec.write_list write_posting buf l)
-               (Array.to_list postings)))
+          ~value:(Codec.encode write_packed_list pk))
     t.inverted;
   kv.insert ~key:"ft"
     ~value:(Codec.encode (fun buf l -> Codec.write_list write_freq_row buf l) (Stats.export t.stats));
@@ -103,15 +110,14 @@ let load (kv : Kv.t) =
       | _ -> failwith "Index.load: vocabulary order mismatch with stored document")
     vocab;
   let n = Interner.size doc.keywords in
-  let lists = Array.make n [||] in
+  let lists = Array.make n Inverted.empty_packed in
   List.iteri
     (fun i k ->
       match kv.find ("il:" ^ k) with
       | None -> ()
-      | Some v ->
-        lists.(i) <- Array.of_list (Codec.decode (Codec.read_list read_posting) v))
+      | Some v -> lists.(i) <- Codec.decode read_packed_list v)
     vocab;
-  let inverted = Inverted.of_lists lists in
+  let inverted = Inverted.of_packed lists in
   let rows = Codec.decode (Codec.read_list read_freq_row) (get "ft") in
   let nodes_per_path = Codec.decode Codec.read_int_array (get "npt") in
   if Array.length nodes_per_path <> Path.size doc.paths then

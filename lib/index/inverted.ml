@@ -2,7 +2,32 @@ open Xr_xml
 
 type posting = { dewey : Dewey.t; path : Path.id }
 
-type t = posting array array (* indexed by keyword id *)
+(* Struct-of-arrays posting list: all labels in one packed buffer, node
+   types alongside. This is the resident representation — boxed posting
+   records exist only as a lazily materialized compatibility view. *)
+type packed = { labels : Dewey.Packed.t; paths : int array }
+
+type t = {
+  packed : packed array; (* indexed by keyword id *)
+  legacy : posting array option Atomic.t array;
+      (* Per-keyword memo of the boxed view, for the refinement engine's
+         slice-based access paths. Atomic release/acquire publication
+         makes materialization safe when the index is shared across query
+         domains; a racing domain at worst materializes twice. *)
+}
+
+let empty_packed = { labels = Dewey.Packed.empty; paths = [||] }
+
+let pack_postings (postings : posting array) =
+  {
+    labels = Dewey.Packed.of_array (Array.map (fun p -> p.dewey) postings);
+    paths = Array.map (fun p -> p.path) postings;
+  }
+
+let of_packed packed =
+  { packed; legacy = Array.init (Array.length packed) (fun _ -> Atomic.make None) }
+
+let of_lists lists = of_packed (Array.map pack_postings lists)
 
 let build (doc : Doc.t) =
   let n = Interner.size doc.keywords in
@@ -15,35 +40,71 @@ let build (doc : Doc.t) =
           acc.(kw) <- { dewey = node.dewey; path = node.path } :: acc.(kw))
         node.keywords)
     doc.nodes;
-  Array.map (fun l -> Array.of_list (List.rev l)) acc
+  of_lists (Array.map (fun l -> Array.of_list (List.rev l)) acc)
 
-let of_lists lists = lists
+let packed_list t kw =
+  if kw >= 0 && kw < Array.length t.packed then t.packed.(kw) else empty_packed
 
-let extend t ~vocab_size additions =
-  let fresh = Array.make (max vocab_size (Array.length t)) [||] in
-  Array.blit t 0 fresh 0 (Array.length t);
-  List.iter
-    (fun (kw, postings) ->
-      let old = fresh.(kw) in
-      (match (postings, Array.length old) with
-      | p :: _, n when n > 0 && Dewey.compare old.(n - 1).dewey p.dewey >= 0 ->
-        invalid_arg "Inverted.extend: appended postings must extend document order"
-      | _ -> ());
-      fresh.(kw) <- Array.append old (Array.of_list postings))
-    additions;
-  fresh
+let materialize pk =
+  Array.init (Dewey.Packed.length pk.labels) (fun i ->
+      { dewey = Dewey.Packed.get pk.labels i; path = pk.paths.(i) })
 
-let list t kw = if kw >= 0 && kw < Array.length t then t.(kw) else [||]
+let list t kw =
+  if kw < 0 || kw >= Array.length t.packed then [||]
+  else begin
+    let cell = t.legacy.(kw) in
+    match Atomic.get cell with
+    | Some postings -> postings
+    | None ->
+      let postings = materialize t.packed.(kw) in
+      Atomic.set cell (Some postings);
+      postings
+  end
 
 let list_by_name t doc k =
   match Doc.keyword_id doc k with Some kw -> list t kw | None -> [||]
 
-let length t kw = Array.length (list t kw)
+let length t kw = Dewey.Packed.length (packed_list t kw).labels
 
 let keyword_count t =
-  Array.fold_left (fun a l -> if Array.length l > 0 then a + 1 else a) 0 t
+  Array.fold_left
+    (fun a pk -> if Dewey.Packed.length pk.labels > 0 then a + 1 else a)
+    0 t.packed
 
-let iter f t = Array.iteri f t
+let iter f t = Array.iteri (fun kw _ -> f kw (list t kw)) t.packed
+
+let iter_packed f t = Array.iteri f t.packed
+
+let extend t ~vocab_size additions =
+  let n = max vocab_size (Array.length t.packed) in
+  let packed = Array.make n empty_packed in
+  Array.blit t.packed 0 packed 0 (Array.length t.packed);
+  List.iter
+    (fun (kw, postings) ->
+      let old = if kw < Array.length t.packed then list t kw else [||] in
+      (match (postings, Array.length old) with
+      | p :: _, n0 when n0 > 0 && Dewey.compare old.(n0 - 1).dewey p.dewey >= 0 ->
+        invalid_arg "Inverted.extend: appended postings must extend document order"
+      | _ -> ());
+      packed.(kw) <- pack_postings (Array.append old (Array.of_list postings)))
+    additions;
+  of_packed packed
+
+(* ---- footprint accounting (surfaced by the server's /stats) ------------- *)
+
+let packed_postings pk = Dewey.Packed.length pk.labels
+
+let packed_label_bytes pk = Dewey.Packed.byte_size pk.labels
+
+let packed_bytes pk =
+  (* label buffer + one word per offsets-table slot + one word per node
+     type id; the words dominate, which is why the offsets table stays
+     the cost to beat for further compression. *)
+  Dewey.Packed.byte_size pk.labels
+  + (8 * (Dewey.Packed.length pk.labels + 1))
+  + (8 * Array.length pk.paths)
+
+(* ---- binary probes over the legacy boxed view --------------------------- *)
 
 (* First index in [start, |l|) whose posting satisfies [cmp >= 0]. *)
 let lower_bound l start cmp =

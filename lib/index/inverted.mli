@@ -9,15 +9,29 @@ open Xr_xml
 
 type posting = { dewey : Dewey.t; path : Path.id }
 
+(** Struct-of-arrays posting list: every Dewey label of the list packed
+    into one contiguous buffer (see {!Dewey.Packed}), node-type ids
+    alongside. This is the resident form shared across query domains;
+    [posting array] is a lazily materialized compatibility view. *)
+type packed = { labels : Dewey.Packed.t; paths : int array }
+
 type t
 
 (** [build doc] scans the compiled document once and builds all lists. *)
 val build : Doc.t -> t
 
-(** [of_lists lists] wraps per-keyword posting arrays (indexed by keyword
-    id, document order within each); used when restoring a persisted
-    index. *)
+(** [of_lists lists] packs per-keyword posting arrays (indexed by keyword
+    id, document order within each). *)
 val of_lists : posting array array -> t
+
+(** [of_packed lists] adopts already-packed lists (indexed by keyword
+    id); used when restoring a persisted index without re-encoding. *)
+val of_packed : packed array -> t
+
+val empty_packed : packed
+
+(** [pack_postings arr] packs one posting array. *)
+val pack_postings : posting array -> packed
 
 (** [extend t ~vocab_size additions] is a new table covering ids up to
     [vocab_size - 1], with each [(kw, postings)] of [additions] appended
@@ -26,7 +40,14 @@ val of_lists : posting array array -> t
     of the document). The input table is unchanged. *)
 val extend : t -> vocab_size:int -> (Interner.id * posting list) list -> t
 
-(** [list t kw] is the posting list of keyword [kw] (empty if absent). *)
+(** [packed_list t kw] is the packed posting list of keyword [kw]
+    ([empty_packed] if absent). This is the zero-copy accessor the SLCA
+    kernels scan. *)
+val packed_list : t -> Interner.id -> packed
+
+(** [list t kw] is the boxed posting list of keyword [kw] (empty if
+    absent), materialized from the packed form on first access and
+    memoized (safe under parallel domains). *)
 val list : t -> Interner.id -> posting array
 
 (** [list_by_name t doc k] resolves keyword [k] (normalized) first. *)
@@ -38,8 +59,23 @@ val length : t -> Interner.id -> int
 (** [keyword_count t] is the number of keywords with a non-empty list. *)
 val keyword_count : t -> int
 
-(** [iter f t] applies [f kw list] to every keyword in id order. *)
+(** [iter f t] applies [f kw list] to every keyword in id order
+    (materializes each list; prefer {!iter_packed} on hot paths). *)
 val iter : (Interner.id -> posting array -> unit) -> t -> unit
+
+(** [iter_packed f t] applies [f kw packed] to every keyword in id order
+    without materializing anything. *)
+val iter_packed : (Interner.id -> packed -> unit) -> t -> unit
+
+(** [packed_postings pk] is the number of postings in a packed list. *)
+val packed_postings : packed -> int
+
+(** [packed_label_bytes pk] is the size of the packed label buffer. *)
+val packed_label_bytes : packed -> int
+
+(** [packed_bytes pk] estimates the resident bytes of a packed list:
+    label buffer plus one word per offsets slot and node-type id. *)
+val packed_bytes : packed -> int
 
 (** [prefix_slice list dewey] is the contiguous sub-range [(lo, hi)]
     (half-open index interval) of postings lying in the subtree rooted at

@@ -126,6 +126,53 @@ let complete_payload ~prefix completions =
              completions) );
     ]
 
+let index_footprint (index : Index.t) =
+  let d = index.Index.doc in
+  let postings = ref 0 and label_bytes = ref 0 and total_bytes = ref 0 in
+  let lists = ref [] in
+  Xr_index.Inverted.iter_packed
+    (fun kw pk ->
+      let n = Xr_index.Inverted.packed_postings pk in
+      if n > 0 then begin
+        let bytes = Xr_index.Inverted.packed_bytes pk in
+        postings := !postings + n;
+        label_bytes := !label_bytes + Xr_index.Inverted.packed_label_bytes pk;
+        total_bytes := !total_bytes + bytes;
+        lists := (Doc.keyword_name d kw, n, bytes) :: !lists
+      end)
+    index.Index.inverted;
+  let largest =
+    let sorted =
+      List.sort (fun (_, _, a) (_, _, b) -> Int.compare b a) (List.rev !lists)
+    in
+    let rec take n = function
+      | x :: rest when n > 0 -> x :: take (n - 1) rest
+      | _ -> []
+    in
+    take 10 sorted
+  in
+  Json.Obj
+    [
+      ("postings", Json.Int !postings);
+      ("label_bytes", Json.Int !label_bytes);
+      ("packed_bytes", Json.Int !total_bytes);
+      ( "bytes_per_posting",
+        Json.Float
+          (if !postings = 0 then 0. else float_of_int !total_bytes /. float_of_int !postings)
+      );
+      ( "largest_lists",
+        Json.List
+          (List.map
+             (fun (kw, n, bytes) ->
+               Json.Obj
+                 [
+                   ("keyword", Json.String kw);
+                   ("postings", Json.Int n);
+                   ("bytes", Json.Int bytes);
+                 ])
+             largest) );
+    ]
+
 let stats_payload (index : Index.t) =
   let d = index.Index.doc in
   let paths = ref [] in
@@ -146,6 +193,7 @@ let stats_payload (index : Index.t) =
       ("keywords", Json.Int (List.length (Doc.vocabulary d)));
       ("node_types", Json.Int (Path.size d.Doc.paths));
       ("depth", Json.Int (Tree.depth d.Doc.tree));
+      ("index", index_footprint index);
       ("paths", Json.List (List.rev !paths));
     ]
 

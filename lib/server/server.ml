@@ -99,7 +99,7 @@ let handle_search t req =
   let ( let* ) r f = match r with Error resp -> resp | Ok v -> f v in
   let* query = tokenized_query req in
   let alg_name =
-    match Http.query_param req "alg" with Some a -> a | None -> "scan-eager"
+    match Http.query_param req "alg" with Some a -> a | None -> "scan-packed"
   in
   match Xr_slca.Engine.of_name alg_name with
   | None -> bad_request (Printf.sprintf "unknown SLCA engine %s" alg_name)

@@ -1,21 +1,39 @@
 open Xr_xml
+module Inverted = Xr_index.Inverted
 
-type algorithm = Stack | Scan_eager | Indexed_lookup | Multiway
+type algorithm = Stack | Scan_eager | Indexed_lookup | Multiway | Stack_packed | Scan_packed
 
-let all = [ Stack; Scan_eager; Indexed_lookup; Multiway ]
+let all = [ Stack; Scan_eager; Indexed_lookup; Multiway; Stack_packed; Scan_packed ]
 
 let name = function
   | Stack -> "stack"
   | Scan_eager -> "scan-eager"
   | Indexed_lookup -> "indexed-lookup"
   | Multiway -> "multiway"
+  | Stack_packed -> "stack-packed"
+  | Scan_packed -> "scan-packed"
 
 let of_name = function
   | "stack" -> Some Stack
   | "scan-eager" -> Some Scan_eager
   | "indexed-lookup" -> Some Indexed_lookup
   | "multiway" -> Some Multiway
+  | "stack-packed" -> Some Stack_packed
+  | "scan-packed" -> Some Scan_packed
   | _ -> None
+
+let is_packed = function
+  | Stack_packed | Scan_packed -> true
+  | Stack | Scan_eager | Indexed_lookup | Multiway -> false
+
+let pack_list (l : Inverted.posting array) =
+  Dewey.Packed.of_array (Array.map (fun p -> p.Inverted.dewey) l)
+
+(* Kernels ignore the path component, so a list-based algorithm can run
+   on packed input through a throwaway materialization with dummy paths. *)
+let unpack_list pk =
+  Array.init (Dewey.Packed.length pk) (fun i ->
+      { Inverted.dewey = Dewey.Packed.get pk i; path = 0 })
 
 let compute alg lists =
   match alg with
@@ -23,13 +41,31 @@ let compute alg lists =
   | Scan_eager -> Scan_eager.compute lists
   | Indexed_lookup -> Indexed_lookup.compute lists
   | Multiway -> Multiway.compute lists
+  | Stack_packed -> Stack_packed.compute (List.map pack_list lists)
+  | Scan_packed -> Scan_packed.compute (List.map pack_list lists)
+
+let compute_packed alg lists =
+  match alg with
+  | Stack_packed -> Stack_packed.compute lists
+  | Scan_packed -> Scan_packed.compute lists
+  | Stack | Scan_eager | Indexed_lookup | Multiway -> compute alg (List.map unpack_list lists)
+
+let query_ids alg (index : Xr_index.Index.t) ids =
+  if is_packed alg then
+    compute_packed alg
+      (List.map (fun kw -> (Inverted.packed_list index.inverted kw).Inverted.labels) ids)
+  else compute alg (List.map (fun kw -> Inverted.list index.inverted kw) ids)
 
 let query alg (index : Xr_index.Index.t) keywords =
-  let resolve k =
-    match Doc.keyword_id index.doc k with
-    | Some kw -> Xr_index.Inverted.list index.inverted kw
-    | None -> [||]
-  in
   (* duplicate keywords add no constraint under conjunctive semantics *)
   let distinct = List.sort_uniq String.compare (List.map Token.normalize keywords) in
-  compute alg (List.map resolve distinct)
+  let rec resolve acc = function
+    | [] -> Some (List.rev acc)
+    | k :: rest -> (
+      match Doc.keyword_id index.doc k with
+      | Some kw -> resolve (kw :: acc) rest
+      | None -> None)
+  in
+  match resolve [] distinct with
+  | None -> []
+  | Some ids -> query_ids alg index ids

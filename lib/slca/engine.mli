@@ -1,4 +1,4 @@
-(** Uniform front door over the four SLCA algorithms — the pluggable
+(** Uniform front door over the SLCA algorithms — the pluggable
     "existing SLCA computation method" of the paper's Lemma 3. *)
 
 open Xr_xml
@@ -8,6 +8,8 @@ type algorithm =
   | Scan_eager  (** XKSearch scan-eager, the paper's [scan-slca] *)
   | Indexed_lookup  (** XKSearch indexed-lookup-eager *)
   | Multiway  (** Multiway-SLCA, anchor-based *)
+  | Stack_packed  (** {!Stack} over packed lists, allocation-free merge *)
+  | Scan_packed  (** {!Scan_eager} over packed lists, allocation-free probes *)
 
 val all : algorithm list
 
@@ -16,9 +18,25 @@ val name : algorithm -> string
 (** [of_name s] inverts {!name}. *)
 val of_name : string -> algorithm option
 
+(** [is_packed alg] is true for the kernels that consume packed lists
+    natively (and so can run straight off the index without decoding). *)
+val is_packed : algorithm -> bool
+
 (** [compute alg lists] is the SLCA set (document order) of the
-    conjunction of the keywords whose posting lists are given. *)
+    conjunction of the keywords whose posting lists are given. Packed
+    algorithms pack the given lists on the fly — use {!compute_packed}
+    or {!query_ids} to feed them pre-packed lists without that cost. *)
 val compute : algorithm -> Xr_index.Inverted.posting array list -> Dewey.t list
+
+(** [compute_packed alg lists] is {!compute} on packed input. Packed
+    algorithms run on the buffers directly; list-based algorithms pay a
+    throwaway materialization (their cost baseline in the benchmark). *)
+val compute_packed : algorithm -> Dewey.Packed.t list -> Dewey.t list
+
+(** [query_ids alg index ids] computes SLCAs for already-resolved keyword
+    ids, routing packed algorithms to the index's packed lists (no decode)
+    and list-based ones to the legacy view. *)
+val query_ids : algorithm -> Xr_index.Index.t -> Interner.id list -> Dewey.t list
 
 (** [query alg index keywords] resolves keywords against the document and
     computes SLCAs; a keyword absent from the document yields []. *)

@@ -16,11 +16,10 @@ let compute lists =
           let depth = ref (Dewey.depth v.dewey) in
           Array.iteri
             (fun i list ->
-              (* advance cursor to the first posting >= v *)
+              (* advance cursor to the first posting >= v, resuming the
+                 binary search from the previous probe position *)
               let n = Array.length list in
-              while pos.(i) < n && Dewey.compare list.(pos.(i)).Inverted.dewey v.dewey < 0 do
-                pos.(i) <- pos.(i) + 1
-              done;
+              pos.(i) <- Slca_common.lower_bound list ~lo:pos.(i) v.dewey;
               let lm = if pos.(i) > 0 then Some list.(pos.(i) - 1) else None in
               let rm = if pos.(i) < n then Some list.(pos.(i)) else None in
               depth := min !depth (Slca_common.deepest_prefix_depth v.dewey (lm, rm)))

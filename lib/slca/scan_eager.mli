@@ -1,9 +1,11 @@
 (** Scan-Eager SLCA (XKSearch).
 
     Same candidate characterization as {!Indexed_lookup}, but the closest
-    matches in the non-driving lists are located by advancing a cursor
-    sequentially instead of binary search — a single merge-like pass over
-    all lists, best when keyword frequencies are comparable. This is the
+    matches in the non-driving lists are located by cursors that only
+    move forward — each probe resumes a binary search from the previous
+    match position ({!Slca_common.lower_bound}), so the whole query is a
+    single merge-like pass over all lists, best when keyword frequencies
+    are comparable. This is the
     SLCA engine the paper plugs into its Partition and SLE refinement
     algorithms. *)
 

@@ -1,0 +1,65 @@
+open Xr_xml
+module P = Dewey.Packed
+module PC = Xr_index.Cursor.Packed
+
+(* Candidates are generated from driver entries in increasing document
+   order, which forces a shape on the candidate stream: a new candidate
+   is either >= the current one or a prefix (ancestor) of it. (If
+   candidate [y] of a later driver entry [v'] were smaller than an
+   earlier candidate [x] without being its prefix, then [v'], which
+   extends [y], would order below [x] <= [v] — contradicting [v' > v].)
+   So the smallest-LCA subset can be kept online with one held candidate:
+   an arriving prefix is discarded, an arriving extension replaces, and
+   anything else is disjoint and seals the held candidate as a result.
+   This replaces the sort-based [Slca_common.prune_non_smallest] pass and
+   only ever materializes actual results. *)
+let compute (lists : P.t list) =
+  if lists = [] || List.exists (fun l -> P.length l = 0) lists then []
+  else begin
+    let sorted = List.sort (fun a b -> Int.compare (P.length a) (P.length b)) lists in
+    match sorted with
+    | [] -> []
+    | driver :: others ->
+      let cursors = Array.of_list (List.map PC.make others) in
+      let ncur = Array.length cursors in
+      let maxd = List.fold_left (fun acc l -> max acc (P.max_depth l)) 1 lists in
+      (* The one decoded label live at any time: the driver entry under
+         consideration. Non-driving lists are probed in encoded form. *)
+      let scratch = Array.make maxd 0 in
+      let cur = Array.make maxd 0 in
+      let cur_len = ref (-1) in
+      let results = ref [] in
+      let emit () = if !cur_len >= 0 then results := Array.sub cur 0 !cur_len :: !results in
+      let depth = ref 0 in
+      let n = P.length driver in
+      for vi = 0 to n - 1 do
+        let vd = P.blit_entry driver vi scratch in
+        depth := vd;
+        for ci = 0 to ncur - 1 do
+          let d = PC.match_probe (Array.unsafe_get cursors ci) scratch vd in
+          if d < !depth then depth := d
+        done;
+        let d = !depth in
+        if d >= 0 then
+          if !cur_len < 0 then begin
+            Array.blit scratch 0 cur 0 d;
+            cur_len := d
+          end
+          else begin
+            let lim = if d < !cur_len then d else !cur_len in
+            let i = ref 0 in
+            while !i < lim && Array.unsafe_get cur !i = Array.unsafe_get scratch !i do
+              incr i
+            done;
+            if !i = d then () (* ancestor of (or equal to) the held candidate *)
+            else begin
+              if !i < !cur_len then emit ();
+              (* else: extension of the held candidate — replace silently *)
+              Array.blit scratch 0 cur 0 d;
+              cur_len := d
+            end
+          end
+      done;
+      emit ();
+      List.rev !results
+  end

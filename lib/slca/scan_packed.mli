@@ -1,0 +1,16 @@
+(** Scan-Eager SLCA over packed posting lists.
+
+    Same algorithm as {!Scan_eager} — drive on the rarest keyword, probe
+    the closest matches in the other lists — but operating directly on
+    the varint-encoded label buffers of {!Xr_xml.Dewey.Packed}: the only
+    label decoded per driver step is the driver entry itself (into a
+    reused scratch buffer), the other lists are compared in encoded form
+    via galloping {!Xr_index.Cursor.Packed} seeks. Non-smallest
+    candidates are pruned online against a single held candidate
+    (correct because driver order constrains the candidate stream — see
+    the implementation), so there is no sort-based post-pass. The inner
+    loop allocates nothing; only actual results are materialized. *)
+
+open Xr_xml
+
+val compute : Dewey.Packed.t list -> Dewey.t list

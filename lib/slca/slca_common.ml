@@ -14,18 +14,24 @@ let prune_non_smallest candidates =
   in
   go [] sorted
 
-let closest (list : Xr_index.Inverted.posting array) lo v =
-  let n = Array.length list in
-  (* first index in [lo, n) with dewey >= v *)
-  let l = ref lo and h = ref n in
+(* First index in [lo, |list|) whose label is >= v. Taking an explicit
+   [lo] lets multiway scans resume a probe from the previous match
+   position instead of re-searching the whole list. *)
+let lower_bound (list : Xr_index.Inverted.posting array) ~lo v =
+  let l = ref lo and h = ref (Array.length list) in
   while !l < !h do
     let mid = (!l + !h) / 2 in
     if Dewey.compare list.(mid).Xr_index.Inverted.dewey v < 0 then l := mid + 1 else h := mid
   done;
-  let rm = if !l < n then Some list.(!l) else None in
+  !l
+
+let closest (list : Xr_index.Inverted.posting array) lo v =
+  let n = Array.length list in
+  let l = lower_bound list ~lo v in
+  let rm = if l < n then Some list.(l) else None in
   let lm =
-    if !l < n && Dewey.equal list.(!l).Xr_index.Inverted.dewey v then Some list.(!l)
-    else if !l > lo then Some list.(!l - 1)
+    if l < n && Dewey.equal list.(l).Xr_index.Inverted.dewey v then Some list.(l)
+    else if l > lo then Some list.(l - 1)
     else None
   in
   (lm, rm)

@@ -7,6 +7,11 @@ open Xr_xml
     subset in document order. Input need not be sorted. *)
 val prune_non_smallest : Dewey.t list -> Dewey.t list
 
+(** [lower_bound list ~lo v] is the first index in [\[lo, length list)]
+    whose label is [>= v] ([length list] if none). The explicit [lo]
+    lets a multiway scan resume from its previous probe position. *)
+val lower_bound : Xr_index.Inverted.posting array -> lo:int -> Dewey.t -> int
+
 (** [closest list lo v] is the pair [(lm, rm)] around [v] in [list]:
     [lm] = greatest posting [<= v] at index [>= lo], [rm] = least posting
     [>= v]; either may be [None] at the list ends. Found by binary search

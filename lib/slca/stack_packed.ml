@@ -1,0 +1,89 @@
+open Xr_xml
+module P = Dewey.Packed
+module PC = Xr_index.Cursor.Packed
+
+(* Flat reformulation of {!Stack_slca}: the stack of path entries becomes
+   a pair of preallocated tables indexed by prefix length — [witness.(d)]
+   and [slca_below.(d)] describe the stack entry holding path component
+   [d - 1], row 0 being the root sentinel. Rows deeper than the current
+   path length are kept all-false, so "pushing" an entry is just growing
+   [path_len]. The merge of the cursor heads compares labels in encoded
+   form; only the winning head is decoded, into a reused scratch buffer. *)
+let compute (lists : P.t list) =
+  let m = List.length lists in
+  if m = 0 || List.exists (fun l -> P.length l = 0) lists then []
+  else begin
+    let cursors = Array.of_list (List.map PC.make lists) in
+    let maxd = List.fold_left (fun acc l -> max acc (P.max_depth l)) 1 lists in
+    let path = Array.make maxd 0 in
+    let path_len = ref 0 in
+    let head = Array.make maxd 0 in
+    let witness = Array.make_matrix (maxd + 1) m false in
+    let slca_below = Array.make (maxd + 1) false in
+    let results = ref [] in
+    let all_true row =
+      let ok = ref true in
+      for i = 0 to m - 1 do
+        if not row.(i) then ok := false
+      done;
+      !ok
+    in
+    let pop_to target =
+      while !path_len > target do
+        let len = !path_len in
+        let row = witness.(len) in
+        let emitted = all_true row && not slca_below.(len) in
+        if emitted then results := Array.sub path 0 len :: !results;
+        let parent = witness.(len - 1) in
+        for i = 0 to m - 1 do
+          if row.(i) then parent.(i) <- true;
+          row.(i) <- false
+        done;
+        if slca_below.(len) || emitted then slca_below.(len - 1) <- true;
+        slca_below.(len) <- false;
+        path_len := len - 1
+      done
+    in
+    let next_smallest () =
+      let best = ref (-1) in
+      for i = 0 to Array.length cursors - 1 do
+        let c = cursors.(i) in
+        if not (PC.at_end c) then
+          if !best < 0 then best := i
+          else begin
+            let b = cursors.(!best) in
+            if
+              P.compare_entries (PC.labels c) (PC.position c) (PC.labels b)
+                (PC.position b)
+              < 0
+            then best := i
+          end
+      done;
+      !best
+    in
+    let rec loop () =
+      let kw = next_smallest () in
+      if kw >= 0 then begin
+        let c = cursors.(kw) in
+        let d = P.blit_entry (PC.labels c) (PC.position c) head in
+        PC.advance c;
+        let lim = min d !path_len in
+        let lcp = ref 0 in
+        while !lcp < lim && head.(!lcp) = path.(!lcp) do
+          incr lcp
+        done;
+        pop_to !lcp;
+        for i = !lcp to d - 1 do
+          path.(i) <- head.(i)
+        done;
+        path_len := d;
+        witness.(d).(kw) <- true;
+        loop ()
+      end
+    in
+    loop ();
+    pop_to 0;
+    (* Finally consider the root sentinel itself. *)
+    if all_true witness.(0) && not slca_below.(0) then results := [||] :: !results;
+    List.rev !results
+  end

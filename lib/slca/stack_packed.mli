@@ -1,0 +1,13 @@
+(** Stack-based SLCA over packed posting lists.
+
+    Same sort-merge traversal as {!Stack_slca}, but the per-node stack
+    entries are replaced by preallocated witness/mark tables indexed by
+    prefix length, and the multiway merge compares cursor heads directly
+    in the varint-encoded form of {!Xr_xml.Dewey.Packed} — only the
+    winning head of each merge step is decoded, into a reused scratch
+    buffer. The steady-state loop allocates nothing; only emitted SLCAs
+    are materialized. *)
+
+open Xr_xml
+
+val compute : Dewey.Packed.t list -> Dewey.t list

@@ -57,6 +57,24 @@ let read_int_array r =
   let n = read_varint r in
   Array.init n (fun _ -> read_int r)
 
+let write_delta_array buf a =
+  write_varint buf (Array.length a);
+  let prev = ref 0 in
+  Array.iter
+    (fun v ->
+      if v < !prev then invalid_arg "Codec.write_delta_array: not ascending";
+      write_varint buf (v - !prev);
+      prev := v)
+    a
+
+let read_delta_array r =
+  let n = read_varint r in
+  let prev = ref 0 in
+  Array.init n (fun _ ->
+      let v = !prev + read_varint r in
+      prev := v;
+      v)
+
 let write_list f buf l =
   write_varint buf (List.length l);
   List.iter (f buf) l

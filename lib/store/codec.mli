@@ -28,6 +28,14 @@ val write_int_array : Buffer.t -> int array -> unit
 
 val read_int_array : reader -> int array
 
+(** Length-prefixed ascending int array stored as varint deltas of
+    consecutive elements (e.g. a packed list's offsets table, which is
+    monotone by construction, so every delta is a small varint).
+    @raise Invalid_argument if the array descends or starts negative. *)
+val write_delta_array : Buffer.t -> int array -> unit
+
+val read_delta_array : reader -> int array
+
 (** Length-prefixed list with an element codec. *)
 val write_list : (Buffer.t -> 'a -> unit) -> Buffer.t -> 'a list -> unit
 

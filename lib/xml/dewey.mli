@@ -55,3 +55,89 @@ val pp : Format.formatter -> t -> unit
 
 (** [hash d] is a hash compatible with {!equal}. *)
 val hash : t -> int
+
+(** Packed label sequences: an entire inverted list's Dewey labels varint
+    encoded into one contiguous, immutable byte buffer with an offsets
+    table. Entry [i] is stored as a varint depth followed by its varint
+    components. Comparison, common-prefix and lower-bound probes operate
+    directly on the encoded form with early exit, so the hot SLCA kernels
+    never materialize an [int array] per step; the flat buffer also makes
+    binary-search probes cache-friendly and safely shareable across
+    domains (the structure is immutable after construction). *)
+module Packed : sig
+  type t
+
+  val empty : t
+
+  (** [length t] is the number of labels stored. *)
+  val length : t -> int
+
+  (** [byte_size t] is the size of the label buffer in bytes (offsets
+      table excluded). *)
+  val byte_size : t -> int
+
+  (** [max_depth t] bounds the depth of every stored label; sizing a
+      scratch buffer to it makes {!blit_entry} total. *)
+  val max_depth : t -> int
+
+  (** [of_array labels] packs labels in the given order (inverted lists
+      are in document order, but no order is required here).
+      @raise Invalid_argument on a negative component. *)
+  val of_array : int array array -> t
+
+  val of_list : int array list -> t
+
+  (** [get t i] materializes entry [i] (slow path / compatibility). *)
+  val get : t -> int -> int array
+
+  val to_array : t -> int array array
+
+  (** [depth_at t i] is the depth of entry [i] without decoding it. *)
+  val depth_at : t -> int -> int
+
+  (** [blit_entry t i dst] decodes entry [i] into [dst] and returns its
+      depth. [dst] must hold at least {!max_depth} components. *)
+  val blit_entry : t -> int -> int array -> int
+
+  (** [compare_sub t i v len] compares entry [i] against the first [len]
+      components of [v] in document order, without materializing. *)
+  val compare_sub : t -> int -> int array -> int -> int
+
+  (** [compare_label t i v] is [compare_sub t i v (Array.length v)]. *)
+  val compare_label : t -> int -> int array -> int
+
+  (** [common_prefix_len_sub t i v len] is the number of leading
+      components entry [i] shares with [v]'s first [len] components. *)
+  val common_prefix_len_sub : t -> int -> int array -> int -> int
+
+  val common_prefix_len_label : t -> int -> int array -> int
+
+  (** [compare_prefix_sub t i v len] fuses {!compare_sub} and
+      {!common_prefix_len_sub} into one walk over entry [i]: the result
+      is [(plen lsl 2) lor (cmp + 1)] where [cmp] (in [-1..1]) orders
+      the entry against [v.(0..len-1)] and [plen] is their common prefix
+      length. Probe primitive of the allocation-free scan kernels. *)
+  val compare_prefix_sub : t -> int -> int array -> int -> int
+
+  (** [compare_entries a i b j] compares entry [i] of [a] with entry [j]
+      of [b], decoding both streams in lockstep. *)
+  val compare_entries : t -> int -> t -> int -> int
+
+  (** [lower_bound_sub t ~lo v len] is the first index in [[lo, length t)]
+      whose entry is [>=] the first [len] components of [v] (binary
+      search; assumes the list is sorted, as inverted lists are). *)
+  val lower_bound_sub : t -> lo:int -> int array -> int -> int
+
+  val lower_bound : t -> lo:int -> int array -> int
+
+  (** [to_raw t] exposes the label buffer, offsets table and max depth for
+      zero-copy persistence. The returned arrays are the live internals:
+      do not mutate them. *)
+  val to_raw : t -> string * int array * int
+
+  (** [of_raw ~buf ~offsets ~max_depth] adopts a buffer produced by
+      {!to_raw} (or read back from storage) without re-encoding.
+      @raise Invalid_argument if the offsets table is not a monotone span
+      of the buffer. *)
+  val of_raw : buf:string -> offsets:int array -> max_depth:int -> t
+end
