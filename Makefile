@@ -1,4 +1,4 @@
-.PHONY: all build test check smoke bench slcabench paperbench examples quickbench clean
+.PHONY: all build test check smoke bench benchgate slcabench refinebench paperbench examples quickbench clean fmt
 
 all: build
 
@@ -10,18 +10,31 @@ test:
 
 check:
 	dune build @all && dune runtest
-	dune exec bench/slca_bench.exe -- --smoke --out /tmp/BENCH_slca_check.json
+	scripts/bench_gate.sh
 
 smoke: build
 	scripts/smoke.sh
 
-# SLCA kernel benchmark (packed vs reference); writes BENCH_slca.json.
+# Smoke-size benchmarks (SLCA kernels + refinement pipeline).
 bench:
 	dune exec bench/slca_bench.exe -- --smoke
+	dune exec bench/refine_bench.exe -- --smoke
+
+# Regression gate: committed BENCH files and a fresh smoke run must both
+# keep every packed-vs-legacy aggregate speedup at >= 1.0.
+benchgate: build
+	scripts/bench_gate.sh
 
 # Full-size SLCA kernel benchmark (the committed BENCH_slca.json).
 slcabench:
 	dune exec bench/slca_bench.exe
+
+# Full-size refinement benchmark (the committed BENCH_refine.json).
+refinebench:
+	dune exec bench/refine_bench.exe
+
+fmt:
+	dune build @fmt --auto-promote
 
 # The paper's full evaluation suite (tables and figures).
 paperbench:

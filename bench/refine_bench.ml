@@ -1,0 +1,206 @@
+(* Refinement pipeline benchmark: packed vs legacy (boxed posting array)
+   algorithm implementations on the bundled corpora. Usage:
+
+     dune exec bench/refine_bench.exe                 # full sizes
+     dune exec bench/refine_bench.exe -- --smoke      # small sizes (CI)
+     dune exec bench/refine_bench.exe -- --out PATH   # JSON location
+
+   Each corpus runs four workloads exercising one rewrite operation each
+   (deletion / merging / split / substitution); each workload times the
+   three algorithms in both forms after asserting their outcomes are
+   identical, and checks that the packed runs never materialize a boxed
+   posting list. Writes BENCH_refine.json (see doc/PERF.md). *)
+
+module Index = Xr_index.Index
+module Inverted = Xr_index.Inverted
+module Doc = Xr_xml.Doc
+module Json = Xr_server.Json
+open Xr_refine
+
+let time_ns f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  (Unix.gettimeofday () -. t0) *. 1e9
+
+let median a =
+  let a = Array.copy a in
+  Array.sort Float.compare a;
+  a.(Array.length a / 2)
+
+(* Per-call nanoseconds: calibrate the repeat count until one sample runs
+   at least 10 ms, then take the median of five samples. The initial
+   warm-up call also forces any lazily materialized views, so the legacy
+   algorithms are timed from their best (warm) state. *)
+let bench_call f =
+  ignore (f ());
+  let iters = ref 1 in
+  let sample () = time_ns (fun () -> for _ = 1 to !iters do ignore (f ()) done) in
+  while sample () < 1e7 && !iters < 10_000_000 do
+    iters := !iters * 4
+  done;
+  median (Array.init 5 (fun _ -> sample () /. float_of_int !iters))
+
+let corpora ~smoke =
+  let dblp_pubs = if smoke then 300 else 2000 in
+  [
+    ("figure1", Xr_data.Figure1.doc ());
+    ("baseball", Xr_data.Baseball.doc ());
+    ("auction", Xr_data.Auction.doc ());
+    ("dblp", Doc.of_tree (Xr_data.Dblp.scaled ~publications:dblp_pubs ~seed:2009));
+  ]
+
+(* Keyword names by descending posting-list length. *)
+let frequent_keywords (index : Index.t) =
+  let acc = ref [] in
+  Inverted.iter_packed
+    (fun kw pk ->
+      let n = Inverted.packed_postings pk in
+      if n > 0 then acc := (kw, n) :: !acc)
+    index.Index.inverted;
+  List.sort (fun (_, a) (_, b) -> Int.compare b a) !acc
+  |> List.map (fun (kw, _) -> Doc.keyword_name index.Index.doc kw)
+
+(* One workload per rewrite operation. Every query contains a keyword
+   absent from the document, so the original query never matches and the
+   full refinement machinery (partition scan, DP, per-partition SLCAs,
+   ranking) runs end to end. *)
+let workloads (index : Index.t) =
+  match frequent_keywords index with
+  | k1 :: k2 :: _ ->
+    [
+      ("deletion", [ k1; k2; "zzzworkloadjunk" ], []);
+      ("merge", [ "zzfraga"; "zzfragb"; k2 ], [ Rule.merging [ "zzfraga"; "zzfragb" ] k1 ]);
+      ("split", [ "zzfusedpair" ], [ Rule.split "zzfusedpair" [ k1; k2 ] ]);
+      ("substitution", [ "zzsubstsrc"; k2 ], [ Rule.synonym "zzsubstsrc" k1 ]);
+    ]
+  | _ -> []
+
+type pair = {
+  alg : string;
+  packed : Refine_common.t -> Result.t;
+  legacy : Refine_common.t -> Result.t;
+}
+
+let pairs ~k =
+  [
+    {
+      alg = "stack-refine";
+      packed = (fun c -> fst (Stack_refine.run c));
+      legacy = (fun c -> fst (Stack_refine.run_legacy c));
+    };
+    {
+      alg = "partition";
+      packed = (fun c -> fst (Partition.run ~k c));
+      legacy = (fun c -> fst (Partition.run_legacy ~k c));
+    };
+    {
+      alg = "sle";
+      packed = (fun c -> fst (Sle.run ~k c));
+      legacy = (fun c -> fst (Sle.run_legacy ~k c));
+    };
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let smoke = List.mem "--smoke" args in
+  let rec out_of = function
+    | "--out" :: p :: _ -> p
+    | _ :: rest -> out_of rest
+    | [] -> "BENCH_refine.json"
+  in
+  let out = out_of args in
+  let k = 3 in
+  let corpus_json = ref [] in
+  List.iter
+    (fun (name, doc) ->
+      let index = Index.build doc in
+      Printf.printf "\n== %s: %d nodes ==\n%!" name (Doc.node_count doc);
+      let totals = Hashtbl.create 8 in
+      let add key ns =
+        Hashtbl.replace totals key (ns +. (try Hashtbl.find totals key with Not_found -> 0.))
+      in
+      let workload_json = ref [] in
+      List.iter
+        (fun (wname, query, rules) ->
+          let setup () = Refine_common.make index (Ruleset.of_rules rules) query in
+          let c = setup () in
+          let alg_json = ref [] in
+          List.iter
+            (fun p ->
+              (* the packed scan must run without touching the boxed
+                 views; assert it before the legacy run warms them *)
+              let before = Inverted.materialization_count index.Index.inverted in
+              let packed_result = p.packed c in
+              let after = Inverted.materialization_count index.Index.inverted in
+              if after <> before then
+                failwith
+                  (Printf.sprintf "%s/%s/%s: packed run materialized %d boxed lists" name
+                     wname p.alg (after - before));
+              let legacy_result = p.legacy c in
+              if packed_result <> legacy_result then
+                failwith
+                  (Printf.sprintf "%s/%s/%s: packed and legacy outcomes differ" name wname
+                     p.alg);
+              let packed_ns = bench_call (fun () -> p.packed c) in
+              let legacy_ns = bench_call (fun () -> p.legacy c) in
+              add (p.alg ^ ":packed") packed_ns;
+              add (p.alg ^ ":legacy") legacy_ns;
+              Printf.printf "  %-12s %-12s legacy %9.0fns -> packed %9.0fns (%.2fx)\n%!"
+                wname p.alg legacy_ns packed_ns (legacy_ns /. packed_ns);
+              alg_json :=
+                Json.Obj
+                  [
+                    ("algorithm", Json.String p.alg);
+                    ("packed_ns", Json.Float packed_ns);
+                    ("legacy_ns", Json.Float legacy_ns);
+                    ("speedup", Json.Float (legacy_ns /. packed_ns));
+                  ]
+                :: !alg_json)
+            (pairs ~k);
+          workload_json :=
+            Json.Obj
+              [
+                ("name", Json.String wname);
+                ("query", Json.List (List.map (fun w -> Json.String w) query));
+                ("algorithms", Json.List (List.rev !alg_json));
+              ]
+            :: !workload_json)
+        (workloads index);
+      let total key = try Hashtbl.find totals key with Not_found -> 0. in
+      let speedup alg = total (alg ^ ":legacy") /. total (alg ^ ":packed") in
+      let overall side =
+        List.fold_left
+          (fun a alg -> a +. total (alg ^ ":" ^ side))
+          0.
+          [ "stack-refine"; "partition"; "sle" ]
+      in
+      let speedup_total = overall "legacy" /. overall "packed" in
+      Printf.printf
+        "  aggregate: stack-refine %.2fx, partition %.2fx, sle %.2fx, overall %.2fx\n%!"
+        (speedup "stack-refine") (speedup "partition") (speedup "sle") speedup_total;
+      corpus_json :=
+        Json.Obj
+          [
+            ("name", Json.String name);
+            ("nodes", Json.Int (Doc.node_count doc));
+            ("workloads", Json.List (List.rev !workload_json));
+            ("speedup_stack_refine_total", Json.Float (speedup "stack-refine"));
+            ("speedup_partition_total", Json.Float (speedup "partition"));
+            ("speedup_sle_total", Json.Float (speedup "sle"));
+            ("speedup_total", Json.Float speedup_total);
+          ]
+        :: !corpus_json)
+    (corpora ~smoke);
+  let payload =
+    Json.Obj
+      [
+        ("bench", Json.String "refine-packed-vs-legacy");
+        ("mode", Json.String (if smoke then "smoke" else "full"));
+        ("corpora", Json.List (List.rev !corpus_json));
+      ]
+  in
+  let oc = open_out out in
+  output_string oc (Json.to_string payload);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "\nwrote %s\n" out

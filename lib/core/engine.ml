@@ -3,17 +3,29 @@ module Index = Xr_index.Index
 module Slca_engine = Xr_slca.Engine
 module Meaningful = Xr_slca.Meaningful
 
-type algorithm = Stack_refine | Partition | Short_list_eager
+type algorithm =
+  | Stack_refine
+  | Partition
+  | Short_list_eager
+  | Stack_refine_legacy
+  | Partition_legacy
+  | Sle_legacy
 
 let algorithm_name = function
   | Stack_refine -> "stack-refine"
   | Partition -> "partition"
   | Short_list_eager -> "sle"
+  | Stack_refine_legacy -> "stack-refine-legacy"
+  | Partition_legacy -> "partition-legacy"
+  | Sle_legacy -> "sle-legacy"
 
 let algorithm_of_name = function
   | "stack-refine" | "stack" -> Some Stack_refine
   | "partition" -> Some Partition
   | "sle" | "short-list-eager" -> Some Short_list_eager
+  | "stack-refine-legacy" | "stack-legacy" -> Some Stack_refine_legacy
+  | "partition-legacy" -> Some Partition_legacy
+  | "sle-legacy" | "short-list-eager-legacy" -> Some Sle_legacy
   | _ -> None
 
 type config = {
@@ -33,7 +45,7 @@ let default_config =
   {
     k = 3;
     algorithm = Partition;
-    slca = Slca_engine.Scan_eager;
+    slca = Slca_engine.Scan_packed;
     ranking = Ranking.default_config;
     dp = Optimal_rq.default_config;
     search_for = Xr_slca.Search_for.default_config;
@@ -102,6 +114,15 @@ let refine ?(config = default_config) ?(rules = []) index query =
       (r, Partition_stats s)
     | Short_list_eager ->
       let r, s = Sle.run ~ranking ~slca:config.slca ~k:config.k c in
+      (r, Sle_stats s)
+    | Stack_refine_legacy ->
+      let r, s = Stack_refine.run_legacy ~ranking c in
+      (r, Stack_stats s)
+    | Partition_legacy ->
+      let r, s = Partition.run_legacy ~ranking ~slca:config.slca ~k:config.k c in
+      (r, Partition_stats s)
+    | Sle_legacy ->
+      let r, s = Sle.run_legacy ~ranking ~slca:config.slca ~k:config.k c in
       (r, Sle_stats s)
   in
   let result =

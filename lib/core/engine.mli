@@ -9,9 +9,12 @@
     configurable. *)
 
 type algorithm =
-  | Stack_refine  (** Algorithm 1 (Top-1) *)
-  | Partition  (** Algorithm 2 (Top-K) *)
-  | Short_list_eager  (** Algorithm 3 (Top-K) *)
+  | Stack_refine  (** Algorithm 1 (Top-1), packed scan *)
+  | Partition  (** Algorithm 2 (Top-K), packed scan *)
+  | Short_list_eager  (** Algorithm 3 (Top-K), packed scan *)
+  | Stack_refine_legacy  (** Algorithm 1 over boxed posting arrays *)
+  | Partition_legacy  (** Algorithm 2 over boxed posting arrays *)
+  | Sle_legacy  (** Algorithm 3 over boxed posting arrays *)
 
 val algorithm_name : algorithm -> string
 
@@ -19,8 +22,12 @@ val algorithm_of_name : string -> algorithm option
 
 type config = {
   k : int;  (** how many refined queries to return; default 3 *)
-  algorithm : algorithm;  (** default [Partition] *)
-  slca : Xr_slca.Engine.algorithm;  (** plugged SLCA engine; default scan-eager *)
+  algorithm : algorithm;  (** default [Partition] (packed scan) *)
+  slca : Xr_slca.Engine.algorithm;
+      (** plugged SLCA engine; default scan-packed. Packed refinement
+          algorithms promote a list-based choice to its packed partner
+          ({!Xr_slca.Engine.packed_partner}) — result-identical; the
+          [*_legacy] algorithms use it as given. *)
   ranking : Ranking.config;
   dp : Optimal_rq.config;
   search_for : Xr_slca.Search_for.config;

@@ -1,6 +1,8 @@
 open Xr_xml
 module Inverted = Xr_index.Inverted
 module Slca_engine = Xr_slca.Engine
+module P = Dewey.Packed
+module PC = Xr_index.Cursor.Packed
 
 type stats = {
   partitions_visited : int;
@@ -12,23 +14,270 @@ type stats = {
 let partition_roots (doc : Doc.t) =
   List.mapi (fun i _ -> [| i |]) (Tree.element_children doc.tree)
 
-let run ?(ranking = Ranking.default_config) ?(slca = Slca_engine.Scan_eager) ~k
+(* KS lists the query's own keywords first, so original-query availability
+   is a direct range probe — no keyword-name lookups in the scan loop. *)
+let q_available (c : Refine_common.t) ranges =
+  let rec go i =
+    i >= c.q_size
+    ||
+    let lo, hi = ranges.(i) in
+    hi > lo && go (i + 1)
+  in
+  go 0
+
+(* The DP depends only on which KS keywords are present in the partition;
+   partitions sharing that signature share their candidate list, so one
+   DP run serves them all. The signature is a presence bitmask — KS is
+   far smaller than a word in any realistic query. *)
+let signature ranges =
+  let rec go j acc =
+    if j >= Array.length ranges then acc
+    else
+      let lo, hi = ranges.(j) in
+      go (j + 1) (if hi > lo then acc lor (1 lsl j) else acc)
+  in
+  go 0 0
+
+(* A memoized candidate list: each candidate carries its precomputed
+   keyword-set key, and [pure_rev] remembers an [Rq_list] revision at
+   which walking the list had no effect (every candidate already present
+   or rejected) — at that same revision the walk needs no replay. *)
+type cand_set = {
+  cands : (Refined_query.t * string) list;
+  mutable pure_rev : int;
+}
+
+let make_candidates_for (c : Refine_common.t) ~k ~dp_runs =
+  let dp_cache : (int, cand_set) Hashtbl.t = Hashtbl.create 16 in
+  let cacheable = Array.length c.ks <= 62 (* bitmask must not overflow *) in
+  let compute ranges =
+    incr dp_runs;
+    let cs =
+      (* over-fetch: the beam already holds the states, and candidates
+         beyond the 2K cheapest matter when the cheap ones lack
+         meaningful SLCAs in this partition *)
+      Optimal_rq.top_k ~config:c.dp_config ~rules:c.rules
+        ~available:(Refine_common.available_in c ranges)
+        ~k:(max (2 * k) c.dp_config.Optimal_rq.beam) c.query
+    in
+    { cands = List.map (fun rq -> (rq, Refined_query.key rq)) cs; pure_rev = -1 }
+  in
+  fun ranges ->
+    if not cacheable then compute ranges
+    else
+      let key = signature ranges in
+      match Hashtbl.find_opt dp_cache key with
+      | Some cs -> cs
+      | None ->
+        let cs = compute ranges in
+        Hashtbl.add dp_cache key cs;
+        cs
+
+(* Walk a partition's cost-sorted candidate list, admitting refined
+   queries that witness a meaningful SLCA here (the Definition 3.4 gate).
+   [Optimal_rq.top_k] sorts by dissimilarity and [Rq_list] admission is
+   monotone in it, so the walk stops at the first candidate the list
+   rejects — the common case once the list saturates is a single
+   admission probe per partition. *)
+let process_candidates ~try_original ~q_found ~rqlist ~slca_runs ~skipped ~slca_of
+    (cset : cand_set) ranges =
+  if cset.pure_rev = Rq_list.revision rqlist then
+    (* the previous walk of this list at this revision touched nothing
+       range-dependent, so its only effect was the skip count *)
+    incr skipped
+  else begin
+    let any_slca = ref false in
+    let impure = ref false in
+    let rec go = function
+      | [] -> ()
+      | (rq, key) :: rest ->
+        if Refined_query.is_original rq then begin
+          impure := true;
+          try_original ranges;
+          go rest
+        end
+        else if !q_found then ()
+        else if not (Rq_list.would_admit rqlist rq.Refined_query.dissimilarity) then ()
+        else begin
+          (* candidates already validated need no further work here: their
+             complete result sets are materialized once, at the end *)
+          if not (Rq_list.mem_key rqlist key) then begin
+            impure := true;
+            incr slca_runs;
+            any_slca := true;
+            let slcas = slca_of ranges rq.Refined_query.keywords in
+            if slcas <> [] then ignore (Rq_list.insert rqlist rq)
+          end;
+          go rest
+        end
+    in
+    go cset.cands;
+    if not !any_slca then incr skipped;
+    if not !impure then cset.pure_rev <- Rq_list.revision rqlist
+  end
+
+(* Packed scan: the per-list cursors gallop over the packed lists
+   ({!Xr_index.Cursor.Packed}); heads are compared and the partition
+   membership probed in varint-encoded form, slice ends come from a
+   galloping seek to the next partition root (O(log partition) probes
+   near the cursor instead of a whole-list binary search), and the
+   per-partition SLCAs run on packed ranges — the boxed posting views
+   are never forced. *)
+let run ?(ranking = Ranking.default_config) ?(slca = Slca_engine.Scan_packed) ~k
+    (c : Refine_common.t) =
+  let slca = Slca_engine.packed_partner slca in
+  let m = Array.length c.packed in
+  let cursors = Array.map PC.make c.packed in
+  let head_pos i = PC.position cursors.(i) in
+  let rqlist = Rq_list.create ~capacity:(2 * k) in
+  let q_found = ref false in
+  let q_results = ref [] in
+  let visited = ref 0 and skipped = ref 0 and dp_runs = ref 0 and slca_runs = ref 0 in
+  let q_keywords = Array.to_list (Array.sub c.ks 0 c.q_size) in
+  (* Root postings (depth 0) belong to no partition and sort before every
+     labelled entry, so they can only sit at the very front of a list:
+     skip them once and the scan below never sees depth 0 again. *)
+  Array.iteri
+    (fun i pk ->
+      let cur = cursors.(i) in
+      while (not (PC.at_end cur)) && P.depth_at pk (PC.position cur) = 0 do
+        PC.advance cur
+      done)
+    c.packed;
+  (* The scan only needs the smallest partition id among the heads — the
+     first components decide that without full entry comparisons. *)
+  let next_pid () =
+    let best = ref max_int in
+    for i = 0 to m - 1 do
+      if not (PC.at_end cursors.(i)) then begin
+        let p = P.first_component c.packed.(i) (head_pos i) in
+        if p < !best then best := p
+      end
+    done;
+    !best
+  in
+  let try_original ranges =
+    (* Does the original query match meaningfully inside this partition? *)
+    if q_available c ranges then begin
+      incr slca_runs;
+      let slcas =
+        Refine_common.meaningful_slcas_ranges c slca
+          (Refine_common.packed_sublists c ranges q_keywords)
+      in
+      if slcas <> [] then begin
+        q_found := true;
+        q_results := !q_results @ slcas
+      end
+    end
+  in
+  let candidates_for = make_candidates_for c ~k ~dp_runs in
+  let slca_of ranges keywords =
+    Refine_common.meaningful_slcas_ranges c slca
+      (Refine_common.packed_sublists c ranges keywords)
+  in
+  (* Once the original query is known to match, the remaining partitions
+     only contribute more of its SLCAs; one plain engine pass over the
+     unread suffix of the query's lists finishes the job without the
+     per-partition bookkeeping (cursors still only move forward). A
+     root-spanning SLCA cannot be fabricated from suffixes: only the
+     document root sits above partitions and it is never meaningful. *)
+  let finish_original () =
+    let suffixes =
+      List.init c.q_size (fun i -> (c.packed.(i), head_pos i, P.length c.packed.(i)))
+    in
+    incr slca_runs;
+    q_results := !q_results @ Refine_common.meaningful_slcas_ranges c slca suffixes
+  in
+  let next_root = [| 0 |] in
+  let rec scan () =
+    let pid = next_pid () in
+    if pid < max_int then
+      if !q_found then finish_original ()
+      else begin
+        (* A keyword is present in this partition iff its cursor head lies
+           under the partition root (cursors never lag behind the current
+           partition), so presence costs one probe in encoded form; only
+           present lists seek — a gallop to the next partition root, which
+           lands just past this partition's postings. *)
+        next_root.(0) <- pid + 1;
+        let ranges =
+          Array.mapi
+            (fun j pk ->
+              let cur = cursors.(j) in
+              let start = PC.position cur in
+              if (not (PC.at_end cur)) && P.first_component pk start = pid then begin
+                PC.seek_geq_sub cur next_root 1;
+                (start, PC.position cur)
+              end
+              else (start, start))
+            c.packed
+        in
+        incr visited;
+        (* the cost-0 candidate (the query itself) comes first: if it
+           matches meaningfully here, no refinement work is needed at all *)
+        if q_available c ranges then
+          try_original ranges;
+        if not !q_found then
+          (* Definition 3.4 gate over the partition's candidates *)
+          process_candidates ~try_original ~q_found ~rqlist ~slca_runs ~skipped ~slca_of
+            (candidates_for ranges) ranges;
+        scan ()
+      end
+  in
+  scan ();
+  let outcome =
+    if !q_found then Result.Original !q_results
+    else begin
+      let pool = Rq_list.to_list rqlist in
+      if pool = [] then Result.No_result
+      else begin
+        let scored =
+          Ranking.rank ~config:ranking c.index.Xr_index.Index.stats ~original:c.query pool
+        in
+        let top = List.filteri (fun i _ -> i < k) scored in
+        (* Materialize the complete result set of each final Top-K refined
+           query with one pass over its full lists (any node other than
+           the root lives in exactly one partition, so this equals the
+           union of the per-partition SLCAs, with the meaningless root
+           filtered out). *)
+        Result.Refined
+          (List.map
+             (fun (s : Ranking.scored) ->
+               let slcas =
+                 Refine_common.meaningful_slcas_ranges c slca
+                   (Refine_common.packed_full_lists c s.rq.Refined_query.keywords)
+               in
+               { Result.rq = s.rq; score = Some s; slcas })
+             top)
+      end
+    end
+  in
+  ( outcome,
+    {
+      partitions_visited = !visited;
+      partitions_skipped = !skipped;
+      dp_runs = !dp_runs;
+      slca_runs = !slca_runs;
+    } )
+
+(* Boxed-list reference implementation, kept for the differential suite
+   and the [partition-legacy] engine selector. *)
+let run_legacy ?(ranking = Ranking.default_config) ?(slca = Slca_engine.Scan_eager) ~k
     (c : Refine_common.t) =
   let engine = Slca_engine.compute slca in
-  let m = Array.length c.lists in
+  let m = Array.length c.ks in
+  let lists = Array.init m (fun i -> Refine_common.legacy_list c i) in
   let from = Array.make m 0 in
   let rqlist = Rq_list.create ~capacity:(2 * k) in
   let q_found = ref false in
   let q_results = ref [] in
   let visited = ref 0 and skipped = ref 0 and dp_runs = ref 0 and slca_runs = ref 0 in
-  let q_keywords =
-    Array.to_list (Array.sub c.ks 0 c.q_size)
-  in
+  let q_keywords = Array.to_list (Array.sub c.ks 0 c.q_size) in
   let smallest_head () =
     let best = ref None in
     for i = 0 to m - 1 do
-      if from.(i) < Array.length c.lists.(i) then begin
-        let d = c.lists.(i).(from.(i)).Inverted.dewey in
+      if from.(i) < Array.length lists.(i) then begin
+        let d = lists.(i).(from.(i)).Inverted.dewey in
         match !best with
         | None -> best := Some (i, d)
         | Some (_, d') -> if Dewey.compare d d' < 0 then best := Some (i, d)
@@ -37,8 +286,7 @@ let run ?(ranking = Ranking.default_config) ?(slca = Slca_engine.Scan_eager) ~k
     !best
   in
   let try_original ranges =
-    (* Does the original query match meaningfully inside this partition? *)
-    if List.for_all (Refine_common.available_in c ranges) q_keywords then begin
+    if q_available c ranges then begin
       incr slca_runs;
       let slcas =
         Refine_common.meaningful_slcas c engine (Refine_common.sublists c ranges q_keywords)
@@ -49,42 +297,14 @@ let run ?(ranking = Ranking.default_config) ?(slca = Slca_engine.Scan_eager) ~k
       end
     end
   in
-  (* The DP depends only on which KS keywords are present in the
-     partition; partitions sharing that signature share their candidate
-     list, so one DP run serves them all. *)
-  let dp_cache : (string, Refined_query.t list) Hashtbl.t = Hashtbl.create 16 in
-  let signature ranges =
-    String.init (Array.length ranges) (fun i ->
-        let lo, hi = ranges.(i) in
-        if hi > lo then '1' else '0')
+  let candidates_for = make_candidates_for c ~k ~dp_runs in
+  let slca_of ranges keywords =
+    Refine_common.meaningful_slcas c engine (Refine_common.sublists c ranges keywords)
   in
-  let candidates_for ranges =
-    let key = signature ranges in
-    match Hashtbl.find_opt dp_cache key with
-    | Some cs -> cs
-    | None ->
-      incr dp_runs;
-      let cs =
-        (* over-fetch: the beam already holds the states, and candidates
-           beyond the 2K cheapest matter when the cheap ones lack
-           meaningful SLCAs in this partition *)
-        Optimal_rq.top_k ~config:c.dp_config ~rules:c.rules
-          ~available:(Refine_common.available_in c ranges)
-          ~k:(max (2 * k) c.dp_config.Optimal_rq.beam) c.query
-      in
-      Hashtbl.add dp_cache key cs;
-      cs
-  in
-  (* Once the original query is known to match, the remaining partitions
-     only contribute more of its SLCAs; one plain engine pass over the
-     unread suffix of the query's lists finishes the job without the
-     per-partition bookkeeping (cursors still only move forward). A
-     root-spanning SLCA cannot be fabricated from suffixes: only the
-     document root sits above partitions and it is never meaningful. *)
   let finish_original () =
     let suffixes =
       List.init c.q_size (fun i ->
-          let list = c.lists.(i) in
+          let list = lists.(i) in
           Array.sub list from.(i) (Array.length list - from.(i)))
     in
     incr slca_runs;
@@ -96,16 +316,11 @@ let run ?(ranking = Ranking.default_config) ?(slca = Slca_engine.Scan_eager) ~k
     | Some _ when !q_found -> finish_original ()
     | Some (i, d) ->
       if Dewey.depth d = 0 then begin
-        (* a posting on the document root belongs to no partition *)
         from.(i) <- from.(i) + 1;
         scan ()
       end
       else begin
         let proot = [| d.(0) |] in
-        (* A keyword is present in this partition iff its cursor head lies
-           under [proot] (cursors never lag behind the current partition),
-           so presence costs one comparison; only present lists need the
-           binary search for their slice end. *)
         let ranges =
           Array.mapi
             (fun j list ->
@@ -115,43 +330,15 @@ let run ?(ranking = Ranking.default_config) ?(slca = Slca_engine.Scan_eager) ~k
                 && Dewey.is_prefix proot list.(start).Inverted.dewey
               then Inverted.prefix_slice_from list start proot
               else (start, start))
-            c.lists
+            lists
         in
         Array.iteri (fun j (_, hi) -> if hi > from.(j) then from.(j) <- hi) ranges;
         incr visited;
-        (* the cost-0 candidate (the query itself) comes first: if it
-           matches meaningfully here, no refinement work is needed at all *)
-        if List.for_all (Refine_common.available_in c ranges) q_keywords then
+        if q_available c ranges then
           try_original ranges;
-        if not !q_found then begin
-          let candidates = candidates_for ranges in
-          let any_slca = ref false in
-          List.iter
-            (fun rq ->
-              if Refined_query.is_original rq then try_original ranges
-              else if not !q_found then begin
-                (* Definition 3.4 gate: a candidate enters the list only
-                   once a meaningful SLCA of it is witnessed; candidates
-                   already validated need no further work here (their
-                   complete result sets are materialized once, at the
-                   end). *)
-                let interesting =
-                  (not (Rq_list.mem rqlist rq))
-                  && Rq_list.would_admit rqlist rq.Refined_query.dissimilarity
-                in
-                if interesting then begin
-                  incr slca_runs;
-                  any_slca := true;
-                  let slcas =
-                    Refine_common.meaningful_slcas c engine
-                      (Refine_common.sublists c ranges rq.Refined_query.keywords)
-                  in
-                  if slcas <> [] then ignore (Rq_list.insert rqlist rq)
-                end
-              end)
-            candidates;
-          if not !any_slca then incr skipped
-        end;
+        if not !q_found then
+          process_candidates ~try_original ~q_found ~rqlist ~slca_runs ~skipped ~slca_of
+            (candidates_for ranges) ranges;
         scan ()
       end
   in
@@ -162,13 +349,10 @@ let run ?(ranking = Ranking.default_config) ?(slca = Slca_engine.Scan_eager) ~k
       let pool = Rq_list.to_list rqlist in
       if pool = [] then Result.No_result
       else begin
-        let scored = Ranking.rank ~config:ranking c.index.Xr_index.Index.stats ~original:c.query pool in
+        let scored =
+          Ranking.rank ~config:ranking c.index.Xr_index.Index.stats ~original:c.query pool
+        in
         let top = List.filteri (fun i _ -> i < k) scored in
-        (* Materialize the complete result set of each final Top-K refined
-           query with one pass over its full lists (any node other than
-           the root lives in exactly one partition, so this equals the
-           union of the per-partition SLCAs, with the meaningless root
-           filtered out). *)
         Result.Refined
           (List.map
              (fun (s : Ranking.scored) ->

@@ -25,8 +25,23 @@ type stats = {
 }
 
 (** [run ?ranking ?slca ~k setup] returns the refinement outcome and scan
-    statistics. [slca] defaults to scan-eager (the paper's choice). *)
+    statistics. The scan runs directly on the packed inverted lists —
+    partition probes and slices happen in varint-encoded form and the
+    per-partition SLCAs run on packed ranges, so no posting array is ever
+    materialized. [slca] is promoted to its packed partner
+    ({!Xr_slca.Engine.packed_partner}); it defaults to scan-packed (the
+    packed form of the paper's choice). *)
 val run :
+  ?ranking:Ranking.config ->
+  ?slca:Xr_slca.Engine.algorithm ->
+  k:int ->
+  Refine_common.t ->
+  Result.t * stats
+
+(** [run_legacy ?ranking ?slca ~k setup] is the boxed-posting-array
+    reference implementation; same outcome and statistics as {!run} (the
+    differential suite asserts it). [slca] defaults to scan-eager. *)
+val run_legacy :
   ?ranking:Ranking.config ->
   ?slca:Xr_slca.Engine.algorithm ->
   k:int ->

@@ -2,13 +2,15 @@ open Xr_xml
 module Index = Xr_index.Index
 module Inverted = Xr_index.Inverted
 module Meaningful = Xr_slca.Meaningful
+module Slca_engine = Xr_slca.Engine
 
 type t = {
   index : Index.t;
   query : string list;
   rules : Ruleset.t;
   ks : string array;
-  lists : Inverted.posting array array;
+  packed : Dewey.Packed.t array;
+  lists : Inverted.posting array Lazy.t array;
   q_size : int;
   meaningful : Meaningful.t;
   dp_config : Optimal_rq.config;
@@ -33,13 +35,23 @@ let make ?(dp_config = Optimal_rq.default_config) ?search_for (index : Index.t) 
   in
   let new_kws = Ruleset.new_keywords rules query in
   let ks = Array.of_list (q_distinct @ new_kws) in
+  let ids = Array.map (fun k -> Doc.keyword_id doc k) ks in
+  (* The packed lists are shared with the index — building [t] copies
+     nothing; the boxed views exist only behind the lazy cells below and
+     stay unforced on the packed algorithm paths. *)
+  let packed =
+    Array.map
+      (function
+        | Some kw -> (Inverted.packed_list index.Index.inverted kw).Inverted.labels
+        | None -> Dewey.Packed.empty)
+      ids
+  in
   let lists =
     Array.map
-      (fun k ->
-        match Doc.keyword_id doc k with
-        | Some kw -> Inverted.list index.Index.inverted kw
-        | None -> [||])
-      ks
+      (function
+        | Some kw -> lazy (Inverted.list index.Index.inverted kw)
+        | None -> lazy [||])
+      ids
   in
   let q_ids = List.filter_map (fun k -> Doc.keyword_id doc k) q_distinct in
   (* If every original keyword is out of vocabulary, the search-for
@@ -50,10 +62,25 @@ let make ?(dp_config = Optimal_rq.default_config) ?search_for (index : Index.t) 
     if q_ids <> [] then q_ids else List.filter_map (fun k -> Doc.keyword_id doc k) new_kws
   in
   let meaningful = Meaningful.make ?config:search_for index.Index.stats q_ids in
-  { index; query; rules; ks; lists; q_size = List.length q_distinct; meaningful; dp_config }
+  { index; query; rules; ks; packed; lists; q_size = List.length q_distinct; meaningful; dp_config }
+
+let legacy_list t i = Lazy.force t.lists.(i)
+
+let list_length t i = Dewey.Packed.length t.packed.(i)
+
+let keyword_length t k =
+  let rec find i =
+    if i >= Array.length t.ks then 0
+    else if String.equal t.ks.(i) k then Dewey.Packed.length t.packed.(i)
+    else find (i + 1)
+  in
+  find 0
 
 let slices t dewey ~from =
-  Array.mapi (fun i list -> Inverted.prefix_slice_from list from.(i) dewey) t.lists
+  Array.mapi (fun i _ -> Inverted.prefix_slice_from (legacy_list t i) from.(i) dewey) t.lists
+
+let packed_slices t dewey ~from =
+  Array.mapi (fun i pk -> Dewey.Packed.prefix_slice pk ~lo:from.(i) dewey) t.packed
 
 let available_in t ranges k =
   let rec find i =
@@ -79,11 +106,34 @@ let sublists t ranges keywords =
       match index_of t k with
       | Some i ->
         let lo, hi = ranges.(i) in
-        Array.sub t.lists.(i) lo (hi - lo)
+        Array.sub (legacy_list t i) lo (hi - lo)
       | None -> [||])
     keywords
 
+let packed_sublists t ranges keywords =
+  List.map
+    (fun k ->
+      match index_of t k with
+      | Some i ->
+        let lo, hi = ranges.(i) in
+        (t.packed.(i), lo, hi)
+      | None -> (Dewey.Packed.empty, 0, 0))
+    keywords
+
 let full_lists t keywords =
-  List.map (fun k -> match index_of t k with Some i -> t.lists.(i) | None -> [||]) keywords
+  List.map
+    (fun k -> match index_of t k with Some i -> legacy_list t i | None -> [||])
+    keywords
+
+let packed_full_lists t keywords =
+  List.map
+    (fun k ->
+      match index_of t k with
+      | Some i -> (t.packed.(i), 0, Dewey.Packed.length t.packed.(i))
+      | None -> (Dewey.Packed.empty, 0, 0))
+    keywords
 
 let meaningful_slcas t engine lists = Meaningful.filter t.meaningful (engine lists)
+
+let meaningful_slcas_ranges t alg ranges =
+  Meaningful.filter t.meaningful (Slca_engine.compute_ranges alg ranges)

@@ -9,11 +9,14 @@ type t = {
   capacity : int;
   mutable by_rank : Refined_query.t M.t;
   by_key : (string, int) Hashtbl.t; (* keyword-set key -> dissimilarity *)
+  mutable revision : int; (* bumped on every mutation *)
 }
 
 let create ~capacity =
   if capacity < 1 then invalid_arg "Rq_list.create: capacity must be >= 1";
-  { capacity; by_rank = M.empty; by_key = Hashtbl.create 16 }
+  { capacity; by_rank = M.empty; by_key = Hashtbl.create 16; revision = 0 }
+
+let revision t = t.revision
 
 let length t = Hashtbl.length t.by_key
 
@@ -26,7 +29,9 @@ let max_dissimilarity t =
 let would_admit t ds =
   match max_dissimilarity t with None -> true | Some m -> ds < m
 
-let mem t (rq : Refined_query.t) = Hashtbl.mem t.by_key (Refined_query.key rq)
+let mem_key t key = Hashtbl.mem t.by_key key
+
+let mem t (rq : Refined_query.t) = mem_key t (Refined_query.key rq)
 
 let insert t (rq : Refined_query.t) =
   let key = Refined_query.key rq in
@@ -36,6 +41,7 @@ let insert t (rq : Refined_query.t) =
   | Some old ->
     t.by_rank <- M.add (ds, key) rq (M.remove (old, key) t.by_rank);
     Hashtbl.replace t.by_key key ds;
+    t.revision <- t.revision + 1;
     true
   | None ->
     if not (would_admit t ds) then false
@@ -49,6 +55,7 @@ let insert t (rq : Refined_query.t) =
       end;
       t.by_rank <- M.add (ds, key) rq t.by_rank;
       Hashtbl.replace t.by_key key ds;
+      t.revision <- t.revision + 1;
       true
     end
 

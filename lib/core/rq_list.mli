@@ -17,6 +17,14 @@ val would_admit : t -> int -> bool
 (** [mem t rq] checks keyword-set membership. *)
 val mem : t -> Refined_query.t -> bool
 
+(** [mem_key t key] is {!mem} for a precomputed {!Refined_query.key} —
+    membership probes in a hot loop need not rebuild the string. *)
+val mem_key : t -> string -> bool
+
+(** [revision t] counts mutations: two probes at equal revision see
+    identical membership and admission answers. *)
+val revision : t -> int
+
 (** [insert t rq] admits [rq] if it qualifies, evicting the worst when
     full; an already-present keyword set is kept at the cheaper
     dissimilarity. Returns whether the list now contains [rq]'s keyword

@@ -1,6 +1,8 @@
 open Xr_xml
 module Inverted = Xr_index.Inverted
 module Slca_engine = Xr_slca.Engine
+module P = Dewey.Packed
+module PC = Xr_index.Cursor.Packed
 
 type stats = {
   keywords_processed : int;
@@ -11,7 +13,8 @@ type stats = {
 
 (* Processing order (Section VI-C discussion): prefer keywords that appear
    in the RHS of a relevant rule or in no rule's LHS (they need no
-   refinement themselves), then ascending list length. *)
+   refinement themselves), then ascending list length. List lengths come
+   off the packed lists, so ordering materializes nothing. *)
 let keyword_order (c : Refine_common.t) =
   let rules = Ruleset.to_list c.rules in
   let in_rhs k = List.exists (fun (r : Rule.t) -> List.mem k r.rhs) rules in
@@ -19,99 +22,129 @@ let keyword_order (c : Refine_common.t) =
   let score i =
     let k = c.ks.(i) in
     let preferred = in_rhs k || not (in_lhs k) in
-    ((if preferred then 0 else 1), Array.length c.lists.(i), i)
+    ((if preferred then 0 else 1), Refine_common.list_length c i, i)
   in
   let idx = List.init (Array.length c.ks) Fun.id in
-  let nonempty = List.filter (fun i -> Array.length c.lists.(i) > 0) idx in
+  let nonempty = List.filter (fun i -> Refine_common.list_length c i > 0) idx in
   List.sort (fun a b -> compare (score a) (score b)) nonempty
 
-let run ?(ranking = Ranking.default_config) ?(slca = Slca_engine.Scan_eager) ~k
-    (c : Refine_common.t) =
-  let engine = Slca_engine.compute slca in
+(* Optimistic bound: cheapest dissimilarity of any refined query built
+   from the still-unprocessed keywords. *)
+let make_c_potential (c : Refine_common.t) ~processed ~dp_runs () =
+  let available kw =
+    let rec find i =
+      if i >= Array.length c.ks then false
+      else if String.equal c.ks.(i) kw then
+        (not processed.(i)) && Refine_common.list_length c i > 0
+      else find (i + 1)
+    in
+    find 0
+  in
+  incr dp_runs;
+  match Optimal_rq.optimal ~config:c.dp_config ~rules:c.rules ~available c.query with
+  | Some rq when not (Refined_query.is_original rq) -> Some rq.Refined_query.dissimilarity
+  | Some _ -> Some 0
+  | None -> None
+
+(* Partitions sharing a keyword-availability signature share their DP
+   candidate list; candidates carry precomputed keyword-set keys and
+   [pure_rev] remembers an [Rq_list] revision at which walking the list
+   had no effect (see {!Partition.process_candidates} for the same
+   device). *)
+type cand_set = {
+  cands : (Refined_query.t * string) list;
+  mutable pure_rev : int;
+}
+
+let make_candidates_for (c : Refine_common.t) ~k ~dp_runs =
+  let dp_cache : (int, cand_set) Hashtbl.t = Hashtbl.create 16 in
+  let cacheable = Array.length c.ks <= 62 (* bitmask must not overflow *) in
+  let compute ranges =
+    incr dp_runs;
+    let cs =
+      Optimal_rq.top_k ~config:c.dp_config ~rules:c.rules
+        ~available:(Refine_common.available_in c ranges)
+        ~k:(max (2 * k) c.dp_config.Optimal_rq.beam) c.query
+    in
+    { cands = List.map (fun rq -> (rq, Refined_query.key rq)) cs; pure_rev = -1 }
+  in
+  fun ranges ->
+    if not cacheable then compute ranges
+    else
+      let key =
+        let rec go j acc =
+          if j >= Array.length ranges then acc
+          else
+            let lo, hi = ranges.(j) in
+            go (j + 1) (if hi > lo then acc lor (1 lsl j) else acc)
+        in
+        go 0 0
+      in
+      match Hashtbl.find_opt dp_cache key with
+      | Some cs -> cs
+      | None ->
+        let cs = compute ranges in
+        Hashtbl.add dp_cache key cs;
+        cs
+
+(* Shared driver: [slices pid] (the per-partition posting ranges),
+   [slca_sub ranges keywords], [slca_full keywords] and [iter_partitions]
+   are the only operations touching posting data, so the packed and
+   legacy entry points below differ purely in how those are wired. Both
+   wirings return identical index ranges, keeping outcomes identical. *)
+let run_with (c : Refine_common.t) ~ranking ~k ~slices ~slca_sub ~slca_full
+    ~iter_partitions =
   let q_keywords = Array.to_list (Array.sub c.ks 0 c.q_size) in
   (* Adaptivity check (Definition 3.4): if the original query itself has a
      meaningful SLCA, no refinement happens. *)
-  let q_lists = Refine_common.full_lists c q_keywords in
   let q_slcas =
-    if List.exists (fun l -> Array.length l = 0) q_lists then []
-    else Refine_common.meaningful_slcas c engine q_lists
+    if List.exists (fun k -> Refine_common.keyword_length c k = 0) q_keywords then []
+    else slca_full q_keywords
   in
   if q_slcas <> [] then
-    (Result.Original q_slcas, { keywords_processed = 0; partitions_probed = 0; dp_runs = 0; stopped_early = false })
+    ( Result.Original q_slcas,
+      { keywords_processed = 0; partitions_probed = 0; dp_runs = 0; stopped_early = false } )
   else begin
     let rqlist = Rq_list.create ~capacity:(2 * k) in
     let order = keyword_order c in
     let processed = Array.make (Array.length c.ks) false in
     let visited_partitions : (int, unit) Hashtbl.t = Hashtbl.create 64 in
-    let zeros = Array.make (Array.length c.lists) 0 in
     let probed = ref 0 and dp_runs = ref 0 and consumed = ref 0 in
     let stopped = ref false in
-    (* Optimistic bound: cheapest dissimilarity of any refined query built
-       from the still-unprocessed keywords. *)
-    let c_potential () =
-      let available kw =
-        let rec find i =
-          if i >= Array.length c.ks then false
-          else if String.equal c.ks.(i) kw then
-            (not processed.(i)) && Array.length c.lists.(i) > 0
-          else find (i + 1)
-        in
-        find 0
-      in
-      incr dp_runs;
-      match
-        Optimal_rq.optimal ~config:c.dp_config ~rules:c.rules ~available c.query
-      with
-      | Some rq when not (Refined_query.is_original rq) -> Some rq.Refined_query.dissimilarity
-      | Some _ -> Some 0
-      | None -> None
-    in
-    (* Partitions sharing a keyword-availability signature share their DP
-       candidate list. *)
-    let dp_cache : (string, Refined_query.t list) Hashtbl.t = Hashtbl.create 16 in
-    let candidates_for ranges =
-      let key =
-        String.init (Array.length ranges) (fun i ->
-            let lo, hi = ranges.(i) in
-            if hi > lo then '1' else '0')
-      in
-      match Hashtbl.find_opt dp_cache key with
-      | Some cs -> cs
-      | None ->
-        incr dp_runs;
-        let cs =
-          Optimal_rq.top_k ~config:c.dp_config ~rules:c.rules
-            ~available:(Refine_common.available_in c ranges)
-            ~k:(max (2 * k) c.dp_config.Optimal_rq.beam) c.query
-        in
-        Hashtbl.add dp_cache key cs;
-        cs
-    in
+    let c_potential = make_c_potential c ~processed ~dp_runs in
+    let candidates_for = make_candidates_for c ~k ~dp_runs in
     let process_partition pid =
       if not (Hashtbl.mem visited_partitions pid) then begin
         Hashtbl.add visited_partitions pid ();
         incr probed;
-        let proot = [| pid |] in
-        let ranges = Refine_common.slices c proot ~from:zeros in
-        let candidates = candidates_for ranges in
-        List.iter
-          (fun rq ->
-            if not (Refined_query.is_original rq) then begin
-              let interesting =
-                (not (Rq_list.mem rqlist rq))
-                && Rq_list.would_admit rqlist rq.Refined_query.dissimilarity
-              in
-              if interesting then begin
-                (* Definition 3.4: admit only with a meaningful SLCA in
-                   this partition. *)
-                let slcas =
-                  Refine_common.meaningful_slcas c engine
-                    (Refine_common.sublists c ranges rq.Refined_query.keywords)
-                in
-                if slcas <> [] then ignore (Rq_list.insert rqlist rq)
+        let ranges = slices pid in
+        (* Candidates arrive cost-sorted and [Rq_list] admission is
+           monotone in dissimilarity, so the first rejection ends the
+           walk — nothing cheaper can follow; an effect-free walk is
+           remembered and skipped while the list's revision holds. *)
+        let cset = candidates_for ranges in
+        if cset.pure_rev <> Rq_list.revision rqlist then begin
+          let impure = ref false in
+          let rec go = function
+            | [] -> ()
+            | (rq, key) :: rest ->
+              if Refined_query.is_original rq then go rest
+              else if not (Rq_list.would_admit rqlist rq.Refined_query.dissimilarity)
+              then ()
+              else begin
+                if not (Rq_list.mem_key rqlist key) then begin
+                  impure := true;
+                  (* Definition 3.4: admit only with a meaningful SLCA in
+                     this partition. *)
+                  let slcas = slca_sub ranges rq.Refined_query.keywords in
+                  if slcas <> [] then ignore (Rq_list.insert rqlist rq)
+                end;
+                go rest
               end
-            end)
-          candidates
+          in
+          go cset.cands;
+          if not !impure then cset.pure_rev <- Rq_list.revision rqlist
+        end
       end
     in
     let rec loop = function
@@ -128,10 +161,7 @@ let run ?(ranking = Ranking.default_config) ?(slca = Slca_engine.Scan_eager) ~k
         if stop then stopped := true
         else begin
           incr consumed;
-          Array.iter
-            (fun (p : Inverted.posting) ->
-              if Dewey.depth p.dewey > 0 then process_partition p.dewey.(0))
-            c.lists.(i);
+          iter_partitions i process_partition;
           processed.(i) <- true;
           loop rest
         end
@@ -149,10 +179,7 @@ let run ?(ranking = Ranking.default_config) ?(slca = Slca_engine.Scan_eager) ~k
         Result.Refined
           (List.map
              (fun (s : Ranking.scored) ->
-               let slcas =
-                 Refine_common.meaningful_slcas c engine
-                   (Refine_common.full_lists c s.rq.Refined_query.keywords)
-               in
+               let slcas = slca_full s.rq.Refined_query.keywords in
                { Result.rq = s.rq; score = Some s; slcas })
              top)
       end
@@ -165,3 +192,55 @@ let run ?(ranking = Ranking.default_config) ?(slca = Slca_engine.Scan_eager) ~k
         stopped_early = !stopped;
       } )
   end
+
+(* Packed entry point: slices, sub-list SLCAs and partition enumeration
+   all run off the packed lists; nothing boxed is ever forced. Because a
+   keyword pass probes partitions in ascending id order, the slices come
+   from per-list cursors galloping forward (reset once per pass) instead
+   of whole-list binary searches. *)
+let run ?(ranking = Ranking.default_config) ?(slca = Slca_engine.Scan_packed) ~k
+    (c : Refine_common.t) =
+  let slca = Slca_engine.packed_partner slca in
+  let m = Array.length c.packed in
+  let cursors = Array.map PC.make c.packed in
+  let probe = [| 0 |] in
+  run_with c ~ranking ~k
+    ~slices:(fun pid ->
+      Array.init m (fun j ->
+          let cur = cursors.(j) in
+          probe.(0) <- pid;
+          PC.seek_geq_sub cur probe 1;
+          let lo = PC.position cur in
+          probe.(0) <- pid + 1;
+          PC.seek_geq_sub cur probe 1;
+          (lo, PC.position cur)))
+    ~slca_sub:(fun ranges keywords ->
+      Refine_common.meaningful_slcas_ranges c slca
+        (Refine_common.packed_sublists c ranges keywords))
+    ~slca_full:(fun keywords ->
+      Refine_common.meaningful_slcas_ranges c slca
+        (Refine_common.packed_full_lists c keywords))
+    ~iter_partitions:(fun i f ->
+      (* new pass: partition ids restart from the low end *)
+      Array.iteri (fun j pk -> cursors.(j) <- PC.make pk) c.packed;
+      let pk = c.packed.(i) in
+      for e = 0 to P.length pk - 1 do
+        if P.depth_at pk e > 0 then f (P.first_component pk e)
+      done)
+
+(* Boxed-list reference implementation, kept for the differential suite
+   and the [sle-legacy] engine selector. *)
+let run_legacy ?(ranking = Ranking.default_config) ?(slca = Slca_engine.Scan_eager) ~k
+    (c : Refine_common.t) =
+  let engine = Slca_engine.compute slca in
+  let zeros = Array.make (Array.length c.ks) 0 in
+  run_with c ~ranking ~k
+    ~slices:(fun pid -> Refine_common.slices c [| pid |] ~from:zeros)
+    ~slca_sub:(fun ranges keywords ->
+      Refine_common.meaningful_slcas c engine (Refine_common.sublists c ranges keywords))
+    ~slca_full:(fun keywords ->
+      Refine_common.meaningful_slcas c engine (Refine_common.full_lists c keywords))
+    ~iter_partitions:(fun i f ->
+      Array.iter
+        (fun (p : Inverted.posting) -> if Dewey.depth p.dewey > 0 then f p.dewey.(0))
+        (Refine_common.legacy_list c i))

@@ -18,7 +18,22 @@ type stats = {
   stopped_early : bool;
 }
 
+(** [run ?ranking ?slca ~k setup] returns the refinement outcome and
+    statistics, operating directly on the packed inverted lists (slices,
+    partition enumeration and SLCAs all in packed form — no posting array
+    is ever materialized). [slca] is promoted to its packed partner
+    ({!Xr_slca.Engine.packed_partner}); it defaults to scan-packed. *)
 val run :
+  ?ranking:Ranking.config ->
+  ?slca:Xr_slca.Engine.algorithm ->
+  k:int ->
+  Refine_common.t ->
+  Result.t * stats
+
+(** [run_legacy ?ranking ?slca ~k setup] is the boxed-posting-array
+    reference implementation; same outcome and statistics as {!run} (the
+    differential suite asserts it). [slca] defaults to scan-eager. *)
+val run_legacy :
   ?ranking:Ranking.config ->
   ?slca:Xr_slca.Engine.algorithm ->
   k:int ->

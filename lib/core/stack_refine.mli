@@ -16,7 +16,19 @@ type stats = {
   dp_runs : int;
 }
 
+(** [run setup] drives the merged scan directly on the packed inverted
+    lists: cursor heads are merged in varint-encoded form and only the
+    winning head of each step is decoded, into a reused scratch buffer —
+    no posting array is ever materialized. *)
 val run :
+  ?ranking:Ranking.config ->
+  Refine_common.t ->
+  Result.t * stats
+
+(** [run_legacy setup] is the boxed-posting-array reference
+    implementation; same outcome and statistics as {!run} (the
+    differential suite asserts it). *)
+val run_legacy :
   ?ranking:Ranking.config ->
   Refine_common.t ->
   Result.t * stats

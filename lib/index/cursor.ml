@@ -54,18 +54,25 @@ let random_accesses c = c.rand
 module Packed = struct
   type t = {
     labels : Dewey.Packed.t;
+    base : int; (* first entry visible to this cursor *)
+    limit : int; (* one past the last visible entry *)
     mutable pos : int;
     mutable seq : int;
     mutable rand : int;
   }
 
-  let make labels = { labels; pos = 0; seq = 0; rand = 0 }
+  let make_sub labels ~lo ~hi =
+    let n = Dewey.Packed.length labels in
+    if lo < 0 || hi < lo || hi > n then invalid_arg "Cursor.Packed.make_sub: bad range";
+    { labels; base = lo; limit = hi; pos = lo; seq = 0; rand = 0 }
+
+  let make labels = make_sub labels ~lo:0 ~hi:(Dewey.Packed.length labels)
 
   let labels c = c.labels
 
-  let length c = Dewey.Packed.length c.labels
+  let length c = c.limit - c.base
 
-  let at_end c = c.pos >= Dewey.Packed.length c.labels
+  let at_end c = c.pos >= c.limit
 
   let position c = c.pos
 
@@ -76,7 +83,7 @@ module Packed = struct
     end
 
   let seek_geq_sub c v len =
-    let n = Dewey.Packed.length c.labels in
+    let n = c.limit in
     if c.pos < n && Dewey.Packed.compare_sub c.labels c.pos v len < 0 then begin
       (* gallop: probe pos+1, pos+3, pos+7, ... to bracket the target,
          then binary search inside the bracket *)
@@ -110,16 +117,17 @@ module Packed = struct
      entry is walked exactly once ({!Dewey.Packed.compare_prefix_sub}). *)
   let match_probe c v len =
     let t = c.labels in
-    let n = Dewey.Packed.length t in
+    let n = c.limit in
     if c.pos >= n then
-      if n = 0 then -1 else Dewey.Packed.common_prefix_len_sub t (n - 1) v len
+      if n = c.base then -1 else Dewey.Packed.common_prefix_len_sub t (n - 1) v len
     else begin
       let r0 = Dewey.Packed.compare_prefix_sub t c.pos v len in
       if r0 land 3 >= 1 then begin
         (* entry under the cursor is already >= v: no movement *)
         let dr = r0 lsr 2 in
         let dl =
-          if c.pos > 0 then Dewey.Packed.common_prefix_len_sub t (c.pos - 1) v len else -1
+          if c.pos > c.base then Dewey.Packed.common_prefix_len_sub t (c.pos - 1) v len
+          else -1
         in
         if dl > dr then dl else dr
       end

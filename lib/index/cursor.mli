@@ -51,10 +51,19 @@ module Packed : sig
 
   val make : Dewey.Packed.t -> t
 
+  (** [make_sub labels ~lo ~hi] is a cursor confined to the entry range
+      [[lo, hi)] — the scan substrate of per-partition SLCA steps, where
+      each keyword contributes the slice of its list lying under the
+      partition root. Probes and brackets never look outside the range.
+      @raise Invalid_argument unless [0 <= lo <= hi <= length labels]. *)
+  val make_sub : Dewey.Packed.t -> lo:int -> hi:int -> t
+
   (** [labels c] is the underlying packed list; combine with
       {!position} to probe the entry under the cursor. *)
   val labels : t -> Dewey.Packed.t
 
+  (** [length c] is the number of entries visible to the cursor (the
+      sub-range length for {!make_sub} cursors). *)
   val length : t -> int
 
   val at_end : t -> bool

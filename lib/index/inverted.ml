@@ -14,6 +14,10 @@ type t = {
          slice-based access paths. Atomic release/acquire publication
          makes materialization safe when the index is shared across query
          domains; a racing domain at worst materializes twice. *)
+  materializations : int Atomic.t;
+      (* Count of legacy-view materializations performed (not memo hits).
+         The packed refinement pipeline keeps this at zero; /stats
+         surfaces it so regressions to the boxed path are observable. *)
 }
 
 let empty_packed = { labels = Dewey.Packed.empty; paths = [||] }
@@ -25,7 +29,11 @@ let pack_postings (postings : posting array) =
   }
 
 let of_packed packed =
-  { packed; legacy = Array.init (Array.length packed) (fun _ -> Atomic.make None) }
+  {
+    packed;
+    legacy = Array.init (Array.length packed) (fun _ -> Atomic.make None);
+    materializations = Atomic.make 0;
+  }
 
 let of_lists lists = of_packed (Array.map pack_postings lists)
 
@@ -57,9 +65,17 @@ let list t kw =
     | Some postings -> postings
     | None ->
       let postings = materialize t.packed.(kw) in
+      Atomic.incr t.materializations;
       Atomic.set cell (Some postings);
       postings
   end
+
+let materialization_count t = Atomic.get t.materializations
+
+let materialized_keywords t =
+  Array.fold_left
+    (fun a cell -> match Atomic.get cell with Some _ -> a + 1 | None -> a)
+    0 t.legacy
 
 let list_by_name t doc k =
   match Doc.keyword_id doc k with Some kw -> list t kw | None -> [||]

@@ -53,6 +53,16 @@ val list : t -> Interner.id -> posting array
 (** [list_by_name t doc k] resolves keyword [k] (normalized) first. *)
 val list_by_name : t -> Doc.t -> string -> posting array
 
+(** [materialization_count t] is the number of legacy boxed-view
+    materializations performed so far (memo hits excluded). The packed
+    refinement pipeline keeps this at zero; the server's /stats endpoint
+    surfaces it so regressions to the boxed path are observable. *)
+val materialization_count : t -> int
+
+(** [materialized_keywords t] is the number of keywords whose boxed view
+    is currently memoized. *)
+val materialized_keywords : t -> int
+
 (** [length t kw] is the posting-list length of [kw]. *)
 val length : t -> Interner.id -> int
 

@@ -136,23 +136,37 @@ let node_count t path =
 (* Distinct T-ancestor labels shared by the posting lists of k1 and k2:
    truncate both lists to the Dewey prefix at depth(T)-1 (keeping only
    postings that actually descend from a T-typed node) and count common
-   distinct prefixes with a linear merge. *)
+   distinct prefixes with a linear merge. Scans the packed lists in
+   place — entries are decoded into a reused scratch buffer and a prefix
+   is materialized only when it differs from the previous one, so the
+   legacy boxed view is never touched. *)
 let cooccur_compute t ~path k1 k2 =
   let d = Path.depth t.doc.paths path - 1 in
   let truncated kw =
-    let l = Inverted.list t.inverted kw in
+    let pk = Inverted.packed_list t.inverted kw in
+    let labels = pk.Inverted.labels in
+    let n = Dewey.Packed.length labels in
+    let scratch = Array.make (max 1 (Dewey.Packed.max_depth labels)) 0 in
     let acc = ref [] in
-    Array.iter
-      (fun (p : Inverted.posting) ->
-        if Dewey.depth p.dewey >= d then
-          match Path.ancestor_at t.doc.paths p.path ~depth:(d + 1) with
-          | Some a when a = path ->
-            let pre = Dewey.prefix p.dewey d in
-            (match !acc with
-            | last :: _ when Dewey.equal last pre -> ()
-            | _ -> acc := pre :: !acc)
-          | _ -> ())
-      l;
+    for i = 0 to n - 1 do
+      if Dewey.Packed.depth_at labels i >= d then begin
+        match Path.ancestor_at t.doc.paths pk.Inverted.paths.(i) ~depth:(d + 1) with
+        | Some a when a = path ->
+          ignore (Dewey.Packed.blit_entry labels i scratch);
+          let fresh =
+            match !acc with
+            | last :: _ ->
+              let eq = ref true in
+              for j = 0 to d - 1 do
+                if last.(j) <> scratch.(j) then eq := false
+              done;
+              not !eq
+            | [] -> true
+          in
+          if fresh then acc := Array.sub scratch 0 d :: !acc
+        | _ -> ()
+      end
+    done;
     List.rev !acc
   in
   let rec merge n a b =

@@ -160,6 +160,10 @@ let index_footprint (index : Index.t) =
         Json.Float
           (if !postings = 0 then 0. else float_of_int !total_bytes /. float_of_int !postings)
       );
+      ( "legacy_materializations",
+        Json.Int (Xr_index.Inverted.materialization_count index.Index.inverted) );
+      ( "legacy_materialized_keywords",
+        Json.Int (Xr_index.Inverted.materialized_keywords index.Index.inverted) );
       ( "largest_lists",
         Json.List
           (List.map

@@ -26,6 +26,10 @@ let is_packed = function
   | Stack_packed | Scan_packed -> true
   | Stack | Scan_eager | Indexed_lookup | Multiway -> false
 
+let packed_partner = function
+  | Stack | Stack_packed -> Stack_packed
+  | Scan_eager | Indexed_lookup | Multiway | Scan_packed -> Scan_packed
+
 let pack_list (l : Inverted.posting array) =
   Dewey.Packed.of_array (Array.map (fun p -> p.Inverted.dewey) l)
 
@@ -49,6 +53,16 @@ let compute_packed alg lists =
   | Stack_packed -> Stack_packed.compute lists
   | Scan_packed -> Scan_packed.compute lists
   | Stack | Scan_eager | Indexed_lookup | Multiway -> compute alg (List.map unpack_list lists)
+
+let unpack_range (pk, lo, hi) =
+  Array.init (hi - lo) (fun i -> { Inverted.dewey = Dewey.Packed.get pk (lo + i); path = 0 })
+
+let compute_ranges alg ranges =
+  match alg with
+  | Stack_packed -> Stack_packed.compute_ranges ranges
+  | Scan_packed -> Scan_packed.compute_ranges ranges
+  | Stack | Scan_eager | Indexed_lookup | Multiway ->
+    compute alg (List.map unpack_range ranges)
 
 let query_ids alg (index : Xr_index.Index.t) ids =
   if is_packed alg then

@@ -22,6 +22,14 @@ val of_name : string -> algorithm option
     natively (and so can run straight off the index without decoding). *)
 val is_packed : algorithm -> bool
 
+(** [packed_partner alg] is the packed kernel computing the same SLCA
+    sets as [alg] without decoding: {!Stack} keeps its merge order via
+    {!Stack_packed}, everything else maps to {!Scan_packed}. All engines
+    agree on the result (the property suite asserts it), so promoting is
+    output-neutral; the refinement pipeline uses this to honor a
+    configured list-based engine while staying on the packed substrate. *)
+val packed_partner : algorithm -> algorithm
+
 (** [compute alg lists] is the SLCA set (document order) of the
     conjunction of the keywords whose posting lists are given. Packed
     algorithms pack the given lists on the fly — use {!compute_packed}
@@ -32,6 +40,13 @@ val compute : algorithm -> Xr_index.Inverted.posting array list -> Dewey.t list
     algorithms run on the buffers directly; list-based algorithms pay a
     throwaway materialization (their cost baseline in the benchmark). *)
 val compute_packed : algorithm -> Dewey.Packed.t list -> Dewey.t list
+
+(** [compute_ranges alg lists] is {!compute_packed} with each list
+    restricted to the half-open entry range paired with it — the
+    per-partition SLCA step of the refinement pipeline. Packed kernels
+    scan the ranges in place; list-based algorithms pay a throwaway
+    sub-array materialization. *)
+val compute_ranges : algorithm -> (Dewey.Packed.t * int * int) list -> Dewey.t list
 
 (** [query_ids alg index ids] computes SLCAs for already-resolved keyword
     ids, routing packed algorithms to the index's packed lists (no decode)

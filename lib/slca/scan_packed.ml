@@ -13,16 +13,20 @@ module PC = Xr_index.Cursor.Packed
    anything else is disjoint and seals the held candidate as a result.
    This replaces the sort-based [Slca_common.prune_non_smallest] pass and
    only ever materializes actual results. *)
-let compute (lists : P.t list) =
-  if lists = [] || List.exists (fun l -> P.length l = 0) lists then []
+let compute_ranges (lists : (P.t * int * int) list) =
+  if lists = [] || List.exists (fun (_, lo, hi) -> hi <= lo) lists then []
   else begin
-    let sorted = List.sort (fun a b -> Int.compare (P.length a) (P.length b)) lists in
+    let sorted =
+      List.sort (fun (_, alo, ahi) (_, blo, bhi) -> Int.compare (ahi - alo) (bhi - blo)) lists
+    in
     match sorted with
     | [] -> []
-    | driver :: others ->
-      let cursors = Array.of_list (List.map PC.make others) in
+    | (driver, dlo, dhi) :: others ->
+      let cursors =
+        Array.of_list (List.map (fun (l, lo, hi) -> PC.make_sub l ~lo ~hi) others)
+      in
       let ncur = Array.length cursors in
-      let maxd = List.fold_left (fun acc l -> max acc (P.max_depth l)) 1 lists in
+      let maxd = List.fold_left (fun acc (l, _, _) -> max acc (P.max_depth l)) 1 lists in
       (* The one decoded label live at any time: the driver entry under
          consideration. Non-driving lists are probed in encoded form. *)
       let scratch = Array.make maxd 0 in
@@ -31,8 +35,7 @@ let compute (lists : P.t list) =
       let results = ref [] in
       let emit () = if !cur_len >= 0 then results := Array.sub cur 0 !cur_len :: !results in
       let depth = ref 0 in
-      let n = P.length driver in
-      for vi = 0 to n - 1 do
+      for vi = dlo to dhi - 1 do
         let vd = P.blit_entry driver vi scratch in
         depth := vd;
         for ci = 0 to ncur - 1 do
@@ -63,3 +66,6 @@ let compute (lists : P.t list) =
       emit ();
       List.rev !results
   end
+
+let compute (lists : P.t list) =
+  compute_ranges (List.map (fun l -> (l, 0, P.length l)) lists)

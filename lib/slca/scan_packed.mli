@@ -14,3 +14,9 @@
 open Xr_xml
 
 val compute : Dewey.Packed.t list -> Dewey.t list
+
+(** [compute_ranges lists] restricts each packed list to the half-open
+    entry range paired with it — the per-partition SLCA step of the
+    refinement algorithms, which slice every keyword list to one subtree
+    without copying anything. An empty range yields []. *)
+val compute_ranges : (Dewey.Packed.t * int * int) list -> Dewey.t list

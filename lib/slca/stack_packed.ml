@@ -9,12 +9,12 @@ module PC = Xr_index.Cursor.Packed
    path length are kept all-false, so "pushing" an entry is just growing
    [path_len]. The merge of the cursor heads compares labels in encoded
    form; only the winning head is decoded, into a reused scratch buffer. *)
-let compute (lists : P.t list) =
+let compute_ranges (lists : (P.t * int * int) list) =
   let m = List.length lists in
-  if m = 0 || List.exists (fun l -> P.length l = 0) lists then []
+  if m = 0 || List.exists (fun (_, lo, hi) -> hi <= lo) lists then []
   else begin
-    let cursors = Array.of_list (List.map PC.make lists) in
-    let maxd = List.fold_left (fun acc l -> max acc (P.max_depth l)) 1 lists in
+    let cursors = Array.of_list (List.map (fun (l, lo, hi) -> PC.make_sub l ~lo ~hi) lists) in
+    let maxd = List.fold_left (fun acc (l, _, _) -> max acc (P.max_depth l)) 1 lists in
     let path = Array.make maxd 0 in
     let path_len = ref 0 in
     let head = Array.make maxd 0 in
@@ -87,3 +87,6 @@ let compute (lists : P.t list) =
     if all_true witness.(0) && not slca_below.(0) then results := [||] :: !results;
     List.rev !results
   end
+
+let compute (lists : P.t list) =
+  compute_ranges (List.map (fun l -> (l, 0, P.length l)) lists)

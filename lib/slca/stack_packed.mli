@@ -11,3 +11,7 @@
 open Xr_xml
 
 val compute : Dewey.Packed.t list -> Dewey.t list
+
+(** [compute_ranges lists] restricts each packed list to the half-open
+    entry range paired with it (see {!Scan_packed.compute_ranges}). *)
+val compute_ranges : (Dewey.Packed.t * int * int) list -> Dewey.t list

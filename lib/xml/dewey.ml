@@ -211,6 +211,11 @@ module Packed = struct
 
   let common_prefix_len_label t i v = common_prefix_len_sub t i v (Array.length v)
 
+  let first_component t i =
+    check t i;
+    let off = t.offsets.(i) in
+    if decode t.buf off = 0 then -1 else decode t.buf (skip t.buf off)
+
   (* Combined {!compare_sub} + {!common_prefix_len_sub} in one walk:
      [(plen lsl 2) lor (cmp + 1)] with [cmp] in [{-1, 0, 1}]. The walk
      reads each byte once (single-byte components, the overwhelmingly
@@ -261,6 +266,23 @@ module Packed = struct
     !l
 
   let lower_bound t ~lo v = lower_bound_sub t ~lo v (Array.length v)
+
+  (* Entries inside the subtree rooted at [v.(0..len-1)] form a contiguous
+     run: those [>=] the root whose first [len] components equal it. Both
+     boundaries are binary searches on the encoded form; the upper one
+     treats every entry prefixed by the root as "still below", mirroring
+     the boxed [Inverted.prefix_slice_from]. *)
+  let prefix_slice_sub t ~lo v len =
+    let l = lower_bound_sub t ~lo v len in
+    let l2 = ref l and h = ref (length t) in
+    while !l2 < !h do
+      let mid = (!l2 + !h) lsr 1 in
+      let r = compare_prefix_sub t mid v len in
+      if (r land 3) - 1 < 0 || r lsr 2 = len then l2 := mid + 1 else h := mid
+    done;
+    (l, !l2)
+
+  let prefix_slice t ~lo v = prefix_slice_sub t ~lo v (Array.length v)
 
   (* ---- persistence ------------------------------------------------------ *)
 

@@ -112,6 +112,11 @@ module Packed : sig
 
   val common_prefix_len_label : t -> int -> int array -> int
 
+  (** [first_component t i] is the first path component of entry [i]
+      without materializing it, or [-1] for the root (depth 0) — the
+      partition id of the posting in the paper's partition evaluation. *)
+  val first_component : t -> int -> int
+
   (** [compare_prefix_sub t i v len] fuses {!compare_sub} and
       {!common_prefix_len_sub} into one walk over entry [i]: the result
       is [(plen lsl 2) lor (cmp + 1)] where [cmp] (in [-1..1]) orders
@@ -129,6 +134,15 @@ module Packed : sig
   val lower_bound_sub : t -> lo:int -> int array -> int -> int
 
   val lower_bound : t -> lo:int -> int array -> int
+
+  (** [prefix_slice_sub t ~lo v len] is the half-open index range of the
+      entries lying in the subtree rooted at [v]'s first [len] components,
+      restricted to indices [>= lo] — the packed counterpart of
+      {!Inverted.prefix_slice_from}, found by two binary searches on the
+      encoded form. *)
+  val prefix_slice_sub : t -> lo:int -> int array -> int -> int * int
+
+  val prefix_slice : t -> lo:int -> int array -> int * int
 
   (** [to_raw t] exposes the label buffer, offsets table and max depth for
       zero-copy persistence. The returned arrays are the live internals:

@@ -1,0 +1,97 @@
+#!/bin/sh
+# Bench regression gate: run the --smoke benchmarks and fail if any
+# packed-vs-reference aggregate speedup dropped below parity, i.e. the
+# packed kernels became slower than the legacy/reference paths they are
+# supposed to replace.
+#
+# Usage:
+#   scripts/bench_gate.sh
+#
+# Environment:
+#   FRESH_SLCA=path    use a pre-made slca bench JSON instead of running
+#   FRESH_REFINE=path  use a pre-made refine bench JSON instead of running
+#   (both are how an injected regression is demonstrated / tested)
+#
+# The gate checks two things per bench:
+#   1. the committed baseline (BENCH_slca.json / BENCH_refine.json) parses
+#      and shows every `speedup_*_total` >= 1.0 — the committed numbers
+#      must never claim a regression;
+#   2. the fresh --smoke run shows every `speedup_*_total` >= 1.0 — the
+#      tree being tested must not have regressed packed below parity.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+fail() { echo "bench-gate: FAIL - $*" >&2; exit 1; }
+
+command -v python3 >/dev/null || fail "python3 not found"
+
+TMP=""
+cleanup() { [ -n "$TMP" ] && rm -rf "$TMP"; }
+trap cleanup EXIT INT TERM
+TMP="$(mktemp -d)"
+
+# check_speedups FILE LABEL: every key named speedup_*_total, anywhere in
+# the JSON, must be >= 1.0.
+check_speedups() {
+  python3 - "$1" "$2" <<'EOF'
+import json, sys
+
+path, label = sys.argv[1], sys.argv[2]
+try:
+    with open(path) as f:
+        doc = json.load(f)
+except (OSError, ValueError) as e:
+    print(f"bench-gate: FAIL - {label}: cannot read {path}: {e}", file=sys.stderr)
+    sys.exit(1)
+
+found, bad = [], []
+def walk(node, ctx):
+    if isinstance(node, dict):
+        name = node.get("name", ctx)
+        for k, v in node.items():
+            if k.startswith("speedup_") and k.endswith("_total"):
+                found.append((name, k, v))
+                if not (isinstance(v, (int, float)) and v >= 1.0):
+                    bad.append((name, k, v))
+            else:
+                walk(v, name)
+    elif isinstance(node, list):
+        for v in node:
+            walk(v, ctx)
+
+walk(doc, "?")
+if not found:
+    print(f"bench-gate: FAIL - {label}: no speedup_*_total keys in {path}", file=sys.stderr)
+    sys.exit(1)
+for name, k, v in found:
+    print(f"bench-gate: {label}: {name}.{k} = {v:.2f}")
+if bad:
+    for name, k, v in bad:
+        print(f"bench-gate: FAIL - {label}: {name}.{k} = {v} < 1.0", file=sys.stderr)
+    sys.exit(1)
+EOF
+}
+
+# 1. committed baselines
+check_speedups BENCH_slca.json "committed slca"
+check_speedups BENCH_refine.json "committed refine"
+
+# 2. fresh smoke runs (or injected substitutes)
+if [ -n "${FRESH_SLCA:-}" ]; then
+  cp "$FRESH_SLCA" "$TMP/slca.json"
+else
+  echo "bench-gate: running slca_bench --smoke"
+  dune exec bench/slca_bench.exe -- --smoke --out "$TMP/slca.json" >/dev/null
+fi
+if [ -n "${FRESH_REFINE:-}" ]; then
+  cp "$FRESH_REFINE" "$TMP/refine.json"
+else
+  echo "bench-gate: running refine_bench --smoke"
+  dune exec bench/refine_bench.exe -- --smoke --out "$TMP/refine.json" >/dev/null
+fi
+
+check_speedups "$TMP/slca.json" "fresh slca"
+check_speedups "$TMP/refine.json" "fresh refine"
+
+echo "bench-gate: PASS"

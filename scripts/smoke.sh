@@ -5,15 +5,19 @@
 set -eu
 
 PORT="${SMOKE_PORT:-18980}"
-TMP="$(mktemp -d)"
+TMP=""
 SERVER_PID=""
 
+# Arm the trap before mktemp: a signal between mktemp and a later trap
+# would otherwise leak the scratch directory.
 cleanup() {
   [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
   [ -n "$SERVER_PID" ] && wait "$SERVER_PID" 2>/dev/null || true
-  rm -rf "$TMP"
+  [ -n "$TMP" ] && rm -rf "$TMP"
 }
 trap cleanup EXIT INT TERM
+
+TMP="$(mktemp -d)"
 
 fail() { echo "smoke: FAIL - $*" >&2; exit 1; }
 
@@ -33,18 +37,38 @@ fi
 echo "smoke: generating scratch corpus in $TMP"
 dune exec --no-build xrefine -- generate dblp -n 200 -o "$TMP/corpus.xml" >/dev/null
 
-echo "smoke: starting xrefine serve on port $PORT"
-dune exec --no-build xrefine -- serve -d "$TMP/corpus.xml" -p "$PORT" \
-  --domains 2 --quiet >"$TMP/server.log" 2>&1 &
-SERVER_PID=$!
+# Start the server, walking up to 10 ports past SMOKE_PORT when the
+# requested one is already occupied (parallel CI jobs, stale servers).
+tries=0
+while :; do
+  echo "smoke: starting xrefine serve on port $PORT"
+  dune exec --no-build xrefine -- serve -d "$TMP/corpus.xml" -p "$PORT" \
+    --domains 2 --quiet >"$TMP/server.log" 2>&1 &
+  SERVER_PID=$!
 
-BASE="http://127.0.0.1:$PORT"
-i=0
-until curl -sf "$BASE/health" >/dev/null 2>&1; do
-  i=$((i + 1))
-  [ "$i" -gt 50 ] && { cat "$TMP/server.log" >&2; fail "server did not come up"; }
-  kill -0 "$SERVER_PID" 2>/dev/null || { cat "$TMP/server.log" >&2; fail "server exited early"; }
-  sleep 0.1
+  BASE="http://127.0.0.1:$PORT"
+  i=0
+  up=1
+  until curl -sf "$BASE/health" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -gt 50 ] && { up=0; break; }
+    kill -0 "$SERVER_PID" 2>/dev/null || { up=0; break; }
+    sleep 0.1
+  done
+  [ "$up" = 1 ] && break
+
+  if grep -qi 'address already in use\|EADDRINUSE' "$TMP/server.log" \
+     && [ "$tries" -lt 9 ]; then
+    kill "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+    SERVER_PID=""
+    tries=$((tries + 1))
+    PORT=$((PORT + 1))
+    echo "smoke: port occupied, retrying on $PORT"
+    continue
+  fi
+  cat "$TMP/server.log" >&2
+  fail "server did not come up"
 done
 
 # Each endpoint must answer 200 with a parseable JSON body.

@@ -1,0 +1,241 @@
+(* Differential suite for the packed refinement pipeline: every algorithm
+   (stack-refine / partition / SLE) must return the same outcome whether
+   it runs on packed cursors or on the legacy boxed posting arrays, and
+   the packed runs must never force a boxed view into existence. Also
+   property-checks the packed slicing/seeking primitives those scans are
+   built on. *)
+
+open Xr_xml
+open Xr_refine
+module Index = Xr_index.Index
+module Inverted = Xr_index.Inverted
+module P = Dewey.Packed
+module PC = Xr_index.Cursor.Packed
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* ---- corpora / workloads ------------------------------------------------- *)
+
+let corpora =
+  lazy
+    [
+      ("figure1", Index.build (Xr_data.Figure1.doc ()));
+      ("baseball", Index.build (Xr_data.Baseball.doc ()));
+      ( "dblp",
+        Index.build (Doc.of_tree (Xr_data.Dblp.scaled ~publications:120 ~seed:42)) );
+    ]
+
+(* Two frequent keyword names of the corpus, used to assemble workloads
+   that exercise each rewrite operation with a guaranteed-absent keyword
+   so refinement actually runs. *)
+let top2 (index : Index.t) =
+  let acc = ref [] in
+  Inverted.iter_packed
+    (fun kw pk ->
+      let n = Inverted.packed_postings pk in
+      if n > 0 then acc := (kw, n) :: !acc)
+    index.Index.inverted;
+  match
+    List.sort (fun (_, a) (_, b) -> Int.compare b a) !acc
+    |> List.map (fun (kw, _) -> Doc.keyword_name index.Index.doc kw)
+  with
+  | k1 :: k2 :: _ -> (k1, k2)
+  | _ -> Alcotest.fail "corpus has fewer than two keywords"
+
+let workloads index =
+  let k1, k2 = top2 index in
+  [
+    ("deletion", [ k1; k2; "zzzdiffjunk" ], []);
+    ("merge", [ "zzda"; "zzdb"; k2 ], [ Rule.merging [ "zzda"; "zzdb" ] k1 ]);
+    ("split", [ "zzfused" ], [ Rule.split "zzfused" [ k1; k2 ] ]);
+    ("substitution", [ "zzsrc"; k2 ], [ Rule.synonym "zzsrc" k1 ]);
+    (* original query matches: every algorithm must detect it *)
+    ("original", [ k1; k2 ], []);
+  ]
+
+let make index rules query = Refine_common.make index (Ruleset.of_rules rules) query
+
+let algorithms ~k =
+  [
+    ("stack-refine", fun c -> fst (Stack_refine.run c)),
+    (fun c -> fst (Stack_refine.run_legacy c));
+    ("partition", fun c -> fst (Partition.run ~k c)),
+    (fun c -> fst (Partition.run_legacy ~k c));
+    ("sle", fun c -> fst (Sle.run ~k c)),
+    (fun c -> fst (Sle.run_legacy ~k c));
+  ]
+  |> List.map (fun ((name, packed), legacy) -> (name, packed, legacy))
+
+(* ---- packed == legacy, everywhere ---------------------------------------- *)
+
+let test_differential () =
+  List.iter
+    (fun (cname, index) ->
+      List.iter
+        (fun (wname, query, rules) ->
+          let c = make index rules query in
+          List.iter
+            (fun (aname, packed, legacy) ->
+              let p = packed c in
+              let l = legacy c in
+              check Alcotest.bool
+                (Printf.sprintf "%s/%s/%s packed = legacy" cname wname aname)
+                true (p = l))
+            (algorithms ~k:3))
+        (workloads index))
+    (Lazy.force corpora)
+
+(* Engine-level: each packed selector agrees with its legacy twin through
+   the full [Engine.refine] pipeline (mining on, default config knobs). *)
+let test_engine_differential () =
+  let index = List.assoc "dblp" (Lazy.force corpora) in
+  let k1, k2 = top2 index in
+  let query = [ k1; k2; "zzenginejunk" ] in
+  List.iter
+    (fun (packed_alg, legacy_alg) ->
+      let run alg =
+        let config = { Engine.default_config with algorithm = alg } in
+        (Engine.refine ~config index query).Engine.result
+      in
+      check Alcotest.bool
+        (Engine.algorithm_name packed_alg ^ " = " ^ Engine.algorithm_name legacy_alg)
+        true
+        (run packed_alg = run legacy_alg))
+    [
+      (Engine.Stack_refine, Engine.Stack_refine_legacy);
+      (Engine.Partition, Engine.Partition_legacy);
+      (Engine.Short_list_eager, Engine.Sle_legacy);
+    ]
+
+(* ---- zero materialization on the packed path ----------------------------- *)
+
+let test_packed_never_materializes () =
+  (* fresh index: nothing warmed by other tests *)
+  let index = Index.build (Doc.of_tree (Xr_data.Dblp.scaled ~publications:80 ~seed:7)) in
+  let inv = index.Index.inverted in
+  check Alcotest.int "fresh index has no boxed views" 0
+    (Inverted.materialization_count inv);
+  List.iter
+    (fun (wname, query, rules) ->
+      let c = make index rules query in
+      List.iter
+        (fun (aname, packed, _) ->
+          ignore (packed c);
+          check Alcotest.int
+            (Printf.sprintf "%s/%s stays packed" wname aname)
+            0
+            (Inverted.materialization_count inv))
+        (algorithms ~k:3))
+    (workloads index);
+  check Alcotest.int "no keyword acquired a boxed view" 0
+    (Inverted.materialized_keywords inv)
+
+let test_engine_default_never_materializes () =
+  let index = Index.build (Doc.of_tree (Xr_data.Dblp.scaled ~publications:80 ~seed:11)) in
+  let k1, k2 = top2 index in
+  ignore (Engine.refine index [ k1; k2; "zzdefaultjunk" ]);
+  ignore (Engine.refine index [ k1; k2 ]);
+  ignore (Engine.search index [ k1 ]);
+  check Alcotest.int "default Engine paths stay packed" 0
+    (Inverted.materialization_count index.Index.inverted)
+
+(* legacy selectors force boxed views on demand — the counter must see it *)
+let test_legacy_materializes_on_demand () =
+  let index = Index.build (Doc.of_tree (Xr_data.Dblp.scaled ~publications:40 ~seed:13)) in
+  let k1, k2 = top2 index in
+  let c = make index [] [ k1; k2; "zzlegacyjunk" ] in
+  ignore (Stack_refine.run_legacy c);
+  check Alcotest.bool "legacy run forced boxed views" true
+    (Inverted.materialization_count index.Index.inverted > 0)
+
+(* ---- packed slicing / seeking primitives --------------------------------- *)
+
+let gen_label =
+  QCheck.Gen.(
+    list_size (int_bound 5)
+      (frequency [ (6, int_bound 4); (2, int_bound 200); (1, int_bound 50_000) ])
+    |> map Array.of_list)
+
+let arb_labels_and_probe =
+  QCheck.make
+    ~print:(fun (ls, v, lo) ->
+      Printf.sprintf "%s probe=%s lo=%d"
+        (String.concat " " (List.map Dewey.to_string ls))
+        (Dewey.to_string v) lo)
+    QCheck.Gen.(
+      gen_label |> fun g ->
+      triple
+        (list_size (int_range 1 30) g |> map (fun l -> List.sort_uniq Dewey.compare l))
+        g (int_bound 5))
+
+let prop_prefix_slice_sub =
+  QCheck.Test.make ~name:"prefix_slice_sub = naive prefix scan" ~count:500
+    arb_labels_and_probe
+    (fun (labels, v, lo) ->
+      let arr = Array.of_list labels in
+      let pk = P.of_list labels in
+      let lo = min lo (Array.length arr) in
+      let slo, shi = P.prefix_slice_sub pk ~lo v (Array.length v) in
+      (* naive: indices >= lo whose label has [v] as a prefix *)
+      let naive =
+        List.filteri (fun i _ -> i >= lo) labels
+        |> List.mapi (fun i _ -> i) |> List.length |> ignore;
+        let idx = ref [] in
+        Array.iteri (fun i l -> if i >= lo && Dewey.is_prefix v l then idx := i :: !idx) arr;
+        List.rev !idx
+      in
+      match naive with
+      | [] -> slo = shi
+      | first :: _ ->
+        slo = first && shi = first + List.length naive
+        && List.for_all (fun i -> i >= slo && i < shi) naive)
+
+let prop_seek_geq_sub =
+  QCheck.Test.make ~name:"cursor seek_geq_sub lands on lower bound" ~count:500
+    arb_labels_and_probe
+    (fun (labels, v, advance_by) ->
+      let pk = P.of_list labels in
+      let cur = PC.make pk in
+      for _ = 1 to min advance_by (P.length pk) do
+        PC.advance cur
+      done;
+      let start = PC.position cur in
+      PC.seek_geq_sub cur v (Array.length v);
+      let expected = P.lower_bound_sub pk ~lo:start v (Array.length v) in
+      PC.position cur = expected)
+
+(* a cursor restricted to [lo, hi) behaves like the full cursor clamped *)
+let prop_sub_cursor =
+  QCheck.Test.make ~name:"make_sub clamps seeks to its window" ~count:300
+    arb_labels_and_probe
+    (fun (labels, v, lo) ->
+      let pk = P.of_list labels in
+      let n = P.length pk in
+      let lo = min lo n in
+      let hi = min (lo + 7) n in
+      let cur = PC.make_sub pk ~lo ~hi in
+      PC.seek_geq_sub cur v (Array.length v);
+      let expected = min hi (P.lower_bound_sub pk ~lo v (Array.length v)) in
+      PC.position cur = expected && (PC.at_end cur = (PC.position cur >= hi)))
+
+let () =
+  Alcotest.run "xr_refine_packed"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "algorithms packed = legacy" `Quick test_differential;
+          Alcotest.test_case "engine packed = legacy" `Quick test_engine_differential;
+        ] );
+      ( "materialization",
+        [
+          Alcotest.test_case "packed algorithms" `Quick test_packed_never_materializes;
+          Alcotest.test_case "engine default path" `Quick
+            test_engine_default_never_materializes;
+          Alcotest.test_case "legacy still materializes" `Quick
+            test_legacy_materializes_on_demand;
+        ] );
+      ( "primitives",
+        [ qcheck prop_prefix_slice_sub; qcheck prop_seek_geq_sub; qcheck prop_sub_cursor ]
+      );
+    ]
