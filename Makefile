@@ -1,4 +1,4 @@
-.PHONY: all build test check smoke bench benchgate slcabench refinebench paperbench examples quickbench clean fmt
+.PHONY: all build test check smoke bench benchgate slcabench refinebench parallelbench paperbench examples quickbench clean fmt
 
 all: build
 
@@ -15,10 +15,12 @@ check:
 smoke: build
 	scripts/smoke.sh
 
-# Smoke-size benchmarks (SLCA kernels + refinement pipeline).
+# Smoke-size benchmarks (SLCA kernels + refinement pipeline + domain
+# parallelism).
 bench:
 	dune exec bench/slca_bench.exe -- --smoke
 	dune exec bench/refine_bench.exe -- --smoke
+	dune exec bench/parallel_bench.exe -- --smoke
 
 # Regression gate: committed BENCH files and a fresh smoke run must both
 # keep every packed-vs-legacy aggregate speedup at >= 1.0.
@@ -32,6 +34,10 @@ slcabench:
 # Full-size refinement benchmark (the committed BENCH_refine.json).
 refinebench:
 	dune exec bench/refine_bench.exe
+
+# Full-size parallel SLCA benchmark (the committed BENCH_parallel.json).
+parallelbench:
+	dune exec bench/parallel_bench.exe
 
 fmt:
 	dune build @fmt --auto-promote

@@ -1,0 +1,187 @@
+(* Parallel SLCA benchmark: sequential scan-packed vs the chunked
+   kernel on pools of 2, 4 and 8 domains, over the bundled corpora.
+   Every parallel run is byte-compared against the sequential output
+   before timing — the bench doubles as an equality assertion. Usage:
+
+     dune exec bench/parallel_bench.exe                 # full sizes
+     dune exec bench/parallel_bench.exe -- --smoke      # small sizes (CI)
+     dune exec bench/parallel_bench.exe -- --out PATH   # JSON location
+
+   Writes BENCH_parallel.json. [host_cores] records the machine the
+   numbers came from; the bench gate only enforces the dblp P=4 speedup
+   when the host actually has cores to parallelize over (time-slicing
+   domains on one core measures scheduling, not the kernel). *)
+
+module Engine = Xr_slca.Engine
+module Parallel = Xr_slca.Parallel
+module Index = Xr_index.Index
+module Inverted = Xr_index.Inverted
+module Doc = Xr_xml.Doc
+module Dewey = Xr_xml.Dewey
+module Json = Xr_server.Json
+
+let time_ns f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  (Unix.gettimeofday () -. t0) *. 1e9
+
+let median a =
+  let a = Array.copy a in
+  Array.sort Float.compare a;
+  a.(Array.length a / 2)
+
+let bench_call f =
+  ignore (f ());
+  let iters = ref 1 in
+  let sample () = time_ns (fun () -> for _ = 1 to !iters do ignore (f ()) done) in
+  while sample () < 1e7 && !iters < 10_000_000 do
+    iters := !iters * 4
+  done;
+  median (Array.init 5 (fun _ -> sample () /. float_of_int !iters))
+
+let corpora ~smoke =
+  let dblp_pubs = if smoke then 300 else 3500 in
+  [
+    ("figure1", Xr_data.Figure1.doc ());
+    ("baseball", Xr_data.Baseball.doc ());
+    ("auction", Xr_data.Auction.doc ());
+    ("dblp", Doc.of_tree (Xr_data.Dblp.scaled ~publications:dblp_pubs ~seed:2009));
+  ]
+
+let frequent_keywords (index : Index.t) =
+  let acc = ref [] in
+  Inverted.iter_packed
+    (fun kw pk ->
+      let n = Inverted.packed_postings pk in
+      if n > 0 then acc := (kw, n) :: !acc)
+    index.Index.inverted;
+  List.map fst (List.sort (fun (_, a) (_, b) -> Int.compare b a) !acc)
+
+let queries (index : Index.t) =
+  match frequent_keywords index with
+  | k0 :: k1 :: k2 :: k3 :: rest ->
+    let tail = match List.rev rest with t :: _ -> [ t ] | [] -> [] in
+    [ [ k0; k1 ]; [ k0; k1; k2 ]; [ k0; k1; k2; k3 ]; ([ k0 ] @ tail) ]
+    |> List.filter (fun q -> List.length q >= 2)
+  | k0 :: k1 :: _ -> [ [ k0; k1 ] ]
+  | _ -> []
+
+let pool_sizes = [ 2; 4; 8 ]
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let smoke = List.mem "--smoke" args in
+  let rec out_of = function
+    | "--out" :: p :: _ -> p
+    | _ :: rest -> out_of rest
+    | [] -> "BENCH_parallel.json"
+  in
+  let out = out_of args in
+  let host_cores = Domain.recommended_domain_count () in
+  let pools = List.map (fun p -> (p, Xr_pool.create ~domains:p ())) pool_sizes in
+  Printf.printf "host cores: %d\n%!" host_cores;
+  let dblp_p4 = ref (1., 1.) (* sequential ns total, P=4 ns total — the gated pair *) in
+  let corpus_json = ref [] in
+  List.iter
+    (fun (name, doc) ->
+      let index = Index.build doc in
+      Printf.printf "\n== %s: %d nodes ==\n%!" name (Doc.node_count doc);
+      let seq_total = ref 0. in
+      let par_total = Hashtbl.create 4 in
+      let query_json = ref [] in
+      List.iter
+        (fun ids ->
+          let words = List.map (Doc.keyword_name doc) ids in
+          let lists =
+            List.map
+              (fun kw -> (Inverted.packed_list index.Index.inverted kw).Inverted.labels)
+              ids
+          in
+          let sequential = Xr_slca.Scan_packed.compute lists in
+          (* byte-equality first, on every pool size and a few forced
+             chunkings — the acceptance gate of the whole kernel *)
+          List.iter
+            (fun (p, pool) ->
+              List.iter
+                (fun chunks ->
+                  let got = Parallel.compute ~pool ?chunks ~threshold:0 lists in
+                  if not (List.equal Dewey.equal got sequential) then
+                    failwith
+                      (Printf.sprintf "parallel (P=%d) disagrees with sequential on %s {%s}" p
+                         name (String.concat " " words)))
+                [ None; Some 3; Some 7 ])
+            pools;
+          let seq_ns = bench_call (fun () -> Xr_slca.Scan_packed.compute lists) in
+          seq_total := !seq_total +. seq_ns;
+          let per_pool =
+            List.map
+              (fun (p, pool) ->
+                let ns = bench_call (fun () -> Parallel.compute ~pool ~threshold:0 lists) in
+                Hashtbl.replace par_total p
+                  (ns +. (try Hashtbl.find par_total p with Not_found -> 0.));
+                (p, ns))
+              pools
+          in
+          Printf.printf "  {%s}: %d slca | seq %9.0fns | %s\n%!" (String.concat " " words)
+            (List.length sequential) seq_ns
+            (String.concat " | "
+               (List.map
+                  (fun (p, ns) -> Printf.sprintf "P=%d %9.0fns (%.2fx)" p ns (seq_ns /. ns))
+                  per_pool));
+          query_json :=
+            Json.Obj
+              [
+                ("keywords", Json.List (List.map (fun w -> Json.String w) words));
+                ("results", Json.Int (List.length sequential));
+                ("sequential_ns", Json.Float seq_ns);
+                ( "parallel_ns",
+                  Json.Obj
+                    (List.map (fun (p, ns) -> (Printf.sprintf "p%d" p, Json.Float ns)) per_pool)
+                );
+              ]
+            :: !query_json)
+        (queries index);
+      let speedups =
+        List.map
+          (fun p ->
+            let t = try Hashtbl.find par_total p with Not_found -> !seq_total in
+            (p, !seq_total /. t))
+          pool_sizes
+      in
+      if name = "dblp" then
+        dblp_p4 := (!seq_total, (try Hashtbl.find par_total 4 with Not_found -> !seq_total));
+      Printf.printf "  aggregate: %s\n%!"
+        (String.concat ", "
+           (List.map (fun (p, s) -> Printf.sprintf "P=%d %.2fx" p s) speedups));
+      corpus_json :=
+        Json.Obj
+          ([
+             ("name", Json.String name);
+             ("nodes", Json.Int (Doc.node_count doc));
+             ("sequential_ns_total", Json.Float !seq_total);
+             ("queries", Json.List (List.rev !query_json));
+           ]
+          @ List.map
+              (fun (p, s) -> (Printf.sprintf "speedup_p%d" p, Json.Float s))
+              speedups)
+        :: !corpus_json)
+    (corpora ~smoke);
+  List.iter (fun (_, pool) -> Xr_pool.shutdown pool) pools;
+  let seq_dblp, p4_dblp = !dblp_p4 in
+  let payload =
+    Json.Obj
+      [
+        ("bench", Json.String "slca-parallel-vs-sequential");
+        ("mode", Json.String (if smoke then "smoke" else "full"));
+        ("host_cores", Json.Int host_cores);
+        ("corpora", Json.List (List.rev !corpus_json));
+        (* the one gated key: dblp aggregate at P=4; meaningful only
+           when host_cores >= 2 (see scripts/bench_gate.sh) *)
+        ("speedup_dblp_p4_total", Json.Float (seq_dblp /. p4_dblp));
+      ]
+  in
+  let oc = open_out out in
+  output_string oc (Json.to_string payload);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "\nwrote %s\n" out

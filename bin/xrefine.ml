@@ -98,7 +98,7 @@ let search_cmd =
     Arg.(
       value
       & opt string "scan-eager"
-      & info [ "slca" ] ~docv:"ALG" ~doc:"SLCA engine: stack, scan-eager, indexed-lookup, multiway, stack-packed, scan-packed.")
+      & info [ "slca" ] ~docv:"ALG" ~doc:"SLCA engine: stack, scan-eager, indexed-lookup, multiway, stack-packed, scan-packed, scan-parallel.")
   in
   let rank =
     Arg.(value & flag & info [ "rank" ] ~doc:"Order results by XML TF*IDF relevance.")
@@ -310,8 +310,18 @@ let serve_cmd =
       & opt int 20
       & info [ "limit" ] ~docv:"N" ~doc:"Default cap on result arrays in responses.")
   in
+  let parallel_threshold =
+    Arg.(
+      value
+      & opt int Xr_slca.Parallel.default_threshold
+      & info [ "parallel-threshold" ] ~docv:"N"
+          ~doc:
+            "Minimum driver-list postings before a query fans out over the shared domain \
+             pool; smaller queries run sequentially (0 always fans out).")
+  in
   let quiet = Arg.(value & flag & info [ "quiet" ] ~doc:"Disable the stderr request log.") in
-  let run doc port host unix_socket domains queue cache cache_shards deadline limit quiet =
+  let run doc port host unix_socket domains queue cache cache_shards deadline limit
+      parallel_threshold quiet =
     let index = load_index doc in
     let addr =
       match unix_socket with
@@ -328,6 +338,7 @@ let serve_cmd =
         cache_shards;
         deadline_ms = deadline;
         result_limit = limit;
+        parallel_threshold;
         log = not quiet;
       }
     in
@@ -339,10 +350,10 @@ let serve_cmd =
     in
     Printf.printf
       "xrefine serve: %d nodes, %d keywords resident; %d worker domain(s), queue bound %d, \
-       cache %d, deadline %.0f ms\nlistening on %s\n%!"
+       cache %d, deadline %.0f ms, parallel threshold %d\nlistening on %s\n%!"
       (Xr_xml.Doc.node_count index.Index.doc)
       (List.length (Xr_xml.Doc.vocabulary index.Index.doc))
-      domains queue cache deadline where;
+      domains queue cache deadline parallel_threshold where;
     let stop _ = Xr_server.Server.stop server in
     Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
     Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
@@ -356,7 +367,7 @@ let serve_cmd =
           keeping the index resident and answering from parallel worker domains.")
     Term.(
       const run $ doc_file $ port $ host $ unix_socket $ domains $ queue $ cache $ cache_shards
-      $ deadline $ limit $ quiet)
+      $ deadline $ limit $ parallel_threshold $ quiet)
 
 (* ---- complete ----------------------------------------------------------------- *)
 

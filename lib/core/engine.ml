@@ -45,7 +45,7 @@ let default_config =
   {
     k = 3;
     algorithm = Partition;
-    slca = Slca_engine.Scan_packed;
+    slca = Slca_engine.Scan_parallel;
     ranking = Ranking.default_config;
     dp = Optimal_rq.default_config;
     search_for = Xr_slca.Search_for.default_config;

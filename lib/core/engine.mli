@@ -24,7 +24,9 @@ type config = {
   k : int;  (** how many refined queries to return; default 3 *)
   algorithm : algorithm;  (** default [Partition] (packed scan) *)
   slca : Xr_slca.Engine.algorithm;
-      (** plugged SLCA engine; default scan-packed. Packed refinement
+      (** plugged SLCA engine; default scan-parallel (scan-packed
+          chunked over the domain pool, sequential below the
+          {!Xr_slca.Parallel.threshold}). Packed refinement
           algorithms promote a list-based choice to its packed partner
           ({!Xr_slca.Engine.packed_partner}) — result-identical; the
           [*_legacy] algorithms use it as given. *)

@@ -1,0 +1,124 @@
+open Xr_xml
+module Slca_engine = Xr_slca.Engine
+module Meaningful = Xr_slca.Meaningful
+module Parallel = Xr_slca.Parallel
+
+(* Domain-parallel evaluation of independent candidate refined queries.
+
+   Both entry points preserve byte-identity with the sequential
+   pipeline by construction:
+
+   - the pool workers run only the pure packed SLCA kernel (via
+     {!Slca_engine.sequential_partner}, so no nested fork/join) over
+     immutable packed lists; the meaningfulness filter, whose memo
+     table is single-threaded, is applied afterwards on the submitting
+     domain, and [Rq_list] admission stays entirely sequential;
+
+   - {!prefetch} evaluates the superset of candidates the walk *could*
+     request under the admission state at batch start (admission only
+     ever tightens, so the evolving walk requests a subset), and the
+     caller then replays its exact sequential walk against the
+     prefetched table — same admissions, same order, rank ties still
+     resolved by candidate index. *)
+
+let none : string -> Dewey.t list option = fun _ -> None
+
+let scope_postings ranges = Array.fold_left (fun acc (lo, hi) -> acc + (hi - lo)) 0 ranges
+
+(* Every partition's ranges are sub-ranges of the full scope lists, so a
+   sub-threshold scope means every per-partition prefetch would fall
+   back too: decide once per run and hand the walk the free [none]
+   closure, so small queries pay nothing per partition. *)
+let prefetch_enabled (c : Refine_common.t) =
+  let total =
+    Array.fold_left (fun acc pk -> acc + Dewey.Packed.length pk) 0 c.Refine_common.packed
+  in
+  if total < Parallel.threshold () then begin
+    Parallel.note_fallback ();
+    false
+  end
+  else true
+
+let prefetch ?pool (c : Refine_common.t) ~slca ~ranges ~rqlist cands =
+  (* Threshold first: it is a handful of int subtractions, while
+     collecting the prefix allocates — sub-threshold partitions (the
+     common case on small corpora) must pay nothing. *)
+  if scope_postings ranges < Parallel.threshold () then begin
+    Parallel.note_fallback ();
+    none
+  end
+  else begin
+    (* The walk-order prefix the sequential walk may evaluate: skip
+       originals (handled separately by the callers) and already-admitted
+       keys, stop at the first candidate the current admission state
+       rejects — candidates arrive cost-sorted, so nothing admissible
+       follows it. *)
+    let seen = Hashtbl.create 8 in
+    let rec collect acc = function
+      | [] -> List.rev acc
+      | (rq, key) :: rest ->
+        if Refined_query.is_original rq then collect acc rest
+        else if not (Rq_list.would_admit rqlist rq.Refined_query.dissimilarity) then
+          List.rev acc
+        else if Rq_list.mem_key rqlist key || Hashtbl.mem seen key then collect acc rest
+        else begin
+          Hashtbl.add seen key ();
+          collect ((key, rq.Refined_query.keywords) :: acc) rest
+        end
+    in
+    match collect [] cands with
+    | [] | [ _ ] -> none (* nothing to overlap *)
+    | todo ->
+      let pool = match pool with Some p -> p | None -> Xr_pool.global () in
+      if Xr_pool.size pool <= 1 then begin
+        Parallel.note_fallback ();
+        none
+      end
+      else begin
+        let alg = Slca_engine.sequential_partner slca in
+        let arr = Array.of_list todo in
+        let raw = Array.make (Array.length arr) [] in
+        Xr_pool.run pool
+          (Array.init (Array.length arr) (fun i ->
+               fun () ->
+                let _, kws = arr.(i) in
+                raw.(i) <-
+                  Slca_engine.compute_ranges alg (Refine_common.packed_sublists c ranges kws)));
+        let table = Hashtbl.create (Array.length arr) in
+        Array.iteri (fun i (key, _) -> Hashtbl.replace table key raw.(i)) arr;
+        fun key ->
+          (* filter lazily: only consumed entries pay the memo walk *)
+          Option.map (Meaningful.filter c.meaningful) (Hashtbl.find_opt table key)
+      end
+    end
+
+let topk_slcas ?pool (c : Refine_common.t) ~slca keyword_sets =
+  let ranges = Array.of_list (List.map (Refine_common.packed_full_lists c) keyword_sets) in
+  let n = Array.length ranges in
+  let sequential () = Array.map (Refine_common.meaningful_slcas_ranges c slca) ranges in
+  if n < 2 then sequential ()
+  else begin
+    let cost =
+      Array.fold_left
+        (fun acc r -> List.fold_left (fun a (_, lo, hi) -> a + hi - lo) acc r)
+        0 ranges
+    in
+    if cost < Parallel.threshold () then begin
+      Parallel.note_fallback ();
+      sequential ()
+    end
+    else begin
+      let pool = match pool with Some p -> p | None -> Xr_pool.global () in
+      if Xr_pool.size pool <= 1 then begin
+        Parallel.note_fallback ();
+        sequential ()
+      end
+      else begin
+        let alg = Slca_engine.sequential_partner slca in
+        let raw = Array.make n [] in
+        Xr_pool.run pool
+          (Array.init n (fun i -> fun () -> raw.(i) <- Slca_engine.compute_ranges alg ranges.(i)));
+        Array.map (Meaningful.filter c.meaningful) raw
+      end
+    end
+  end

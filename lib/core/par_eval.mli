@@ -1,0 +1,51 @@
+(** Domain-parallel evaluation of independent candidate refined queries.
+
+    The Top-K refinement loop evaluates candidate RQs whose SLCA runs
+    are mutually independent; this module fans those runs out over the
+    shared {!Xr_pool} while keeping every stateful step — [Rq_list]
+    admission, the meaningfulness memo — on the submitting domain, so
+    outcomes are byte-identical to the sequential pipeline (rank ties
+    keep being broken by candidate index, never by arrival order).
+    Below {!Xr_slca.Parallel.threshold}, or on a pool of size 1, both
+    entry points fall back to sequential evaluation and tick the
+    fallback counter. *)
+
+open Xr_xml
+
+val none : string -> Dewey.t list option
+(** The empty lookup: every key misses. What {!prefetch} degrades to,
+    and what the legacy pipelines pass. *)
+
+val prefetch_enabled : Refine_common.t -> bool
+(** Whether the query's full scope lists reach the parallel threshold.
+    Partition ranges are sub-ranges of the scope, so when this is false
+    every per-partition {!prefetch} would fall back — callers decide
+    once per run (one fallback tick) and pass the walk a trivial
+    prefetch instead, keeping sub-threshold queries overhead-free. *)
+
+(** [prefetch c ~slca ~ranges ~rqlist cands] pre-evaluates, in
+    parallel, the meaningful-SLCA sets of the prefix of [cands] that a
+    sequential walk could request under the admission state of
+    [rqlist] at call time (a superset of what the evolving walk will
+    request, since admission only tightens). Returns a lookup from
+    candidate key to its SLCA set; the caller replays its exact
+    sequential walk, consulting the lookup before computing. *)
+val prefetch :
+  ?pool:Xr_pool.t ->
+  Refine_common.t ->
+  slca:Xr_slca.Engine.algorithm ->
+  ranges:(int * int) array ->
+  rqlist:Rq_list.t ->
+  (Refined_query.t * string) list ->
+  string ->
+  Dewey.t list option
+
+(** [topk_slcas c ~slca keyword_sets] materializes the full-document
+    meaningful SLCA set of each final Top-K refined query, one pool
+    task per query, results in input order. *)
+val topk_slcas :
+  ?pool:Xr_pool.t ->
+  Refine_common.t ->
+  slca:Xr_slca.Engine.algorithm ->
+  string list list ->
+  Dewey.t list array

@@ -1,5 +1,7 @@
 open Xr_xml
 
+let memo_shard_count = 16 (* power of two: shard index is a hash mask *)
+
 type t = {
   doc : Doc.t;
   inverted : Inverted.t;
@@ -7,12 +9,21 @@ type t = {
   tf : (Path.id * Interner.id, int) Hashtbl.t;
   distinct : int array; (* G_T, by path id *)
   nodes_per_path : int array; (* N_T, by path id *)
-  cooccur_memo : (Path.id * Interner.id * Interner.id, int) Hashtbl.t;
-  memo_lock : Mutex.t;
+  memo_shards : memo_shard array;
       (* [cooccur] memoizes at query time; the index is otherwise
-         read-only after [build], so this is the one lock that makes a
-         shared [t] safe to query from parallel domains. *)
+         read-only after [build]. The memo is sharded by key hash so
+         request domains and pool workers filling it concurrently do
+         not serialize on a single lock. *)
 }
+
+and memo_shard = {
+  memo : (Path.id * Interner.id * Interner.id, int) Hashtbl.t;
+  lock : Mutex.t;
+}
+
+let make_memo_shards () =
+  Array.init memo_shard_count (fun _ ->
+      { memo = Hashtbl.create 32; lock = Mutex.create () })
 
 let build (doc : Doc.t) inverted =
   let npaths = Path.size doc.paths in
@@ -64,8 +75,7 @@ let build (doc : Doc.t) inverted =
     tf;
     distinct;
     nodes_per_path;
-    cooccur_memo = Hashtbl.create 256;
-    memo_lock = Mutex.create ();
+    memo_shards = make_memo_shards ();
   }
 
 (* Incremental variant of [build] for an appended partition. New nodes'
@@ -118,7 +128,9 @@ let append t ~doc ~inverted ~added =
           node.keywords
       end)
     added;
-  Mutex.protect t.memo_lock (fun () -> Hashtbl.reset t.cooccur_memo);
+  Array.iter
+    (fun shard -> Mutex.protect shard.lock (fun () -> Hashtbl.reset shard.memo))
+    t.memo_shards;
   { t with doc; inverted; nodes_per_path; distinct }
 
 let doc t = t.doc
@@ -184,16 +196,16 @@ let cooccur t ~path k1 k2 =
   let k1, k2 = if k1 <= k2 then (k1, k2) else (k2, k1) in
   if k1 = k2 then df t ~path ~kw:k1
   else begin
-    let cached =
-      Mutex.protect t.memo_lock (fun () -> Hashtbl.find_opt t.cooccur_memo (path, k1, k2))
-    in
+    let key = (path, k1, k2) in
+    let shard = t.memo_shards.(Hashtbl.hash key land (memo_shard_count - 1)) in
+    let cached = Mutex.protect shard.lock (fun () -> Hashtbl.find_opt shard.memo key) in
     match cached with
     | Some v -> v
     | None ->
       (* Compute outside the lock: a racing domain at worst recomputes the
          same value; [replace] keeps the table consistent either way. *)
       let v = cooccur_compute t ~path k1 k2 in
-      Mutex.protect t.memo_lock (fun () -> Hashtbl.replace t.cooccur_memo (path, k1, k2) v);
+      Mutex.protect shard.lock (fun () -> Hashtbl.replace shard.memo key v);
       v
   end
 
@@ -230,8 +242,7 @@ let import (doc : Doc.t) inverted ~rows ~nodes_per_path =
     tf;
     distinct;
     nodes_per_path;
-    cooccur_memo = Hashtbl.create 256;
-    memo_lock = Mutex.create ();
+    memo_shards = make_memo_shards ();
   }
 
 let total_nodes t = Doc.node_count t.doc

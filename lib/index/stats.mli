@@ -36,9 +36,10 @@ val distinct_keywords : t -> Path.id -> int
 val node_count : t -> Path.id -> int
 
 (** [cooccur t ~path k1 k2] is symmetric in [k1]/[k2]. The memo table it
-    fills is the only query-time mutation in the whole index bundle and is
-    guarded by a mutex, so a built [t] may be queried from parallel
-    domains. *)
+    fills is the only query-time mutation in the whole index bundle and
+    is sharded by key hash, each shard under its own mutex, so a built
+    [t] may be queried from parallel domains — request workers and
+    {!Xr_pool} tasks alike — without serializing on one lock. *)
 val cooccur : t -> path:Path.id -> Interner.id -> Interner.id -> int
 
 (** [paths_containing t kw] is every node type whose subtrees contain

@@ -1,0 +1,227 @@
+(* A deque under a private mutex: the owner pushes and pops at the
+   bottom (LIFO, cache-warm), thieves take from the top (FIFO, oldest
+   first — for range-partitioned batches that means a thief grabs the
+   chunk its victim would reach last). Contention per deque is a
+   handful of nanoseconds of critical section, far below the cost of a
+   chunk, so a lock-free Chase-Lev buffer would buy nothing here. *)
+type deque = {
+  lock : Mutex.t;
+  mutable buf : (unit -> unit) array;
+  mutable head : int;  (* index of the oldest task *)
+  mutable len : int;
+}
+
+let nop () = ()
+
+let make_deque () = { lock = Mutex.create (); buf = Array.make 8 nop; head = 0; len = 0 }
+
+let grow d =
+  let cap = Array.length d.buf in
+  let buf = Array.make (2 * cap) nop in
+  for i = 0 to d.len - 1 do
+    buf.(i) <- d.buf.((d.head + i) mod cap)
+  done;
+  d.buf <- buf;
+  d.head <- 0
+
+let push_bottom d task =
+  Mutex.protect d.lock (fun () ->
+      if d.len = Array.length d.buf then grow d;
+      d.buf.((d.head + d.len) mod Array.length d.buf) <- task;
+      d.len <- d.len + 1)
+
+let pop_bottom d =
+  Mutex.protect d.lock (fun () ->
+      if d.len = 0 then None
+      else begin
+        let i = (d.head + d.len - 1) mod Array.length d.buf in
+        let task = d.buf.(i) in
+        d.buf.(i) <- nop;
+        d.len <- d.len - 1;
+        Some task
+      end)
+
+let steal_top d =
+  Mutex.protect d.lock (fun () ->
+      if d.len = 0 then None
+      else begin
+        let task = d.buf.(d.head) in
+        d.buf.(d.head) <- nop;
+        d.head <- (d.head + 1) mod Array.length d.buf;
+        d.len <- d.len - 1;
+        Some task
+      end)
+
+type t = {
+  deques : deque array;  (* one per worker domain; empty when size = 1 *)
+  mutable workers : unit Domain.t array;
+  m : Mutex.t;  (* guards sleeping workers and [stopping] *)
+  work_cv : Condition.t;
+  mutable stopping : bool;
+  rr : int Atomic.t;  (* rotates the first deque each batch seeds *)
+  tasks : int Atomic.t;
+  steals : int Atomic.t;
+  batches : int Atomic.t;
+}
+
+type counters = { domains : int; tasks : int; steals : int; batches : int }
+
+let size t = Array.length t.deques + 1
+
+let counters t =
+  {
+    domains = size t;
+    tasks = Atomic.get t.tasks;
+    steals = Atomic.get t.steals;
+    batches = Atomic.get t.batches;
+  }
+
+(* Take any runnable task: own deque bottom first (workers only), then
+   sweep the others' tops starting just past our own slot so thieves
+   spread instead of ganging up on deque 0. Tasks are only ever removed
+   from deques, never migrated, so a full sweep returning [None] means
+   every task visible at sweep start is already executing. *)
+let try_take t ~own =
+  let n = Array.length t.deques in
+  let own_task = if own >= 0 then pop_bottom t.deques.(own) else None in
+  match own_task with
+  | Some _ as r -> r
+  | None ->
+    let start = if own >= 0 then own + 1 else Atomic.get t.rr in
+    let rec sweep i =
+      if i >= n then None
+      else
+        match steal_top t.deques.((start + i) mod n) with
+        | Some _ as r ->
+          Atomic.incr t.steals;
+          r
+        | None -> sweep (i + 1)
+    in
+    sweep 0
+
+let rec worker t id =
+  match try_take t ~own:id with
+  | Some task ->
+    task ();
+    worker t id
+  | None ->
+    Mutex.lock t.m;
+    if t.stopping then Mutex.unlock t.m
+    else begin
+      (* Re-check under [m]: submitters broadcast under the same mutex
+         after seeding, so a task pushed between our sweep and this
+         lock cannot slip past the wait. *)
+      match try_take t ~own:id with
+      | Some task ->
+        Mutex.unlock t.m;
+        task ();
+        worker t id
+      | None ->
+        Condition.wait t.work_cv t.m;
+        Mutex.unlock t.m;
+        worker t id
+    end
+
+let default_domains () =
+  match Sys.getenv_opt "XR_POOL_DOMAINS" with
+  | Some s -> ( match int_of_string_opt s with Some n when n >= 1 -> n | _ -> 1)
+  | None -> Domain.recommended_domain_count ()
+
+let create ?domains () =
+  let n = max 1 (match domains with Some d -> d | None -> default_domains ()) in
+  let t =
+    {
+      deques = Array.init (n - 1) (fun _ -> make_deque ());
+      workers = [||];
+      m = Mutex.create ();
+      work_cv = Condition.create ();
+      stopping = false;
+      rr = Atomic.make 0;
+      tasks = Atomic.make 0;
+      steals = Atomic.make 0;
+      batches = Atomic.make 0;
+    }
+  in
+  t.workers <- Array.init (n - 1) (fun id -> Domain.spawn (fun () -> worker t id));
+  t
+
+let shutdown t =
+  Mutex.protect t.m (fun () ->
+      t.stopping <- true;
+      Condition.broadcast t.work_cv);
+  Array.iter Domain.join t.workers;
+  t.workers <- [||]
+
+(* Fork/join state for one [run] call. [pending] and [failed] live
+   under [bm]; the final decrement broadcasts, and the submitter only
+   waits after a fruitless sweep — at which point all of its remaining
+   tasks are executing on workers whose completions must broadcast. *)
+type batch = {
+  bm : Mutex.t;
+  bcv : Condition.t;
+  mutable pending : int;
+  mutable failed : exn option;
+}
+
+let run t thunks =
+  let n = Array.length thunks in
+  let nd = Array.length t.deques in
+  if n = 0 then ()
+  else if n = 1 || nd = 0 then begin
+    let failed = ref None in
+    Array.iter
+      (fun f ->
+        Atomic.incr t.tasks;
+        try f () with e -> if !failed = None then failed := Some e)
+      thunks;
+    match !failed with Some e -> raise e | None -> ()
+  end
+  else begin
+    Atomic.incr t.batches;
+    let b = { bm = Mutex.create (); bcv = Condition.create (); pending = n; failed = None } in
+    let wrap f () =
+      (try f () with e -> Mutex.protect b.bm (fun () -> if b.failed = None then b.failed <- Some e));
+      Atomic.incr t.tasks;
+      Mutex.protect b.bm (fun () ->
+          b.pending <- b.pending - 1;
+          if b.pending = 0 then Condition.broadcast b.bcv)
+    in
+    let base = Atomic.fetch_and_add t.rr 1 in
+    Array.iteri (fun i f -> push_bottom t.deques.((base + i) mod nd) (wrap f)) thunks;
+    Mutex.protect t.m (fun () -> Condition.broadcast t.work_cv);
+    let rec help () =
+      if Mutex.protect b.bm (fun () -> b.pending > 0) then begin
+        (match try_take t ~own:(-1) with
+        | Some task -> task ()
+        | None ->
+          Mutex.lock b.bm;
+          while b.pending > 0 do
+            Condition.wait b.bcv b.bm
+          done;
+          Mutex.unlock b.bm);
+        help ()
+      end
+    in
+    help ();
+    match b.failed with Some e -> raise e | None -> ()
+  end
+
+(* The process-wide pool, created on first demand. *)
+let global_lock = Mutex.create ()
+let global_pool : t option ref = ref None
+
+let global () =
+  Mutex.protect global_lock (fun () ->
+      match !global_pool with
+      | Some p -> p
+      | None ->
+        let p = create ~domains:(default_domains ()) () in
+        global_pool := Some p;
+        p)
+
+let peek_global () = Mutex.protect global_lock (fun () -> !global_pool)
+
+let reset_global ?domains () =
+  Mutex.protect global_lock (fun () ->
+      (match !global_pool with Some p -> shutdown p | None -> ());
+      global_pool := Some (create ?domains ()))

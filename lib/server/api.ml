@@ -177,7 +177,32 @@ let index_footprint (index : Index.t) =
              largest) );
     ]
 
-let stats_payload (index : Index.t) =
+(* The shared domain pool's counters: fan-out activity (tasks, steals,
+   batches), sequential fallbacks, and the live threshold. The pool is
+   created lazily, so a server that never crossed the threshold reports
+   [created = false] with zero counters. *)
+let pool_payload () =
+  let base =
+    match Xr_pool.peek_global () with
+    | None -> [ ("created", Json.Bool false); ("domains", Json.Int 0) ]
+    | Some p ->
+      let c = Xr_pool.counters p in
+      [
+        ("created", Json.Bool true);
+        ("domains", Json.Int c.Xr_pool.domains);
+        ("tasks", Json.Int c.Xr_pool.tasks);
+        ("steals", Json.Int c.Xr_pool.steals);
+        ("batches", Json.Int c.Xr_pool.batches);
+      ]
+  in
+  Json.Obj
+    (base
+    @ [
+        ("fallbacks", Json.Int (Xr_slca.Parallel.fallbacks ()));
+        ("parallel_threshold", Json.Int (Xr_slca.Parallel.threshold ()));
+      ])
+
+let stats_payload ?pool (index : Index.t) =
   let d = index.Index.doc in
   let paths = ref [] in
   Path.iter
@@ -192,7 +217,7 @@ let stats_payload (index : Index.t) =
         :: !paths)
     d.Doc.paths;
   Json.Obj
-    [
+    ([
       ("nodes", Json.Int (Doc.node_count d));
       ("keywords", Json.Int (List.length (Doc.vocabulary d)));
       ("node_types", Json.Int (Path.size d.Doc.paths));
@@ -200,5 +225,6 @@ let stats_payload (index : Index.t) =
       ("index", index_footprint index);
       ("paths", Json.List (List.rev !paths));
     ]
+    @ (match pool with Some p -> [ ("pool", p) ] | None -> []))
 
 let error_payload msg = Json.Obj [ ("error", Json.String msg) ]

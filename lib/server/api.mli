@@ -40,9 +40,14 @@ val suggest_payload :
 
 val complete_payload : prefix:string -> (string * int) list -> Json.t
 
+(** [pool_payload ()] renders the shared {!Xr_pool} counters (tasks,
+    steals, batches), the sequential-fallback count, and the live
+    parallel threshold — the [/stats] "pool" section. *)
+val pool_payload : unit -> Json.t
+
 (** [stats_payload index] is the document-statistics view: node and
     keyword counts plus per-node-type aggregates. *)
-val stats_payload : Xr_index.Index.t -> Json.t
+val stats_payload : ?pool:Json.t -> Xr_index.Index.t -> Json.t
 
 (** [error_payload msg] is [{"error": msg}]. *)
 val error_payload : string -> Json.t

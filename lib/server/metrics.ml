@@ -12,6 +12,7 @@ type t = {
   by_endpoint : int Atomic.t array;  (* indexed like [endpoints] *)
   by_class : int Atomic.t array;  (* status div 100: 1xx..5xx at 0..4 *)
   buckets : int Atomic.t array;  (* cumulative-histogram raw counts; last = +inf *)
+  ep_buckets : int Atomic.t array array;  (* per-endpoint histogram, same bucket layout *)
   latency_sum_us : int Atomic.t;
   shed : int Atomic.t;
   deadline_dropped : int Atomic.t;
@@ -24,6 +25,9 @@ let create () =
     by_endpoint = Array.init (Array.length endpoints) (fun _ -> Atomic.make 0);
     by_class = Array.init 5 (fun _ -> Atomic.make 0);
     buckets = Array.init (Array.length latency_buckets_ms + 1) (fun _ -> Atomic.make 0);
+    ep_buckets =
+      Array.init (Array.length endpoints) (fun _ ->
+          Array.init (Array.length latency_buckets_ms + 1) (fun _ -> Atomic.make 0));
     latency_sum_us = Atomic.make 0;
     shed = Atomic.make 0;
     deadline_dropped = Atomic.make 0;
@@ -38,7 +42,8 @@ let incr a = Atomic.incr a
 
 let record t ~endpoint ~status ~ms =
   incr t.total;
-  incr t.by_endpoint.(endpoint_slot endpoint);
+  let ep = endpoint_slot endpoint in
+  incr t.by_endpoint.(ep);
   let cls = (status / 100) - 1 in
   if cls >= 0 && cls < 5 then incr t.by_class.(cls);
   let rec slot i =
@@ -46,7 +51,9 @@ let record t ~endpoint ~status ~ms =
     else if ms <= latency_buckets_ms.(i) then i
     else slot (i + 1)
   in
-  incr t.buckets.(slot 0);
+  let b = slot 0 in
+  incr t.buckets.(b);
+  incr t.ep_buckets.(ep).(b);
   ignore (Atomic.fetch_and_add t.latency_sum_us (int_of_float (ms *. 1000.)))
 
 let record_shed t = incr t.shed
@@ -54,6 +61,44 @@ let record_shed t = incr t.shed
 let record_deadline t = incr t.deadline_dropped
 
 let requests_total t = Atomic.get t.total
+
+(* Percentile estimate off the bucketed histogram: find the bucket where
+   the cumulative count crosses [q * total] and interpolate linearly
+   inside it (the +inf bucket reports the last finite bound — with the
+   default layout that means "above 5s" saturates at 5000). *)
+let percentile_ms counts total q =
+  if total = 0 then 0.
+  else begin
+    let target = q *. float_of_int total in
+    let nfinite = Array.length latency_buckets_ms in
+    let rec walk i cum =
+      if i > nfinite then latency_buckets_ms.(nfinite - 1)
+      else begin
+        let cum' = cum + counts.(i) in
+        if float_of_int cum' >= target then
+          if i >= nfinite then latency_buckets_ms.(nfinite - 1)
+          else begin
+            let lower = if i = 0 then 0. else latency_buckets_ms.(i - 1) in
+            let upper = latency_buckets_ms.(i) in
+            if counts.(i) = 0 then upper
+            else
+              lower
+              +. (upper -. lower) *. ((target -. float_of_int cum) /. float_of_int counts.(i))
+          end
+        else walk (i + 1) cum'
+      end
+    in
+    walk 0 0
+  end
+
+let quantiles_json counts =
+  let total = Array.fold_left ( + ) 0 counts in
+  [
+    ("count", Json.Int total);
+    ("p50_ms", Json.Float (percentile_ms counts total 0.5));
+    ("p95_ms", Json.Float (percentile_ms counts total 0.95));
+    ("p99_ms", Json.Float (percentile_ms counts total 0.99));
+  ]
 
 let snapshot t ~queue_depth ~workers ~cache =
   let by_endpoint =
@@ -82,6 +127,15 @@ let snapshot t ~queue_depth ~workers ~cache =
            Json.Obj [ ("le_ms", le); ("count", Json.Int !cumulative) ])
          t.buckets)
   in
+  (* Per-endpoint p50/p95/p99, only for endpoints that saw traffic. *)
+  let by_endpoint_latency =
+    List.filter_map
+      (fun i ->
+        let counts = Array.map Atomic.get t.ep_buckets.(i) in
+        if Array.for_all (fun c -> c = 0) counts then None
+        else Some (endpoints.(i), Json.Obj (quantiles_json counts)))
+      (List.init (Array.length endpoints) Fun.id)
+  in
   let { Lru.hits; misses; entries; evictions; capacity; shards } = cache in
   Json.Obj
     [
@@ -101,6 +155,7 @@ let snapshot t ~queue_depth ~workers ~cache =
             ("count", Json.Int (Atomic.get t.total));
             ("sum_ms", Json.Float (float_of_int (Atomic.get t.latency_sum_us) /. 1000.));
             ("buckets", Json.List hist);
+            ("by_endpoint", Json.Obj by_endpoint_latency);
           ] );
       ( "cache",
         Json.Obj

@@ -1,8 +1,10 @@
 (** Serving metrics, updated lock-free with [Atomic] counters from every
     worker domain and rendered as the [/metrics] JSON document: request
-    counts by endpoint and status class, a cumulative latency histogram,
-    shed (admission-refused) and timed-out counts, and — joined in at
-    snapshot time — cache statistics and the current queue depth. *)
+    counts by endpoint and status class, a cumulative latency histogram
+    plus per-endpoint p50/p95/p99 estimates (interpolated within the
+    shared bucket layout), shed (admission-refused) and timed-out
+    counts, and — joined in at snapshot time — cache statistics and the
+    current queue depth. *)
 
 type t
 

@@ -12,6 +12,7 @@ type config = {
   deadline_ms : float;
   keepalive_requests : int;
   result_limit : int;
+  parallel_threshold : int;
   limits : Http.limits;
   log : bool;
 }
@@ -26,6 +27,7 @@ let default_config =
     deadline_ms = 5000.;
     keepalive_requests = 1000;
     result_limit = 20;
+    parallel_threshold = Xr_slca.Parallel.default_threshold;
     limits = Http.default_limits;
     log = false;
   }
@@ -99,7 +101,7 @@ let handle_search t req =
   let ( let* ) r f = match r with Error resp -> resp | Ok v -> f v in
   let* query = tokenized_query req in
   let alg_name =
-    match Http.query_param req "alg" with Some a -> a | None -> "scan-packed"
+    match Http.query_param req "alg" with Some a -> a | None -> "scan-parallel"
   in
   match Xr_slca.Engine.of_name alg_name with
   | None -> bad_request (Printf.sprintf "unknown SLCA engine %s" alg_name)
@@ -180,7 +182,7 @@ let handle t (req : Http.request) =
       Http.json_response
         (Metrics.snapshot t.server_metrics ~queue_depth:(Pool.depth t.pool)
            ~workers:(Pool.domains t.pool) ~cache:(Lru.stats t.result_cache))
-    | "/stats" -> Http.json_response (Api.stats_payload t.index)
+    | "/stats" -> Http.json_response (Api.stats_payload ~pool:(Api.pool_payload ()) t.index)
     | "/search" -> handle_search t req
     | "/refine" -> handle_refine t req
     | "/suggest" -> handle_suggest t req
@@ -291,6 +293,9 @@ let bind_socket addr =
 
 let start config index =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  (* Request workers submit SLCA subtasks to the shared domain pool;
+     queries below this many driver postings stay sequential. *)
+  Xr_slca.Parallel.set_threshold config.parallel_threshold;
   let listen_fd = bind_socket config.addr in
   let stop_r, stop_w = Unix.pipe () in
   let tref = ref None in

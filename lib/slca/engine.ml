@@ -1,9 +1,16 @@
 open Xr_xml
 module Inverted = Xr_index.Inverted
 
-type algorithm = Stack | Scan_eager | Indexed_lookup | Multiway | Stack_packed | Scan_packed
+type algorithm =
+  | Stack
+  | Scan_eager
+  | Indexed_lookup
+  | Multiway
+  | Stack_packed
+  | Scan_packed
+  | Scan_parallel
 
-let all = [ Stack; Scan_eager; Indexed_lookup; Multiway; Stack_packed; Scan_packed ]
+let all = [ Stack; Scan_eager; Indexed_lookup; Multiway; Stack_packed; Scan_packed; Scan_parallel ]
 
 let name = function
   | Stack -> "stack"
@@ -12,6 +19,7 @@ let name = function
   | Multiway -> "multiway"
   | Stack_packed -> "stack-packed"
   | Scan_packed -> "scan-packed"
+  | Scan_parallel -> "scan-parallel"
 
 let of_name = function
   | "stack" -> Some Stack
@@ -20,15 +28,23 @@ let of_name = function
   | "multiway" -> Some Multiway
   | "stack-packed" -> Some Stack_packed
   | "scan-packed" -> Some Scan_packed
+  | "scan-parallel" | "parallel" -> Some Scan_parallel
   | _ -> None
 
 let is_packed = function
-  | Stack_packed | Scan_packed -> true
+  | Stack_packed | Scan_packed | Scan_parallel -> true
   | Stack | Scan_eager | Indexed_lookup | Multiway -> false
 
 let packed_partner = function
   | Stack | Stack_packed -> Stack_packed
   | Scan_eager | Indexed_lookup | Multiway | Scan_packed -> Scan_packed
+  | Scan_parallel -> Scan_parallel
+
+(* The same results without fork/join: what a pool worker should run
+   when the fan-out already happened one level up. *)
+let sequential_partner = function
+  | Scan_parallel -> Scan_packed
+  | (Stack | Scan_eager | Indexed_lookup | Multiway | Stack_packed | Scan_packed) as a -> a
 
 let pack_list (l : Inverted.posting array) =
   Dewey.Packed.of_array (Array.map (fun p -> p.Inverted.dewey) l)
@@ -47,11 +63,13 @@ let compute alg lists =
   | Multiway -> Multiway.compute lists
   | Stack_packed -> Stack_packed.compute (List.map pack_list lists)
   | Scan_packed -> Scan_packed.compute (List.map pack_list lists)
+  | Scan_parallel -> Parallel.compute (List.map pack_list lists)
 
 let compute_packed alg lists =
   match alg with
   | Stack_packed -> Stack_packed.compute lists
   | Scan_packed -> Scan_packed.compute lists
+  | Scan_parallel -> Parallel.compute lists
   | Stack | Scan_eager | Indexed_lookup | Multiway -> compute alg (List.map unpack_list lists)
 
 let unpack_range (pk, lo, hi) =
@@ -61,6 +79,7 @@ let compute_ranges alg ranges =
   match alg with
   | Stack_packed -> Stack_packed.compute_ranges ranges
   | Scan_packed -> Scan_packed.compute_ranges ranges
+  | Scan_parallel -> Parallel.compute_ranges ranges
   | Stack | Scan_eager | Indexed_lookup | Multiway ->
     compute alg (List.map unpack_range ranges)
 

@@ -10,6 +10,10 @@ type algorithm =
   | Multiway  (** Multiway-SLCA, anchor-based *)
   | Stack_packed  (** {!Stack} over packed lists, allocation-free merge *)
   | Scan_packed  (** {!Scan_eager} over packed lists, allocation-free probes *)
+  | Scan_parallel
+      (** {!Scan_packed} chunked over the {!Xr_pool} domain pool; falls
+          back to the sequential kernel below {!Parallel.threshold}.
+          Byte-identical output to {!Scan_packed}. *)
 
 val all : algorithm list
 
@@ -29,6 +33,12 @@ val is_packed : algorithm -> bool
     output-neutral; the refinement pipeline uses this to honor a
     configured list-based engine while staying on the packed substrate. *)
 val packed_partner : algorithm -> algorithm
+
+(** [sequential_partner alg] strips intra-query parallelism:
+    {!Scan_parallel} maps to {!Scan_packed}, everything else to itself.
+    Work already running on a pool worker uses this to avoid nested
+    fork/join. *)
+val sequential_partner : algorithm -> algorithm
 
 (** [compute alg lists] is the SLCA set (document order) of the
     conjunction of the keywords whose posting lists are given. Packed

@@ -1,0 +1,125 @@
+open Xr_xml
+module P = Dewey.Packed
+
+(* Chunked scan-packed over the domain pool.
+
+   The driver range is cut into contiguous equal-count chunks; each
+   chunk runs {!Scan_packed.scan_chunk} on a pool worker into its own
+   slot of a preallocated result array (chunk cursors pre-position on
+   their split point with encoded-form galloping seeks, so nothing is
+   decoded to find the splits). The per-chunk survivor lists are then
+   merged by replaying the online non-smallest prune across the
+   concatenation — the boundary fix-up.
+
+   Why replaying the same prune is exactly right: a chunk's survivors
+   are, in order, its sealed results followed by its final held
+   candidate. Concatenating the chunks' survivor streams in chunk order
+   yields a subsequence of the full sequential candidate stream (chunk
+   scans see exactly the candidates the sequential scan derives from
+   their driver entries, because probe results depend only on the entry
+   values, not on cursor history). The one-held-candidate prune is
+   insensitive to dropping candidates that a prefix of the stream
+   already discarded — a discarded candidate is an ancestor of the then
+   held one and would be discarded again later — so running it over the
+   concatenated survivors produces the same output as over the full
+   stream: the sequential result, byte for byte. *)
+
+let default_threshold = 4096
+
+let threshold_v = Atomic.make default_threshold
+
+let threshold () = Atomic.get threshold_v
+
+let set_threshold n = Atomic.set threshold_v (max 0 n)
+
+let fallbacks_v = Atomic.make 0
+
+let fallbacks () = Atomic.get fallbacks_v
+
+let note_fallback () = Atomic.incr fallbacks_v
+
+(* The merge: the same held-candidate automaton as the scan kernel's
+   inner prune, over already-materialized labels. *)
+let prune_merge (chunks : Dewey.t list array) =
+  let held = ref [||] in
+  let have = ref false in
+  let out = ref [] in
+  let consider x =
+    if not !have then begin
+      held := x;
+      have := true
+    end
+    else begin
+      let h = !held in
+      let lx = Array.length x and lh = Array.length h in
+      let lim = if lx < lh then lx else lh in
+      let i = ref 0 in
+      while !i < lim && Array.unsafe_get h !i = Array.unsafe_get x !i do
+        incr i
+      done;
+      if !i = lx then () (* ancestor of (or equal to) the held candidate *)
+      else begin
+        if !i < lh then out := h :: !out;
+        (* else: extension of the held candidate — replace silently *)
+        held := x
+      end
+    end
+  in
+  Array.iter (fun survivors -> List.iter consider survivors) chunks;
+  if !have then out := !held :: !out;
+  List.rev !out
+
+(* How many chunks to cut the driver range into: enough to keep every
+   executor busy with a little slack for stealing imbalance, but never
+   chunks so small that fork/join overhead shows. *)
+let default_chunks ~pool_size ~driver_len =
+  let by_size = driver_len / 2048 in
+  let want = 4 * pool_size in
+  max 2 (min want by_size)
+
+let compute_ranges ?pool ?chunks ?threshold:thr (lists : (P.t * int * int) list) =
+  if lists = [] || List.exists (fun (_, lo, hi) -> hi <= lo) lists then []
+  else
+    match Scan_packed.sort_by_length lists with
+    | [] -> []
+    | ((driver, dlo, dhi) as d) :: others ->
+      let driver_len = dhi - dlo in
+      let thr = match thr with Some t -> t | None -> Atomic.get threshold_v in
+      let sequential () =
+        note_fallback ();
+        Scan_packed.scan_chunk ~driver:d ~others ()
+      in
+      let parallel pool nchunks =
+        let nchunks = min nchunks driver_len in
+        if nchunks <= 1 then sequential ()
+        else begin
+          let slots = Array.make nchunks [] in
+          let bound i = dlo + (i * driver_len / nchunks) in
+          Xr_pool.run pool
+            (Array.init nchunks (fun i ->
+                 fun () ->
+                  slots.(i) <-
+                    Scan_packed.scan_chunk ~preseek:(i > 0)
+                      ~driver:(driver, bound i, bound (i + 1))
+                      ~others ()));
+          prune_merge slots
+        end
+      in
+      ( match chunks with
+      | Some c when c >= 2 ->
+        (* explicit chunk count: parallelize regardless of size — the
+           property tests force adversarial splits this way *)
+        let pool = match pool with Some p -> p | None -> Xr_pool.global () in
+        parallel pool c
+      | Some _ -> sequential ()
+      | None ->
+        if driver_len < thr then sequential ()
+        else begin
+          let pool = match pool with Some p -> p | None -> Xr_pool.global () in
+          let size = Xr_pool.size pool in
+          if size <= 1 then sequential ()
+          else parallel pool (default_chunks ~pool_size:size ~driver_len)
+        end )
+
+let compute ?pool ?chunks ?threshold (lists : P.t list) =
+  compute_ranges ?pool ?chunks ?threshold (List.map (fun l -> (l, 0, P.length l)) lists)

@@ -1,0 +1,56 @@
+(** Domain-parallel scan-packed SLCA.
+
+    Range-partitions the driver (rarest) list into contiguous chunks,
+    scans each chunk on a {!Xr_pool} worker with
+    {!Scan_packed.scan_chunk}, and merges the per-chunk survivors by
+    replaying the online non-smallest prune across chunk boundaries.
+    Output is byte-identical to {!Scan_packed.compute_ranges} for every
+    chunking (asserted by the qcheck property suite and the parallel
+    benchmark).
+
+    Queries whose driver range is shorter than the threshold — and any
+    run on a pool of size 1 — fall back to the sequential kernel, so
+    small queries never pay fork/join overhead. *)
+
+open Xr_xml
+
+(** [compute_ranges lists] — semantics of
+    {!Scan_packed.compute_ranges}. [?pool] defaults to
+    {!Xr_pool.global} (only consulted once the threshold check has
+    passed, so sequential runs never create it); [?chunks] forces an
+    explicit chunk count ([>= 2] parallelizes even under the threshold
+    — the test suite's adversarial-split hook, [<= 1] forces
+    sequential); [?threshold] overrides {!threshold} for this call. *)
+val compute_ranges :
+  ?pool:Xr_pool.t ->
+  ?chunks:int ->
+  ?threshold:int ->
+  (Dewey.Packed.t * int * int) list ->
+  Dewey.t list
+
+val compute :
+  ?pool:Xr_pool.t -> ?chunks:int -> ?threshold:int -> Dewey.Packed.t list -> Dewey.t list
+
+(** {1 Sequential-fallback threshold}
+
+    Minimum driver-range length (in postings) for a parallel run;
+    below it the sequential kernel runs and the fallback counter
+    ticks. Process-wide; the server sets it from
+    [--parallel-threshold]. *)
+
+val default_threshold : int
+
+val threshold : unit -> int
+
+val set_threshold : int -> unit
+
+(** {1 Fallback counter} *)
+
+val fallbacks : unit -> int
+(** Sequential fallbacks taken so far (threshold underruns, size-1
+    pools, degenerate chunkings) — exposed through the server's
+    [/stats] alongside the pool counters. *)
+
+val note_fallback : unit -> unit
+(** Tick the fallback counter; the refinement layer records its own
+    below-threshold decisions here. *)

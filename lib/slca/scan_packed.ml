@@ -12,60 +12,83 @@ module PC = Xr_index.Cursor.Packed
    an arriving prefix is discarded, an arriving extension replaces, and
    anything else is disjoint and seals the held candidate as a result.
    This replaces the sort-based [Slca_common.prune_non_smallest] pass and
-   only ever materializes actual results. *)
+   only ever materializes actual results.
+
+   [scan_chunk] runs that loop over one sub-interval of the driver
+   range; the sequential algorithm is the single-chunk case, and the
+   parallel kernel ({!Parallel}) scans disjoint chunks concurrently and
+   replays the same prune over the concatenated survivor streams. The
+   survivors of a chunk are its emitted results plus the held candidate
+   sealed at chunk end, in candidate order — exactly the prefix of the
+   candidate stream that the remaining entries can still interact
+   with. *)
+let scan_chunk ?(preseek = false) ~driver:(driver, dlo, dhi) ~others () =
+  let cursors = Array.of_list (List.map (fun (l, lo, hi) -> PC.make_sub l ~lo ~hi) others) in
+  let ncur = Array.length cursors in
+  (* Pre-position every cursor on the chunk's first driver entry in
+     encoded form, so a chunk deep inside the driver range starts its
+     probes near the data instead of galloping in from the range base.
+     Purely positional — the first probe would land the cursor in the
+     same place — so the leading chunk (and the sequential single-chunk
+     case) skips it rather than pay the seek twice. *)
+  if preseek && dlo < dhi then Array.iter (fun c -> PC.seek_geq_entry c driver dlo) cursors;
+  let maxd =
+    List.fold_left (fun acc (l, _, _) -> max acc (P.max_depth l)) (P.max_depth driver) others
+  in
+  let maxd = max maxd 1 in
+  (* The one decoded label live at any time: the driver entry under
+     consideration. Non-driving lists are probed in encoded form. *)
+  let scratch = Array.make maxd 0 in
+  let cur = Array.make maxd 0 in
+  let cur_len = ref (-1) in
+  let results = ref [] in
+  let emit () = if !cur_len >= 0 then results := Array.sub cur 0 !cur_len :: !results in
+  let depth = ref 0 in
+  for vi = dlo to dhi - 1 do
+    let vd = P.blit_entry driver vi scratch in
+    depth := vd;
+    for ci = 0 to ncur - 1 do
+      let d = PC.match_probe (Array.unsafe_get cursors ci) scratch vd in
+      if d < !depth then depth := d
+    done;
+    let d = !depth in
+    if d >= 0 then
+      if !cur_len < 0 then begin
+        Array.blit scratch 0 cur 0 d;
+        cur_len := d
+      end
+      else begin
+        let lim = if d < !cur_len then d else !cur_len in
+        let i = ref 0 in
+        while !i < lim && Array.unsafe_get cur !i = Array.unsafe_get scratch !i do
+          incr i
+        done;
+        if !i = d then () (* ancestor of (or equal to) the held candidate *)
+        else begin
+          if !i < !cur_len then emit ();
+          (* else: extension of the held candidate — replace silently *)
+          Array.blit scratch 0 cur 0 d;
+          cur_len := d
+        end
+      end
+  done;
+  emit ();
+  List.rev !results
+
+(* Driver selection shared with the parallel kernel: rarest list first
+   (stable on ties, so chunked and sequential runs pick the same
+   driver). *)
+let sort_by_length lists =
+  List.stable_sort
+    (fun (_, alo, ahi) (_, blo, bhi) -> Int.compare (ahi - alo) (bhi - blo))
+    lists
+
 let compute_ranges (lists : (P.t * int * int) list) =
   if lists = [] || List.exists (fun (_, lo, hi) -> hi <= lo) lists then []
-  else begin
-    let sorted =
-      List.sort (fun (_, alo, ahi) (_, blo, bhi) -> Int.compare (ahi - alo) (bhi - blo)) lists
-    in
-    match sorted with
+  else
+    match sort_by_length lists with
     | [] -> []
-    | (driver, dlo, dhi) :: others ->
-      let cursors =
-        Array.of_list (List.map (fun (l, lo, hi) -> PC.make_sub l ~lo ~hi) others)
-      in
-      let ncur = Array.length cursors in
-      let maxd = List.fold_left (fun acc (l, _, _) -> max acc (P.max_depth l)) 1 lists in
-      (* The one decoded label live at any time: the driver entry under
-         consideration. Non-driving lists are probed in encoded form. *)
-      let scratch = Array.make maxd 0 in
-      let cur = Array.make maxd 0 in
-      let cur_len = ref (-1) in
-      let results = ref [] in
-      let emit () = if !cur_len >= 0 then results := Array.sub cur 0 !cur_len :: !results in
-      let depth = ref 0 in
-      for vi = dlo to dhi - 1 do
-        let vd = P.blit_entry driver vi scratch in
-        depth := vd;
-        for ci = 0 to ncur - 1 do
-          let d = PC.match_probe (Array.unsafe_get cursors ci) scratch vd in
-          if d < !depth then depth := d
-        done;
-        let d = !depth in
-        if d >= 0 then
-          if !cur_len < 0 then begin
-            Array.blit scratch 0 cur 0 d;
-            cur_len := d
-          end
-          else begin
-            let lim = if d < !cur_len then d else !cur_len in
-            let i = ref 0 in
-            while !i < lim && Array.unsafe_get cur !i = Array.unsafe_get scratch !i do
-              incr i
-            done;
-            if !i = d then () (* ancestor of (or equal to) the held candidate *)
-            else begin
-              if !i < !cur_len then emit ();
-              (* else: extension of the held candidate — replace silently *)
-              Array.blit scratch 0 cur 0 d;
-              cur_len := d
-            end
-          end
-      done;
-      emit ();
-      List.rev !results
-  end
+    | driver :: others -> scan_chunk ~driver ~others ()
 
 let compute (lists : P.t list) =
   compute_ranges (List.map (fun l -> (l, 0, P.length l)) lists)

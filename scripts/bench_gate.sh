@@ -8,9 +8,10 @@
 #   scripts/bench_gate.sh
 #
 # Environment:
-#   FRESH_SLCA=path    use a pre-made slca bench JSON instead of running
-#   FRESH_REFINE=path  use a pre-made refine bench JSON instead of running
-#   (both are how an injected regression is demonstrated / tested)
+#   FRESH_SLCA=path      use a pre-made slca bench JSON instead of running
+#   FRESH_REFINE=path    use a pre-made refine bench JSON instead of running
+#   FRESH_PARALLEL=path  use a pre-made parallel bench JSON instead of running
+#   (these are how an injected regression is demonstrated / tested)
 #
 # The gate checks two things per bench:
 #   1. the committed baseline (BENCH_slca.json / BENCH_refine.json) parses
@@ -73,9 +74,42 @@ if bad:
 EOF
 }
 
+# check_parallel FILE LABEL: the parallel bench byte-compares against the
+# sequential kernel before timing, so a parseable file already certifies
+# correctness. The dblp P=4 aggregate speedup is gated at >= 1.0 only
+# when the file was produced on a multi-core host — domains time-sliced
+# on one core measure the scheduler, not the kernel, so single-core
+# numbers are recorded but not enforced.
+check_parallel() {
+  python3 - "$1" "$2" <<'EOF'
+import json, sys
+
+path, label = sys.argv[1], sys.argv[2]
+try:
+    with open(path) as f:
+        doc = json.load(f)
+except (OSError, ValueError) as e:
+    print(f"bench-gate: FAIL - {label}: cannot read {path}: {e}", file=sys.stderr)
+    sys.exit(1)
+
+cores = doc.get("host_cores")
+speedup = doc.get("speedup_dblp_p4_total")
+if not isinstance(speedup, (int, float)):
+    print(f"bench-gate: FAIL - {label}: no speedup_dblp_p4_total in {path}", file=sys.stderr)
+    sys.exit(1)
+print(f"bench-gate: {label}: dblp.speedup_dblp_p4_total = {speedup:.2f} (host_cores={cores})")
+if not (isinstance(cores, int) and cores >= 2):
+    print(f"bench-gate: {label}: single-core host - speedup recorded, not gated")
+elif speedup < 1.0:
+    print(f"bench-gate: FAIL - {label}: speedup_dblp_p4_total = {speedup} < 1.0", file=sys.stderr)
+    sys.exit(1)
+EOF
+}
+
 # 1. committed baselines
 check_speedups BENCH_slca.json "committed slca"
 check_speedups BENCH_refine.json "committed refine"
+check_parallel BENCH_parallel.json "committed parallel"
 
 # 2. fresh smoke runs (or injected substitutes)
 if [ -n "${FRESH_SLCA:-}" ]; then
@@ -91,7 +125,15 @@ else
   dune exec bench/refine_bench.exe -- --smoke --out "$TMP/refine.json" >/dev/null
 fi
 
+if [ -n "${FRESH_PARALLEL:-}" ]; then
+  cp "$FRESH_PARALLEL" "$TMP/parallel.json"
+else
+  echo "bench-gate: running parallel_bench --smoke (asserts parallel = sequential)"
+  dune exec bench/parallel_bench.exe -- --smoke --out "$TMP/parallel.json" >/dev/null
+fi
+
 check_speedups "$TMP/slca.json" "fresh slca"
 check_speedups "$TMP/refine.json" "fresh refine"
+check_parallel "$TMP/parallel.json" "fresh parallel"
 
 echo "bench-gate: PASS"
