@@ -1,4 +1,4 @@
-.PHONY: all build test check smoke bench benchgate slcabench refinebench parallelbench paperbench examples quickbench clean fmt
+.PHONY: all build test check smoke checkmetrics bench benchgate slcabench refinebench parallelbench paperbench examples quickbench clean fmt
 
 all: build
 
@@ -14,6 +14,10 @@ check:
 
 smoke: build
 	scripts/smoke.sh
+
+# Prometheus exposition check (the /metrics CI smoke step).
+checkmetrics: build
+	scripts/check_metrics.sh
 
 # Smoke-size benchmarks (SLCA kernels + refinement pipeline + domain
 # parallelism).

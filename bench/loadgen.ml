@@ -79,10 +79,13 @@ let close_client c = try Unix.close c.fd with Unix.Unix_error _ -> ()
 
 (* One GET over an open connection; the server keeps it alive unless it
    answers [connection: close]. *)
-let get c target =
+let get_raw c target =
   Http.write_all c.fd
     (Printf.sprintf "GET %s HTTP/1.1\r\nhost: loadgen\r\n\r\n" target);
-  match Http.read_response c.reader with
+  Http.read_response c.reader
+
+let get c target =
+  match get_raw c target with
   | Ok (status, headers, body) ->
     let closing =
       match List.assoc_opt "connection" headers with
@@ -96,6 +99,11 @@ let get c target =
 let get_once addr target =
   let c = open_client addr in
   Fun.protect ~finally:(fun () -> close_client c) (fun () -> get c target)
+
+(* Same, but keeping the response headers (content-type checks). *)
+let get_once_full addr target =
+  let c = open_client addr in
+  Fun.protect ~finally:(fun () -> close_client c) (fun () -> get_raw c target)
 
 (* ---- workload ------------------------------------------------------------ *)
 
@@ -119,6 +127,16 @@ let targets_of_queries qs =
   let refine = List.map (fun q -> "/refine?q=" ^ encode_query q) qs in
   (Array.of_list search, Array.of_list refine)
 
+(* Client-side latency histogram over the same bucket layout as the
+   server's [xr_http_request_duration_ms], so the two sides' percentiles
+   are comparable bucket-for-bucket in [--check] mode. *)
+let buckets = Xr_server.Metrics.latency_buckets_ms
+let nbuckets = Array.length buckets + 1 (* + implicit +inf *)
+
+let bucket_of ms =
+  let rec go i = if i >= Array.length buckets || ms <= buckets.(i) then i else go (i + 1) in
+  go 0
+
 type client_stats = {
   mutable sent : int;
   mutable ok : int;
@@ -128,6 +146,7 @@ type client_stats = {
   mutable io_errors : int;
   mutable mismatches : int;
   mutable latencies_ms : float list;
+  hist : int array;  (* per-bucket counts, last = +inf *)
 }
 
 let fresh_stats () =
@@ -140,6 +159,7 @@ let fresh_stats () =
     io_errors = 0;
     mismatches = 0;
     latencies_ms = [];
+    hist = Array.make nbuckets 0;
   }
 
 let run_client addr ~idx ~deadline ~searches ~refines ~expected =
@@ -171,6 +191,8 @@ let run_client addr ~idx ~deadline ~searches ~refines ~expected =
       | Ok (status, closing, body) ->
         let ms = (Unix.gettimeofday () -. t0) *. 1000. in
         stats.latencies_ms <- ms :: stats.latencies_ms;
+        let b = bucket_of ms in
+        stats.hist.(b) <- stats.hist.(b) + 1;
         (if status = 200 then begin
            stats.ok <- stats.ok + 1;
            match Hashtbl.find_opt expected target with
@@ -200,7 +222,61 @@ let percentile sorted p =
   if n = 0 then 0.
   else sorted.(min (n - 1) (int_of_float (p /. 100. *. float_of_int (n - 1) +. 0.5)))
 
-let report elapsed all =
+(* Server-side percentiles recomputed from the aggregate histogram in
+   /metrics.json (cumulative bucket counts -> raw counts -> the same
+   interpolation the server uses). *)
+let server_percentiles addr =
+  match get_once addr "/metrics.json" with
+  | Ok (200, _, body) -> (
+    match Json.of_string body with
+    | Ok m -> (
+      let latency = Json.member "latency" m in
+      match Option.bind latency (Json.member "buckets") with
+      | Some (Json.List entries) ->
+        let cumulative =
+          List.filter_map
+            (fun e -> match Json.member "count" e with Some (Json.Int c) -> Some c | _ -> None)
+            entries
+        in
+        if List.length cumulative <> nbuckets then None
+        else begin
+          let cum = Array.of_list cumulative in
+          let counts = Array.make nbuckets 0 in
+          Array.iteri (fun i c -> counts.(i) <- (if i = 0 then c else c - cum.(i - 1))) cum;
+          let total = cum.(nbuckets - 1) in
+          if total = 0 then None
+          else
+            Some
+              ( Xr_server.Metrics.percentile_ms counts total 0.5,
+                Xr_server.Metrics.percentile_ms counts total 0.95,
+                Xr_server.Metrics.percentile_ms counts total 0.99 )
+        end
+      | _ -> None)
+    | Error _ -> None)
+  | _ -> None
+
+(* Cross-check the client-side histogram percentiles against the
+   server's. The server measures handling time only (no network, and its
+   histogram also counts the cheap baseline/metrics requests), so we only
+   flag gross inconsistency: the server claiming to be much slower than
+   any client ever observed end-to-end. *)
+let cross_check addr client_p =
+  match server_percentiles addr with
+  | None ->
+    print_endline "  check: /metrics.json latency histogram unavailable; skipped";
+    true
+  | Some (s50, s95, s99) ->
+    let c50, c95, c99 = client_p in
+    Printf.printf "  percentiles ms   client          server (/metrics.json)\n";
+    List.iter
+      (fun (name, c, s) -> Printf.printf "    p%-3s          %8.2f        %8.2f\n" name c s)
+      [ ("50", c50, s50); ("95", c95, s95); ("99", c99, s99) ];
+    let consistent = List.for_all (fun (c, s) -> s <= (c *. 3.) +. 10.) [ (c50, s50); (c95, s95); (c99, s99) ] in
+    if not consistent then
+      print_endline "  FAIL server latency percentiles grossly exceed client-side observations";
+    consistent
+
+let report addr elapsed all =
   let total f = List.fold_left (fun acc s -> acc + f s) 0 all in
   let sent = total (fun s -> s.sent)
   and ok = total (fun s -> s.ok)
@@ -215,6 +291,13 @@ let report elapsed all =
     if Array.length lat = 0 then 0.
     else Array.fold_left ( +. ) 0. lat /. float_of_int (Array.length lat)
   in
+  (* Histogram percentiles: merged per-client buckets, interpolated
+     exactly like the server side. *)
+  let hist = Array.make nbuckets 0 in
+  List.iter (fun s -> Array.iteri (fun i c -> hist.(i) <- hist.(i) + c) s.hist) all;
+  let hist_total = Array.fold_left ( + ) 0 hist in
+  let hp q = Xr_server.Metrics.percentile_ms hist hist_total q in
+  let hp50 = hp 0.5 and hp95 = hp 0.95 and hp99 = hp 0.99 in
   let rps = if elapsed > 0. then float_of_int sent /. elapsed else 0. in
   if !json_summary then
     print_endline
@@ -240,6 +323,13 @@ let report elapsed all =
                    ("p99", Json.Float (percentile lat 99.));
                    ("max", Json.Float (percentile lat 100.));
                  ]);
+              ("latency_hist_ms",
+               Json.Obj
+                 [
+                   ("p50", Json.Float hp50);
+                   ("p95", Json.Float hp95);
+                   ("p99", Json.Float hp99);
+                 ]);
             ]))
   else begin
     Printf.printf "loadgen: %d client(s), %.2fs\n" !clients elapsed;
@@ -251,9 +341,11 @@ let report elapsed all =
     Printf.printf "  io errors  %d\n" io;
     if !check then Printf.printf "  mismatches %d\n" mism;
     Printf.printf "  latency ms mean %.2f  p50 %.2f  p90 %.2f  p99 %.2f  max %.2f\n" mean
-      (percentile lat 50.) (percentile lat 90.) (percentile lat 99.) (percentile lat 100.)
+      (percentile lat 50.) (percentile lat 90.) (percentile lat 99.) (percentile lat 100.);
+    Printf.printf "  histogram  p50 %.2f  p95 %.2f  p99 %.2f\n" hp50 hp95 hp99
   end;
-  if mism > 0 then exit 1
+  let consistent = if !check then cross_check addr (hp50, hp95, hp99) else true in
+  if mism > 0 || not consistent then exit 1
 
 (* ---- smoke mode ---------------------------------------------------------- *)
 
@@ -265,7 +357,8 @@ let run_smoke addr qs =
     [
       "/health";
       "/stats";
-      "/metrics";
+      "/metrics.json";
+      "/debug/trace?last=4";
       "/search?q=" ^ encode_query q;
       "/search?q=" ^ encode_query q ^ "&rank=true";
       "/refine?q=" ^ encode_query q;
@@ -292,8 +385,30 @@ let run_smoke addr qs =
         incr failures;
         Printf.printf "FAIL %s: %s\n" ep (Http.error_to_string e))
     eps;
+  (* /metrics is Prometheus text now, not JSON. *)
+  (match get_once_full addr "/metrics" with
+  | Ok (200, headers, body) ->
+    let ct = Option.value ~default:"" (List.assoc_opt "content-type" headers) in
+    let has_series =
+      let needle = "xr_http_requests_total" in
+      let n = String.length needle and len = String.length body in
+      let rec scan i = i + n <= len && (String.sub body i n = needle || scan (i + 1)) in
+      scan 0
+    in
+    if String.length ct >= 10 && String.sub ct 0 10 = "text/plain" && has_series then
+      print_endline "ok   /metrics (prometheus text)"
+    else begin
+      incr failures;
+      Printf.printf "FAIL /metrics: content-type %S, xr_http_requests_total %b\n" ct has_series
+    end
+  | Ok (status, _, _) ->
+    incr failures;
+    Printf.printf "FAIL /metrics: HTTP %d\n" status
+  | Error e ->
+    incr failures;
+    Printf.printf "FAIL /metrics: %s\n" (Http.error_to_string e));
   (* A repeated query must be answered by the result cache. *)
-  (match get_once addr "/metrics" with
+  (match get_once addr "/metrics.json" with
   | Ok (200, _, body) -> (
     match Json.of_string body with
     | Ok m -> (
@@ -338,5 +453,5 @@ let () =
               run_client addr ~idx ~deadline ~searches ~refines ~expected))
     in
     let all = Array.to_list (Array.map Domain.join workers) in
-    report (Unix.gettimeofday () -. started) all
+    report addr (Unix.gettimeofday () -. started) all
   end

@@ -109,7 +109,13 @@ let search_cmd =
       & info [ "interconnected" ]
           ~doc:"Keep only results whose witnesses are pairwise interconnected (XSEarch).")
   in
-  let run doc alg rank interconnected json query =
+  let trace =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:"Record per-stage spans and print the span tree with durations after the results.")
+  in
+  let run doc alg rank interconnected trace json query =
     let index = load_index doc in
     let slca =
       match Xr_slca.Engine.of_name alg with
@@ -120,35 +126,47 @@ let search_cmd =
     let post slcas =
       if interconnected then Xr_slca.Interconnection.filter index query slcas else slcas
     in
-    let slcas = post (Engine.search ~config index query) in
-    let entries =
-      if rank then
-        let ids = List.filter_map (Xr_xml.Doc.keyword_id index.Index.doc) query in
-        Xr_slca.Result_rank.rank index.Index.stats ~query:ids slcas
-      else List.map (fun d -> (d, 0.)) slcas
-    in
-    if json then
-      print_endline
-        (Xr_server.Json.to_string
-           (Xr_server.Api.search_payload index ~query ~ranked:rank entries))
-    else
-      match entries with
-      | [] -> print_endline "no meaningful result (the query may need refinement; try `refine`)"
-      | entries ->
-        Printf.printf "%d meaningful SLCA result(s):\n" (List.length slcas);
-        let ids = List.filter_map (Xr_xml.Doc.keyword_id index.Index.doc) query in
-        List.iter
-          (fun (d, score) ->
-            let snippet = Xr_slca.Snippet.of_result index.Index.doc ~query:ids d in
+    if trace then Xr_obs.Tracing.enable ();
+    let (slcas, entries), trace_id =
+      Xr_obs.Tracing.with_trace "search" (fun () ->
+          let slcas = post (Engine.search ~config index query) in
+          let entries =
             if rank then
-              Printf.printf "- %-24s (relevance %.3f)  %s\n"
-                (Xr_xml.Doc.label index.Index.doc d) score snippet
-            else Printf.printf "- %-24s %s\n" (Xr_xml.Doc.label index.Index.doc d) snippet)
-          entries
+              let ids = List.filter_map (Xr_xml.Doc.keyword_id index.Index.doc) query in
+              Xr_slca.Result_rank.rank index.Index.stats ~query:ids slcas
+            else List.map (fun d -> (d, 0.)) slcas
+          in
+          (slcas, entries))
+    in
+    let print_trace () =
+      if trace && trace_id <> 0 then begin
+        print_newline ();
+        print_string (Xr_obs.Tracing.render_tree (Xr_obs.Tracing.spans_of_trace trace_id))
+      end
+    in
+    (if json then
+       print_endline
+         (Xr_server.Json.to_string
+            (Xr_server.Api.search_payload index ~query ~ranked:rank entries))
+     else
+       match entries with
+       | [] -> print_endline "no meaningful result (the query may need refinement; try `refine`)"
+       | entries ->
+         Printf.printf "%d meaningful SLCA result(s):\n" (List.length slcas);
+         let ids = List.filter_map (Xr_xml.Doc.keyword_id index.Index.doc) query in
+         List.iter
+           (fun (d, score) ->
+             let snippet = Xr_slca.Snippet.of_result index.Index.doc ~query:ids d in
+             if rank then
+               Printf.printf "- %-24s (relevance %.3f)  %s\n"
+                 (Xr_xml.Doc.label index.Index.doc d) score snippet
+             else Printf.printf "- %-24s %s\n" (Xr_xml.Doc.label index.Index.doc d) snippet)
+           entries);
+    print_trace ()
   in
   Cmd.v
     (Cmd.info "search" ~doc:"Meaningful-SLCA keyword search (no refinement).")
-    Term.(const run $ doc_file $ alg $ rank $ interconnected $ json_flag $ query_args)
+    Term.(const run $ doc_file $ alg $ rank $ interconnected $ trace $ json_flag $ query_args)
 
 (* ---- suggest -------------------------------------------------------------- *)
 
@@ -320,8 +338,23 @@ let serve_cmd =
              pool; smaller queries run sequentially (0 always fans out).")
   in
   let quiet = Arg.(value & flag & info [ "quiet" ] ~doc:"Disable the stderr request log.") in
+  let no_trace =
+    Arg.(
+      value & flag
+      & info [ "no-trace" ]
+          ~doc:"Disable per-request span recording (/debug/trace and slow-query breakdowns).")
+  in
+  let slow_query_ms =
+    Arg.(
+      value
+      & opt float 0.
+      & info [ "slow-query-ms" ] ~docv:"MS"
+          ~doc:
+            "Log one structured stderr line (with span breakdown) for every request at or \
+             above this latency; 0 disables.")
+  in
   let run doc port host unix_socket domains queue cache cache_shards deadline limit
-      parallel_threshold quiet =
+      parallel_threshold quiet no_trace slow_query_ms =
     let index = load_index doc in
     let addr =
       match unix_socket with
@@ -340,6 +373,8 @@ let serve_cmd =
         result_limit = limit;
         parallel_threshold;
         log = not quiet;
+        trace = not no_trace;
+        slow_query_ms;
       }
     in
     let server = Xr_server.Server.start config index in
@@ -363,11 +398,12 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Serve /search, /refine, /suggest, /complete, /stats and /metrics as JSON over HTTP, \
-          keeping the index resident and answering from parallel worker domains.")
+         "Serve /search, /refine, /suggest, /complete, /stats, /metrics.json and /debug/trace \
+          as JSON plus /metrics as Prometheus text over HTTP, keeping the index resident and \
+          answering from parallel worker domains.")
     Term.(
       const run $ doc_file $ port $ host $ unix_socket $ domains $ queue $ cache $ cache_shards
-      $ deadline $ limit $ parallel_threshold $ quiet)
+      $ deadline $ limit $ parallel_threshold $ quiet $ no_trace $ slow_query_ms)
 
 (* ---- complete ----------------------------------------------------------------- *)
 

@@ -136,29 +136,40 @@ let refine ?(config = default_config) ?(rules = []) index query =
   { result; rules_used = Ruleset.to_list c.rules; stats }
 
 let search ?(config = default_config) (index : Index.t) query =
-  let keywords =
-    List.filter (fun k -> String.length k > 0) (List.map Token.normalize query)
-    |> List.sort_uniq String.compare
-  in
   let doc = index.Index.doc in
-  let rec resolve acc = function
-    | [] -> Some (List.rev acc)
-    | k :: rest -> (
-      match Doc.keyword_id doc k with
-      | Some kw -> resolve (kw :: acc) rest
-      | None -> None)
+  (* Query interpretation — normalization, vocabulary resolution, and
+     the meaningfulness statistics — is the [parse] stage of a trace;
+     the list scan itself reports as [slca.scan]. *)
+  let prep =
+    Xr_obs.Tracing.with_span "parse" (fun () ->
+        let keywords =
+          List.filter (fun k -> String.length k > 0) (List.map Token.normalize query)
+          |> List.sort_uniq String.compare
+        in
+        let rec resolve acc = function
+          | [] -> Some (List.rev acc)
+          | k :: rest -> (
+            match Doc.keyword_id doc k with
+            | Some kw -> resolve (kw :: acc) rest
+            | None -> None)
+        in
+        match resolve [] keywords with
+        | None -> None
+        | Some ids ->
+          if
+            List.exists
+              (fun kw -> Xr_index.Inverted.length index.Index.inverted kw = 0)
+              ids
+          then None
+          else Some (ids, Meaningful.make ~config:config.search_for index.Index.stats ids))
   in
-  match resolve [] keywords with
+  match prep with
   | None -> []
-  | Some ids ->
-    if List.exists (fun kw -> Xr_index.Inverted.length index.Index.inverted kw = 0) ids then
-      []
-    else begin
-      let meaningful = Meaningful.make ~config:config.search_for index.Index.stats ids in
-      (* [query_ids] keeps packed engines on the index's packed lists —
-         no posting materialization on the hot search path. *)
-      Meaningful.filter meaningful (Slca_engine.query_ids config.slca index ids)
-    end
+  | Some (ids, meaningful) ->
+    (* [query_ids] keeps packed engines on the index's packed lists —
+       no posting materialization on the hot search path. *)
+    let slcas = Slca_engine.query_ids config.slca index ids in
+    Xr_obs.Tracing.with_span "slca.filter" (fun () -> Meaningful.filter meaningful slcas)
 
 let needs_refinement ?config index query = search ?config index query = []
 

@@ -31,6 +31,7 @@ let prune beam states =
   List.filteri (fun i _ -> i < beam) sorted
 
 let top_k ?(config = default_config) ~rules ~available ~k query =
+  Xr_obs.Tracing.with_span "refine.enumerate" @@ fun () ->
   let beam = max config.beam k in
   let s = Array.of_list (List.map Token.normalize query) in
   let n = Array.length s in

@@ -188,10 +188,11 @@ let explain ?(config = default_config) stats ~original rq =
   Buffer.contents b
 
 let rank ?config stats ~original rqs =
-  let scored = List.map (score ?config stats ~original) rqs in
-  List.sort
-    (fun a b ->
-      match Float.compare b.rank a.rank with
-      | 0 -> Refined_query.compare a.rq b.rq
-      | c -> c)
-    scored
+  Xr_obs.Tracing.with_span "refine.rank" (fun () ->
+      let scored = List.map (score ?config stats ~original) rqs in
+      List.sort
+        (fun a b ->
+          match Float.compare b.rank a.rank with
+          | 0 -> Refined_query.compare a.rq b.rq
+          | c -> c)
+        scored)

@@ -192,6 +192,14 @@ let cooccur_compute t ~path k1 k2 =
   in
   merge 0 (truncated k1) (truncated k2)
 
+let memo_fam =
+  Xr_obs.Registry.Counter.family ~name:"xr_stats_cooccur_memo_total"
+    ~help:"Co-occurrence memo lookups during ranking" ~label_names:[ "outcome" ] ()
+
+let memo_hits_h = Xr_obs.Registry.Counter.handle memo_fam [ "hit" ]
+
+let memo_misses_h = Xr_obs.Registry.Counter.handle memo_fam [ "miss" ]
+
 let cooccur t ~path k1 k2 =
   let k1, k2 = if k1 <= k2 then (k1, k2) else (k2, k1) in
   if k1 = k2 then df t ~path ~kw:k1
@@ -200,8 +208,11 @@ let cooccur t ~path k1 k2 =
     let shard = t.memo_shards.(Hashtbl.hash key land (memo_shard_count - 1)) in
     let cached = Mutex.protect shard.lock (fun () -> Hashtbl.find_opt shard.memo key) in
     match cached with
-    | Some v -> v
+    | Some v ->
+      Xr_obs.Registry.Counter.inc memo_hits_h;
+      v
     | None ->
+      Xr_obs.Registry.Counter.inc memo_misses_h;
       (* Compute outside the lock: a racing domain at worst recomputes the
          same value; [replace] keeps the table consistent either way. *)
       let v = cooccur_compute t ~path k1 k2 in

@@ -1,0 +1,97 @@
+(* Prometheus text exposition (format version 0.0.4) over a registry
+   snapshot. Deterministic output: families in registration order,
+   series in registration order, labels in declaration order. *)
+
+let content_type = "text/plain; version=0.0.4"
+
+let escape_label_value s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_help s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let float_str v =
+  if Float.is_nan v then "NaN"
+  else if v = Float.infinity then "+Inf"
+  else if v = Float.neg_infinity then "-Inf"
+  else if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.12g" v
+
+let labels_str = function
+  | [] -> ""
+  | pairs ->
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v)) pairs)
+    ^ "}"
+
+let kind_str = function
+  | Registry.Counter -> "counter"
+  | Registry.Gauge -> "gauge"
+  | Registry.Histogram -> "histogram"
+
+let render_metrics buf (metrics : Registry.metric list) =
+  List.iter
+    (fun (m : Registry.metric) ->
+      Buffer.add_string buf
+        (Printf.sprintf "# HELP %s %s\n" m.Registry.m_name (escape_help m.Registry.m_help));
+      Buffer.add_string buf
+        (Printf.sprintf "# TYPE %s %s\n" m.Registry.m_name (kind_str m.Registry.m_kind));
+      List.iter
+        (fun (s : Registry.sample) ->
+          match s.Registry.s_value with
+          | Registry.V_int v ->
+            Buffer.add_string buf
+              (Printf.sprintf "%s%s %d\n" m.Registry.m_name (labels_str s.Registry.s_labels) v)
+          | Registry.V_float v ->
+            Buffer.add_string buf
+              (Printf.sprintf "%s%s %s\n" m.Registry.m_name
+                 (labels_str s.Registry.s_labels)
+                 (float_str v))
+          | Registry.V_hist { bounds; counts; sum } ->
+            let cum = ref 0 in
+            Array.iteri
+              (fun i c ->
+                cum := !cum + c;
+                let le =
+                  if i < Array.length bounds then float_str bounds.(i) else "+Inf"
+                in
+                Buffer.add_string buf
+                  (Printf.sprintf "%s_bucket%s %d\n" m.Registry.m_name
+                     (labels_str (s.Registry.s_labels @ [ ("le", le) ]))
+                     !cum))
+              counts;
+            Buffer.add_string buf
+              (Printf.sprintf "%s_sum%s %s\n" m.Registry.m_name
+                 (labels_str s.Registry.s_labels)
+                 (float_str sum));
+            Buffer.add_string buf
+              (Printf.sprintf "%s_count%s %d\n" m.Registry.m_name
+                 (labels_str s.Registry.s_labels)
+                 !cum))
+        m.Registry.m_samples)
+    metrics
+
+let render_collected metrics =
+  let buf = Buffer.create 4096 in
+  render_metrics buf metrics;
+  Buffer.contents buf
+
+let render registry = render_collected (Registry.collect registry)

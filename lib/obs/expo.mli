@@ -1,0 +1,20 @@
+(** Prometheus text exposition, format version 0.0.4. *)
+
+val content_type : string
+(** ["text/plain; version=0.0.4"] — the content-type a scrape endpoint
+    must serve this format under. *)
+
+val escape_label_value : string -> string
+(** Backslash, double quote, and newline escaped per the format spec. *)
+
+val escape_help : string -> string
+(** Backslash and newline escaped (HELP lines keep quotes verbatim). *)
+
+val render : Registry.t -> string
+(** Scrape a registry and render it: HELP/TYPE comments per family,
+    series in registration order, labels in declaration order,
+    histograms as cumulative [_bucket] lines (ending at [le="+Inf"])
+    plus [_sum] and [_count]. *)
+
+val render_collected : Registry.metric list -> string
+(** Render an already-collected snapshot. *)

@@ -1,0 +1,251 @@
+(* Metric families (counter / gauge / histogram) with label sets,
+   updated from every domain without serializing on one cache line:
+   each series spreads its value over [shards] cells (a power of two)
+   and a writer lands on cell [Domain.self () land (shards - 1)] with a
+   single [Atomic] read-modify-write. Scrapes sum the shards. Handles
+   are memoized per label tuple and meant to be resolved once, outside
+   hot loops; family registration is idempotent so module initializers
+   can declare their metrics unconditionally. *)
+
+type kind = Counter | Gauge | Histogram
+
+let default_shards = 16
+
+type series = {
+  labels : string list;
+  cells : int Atomic.t array;  (* counters: one cell per shard *)
+  hcells : int Atomic.t array;  (* histograms: shards * (buckets + 1), flattened *)
+  hsum_micro : int Atomic.t;  (* histogram sum, in 1e-6 units of the observed value *)
+  gcell : float Atomic.t;  (* gauges: last-write-wins *)
+  mutable pull : (unit -> float) option;  (* scrape-time override *)
+}
+
+type family = {
+  name : string;
+  help : string;
+  kind : kind;
+  label_names : string list;
+  buckets : float array;  (* histogram upper bounds; the +inf bucket is implicit *)
+  shards : int;
+  lock : Mutex.t;  (* guards [tbl] and [series] *)
+  tbl : (string list, series) Hashtbl.t;
+  mutable series : series list;  (* reverse registration order *)
+}
+
+type t = {
+  r_shards : int;
+  r_lock : Mutex.t;  (* guards [r_tbl] and [r_families] *)
+  r_tbl : (string, family) Hashtbl.t;
+  mutable r_families : family list;  (* reverse registration order *)
+}
+
+let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (2 * k)
+
+let create ?(shards = default_shards) () =
+  {
+    r_shards = pow2_at_least (max 1 shards) 1;
+    r_lock = Mutex.create ();
+    r_tbl = Hashtbl.create 32;
+    r_families = [];
+  }
+
+let default_v = create ()
+
+let default () = default_v
+
+let shard_count t = t.r_shards
+
+let valid_name name =
+  let ok_first c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':' in
+  let ok c = ok_first c || (c >= '0' && c <= '9') in
+  String.length name > 0
+  && ok_first name.[0]
+  && String.for_all ok name
+
+let register t ~name ~help ~kind ~label_names ~buckets =
+  if not (valid_name name) then invalid_arg ("Registry: invalid metric name " ^ name);
+  Mutex.protect t.r_lock (fun () ->
+      match Hashtbl.find_opt t.r_tbl name with
+      | Some f ->
+        if f.kind <> kind || f.label_names <> label_names || f.buckets <> buckets then
+          invalid_arg ("Registry: conflicting re-registration of " ^ name);
+        f
+      | None ->
+        let f =
+          {
+            name;
+            help;
+            kind;
+            label_names;
+            buckets;
+            shards = t.r_shards;
+            lock = Mutex.create ();
+            tbl = Hashtbl.create 8;
+            series = [];
+          }
+        in
+        Hashtbl.add t.r_tbl name f;
+        t.r_families <- f :: t.r_families;
+        f)
+
+let series_of f values =
+  if List.length values <> List.length f.label_names then
+    invalid_arg ("Registry: label arity mismatch for " ^ f.name);
+  Mutex.protect f.lock (fun () ->
+      match Hashtbl.find_opt f.tbl values with
+      | Some s -> s
+      | None ->
+        let nb = Array.length f.buckets + 1 in
+        let s =
+          {
+            labels = values;
+            cells =
+              (if f.kind = Histogram then [||]
+               else Array.init f.shards (fun _ -> Atomic.make 0));
+            hcells =
+              (if f.kind = Histogram then Array.init (f.shards * nb) (fun _ -> Atomic.make 0)
+               else [||]);
+            hsum_micro = Atomic.make 0;
+            gcell = Atomic.make 0.;
+            pull = None;
+          }
+        in
+        Hashtbl.add f.tbl values s;
+        f.series <- s :: f.series;
+        s)
+
+let shard_ix f = (Domain.self () :> int) land (f.shards - 1)
+
+type handle = { fam : family; s : series }
+
+module Counter = struct
+  type fam = family
+
+  type h = handle
+
+  let family ?(registry = default_v) ~name ~help ?(label_names = []) () =
+    register registry ~name ~help ~kind:Counter ~label_names ~buckets:[||]
+
+  let handle fam values = { fam; s = series_of fam values }
+
+  let no_labels fam = handle fam []
+
+  let inc h = Atomic.incr h.s.cells.(shard_ix h.fam)
+
+  let add h n = if n <> 0 then ignore (Atomic.fetch_and_add h.s.cells.(shard_ix h.fam) n)
+
+  let value h =
+    match h.s.pull with
+    | Some f -> int_of_float (f ())
+    | None -> Array.fold_left (fun acc c -> acc + Atomic.get c) 0 h.s.cells
+
+  let set_pull h f = h.s.pull <- Some f
+end
+
+module Gauge = struct
+  type fam = family
+
+  type h = handle
+
+  let family ?(registry = default_v) ~name ~help ?(label_names = []) () =
+    register registry ~name ~help ~kind:Gauge ~label_names ~buckets:[||]
+
+  let handle fam values = { fam; s = series_of fam values }
+
+  let no_labels fam = handle fam []
+
+  let set h v = Atomic.set h.s.gcell v
+
+  let value h = match h.s.pull with Some f -> f () | None -> Atomic.get h.s.gcell
+
+  let set_pull h f = h.s.pull <- Some f
+end
+
+module Histogram = struct
+  type fam = family
+
+  type h = handle
+
+  let default_buckets = [| 0.005; 0.01; 0.05; 0.1; 0.5; 1.; 5.; 10.; 50.; 100. |]
+
+  let family ?(registry = default_v) ~name ~help ?(label_names = [])
+      ?(buckets = default_buckets) () =
+    let n = Array.length buckets in
+    if n = 0 then invalid_arg ("Registry: histogram with no buckets: " ^ name);
+    for i = 1 to n - 1 do
+      if buckets.(i) <= buckets.(i - 1) then
+        invalid_arg ("Registry: histogram buckets must increase: " ^ name)
+    done;
+    register registry ~name ~help ~kind:Histogram ~label_names ~buckets
+
+  let handle fam values = { fam; s = series_of fam values }
+
+  let no_labels fam = handle fam []
+
+  let bucket_bounds h = h.fam.buckets
+
+  let observe h v =
+    let bounds = h.fam.buckets in
+    let nfinite = Array.length bounds in
+    let rec slot i = if i >= nfinite then i else if v <= bounds.(i) then i else slot (i + 1) in
+    let b = slot 0 in
+    Atomic.incr h.s.hcells.((shard_ix h.fam * (nfinite + 1)) + b);
+    ignore (Atomic.fetch_and_add h.s.hsum_micro (int_of_float (Float.round (v *. 1e6))))
+
+  (* Raw (non-cumulative) per-bucket counts aggregated over shards; the
+     last slot is the +inf bucket. *)
+  let raw_counts h =
+    let nb = Array.length h.fam.buckets + 1 in
+    let out = Array.make nb 0 in
+    Array.iteri (fun i c -> out.(i mod nb) <- out.(i mod nb) + Atomic.get c) h.s.hcells;
+    out
+
+  let cumulative_counts h =
+    let out = raw_counts h in
+    for i = 1 to Array.length out - 1 do
+      out.(i) <- out.(i) + out.(i - 1)
+    done;
+    out
+
+  let count h = Array.fold_left ( + ) 0 (raw_counts h)
+
+  let sum h = float_of_int (Atomic.get h.s.hsum_micro) /. 1e6
+end
+
+(* ---- scrape -------------------------------------------------------------- *)
+
+type value =
+  | V_int of int
+  | V_float of float
+  | V_hist of { bounds : float array; counts : int array; sum : float }
+
+type sample = { s_labels : (string * string) list; s_value : value }
+
+type metric = { m_name : string; m_help : string; m_kind : kind; m_samples : sample list }
+
+let collect t =
+  let families = Mutex.protect t.r_lock (fun () -> List.rev t.r_families) in
+  List.map
+    (fun f ->
+      let series = Mutex.protect f.lock (fun () -> List.rev f.series) in
+      let samples =
+        List.map
+          (fun s ->
+            let h = { fam = f; s } in
+            let v =
+              match f.kind with
+              | Counter -> V_int (Counter.value h)
+              | Gauge -> V_float (Gauge.value h)
+              | Histogram ->
+                V_hist
+                  {
+                    bounds = f.buckets;
+                    counts = Histogram.raw_counts h;
+                    sum = Histogram.sum h;
+                  }
+            in
+            { s_labels = List.combine f.label_names s.labels; s_value = v })
+          series
+      in
+      { m_name = f.name; m_help = f.help; m_kind = f.kind; m_samples = samples })
+    families

@@ -1,0 +1,125 @@
+(** Process-wide metrics registry: counter, gauge, and histogram
+    families with label sets. Updates are lock-free on the hot path —
+    every series spreads its value over per-domain shard cells (one
+    [Atomic] RMW per update, domains land on different cache lines) and
+    scrapes aggregate the shards. Family registration is idempotent, so
+    modules declare their metrics in top-level initializers; handles
+    (one per label-value tuple) are memoized and should be resolved
+    outside hot loops. *)
+
+type t
+
+val create : ?shards:int -> unit -> t
+(** [create ~shards ()] builds an empty registry whose series split
+    their cells over [shards] cells (rounded up to a power of two;
+    default {!default_shards}). *)
+
+val default : unit -> t
+(** The process-wide registry that all product metrics register
+    against; [/metrics] exposes exactly its contents. *)
+
+val default_shards : int
+
+val shard_count : t -> int
+
+type kind = Counter | Gauge | Histogram
+
+module Counter : sig
+  type fam
+
+  type h
+
+  val family :
+    ?registry:t -> name:string -> help:string -> ?label_names:string list -> unit -> fam
+  (** Register (or look up) a counter family. Raises [Invalid_argument]
+      on a name/kind/label mismatch with an existing family. *)
+
+  val handle : fam -> string list -> h
+  (** The series for one label-value tuple (memoized). *)
+
+  val no_labels : fam -> h
+
+  val inc : h -> unit
+
+  val add : h -> int -> unit
+
+  val value : h -> int
+
+  val set_pull : h -> (unit -> float) -> unit
+  (** Make the series report [f ()] at scrape time instead of its
+      cells — for monotone values owned by another component. *)
+end
+
+module Gauge : sig
+  type fam
+
+  type h
+
+  val family :
+    ?registry:t -> name:string -> help:string -> ?label_names:string list -> unit -> fam
+
+  val handle : fam -> string list -> h
+
+  val no_labels : fam -> h
+
+  val set : h -> float -> unit
+
+  val value : h -> float
+
+  val set_pull : h -> (unit -> float) -> unit
+  (** Make the series report [f ()] at scrape time (live values such as
+      queue depth or cache occupancy). *)
+end
+
+module Histogram : sig
+  type fam
+
+  type h
+
+  val default_buckets : float array
+
+  val family :
+    ?registry:t ->
+    name:string ->
+    help:string ->
+    ?label_names:string list ->
+    ?buckets:float array ->
+    unit ->
+    fam
+  (** [buckets] are the finite upper bounds, strictly increasing; the
+      +inf bucket is implicit. *)
+
+  val handle : fam -> string list -> h
+
+  val no_labels : fam -> h
+
+  val bucket_bounds : h -> float array
+
+  val observe : h -> float -> unit
+
+  val raw_counts : h -> int array
+  (** Per-bucket (non-cumulative) counts aggregated over shards; the
+      last slot is the +inf bucket. *)
+
+  val cumulative_counts : h -> int array
+
+  val count : h -> int
+
+  val sum : h -> float
+end
+
+(** {1 Scraping} *)
+
+type value =
+  | V_int of int
+  | V_float of float
+  | V_hist of { bounds : float array; counts : int array; sum : float }
+      (** [counts] raw per-bucket, last = +inf *)
+
+type sample = { s_labels : (string * string) list; s_value : value }
+
+type metric = { m_name : string; m_help : string; m_kind : kind; m_samples : sample list }
+
+val collect : t -> metric list
+(** Families in registration order, each with its series in
+    registration order and label pairs in declaration order. *)

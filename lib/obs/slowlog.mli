@@ -1,0 +1,8 @@
+(** Slow-query log formatting: one JSON line per offending request with
+    its span breakdown inlined. The caller owns the threshold check and
+    the output stream. *)
+
+val render :
+  endpoint:string -> status:int -> ms:float -> trace_id:int -> Tracing.span list -> string
+(** A single line (no trailing newline):
+    [{"slow_query":true,"endpoint":…,"status":…,"ms":…,"trace":…,"spans":[…]}]. *)

@@ -1,0 +1,270 @@
+(* Per-request span tracing over the monotonic clock. A span costs one
+   [Atomic.get] when tracing is disabled (the common case on the query
+   hot path) and, when enabled, two clock reads plus one append into a
+   per-domain ring buffer at completion — completed spans only, so no
+   publication protocol is needed for in-flight state. The ambient
+   (trace, parent) context lives in domain-local storage; pool
+   submitters capture it and re-install it inside their tasks so spans
+   recorded on worker domains still attach to the submitting request's
+   trace. *)
+
+type span = {
+  trace_id : int;
+  span_id : int;
+  parent_id : int;  (* 0 for a trace root *)
+  name : string;
+  start_ns : int64;
+  dur_ns : int64;
+  domain : int;
+}
+
+let now_ns () = Monotonic_clock.now ()
+
+(* ---- ring buffers -------------------------------------------------------- *)
+
+let n_rings = 64 (* power of two; domains hash onto rings by id *)
+
+type ring = {
+  lock : Mutex.t;
+  mutable buf : span array;  (* [||] until [enable] sizes it *)
+  mutable pos : int;
+  mutable filled : bool;  (* the ring has wrapped at least once *)
+}
+
+let dummy =
+  { trace_id = 0; span_id = 0; parent_id = 0; name = ""; start_ns = 0L; dur_ns = 0L; domain = 0 }
+
+let rings =
+  Array.init n_rings (fun _ -> { lock = Mutex.create (); buf = [||]; pos = 0; filled = false })
+
+let enabled_v = Atomic.make false
+
+let enabled () = Atomic.get enabled_v
+
+let default_capacity = 4096
+
+let enable ?(capacity = default_capacity) () =
+  let capacity = max 16 capacity in
+  Array.iter
+    (fun r ->
+      Mutex.protect r.lock (fun () ->
+          if Array.length r.buf <> capacity then begin
+            r.buf <- Array.make capacity dummy;
+            r.pos <- 0;
+            r.filled <- false
+          end))
+    rings;
+  Atomic.set enabled_v true
+
+let disable () = Atomic.set enabled_v false
+
+let clear () =
+  Array.iter
+    (fun r ->
+      Mutex.protect r.lock (fun () ->
+          Array.fill r.buf 0 (Array.length r.buf) dummy;
+          r.pos <- 0;
+          r.filled <- false))
+    rings
+
+let record sp =
+  let r = rings.((Domain.self () :> int) land (n_rings - 1)) in
+  Mutex.protect r.lock (fun () ->
+      let cap = Array.length r.buf in
+      if cap > 0 then begin
+        r.buf.(r.pos) <- sp;
+        r.pos <- r.pos + 1;
+        if r.pos = cap then begin
+          r.pos <- 0;
+          r.filled <- true
+        end
+      end)
+
+(* ---- ambient context ----------------------------------------------------- *)
+
+let next_id = Atomic.make 1 (* id 0 means "none" *)
+
+let fresh_id () = Atomic.fetch_and_add next_id 1
+
+type context = { trace : int; parent : int }
+
+let ctx_key : context option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+
+let current_context () = !(Domain.DLS.get ctx_key)
+
+let with_context ctx f =
+  match ctx with
+  | None -> f ()
+  | Some _ ->
+    let r = Domain.DLS.get ctx_key in
+    let saved = !r in
+    r := ctx;
+    Fun.protect ~finally:(fun () -> r := saved) f
+
+let with_span name f =
+  if not (Atomic.get enabled_v) then f ()
+  else begin
+    let r = Domain.DLS.get ctx_key in
+    match !r with
+    | None -> f () (* no active trace to attach to *)
+    | Some ctx ->
+      let id = fresh_id () in
+      let saved = !r in
+      r := Some { trace = ctx.trace; parent = id };
+      let t0 = now_ns () in
+      Fun.protect
+        ~finally:(fun () ->
+          let t1 = now_ns () in
+          r := saved;
+          record
+            {
+              trace_id = ctx.trace;
+              span_id = id;
+              parent_id = ctx.parent;
+              name;
+              start_ns = t0;
+              dur_ns = Int64.sub t1 t0;
+              domain = (Domain.self () :> int);
+            })
+        f
+  end
+
+let with_trace name f =
+  if not (Atomic.get enabled_v) then (f (), 0)
+  else begin
+    let tid = fresh_id () in
+    let id = fresh_id () in
+    let r = Domain.DLS.get ctx_key in
+    let saved = !r in
+    r := Some { trace = tid; parent = id };
+    let t0 = now_ns () in
+    let v =
+      Fun.protect
+        ~finally:(fun () ->
+          let t1 = now_ns () in
+          r := saved;
+          record
+            {
+              trace_id = tid;
+              span_id = id;
+              parent_id = 0;
+              name;
+              start_ns = t0;
+              dur_ns = Int64.sub t1 t0;
+              domain = (Domain.self () :> int);
+            })
+        f
+    in
+    (v, tid)
+  end
+
+(* ---- scraping ------------------------------------------------------------ *)
+
+let all_spans () =
+  let out = ref [] in
+  Array.iter
+    (fun r ->
+      Mutex.protect r.lock (fun () ->
+          let cap = Array.length r.buf in
+          let emit i = if r.buf.(i) != dummy then out := r.buf.(i) :: !out in
+          if r.filled then
+            for i = r.pos to cap - 1 do
+              emit i
+            done;
+          for i = 0 to r.pos - 1 do
+            emit i
+          done))
+    rings;
+  !out
+
+let by_start a b =
+  match Int64.compare a.start_ns b.start_ns with 0 -> compare a.span_id b.span_id | c -> c
+
+let spans_of_trace tid =
+  List.sort by_start (List.filter (fun s -> s.trace_id = tid) (all_spans ()))
+
+(* Traces whose root span is still in the rings, newest first. A trace
+   with evicted or in-flight roots (e.g. the request currently serving
+   the scrape) is skipped rather than shown truncated. *)
+let recent_traces n =
+  let spans = all_spans () in
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun s ->
+      let cur = try Hashtbl.find tbl s.trace_id with Not_found -> [] in
+      Hashtbl.replace tbl s.trace_id (s :: cur))
+    spans;
+  let roots = List.filter (fun s -> s.parent_id = 0) spans in
+  let roots = List.sort (fun a b -> by_start b a) roots in
+  let rec take k = function
+    | [] -> []
+    | r :: rest ->
+      if k = 0 then []
+      else (r.trace_id, List.sort by_start (Hashtbl.find tbl r.trace_id)) :: take (k - 1) rest
+  in
+  take (max 0 n) roots
+
+(* ---- trees --------------------------------------------------------------- *)
+
+type tree = { span : span; children : tree list }
+
+let tree_of_spans spans =
+  let spans = List.sort by_start spans in
+  let present = Hashtbl.create 16 in
+  List.iter (fun s -> Hashtbl.replace present s.span_id ()) spans;
+  let kids = Hashtbl.create 16 in
+  let is_root s = s.parent_id = 0 || not (Hashtbl.mem present s.parent_id) in
+  List.iter
+    (fun s ->
+      if not (is_root s) then begin
+        let cur = try Hashtbl.find kids s.parent_id with Not_found -> [] in
+        Hashtbl.replace kids s.parent_id (s :: cur)
+      end)
+    spans;
+  let rec build s =
+    let children = try List.rev (Hashtbl.find kids s.span_id) with Not_found -> [] in
+    { span = s; children = List.map build children }
+  in
+  List.map build (List.filter is_root spans)
+
+let ms_of_ns ns = Int64.to_float ns /. 1e6
+
+(* Pretty span tree: one line per span with its duration, plus a stage
+   summary per root comparing the direct children's total against the
+   root (concurrent pool tasks overlap deeper in the tree, but direct
+   stages are sequential, so the two should agree closely). *)
+let render_tree spans =
+  let buf = Buffer.create 256 in
+  let line indent connector s =
+    let label = Printf.sprintf "%s%s%s" indent connector s.name in
+    Buffer.add_string buf
+      (Printf.sprintf "%-44s %10.3f ms  (d%d)\n" label (ms_of_ns s.dur_ns) s.domain)
+  in
+  let rec node indent connector child_indent t =
+    line indent connector t.span;
+    let n = List.length t.children in
+    List.iteri
+      (fun i c ->
+        let last = i = n - 1 in
+        node
+          (indent ^ child_indent)
+          (if last then "└─ " else "├─ ")
+          (if last then "   " else "│  ")
+          c)
+      t.children
+  in
+  List.iter
+    (fun root ->
+      node "" "" "" root;
+      if root.children <> [] then begin
+        let stage_ns =
+          List.fold_left (fun acc c -> Int64.add acc c.span.dur_ns) 0L root.children
+        in
+        let total = ms_of_ns root.span.dur_ns in
+        let stages = ms_of_ns stage_ns in
+        Buffer.add_string buf
+          (Printf.sprintf "stages %.3f ms / %.3f ms total (%.1f%%)\n" stages total
+             (if total > 0. then 100. *. stages /. total else 0.))
+      end)
+    (tree_of_spans spans);
+  Buffer.contents buf

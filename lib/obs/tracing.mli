@@ -1,0 +1,75 @@
+(** Structured per-request tracing: named spans over the monotonic
+    clock, recorded into per-domain ring buffers on completion. With
+    tracing disabled (the default), {!with_span} costs a single
+    [Atomic.get] before running its thunk — cheap enough to leave in
+    query kernels permanently. The ambient (trace, parent) context is
+    domain-local; fork points capture it with {!current_context} and
+    re-install it on worker domains with {!with_context}. *)
+
+type span = {
+  trace_id : int;
+  span_id : int;
+  parent_id : int;  (** 0 for a trace root *)
+  name : string;
+  start_ns : int64;
+  dur_ns : int64;
+  domain : int;  (** domain id the span completed on *)
+}
+
+val now_ns : unit -> int64
+(** Monotonic clock, nanoseconds. *)
+
+val enable : ?capacity:int -> unit -> unit
+(** Turn tracing on, (re)sizing each per-domain ring to [capacity]
+    spans (default 4096, minimum 16). Idempotent; existing spans are
+    kept when the capacity is unchanged. *)
+
+val disable : unit -> unit
+
+val enabled : unit -> bool
+
+val clear : unit -> unit
+(** Drop all recorded spans (test hook). *)
+
+val with_trace : string -> (unit -> 'a) -> 'a * int
+(** [with_trace name f] runs [f] under a fresh trace root span and
+    returns its result with the trace id — 0 when tracing is disabled
+    (no span recorded). *)
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f] under a child span of the ambient
+    context. A no-op when tracing is disabled or no trace is active on
+    this domain. The span is recorded on completion, exceptions
+    included. *)
+
+(** {1 Cross-domain propagation} *)
+
+type context
+
+val current_context : unit -> context option
+(** The ambient (trace, parent) position, to capture at a fork point. *)
+
+val with_context : context option -> (unit -> 'a) -> 'a
+(** Run a thunk under a captured context on another domain; [None] is
+    the identity. *)
+
+(** {1 Scraping} *)
+
+val spans_of_trace : int -> span list
+(** All recorded spans of one trace, in start order. *)
+
+val recent_traces : int -> (int * span list) list
+(** Up to [n] most recent traces whose root span is still buffered,
+    newest first, each with its spans in start order. *)
+
+(** {1 Span trees} *)
+
+type tree = { span : span; children : tree list }
+
+val tree_of_spans : span list -> tree list
+(** Forest reconstruction by parent links; spans whose parent was
+    evicted from its ring become roots. Children are in start order. *)
+
+val render_tree : span list -> string
+(** Human-readable span tree with per-span durations and, per root, a
+    summary line comparing the direct stages' total to the root's. *)

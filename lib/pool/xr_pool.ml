@@ -52,6 +52,27 @@ let steal_top d =
         Some task
       end)
 
+(* Pool counters live in the process-wide metrics registry, one series
+   per pool (label [pool]), so /metrics sees every pool while
+   [counters] still reports per-instance values through the same
+   handles. Pool names are made unique per instance — a reset global
+   pool must not inherit its predecessor's counts. *)
+module Counter = Xr_obs.Registry.Counter
+
+let tasks_fam =
+  Counter.family ~name:"xr_pool_tasks_total" ~help:"Pool tasks executed to completion"
+    ~label_names:[ "pool" ] ()
+
+let steals_fam =
+  Counter.family ~name:"xr_pool_steals_total"
+    ~help:"Pool tasks taken from another worker's deque" ~label_names:[ "pool" ] ()
+
+let batches_fam =
+  Counter.family ~name:"xr_pool_batches_total" ~help:"Pool run calls that fanned out"
+    ~label_names:[ "pool" ] ()
+
+let pool_seq = Atomic.make 0
+
 type t = {
   deques : deque array;  (* one per worker domain; empty when size = 1 *)
   mutable workers : unit Domain.t array;
@@ -59,9 +80,9 @@ type t = {
   work_cv : Condition.t;
   mutable stopping : bool;
   rr : int Atomic.t;  (* rotates the first deque each batch seeds *)
-  tasks : int Atomic.t;
-  steals : int Atomic.t;
-  batches : int Atomic.t;
+  tasks : Counter.h;
+  steals : Counter.h;
+  batches : Counter.h;
 }
 
 type counters = { domains : int; tasks : int; steals : int; batches : int }
@@ -71,9 +92,9 @@ let size t = Array.length t.deques + 1
 let counters t =
   {
     domains = size t;
-    tasks = Atomic.get t.tasks;
-    steals = Atomic.get t.steals;
-    batches = Atomic.get t.batches;
+    tasks = Counter.value t.tasks;
+    steals = Counter.value t.steals;
+    batches = Counter.value t.batches;
   }
 
 (* Take any runnable task: own deque bottom first (workers only), then
@@ -93,7 +114,7 @@ let try_take t ~own =
       else
         match steal_top t.deques.((start + i) mod n) with
         | Some _ as r ->
-          Atomic.incr t.steals;
+          Counter.inc t.steals;
           r
         | None -> sweep (i + 1)
     in
@@ -127,8 +148,13 @@ let default_domains () =
   | Some s -> ( match int_of_string_opt s with Some n when n >= 1 -> n | _ -> 1)
   | None -> Domain.recommended_domain_count ()
 
-let create ?domains () =
+let create ?name ?domains () =
   let n = max 1 (match domains with Some d -> d | None -> default_domains ()) in
+  let seq = Atomic.fetch_and_add pool_seq 1 in
+  let name =
+    match name with Some s -> s | None -> Printf.sprintf "pool-%d" seq
+  in
+  let labels = [ name ] in
   let t =
     {
       deques = Array.init (n - 1) (fun _ -> make_deque ());
@@ -137,9 +163,9 @@ let create ?domains () =
       work_cv = Condition.create ();
       stopping = false;
       rr = Atomic.make 0;
-      tasks = Atomic.make 0;
-      steals = Atomic.make 0;
-      batches = Atomic.make 0;
+      tasks = Counter.handle tasks_fam labels;
+      steals = Counter.handle steals_fam labels;
+      batches = Counter.handle batches_fam labels;
     }
   in
   t.workers <- Array.init (n - 1) (fun id -> Domain.spawn (fun () -> worker t id));
@@ -171,17 +197,23 @@ let run t thunks =
     let failed = ref None in
     Array.iter
       (fun f ->
-        Atomic.incr t.tasks;
+        Counter.inc t.tasks;
         try f () with e -> if !failed = None then failed := Some e)
       thunks;
     match !failed with Some e -> raise e | None -> ()
   end
   else begin
-    Atomic.incr t.batches;
+    Counter.inc t.batches;
     let b = { bm = Mutex.create (); bcv = Condition.create (); pending = n; failed = None } in
+    (* Capture the submitter's trace position so spans recorded inside
+       tasks — wherever they get stolen to — attach to its trace. *)
+    let ctx = Xr_obs.Tracing.current_context () in
     let wrap f () =
-      (try f () with e -> Mutex.protect b.bm (fun () -> if b.failed = None then b.failed <- Some e));
-      Atomic.incr t.tasks;
+      (try
+         Xr_obs.Tracing.with_context ctx (fun () ->
+             Xr_obs.Tracing.with_span "pool.task" f)
+       with e -> Mutex.protect b.bm (fun () -> if b.failed = None then b.failed <- Some e));
+      Counter.inc t.tasks;
       Mutex.protect b.bm (fun () ->
           b.pending <- b.pending - 1;
           if b.pending = 0 then Condition.broadcast b.bcv)
@@ -210,12 +242,16 @@ let run t thunks =
 let global_lock = Mutex.create ()
 let global_pool : t option ref = ref None
 
+let global_seq = Atomic.make 0
+
+let global_name () = Printf.sprintf "global-%d" (Atomic.fetch_and_add global_seq 1)
+
 let global () =
   Mutex.protect global_lock (fun () ->
       match !global_pool with
       | Some p -> p
       | None ->
-        let p = create ~domains:(default_domains ()) () in
+        let p = create ~name:(global_name ()) ~domains:(default_domains ()) () in
         global_pool := Some p;
         p)
 
@@ -224,4 +260,4 @@ let peek_global () = Mutex.protect global_lock (fun () -> !global_pool)
 let reset_global ?domains () =
   Mutex.protect global_lock (fun () ->
       (match !global_pool with Some p -> shutdown p | None -> ());
-      global_pool := Some (create ?domains ()))
+      global_pool := Some (create ~name:(global_name ()) ?domains ()))

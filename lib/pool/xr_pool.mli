@@ -14,10 +14,12 @@
 
 type t
 
-val create : ?domains:int -> unit -> t
+val create : ?name:string -> ?domains:int -> unit -> t
 (** [create ~domains ()] builds a pool of total size [domains]
     (clamped to at least 1), spawning [domains - 1] worker domains.
-    Default: {!default_domains}. *)
+    Default: {!default_domains}. [name] labels the pool's series in the
+    process metrics registry ([xr_pool_*_total{pool=...}]); the default
+    is unique per instance so a new pool never inherits counts. *)
 
 val size : t -> int
 (** Total parallelism of the pool ([worker domains + 1]). *)
@@ -45,6 +47,8 @@ type counters = {
 }
 
 val counters : t -> counters
+(** This pool's values, read back from the process metrics registry
+    (the same series [/metrics] exposes under the pool's label). *)
 
 (** {1 The process-wide pool} *)
 

@@ -227,4 +227,40 @@ let stats_payload ?pool (index : Index.t) =
     ]
     @ (match pool with Some p -> [ ("pool", p) ] | None -> []))
 
+(* Recent traces as nested span trees: per trace the root's total and,
+   per span, duration, start offset from the trace root, and the domain
+   it completed on. *)
+let trace_payload traces =
+  let module Tr = Xr_obs.Tracing in
+  let rec node root_start (t : Tr.tree) =
+    let sp = t.Tr.span in
+    Json.Obj
+      [
+        ("name", Json.String sp.Tr.name);
+        ("ms", Json.Float (Int64.to_float sp.Tr.dur_ns /. 1e6));
+        ( "start_us",
+          Json.Float (Int64.to_float (Int64.sub sp.Tr.start_ns root_start) /. 1e3) );
+        ("domain", Json.Int sp.Tr.domain);
+        ("children", Json.List (List.map (node root_start) t.Tr.children));
+      ]
+  in
+  let one (tid, spans) =
+    let root = List.find_opt (fun (s : Tr.span) -> s.Tr.parent_id = 0) spans in
+    let root_start = match root with Some s -> s.Tr.start_ns | None -> 0L in
+    let total_ms =
+      match root with Some s -> Int64.to_float s.Tr.dur_ns /. 1e6 | None -> 0.
+    in
+    Json.Obj
+      [
+        ("trace", Json.Int tid);
+        ("total_ms", Json.Float total_ms);
+        ("spans", Json.List (List.map (node root_start) (Tr.tree_of_spans spans)));
+      ]
+  in
+  Json.Obj
+    [
+      ("count", Json.Int (List.length traces));
+      ("traces", Json.List (List.map one traces));
+    ]
+
 let error_payload msg = Json.Obj [ ("error", Json.String msg) ]

@@ -49,5 +49,10 @@ val pool_payload : unit -> Json.t
     keyword counts plus per-node-type aggregates. *)
 val stats_payload : ?pool:Json.t -> Xr_index.Index.t -> Json.t
 
+(** [trace_payload traces] renders {!Xr_obs.Tracing.recent_traces}
+    output as the [/debug/trace] document: per trace its id, total, and
+    nested span tree (name, duration, start offset, domain). *)
+val trace_payload : (int * Xr_obs.Tracing.span list) list -> Json.t
+
 (** [error_payload msg] is [{"error": msg}]. *)
 val error_payload : string -> Json.t

@@ -1,66 +1,96 @@
-(* Endpoints get a fixed counter slot each; unknown paths share "other".
-   Everything is an [Atomic] so workers never serialize on metrics. *)
+(* Serving metrics over the process-wide xr_obs registry. Endpoints get
+   a fixed label slot each (unknown paths share "other"); handles are
+   resolved once at [create] so the record path touches exactly one
+   shard cell per counter and one per histogram bucket. The same series
+   back both renderings: Prometheus text at /metrics (via
+   [Xr_obs.Expo]) and the legacy JSON document at /metrics.json
+   ([snapshot], shape unchanged from when it lived at /metrics). *)
+
+module Registry = Xr_obs.Registry
 
 let endpoints =
-  [| "/search"; "/refine"; "/suggest"; "/complete"; "/stats"; "/metrics"; "/health"; "other" |]
+  [|
+    "/search";
+    "/refine";
+    "/suggest";
+    "/complete";
+    "/stats";
+    "/metrics";
+    "/metrics.json";
+    "/debug/trace";
+    "/health";
+    "other";
+  |]
 
 let latency_buckets_ms = [| 0.5; 1.; 2.; 5.; 10.; 20.; 50.; 100.; 200.; 500.; 1000.; 5000. |]
 
+(* Status classes as exposed under the [code] label; out-of-range
+   statuses share the last slot. *)
+let classes = [| "1xx"; "2xx"; "3xx"; "4xx"; "5xx"; "other" |]
+
+let requests_fam =
+  Registry.Counter.family ~name:"xr_http_requests_total" ~help:"Completed HTTP requests"
+    ~label_names:[ "endpoint"; "code" ] ()
+
+let shed_fam =
+  Registry.Counter.family ~name:"xr_http_shed_total"
+    ~help:"Connections refused by admission control" ()
+
+let deadline_fam =
+  Registry.Counter.family ~name:"xr_http_deadline_dropped_total"
+    ~help:"Requests dropped because their deadline passed while queued" ()
+
+let duration_fam =
+  Registry.Histogram.family ~name:"xr_http_request_duration_ms"
+    ~help:"Request handling latency in milliseconds" ~label_names:[ "endpoint" ]
+    ~buckets:latency_buckets_ms ()
+
 type t = {
   started_at : float;
-  total : int Atomic.t;
-  by_endpoint : int Atomic.t array;  (* indexed like [endpoints] *)
-  by_class : int Atomic.t array;  (* status div 100: 1xx..5xx at 0..4 *)
-  buckets : int Atomic.t array;  (* cumulative-histogram raw counts; last = +inf *)
-  ep_buckets : int Atomic.t array array;  (* per-endpoint histogram, same bucket layout *)
-  latency_sum_us : int Atomic.t;
-  shed : int Atomic.t;
-  deadline_dropped : int Atomic.t;
+  req : Registry.Counter.h array array;  (* endpoint slot x status class *)
+  dur : Registry.Histogram.h array;  (* indexed like [endpoints] *)
+  shed : Registry.Counter.h;
+  deadline_dropped : Registry.Counter.h;
 }
 
 let create () =
   {
     started_at = Unix.gettimeofday ();
-    total = Atomic.make 0;
-    by_endpoint = Array.init (Array.length endpoints) (fun _ -> Atomic.make 0);
-    by_class = Array.init 5 (fun _ -> Atomic.make 0);
-    buckets = Array.init (Array.length latency_buckets_ms + 1) (fun _ -> Atomic.make 0);
-    ep_buckets =
-      Array.init (Array.length endpoints) (fun _ ->
-          Array.init (Array.length latency_buckets_ms + 1) (fun _ -> Atomic.make 0));
-    latency_sum_us = Atomic.make 0;
-    shed = Atomic.make 0;
-    deadline_dropped = Atomic.make 0;
+    req =
+      Array.map
+        (fun ep -> Array.map (fun cls -> Registry.Counter.handle requests_fam [ ep; cls ]) classes)
+        endpoints;
+    dur = Array.map (fun ep -> Registry.Histogram.handle duration_fam [ ep ]) endpoints;
+    shed = Registry.Counter.no_labels shed_fam;
+    deadline_dropped = Registry.Counter.no_labels deadline_fam;
   }
+
+let started_at t = t.started_at
 
 let endpoint_slot path =
   let n = Array.length endpoints in
   let rec find i = if i >= n - 1 then n - 1 else if endpoints.(i) = path then i else find (i + 1) in
   find 0
 
-let incr a = Atomic.incr a
+let class_slot status =
+  let cls = (status / 100) - 1 in
+  if cls >= 0 && cls < 5 then cls else 5
 
 let record t ~endpoint ~status ~ms =
-  incr t.total;
   let ep = endpoint_slot endpoint in
-  incr t.by_endpoint.(ep);
-  let cls = (status / 100) - 1 in
-  if cls >= 0 && cls < 5 then incr t.by_class.(cls);
-  let rec slot i =
-    if i >= Array.length latency_buckets_ms then i
-    else if ms <= latency_buckets_ms.(i) then i
-    else slot (i + 1)
-  in
-  let b = slot 0 in
-  incr t.buckets.(b);
-  incr t.ep_buckets.(ep).(b);
-  ignore (Atomic.fetch_and_add t.latency_sum_us (int_of_float (ms *. 1000.)))
+  Registry.Counter.inc t.req.(ep).(class_slot status);
+  Registry.Histogram.observe t.dur.(ep) ms
 
-let record_shed t = incr t.shed
+let record_shed t = Registry.Counter.inc t.shed
 
-let record_deadline t = incr t.deadline_dropped
+let record_deadline t = Registry.Counter.inc t.deadline_dropped
 
-let requests_total t = Atomic.get t.total
+let endpoint_total t ep = Array.fold_left (fun acc h -> acc + Registry.Counter.value h) 0 t.req.(ep)
+
+let requests_total t =
+  let total = ref 0 in
+  Array.iteri (fun ep _ -> total := !total + endpoint_total t ep) endpoints;
+  !total
 
 (* Percentile estimate off the bucketed histogram: find the bucket where
    the cumulative count crosses [q * total] and interpolate linearly
@@ -102,36 +132,50 @@ let quantiles_json counts =
 
 let snapshot t ~queue_depth ~workers ~cache =
   let by_endpoint =
-    Array.to_list
-      (Array.mapi (fun i c -> (endpoints.(i), Json.Int (Atomic.get c))) t.by_endpoint)
+    Array.to_list (Array.mapi (fun i ep -> (ep, Json.Int (endpoint_total t i))) endpoints)
   in
   let by_class =
     List.filter_map
-      (fun i ->
-        let c = Atomic.get t.by_class.(i) in
-        if c = 0 then None else Some (Printf.sprintf "%dxx" (i + 1), Json.Int c))
+      (fun cls ->
+        let c =
+          Array.fold_left
+            (fun acc per_ep -> acc + Registry.Counter.value per_ep.(cls))
+            0 t.req
+        in
+        if c = 0 then None else Some (classes.(cls), Json.Int c))
       [ 0; 1; 2; 3; 4 ]
   in
-  (* Cumulative ("le") counts, Prometheus-style. *)
+  (* Aggregate latency over endpoints: raw bucket counts summed, then
+     rendered cumulative ("le") Prometheus-style. *)
+  let nb = Array.length latency_buckets_ms + 1 in
+  let agg = Array.make nb 0 in
+  let sum_ms = ref 0. in
+  Array.iter
+    (fun h ->
+      let counts = Registry.Histogram.raw_counts h in
+      Array.iteri (fun i c -> agg.(i) <- agg.(i) + c) counts;
+      sum_ms := !sum_ms +. Registry.Histogram.sum h)
+    t.dur;
+  let total = Array.fold_left ( + ) 0 agg in
   let cumulative = ref 0 in
   let hist =
     Array.to_list
       (Array.mapi
          (fun i c ->
-           cumulative := !cumulative + Atomic.get c;
+           cumulative := !cumulative + c;
            let le =
              if i < Array.length latency_buckets_ms then
                Json.Float latency_buckets_ms.(i)
              else Json.String "+inf"
            in
            Json.Obj [ ("le_ms", le); ("count", Json.Int !cumulative) ])
-         t.buckets)
+         agg)
   in
   (* Per-endpoint p50/p95/p99, only for endpoints that saw traffic. *)
   let by_endpoint_latency =
     List.filter_map
       (fun i ->
-        let counts = Array.map Atomic.get t.ep_buckets.(i) in
+        let counts = Registry.Histogram.raw_counts t.dur.(i) in
         if Array.for_all (fun c -> c = 0) counts then None
         else Some (endpoints.(i), Json.Obj (quantiles_json counts)))
       (List.init (Array.length endpoints) Fun.id)
@@ -143,17 +187,17 @@ let snapshot t ~queue_depth ~workers ~cache =
       ( "requests",
         Json.Obj
           [
-            ("total", Json.Int (Atomic.get t.total));
+            ("total", Json.Int total);
             ("by_endpoint", Json.Obj by_endpoint);
             ("by_status", Json.Obj by_class);
-            ("shed", Json.Int (Atomic.get t.shed));
-            ("deadline_dropped", Json.Int (Atomic.get t.deadline_dropped));
+            ("shed", Json.Int (Registry.Counter.value t.shed));
+            ("deadline_dropped", Json.Int (Registry.Counter.value t.deadline_dropped));
           ] );
       ( "latency",
         Json.Obj
           [
-            ("count", Json.Int (Atomic.get t.total));
-            ("sum_ms", Json.Float (float_of_int (Atomic.get t.latency_sum_us) /. 1000.));
+            ("count", Json.Int total);
+            ("sum_ms", Json.Float !sum_ms);
             ("buckets", Json.List hist);
             ("by_endpoint", Json.Obj by_endpoint_latency);
           ] );

@@ -1,10 +1,11 @@
-(** Serving metrics, updated lock-free with [Atomic] counters from every
-    worker domain and rendered as the [/metrics] JSON document: request
-    counts by endpoint and status class, a cumulative latency histogram
-    plus per-endpoint p50/p95/p99 estimates (interpolated within the
-    shared bucket layout), shed (admission-refused) and timed-out
-    counts, and — joined in at snapshot time — cache statistics and the
-    current queue depth. *)
+(** Serving metrics over the process-wide {!Xr_obs.Registry}: request
+    counts by endpoint and status class, a per-endpoint latency
+    histogram (shared bucket layout), shed (admission-refused) and
+    timed-out counts. The same series back both renderings — Prometheus
+    text at [/metrics] (via {!Xr_obs.Expo}) and the JSON document at
+    [/metrics.json] ({!snapshot}), which joins in cache statistics and
+    the current queue depth. Handles are resolved at {!create}, so
+    recording stays lock-free (one shard-cell RMW per counter). *)
 
 type t
 
@@ -13,6 +14,8 @@ val create : unit -> t
 (** Upper bounds (milliseconds) of the cumulative latency histogram
     buckets; the implicit last bucket is [+inf]. *)
 val latency_buckets_ms : float array
+
+val started_at : t -> float
 
 (** [record t ~endpoint ~status ~ms] accounts one completed request. *)
 val record : t -> endpoint:string -> status:int -> ms:float -> unit
@@ -26,6 +29,12 @@ val record_deadline : t -> unit
 
 val requests_total : t -> int
 
+(** [percentile_ms counts total q] interpolates the [q]-quantile within
+    the shared bucket layout; [counts] are raw per-bucket counts (last =
+    +inf), [total] their sum. Exposed for loadgen's client-side
+    histogram cross-check. *)
+val percentile_ms : int array -> int -> float -> float
+
 (** [snapshot t ~queue_depth ~workers ~cache] renders everything as one
-    JSON object. *)
+    JSON object (the [/metrics.json] document). *)
 val snapshot : t -> queue_depth:int -> workers:int -> cache:Lru.stats -> Json.t

@@ -15,6 +15,8 @@ type config = {
   parallel_threshold : int;
   limits : Http.limits;
   log : bool;
+  trace : bool;  (* per-request span recording + /debug/trace *)
+  slow_query_ms : float;  (* log requests at or above this; 0 = off *)
 }
 
 let default_config =
@@ -30,6 +32,8 @@ let default_config =
     parallel_threshold = Xr_slca.Parallel.default_threshold;
     limits = Http.default_limits;
     log = false;
+    trace = true;
+    slow_query_ms = 0.;
   }
 
 type conn = { fd : Unix.file_descr; accepted_at : float }
@@ -58,12 +62,13 @@ let queue_depth t = Pool.depth t.pool
 let bad_request msg = Http.json_response ~status:400 (Api.error_payload msg)
 
 let tokenized_query req =
-  match Http.query_param req "q" with
-  | None -> Error (bad_request "missing query parameter q")
-  | Some raw -> (
-    match Xr_xml.Token.tokenize raw with
-    | [] -> Error (bad_request "query has no keywords")
-    | toks -> Ok toks)
+  Xr_obs.Tracing.with_span "parse" (fun () ->
+      match Http.query_param req "q" with
+      | None -> Error (bad_request "missing query parameter q")
+      | Some raw -> (
+        match Xr_xml.Token.tokenize raw with
+        | [] -> Error (bad_request "query has no keywords")
+        | toks -> Ok toks))
 
 let int_param req name ~default =
   match Http.query_param req name with
@@ -82,7 +87,7 @@ let bool_param req name =
    on a miss. The cached unit is the serialized body, so hits are
    byte-identical to the response that populated them. *)
 let with_cache t key compute =
-  match Lru.find t.result_cache key with
+  match Xr_obs.Tracing.with_span "cache" (fun () -> Lru.find t.result_cache key) with
   | Some body ->
     {
       (Http.response ~status:200 ~headers:[ ("content-type", "application/json") ] body) with
@@ -179,9 +184,21 @@ let handle t (req : Http.request) =
     match req.Http.path with
     | "/health" -> Http.json_response (Json.Obj [ ("status", Json.String "ok") ])
     | "/metrics" ->
+      (* Prometheus text exposition of the whole process registry; the
+         legacy JSON document moved to /metrics.json. *)
+      Http.response ~status:200
+        ~headers:[ ("content-type", Xr_obs.Expo.content_type) ]
+        (Xr_obs.Expo.render (Xr_obs.Registry.default ()))
+    | "/metrics.json" ->
       Http.json_response
         (Metrics.snapshot t.server_metrics ~queue_depth:(Pool.depth t.pool)
            ~workers:(Pool.domains t.pool) ~cache:(Lru.stats t.result_cache))
+    | "/debug/trace" -> (
+      match int_param req "last" ~default:16 with
+      | Error resp -> resp
+      | Ok last ->
+        let last = min (max last 0) 256 in
+        Http.json_response (Api.trace_payload (Xr_obs.Tracing.recent_traces last)))
     | "/stats" -> Http.json_response (Api.stats_payload ~pool:(Api.pool_payload ()) t.index)
     | "/search" -> handle_search t req
     | "/refine" -> handle_refine t req
@@ -207,6 +224,18 @@ let error_response err =
   | Eof -> None
 
 let internal_error = Http.json_response ~status:500 (Api.error_payload "internal error")
+
+(* One structured line per offending request, with its span breakdown
+   inlined so the evidence survives ring-buffer eviction. *)
+let log_slow_query t req status trace_id ms =
+  let threshold = t.config.slow_query_ms in
+  if threshold > 0. && ms >= threshold then begin
+    let spans = if trace_id = 0 then [] else Xr_obs.Tracing.spans_of_trace trace_id in
+    let line =
+      Xr_obs.Slowlog.render ~endpoint:req.Http.path ~status ~ms ~trace_id spans
+    in
+    Mutex.protect t.log_lock (fun () -> Printf.eprintf "%s\n%!" line)
+  end
 
 let handle_conn t conn =
   let close () = try Unix.close conn.fd with Unix.Unix_error _ -> () in
@@ -244,11 +273,15 @@ let handle_conn t conn =
           close ())
         | Ok req -> (
           let t0 = Unix.gettimeofday () in
-          let resp = try handle t req with _ -> internal_error in
+          let resp, trace_id =
+            Xr_obs.Tracing.with_trace "request" (fun () ->
+                try handle t req with _ -> internal_error)
+          in
           let ms = (Unix.gettimeofday () -. t0) *. 1000. in
           let ka = Http.keep_alive req && served + 1 < t.config.keepalive_requests in
           Metrics.record t.server_metrics ~endpoint:req.Http.path ~status:resp.Http.status ~ms;
           log_request t req resp.Http.status ms;
+          log_slow_query t req resp.Http.status trace_id ms;
           match Http.write_all conn.fd (Http.serialize ~keep_alive:ka resp) with
           | () -> if ka then serve (served + 1) else close ()
           | exception Unix.Unix_error _ -> close ())
@@ -291,8 +324,61 @@ let bind_socket addr =
     Unix.listen fd 128;
     fd
 
+(* Scrape-time gauges and pulled counters for state owned elsewhere:
+   queue depth, worker count, cache statistics, uptime, and the
+   (immutable) index footprint. Families are idempotent and [set_pull]
+   rebinds, so restarting a server in the same process re-points the
+   series at the live instance. *)
+let register_observability t =
+  let module Reg = Xr_obs.Registry in
+  let gauge name help = Reg.Gauge.no_labels (Reg.Gauge.family ~name ~help ()) in
+  let pull_gauge name help f = Reg.Gauge.set_pull (gauge name help) f in
+  let pull_counter name help f =
+    Reg.Counter.set_pull (Reg.Counter.no_labels (Reg.Counter.family ~name ~help ())) f
+  in
+  pull_gauge "xr_uptime_seconds" "Seconds since server start" (fun () ->
+      Unix.gettimeofday () -. Metrics.started_at t.server_metrics);
+  pull_gauge "xr_queue_depth" "Connections waiting in the admission queue" (fun () ->
+      float_of_int (Pool.depth t.pool));
+  pull_gauge "xr_worker_domains" "Request worker domains" (fun () ->
+      float_of_int (Pool.domains t.pool));
+  pull_counter "xr_cache_hits_total" "Result cache hits" (fun () ->
+      float_of_int (Lru.stats t.result_cache).Lru.hits);
+  pull_counter "xr_cache_misses_total" "Result cache misses" (fun () ->
+      float_of_int (Lru.stats t.result_cache).Lru.misses);
+  pull_counter "xr_cache_evictions_total" "Result cache evictions" (fun () ->
+      float_of_int (Lru.stats t.result_cache).Lru.evictions);
+  pull_gauge "xr_cache_entries" "Result cache resident entries" (fun () ->
+      float_of_int (Lru.stats t.result_cache).Lru.entries);
+  pull_gauge "xr_cache_capacity" "Result cache capacity" (fun () ->
+      float_of_int (Lru.stats t.result_cache).Lru.capacity);
+  pull_counter "xr_index_materializations_total"
+    "Legacy posting-array materializations from packed lists" (fun () ->
+      float_of_int (Xr_index.Inverted.materialization_count t.index.Index.inverted));
+  (* The index is read-only after build: measure its footprint once. *)
+  let postings = ref 0 and packed_bytes = ref 0 and label_bytes = ref 0 in
+  Xr_index.Inverted.iter_packed
+    (fun _ pk ->
+      postings := !postings + Xr_index.Inverted.packed_postings pk;
+      packed_bytes := !packed_bytes + Xr_index.Inverted.packed_bytes pk;
+      label_bytes := !label_bytes + Xr_index.Inverted.packed_label_bytes pk)
+    t.index.Index.inverted;
+  let d = t.index.Index.doc in
+  Reg.Gauge.set (gauge "xr_index_postings" "Postings across all inverted lists")
+    (float_of_int !postings);
+  Reg.Gauge.set (gauge "xr_index_packed_bytes" "Bytes of packed posting data")
+    (float_of_int !packed_bytes);
+  Reg.Gauge.set
+    (gauge "xr_index_label_bytes" "Bytes of varint Dewey labels in packed lists")
+    (float_of_int !label_bytes);
+  Reg.Gauge.set (gauge "xr_index_keywords" "Distinct keywords in the vocabulary")
+    (float_of_int (List.length (Xr_xml.Doc.vocabulary d)));
+  Reg.Gauge.set (gauge "xr_index_nodes" "Element nodes in the document")
+    (float_of_int (Xr_xml.Doc.node_count d))
+
 let start config index =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  if config.trace then Xr_obs.Tracing.enable ();
   (* Request workers submit SLCA subtasks to the shared domain pool;
      queries below this many driver postings stay sequential. *)
   Xr_slca.Parallel.set_threshold config.parallel_threshold;
@@ -320,6 +406,7 @@ let start config index =
     }
   in
   tref := Some t;
+  register_observability t;
   t
 
 let bound_addr t = Unix.getsockname t.listen_fd

@@ -11,9 +11,13 @@
     [/search], [/refine], [/suggest] and [/complete] are cached in a
     sharded LRU ({!Lru}) keyed by the normalized query and parameters.
 
-    Endpoints (all [GET], all JSON — schemas in [doc/SERVER.md]):
-    [/search], [/refine], [/suggest], [/complete], [/stats], [/metrics],
-    [/health]. *)
+    Endpoints (all [GET] — schemas in [doc/SERVER.md]): [/search],
+    [/refine], [/suggest], [/complete], [/stats], [/metrics.json],
+    [/debug/trace], [/health] serve JSON; [/metrics] serves the
+    Prometheus text exposition of the process {!Xr_obs.Registry}. Every
+    request runs under an {!Xr_obs.Tracing} trace (when [trace] is on),
+    queryable at [/debug/trace?last=N] and reported by the slow-query
+    log ([slow_query_ms]). *)
 
 type address =
   | Tcp of string * int  (** host, port; port [0] binds an ephemeral port *)
@@ -35,6 +39,14 @@ type config = {
           default {!Xr_slca.Parallel.default_threshold} *)
   limits : Http.limits;
   log : bool;  (** request log on stderr; default false *)
+  trace : bool;
+      (** record per-request spans into the {!Xr_obs.Tracing} ring
+          buffers (enables [/debug/trace] and span breakdowns in the
+          slow-query log); default true *)
+  slow_query_ms : float;
+      (** log one structured stderr line (with span breakdown) for each
+          request at or above this many milliseconds; [0] disables
+          (default) *)
 }
 
 val default_config : config

@@ -55,7 +55,7 @@ let unpack_list pk =
   Array.init (Dewey.Packed.length pk) (fun i ->
       { Inverted.dewey = Dewey.Packed.get pk i; path = 0 })
 
-let compute alg lists =
+let compute_raw alg lists =
   match alg with
   | Stack -> Stack_slca.compute lists
   | Scan_eager -> Scan_eager.compute lists
@@ -65,29 +65,41 @@ let compute alg lists =
   | Scan_packed -> Scan_packed.compute (List.map pack_list lists)
   | Scan_parallel -> Parallel.compute (List.map pack_list lists)
 
-let compute_packed alg lists =
+let compute_packed_raw alg lists =
   match alg with
   | Stack_packed -> Stack_packed.compute lists
   | Scan_packed -> Scan_packed.compute lists
   | Scan_parallel -> Parallel.compute lists
-  | Stack | Scan_eager | Indexed_lookup | Multiway -> compute alg (List.map unpack_list lists)
+  | Stack | Scan_eager | Indexed_lookup | Multiway ->
+    compute_raw alg (List.map unpack_list lists)
 
 let unpack_range (pk, lo, hi) =
   Array.init (hi - lo) (fun i -> { Inverted.dewey = Dewey.Packed.get pk (lo + i); path = 0 })
 
+(* Every public entry wraps the dispatch in one [slca.scan] span (a
+   single [Atomic.get] when tracing is off); the [_raw] split keeps the
+   internal cross-calls from nesting duplicate spans. *)
+let scan_span f = Xr_obs.Tracing.with_span "slca.scan" f
+
+let compute alg lists = scan_span (fun () -> compute_raw alg lists)
+
+let compute_packed alg lists = scan_span (fun () -> compute_packed_raw alg lists)
+
 let compute_ranges alg ranges =
-  match alg with
-  | Stack_packed -> Stack_packed.compute_ranges ranges
-  | Scan_packed -> Scan_packed.compute_ranges ranges
-  | Scan_parallel -> Parallel.compute_ranges ranges
-  | Stack | Scan_eager | Indexed_lookup | Multiway ->
-    compute alg (List.map unpack_range ranges)
+  scan_span (fun () ->
+      match alg with
+      | Stack_packed -> Stack_packed.compute_ranges ranges
+      | Scan_packed -> Scan_packed.compute_ranges ranges
+      | Scan_parallel -> Parallel.compute_ranges ranges
+      | Stack | Scan_eager | Indexed_lookup | Multiway ->
+        compute_raw alg (List.map unpack_range ranges))
 
 let query_ids alg (index : Xr_index.Index.t) ids =
-  if is_packed alg then
-    compute_packed alg
-      (List.map (fun kw -> (Inverted.packed_list index.inverted kw).Inverted.labels) ids)
-  else compute alg (List.map (fun kw -> Inverted.list index.inverted kw) ids)
+  scan_span (fun () ->
+      if is_packed alg then
+        compute_packed_raw alg
+          (List.map (fun kw -> (Inverted.packed_list index.inverted kw).Inverted.labels) ids)
+      else compute_raw alg (List.map (fun kw -> Inverted.list index.inverted kw) ids))
 
 let query alg (index : Xr_index.Index.t) keywords =
   (* duplicate keywords add no constraint under conjunctive semantics *)

@@ -32,11 +32,14 @@ let threshold () = Atomic.get threshold_v
 
 let set_threshold n = Atomic.set threshold_v (max 0 n)
 
-let fallbacks_v = Atomic.make 0
+let fallbacks_h =
+  Xr_obs.Registry.Counter.no_labels
+    (Xr_obs.Registry.Counter.family ~name:"xr_slca_fallbacks_total"
+       ~help:"Parallel SLCA queries that ran sequentially (below threshold or pool of 1)" ())
 
-let fallbacks () = Atomic.get fallbacks_v
+let fallbacks () = Xr_obs.Registry.Counter.value fallbacks_h
 
-let note_fallback () = Atomic.incr fallbacks_v
+let note_fallback () = Xr_obs.Registry.Counter.inc fallbacks_h
 
 (* The merge: the same held-candidate automaton as the scan kernel's
    inner prune, over already-materialized labels. *)
@@ -102,7 +105,7 @@ let compute_ranges ?pool ?chunks ?threshold:thr (lists : (P.t * int * int) list)
                     Scan_packed.scan_chunk ~preseek:(i > 0)
                       ~driver:(driver, bound i, bound (i + 1))
                       ~others ()));
-          prune_merge slots
+          Xr_obs.Tracing.with_span "slca.merge" (fun () -> prune_merge slots)
         end
       in
       ( match chunks with

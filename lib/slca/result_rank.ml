@@ -34,8 +34,9 @@ let score stats ~query dewey =
     end
 
 let rank stats ~query slcas =
-  let scored = List.map (fun d -> (d, score stats ~query d)) slcas in
-  List.stable_sort
-    (fun (d1, s1) (d2, s2) ->
-      match Float.compare s2 s1 with 0 -> Dewey.compare d1 d2 | c -> c)
-    scored
+  Xr_obs.Tracing.with_span "refine.rank" (fun () ->
+      let scored = List.map (fun d -> (d, score stats ~query d)) slcas in
+      List.stable_sort
+        (fun (d1, s1) (d2, s2) ->
+          match Float.compare s2 s1 with 0 -> Dewey.compare d1 d2 | c -> c)
+        scored)

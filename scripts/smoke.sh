@@ -1,7 +1,8 @@
 #!/bin/sh
 # End-to-end smoke test: generate a scratch corpus, start `xrefine serve`
-# on it, curl every endpoint asserting 200 + well-formed JSON, check that
-# repeated queries hit the result cache, and shut the server down.
+# on it, curl every JSON endpoint asserting 200 + well-formed JSON, check
+# the Prometheus text exposition at /metrics, check that repeated queries
+# hit the result cache, and shut the server down.
 set -eu
 
 PORT="${SMOKE_PORT:-18980}"
@@ -82,7 +83,8 @@ for target in \
   '/refine?q=data+base&k=2' \
   '/suggest?q=database' \
   '/complete?prefix=dat' \
-  '/metrics'
+  '/metrics.json' \
+  '/debug/trace?last=4'
 do
   status=$(curl -s -o "$TMP/body" -w '%{http_code}' "$BASE$target")
   [ "$status" = "200" ] || fail "$target returned $status"
@@ -90,7 +92,18 @@ do
   echo "smoke: ok $target"
 done
 
-hits=$(curl -s "$BASE/metrics" | json_get '.cache.hits')
+# /metrics is the Prometheus text exposition, not JSON.
+ct=$(curl -s -o "$TMP/prom" -w '%{content_type}' "$BASE/metrics")
+case "$ct" in
+  text/plain*) : ;;
+  *) fail "/metrics content-type is '$ct' (want text/plain; version=0.0.4)" ;;
+esac
+grep -q '^xr_http_requests_total{' "$TMP/prom" || fail "/metrics lacks xr_http_requests_total"
+grep -q '^# TYPE xr_http_request_duration_ms histogram' "$TMP/prom" \
+  || fail "/metrics lacks the latency histogram TYPE line"
+echo "smoke: ok /metrics (prometheus text)"
+
+hits=$(curl -s "$BASE/metrics.json" | json_get '.cache.hits')
 [ "$hits" -gt 0 ] 2>/dev/null || fail "expected cache hits > 0, got '$hits'"
 echo "smoke: ok cache hits: $hits"
 

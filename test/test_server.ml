@@ -416,9 +416,21 @@ let test_e2e_roundtrip () =
       check Alcotest.int "unknown endpoint is 404" 404 status;
       let status, _, _ = get_closing port "/search?q=database&limit=wat" in
       check Alcotest.int "bad int param is 400" 400 status;
-      (* Metrics reflect all of the above. *)
-      let status, _, body = get_closing port "/metrics" in
+      (* Metrics reflect all of the above. /metrics is the Prometheus
+         text exposition; the JSON document lives at /metrics.json. *)
+      let status, _, prom = get_closing port "/metrics" in
       check Alcotest.int "metrics 200" 200 status;
+      let contains hay needle =
+        let n = String.length needle and len = String.length hay in
+        let rec scan i = i + n <= len && (String.sub hay i n = needle || scan (i + 1)) in
+        scan 0
+      in
+      check Alcotest.bool "prometheus text has request counter" true
+        (contains prom "xr_http_requests_total{");
+      check Alcotest.bool "prometheus text has latency histogram" true
+        (contains prom "# TYPE xr_http_request_duration_ms histogram");
+      let status, _, body = get_closing port "/metrics.json" in
+      check Alcotest.int "metrics.json 200" 200 status;
       (match Json.of_string body with
       | Ok m ->
         let cache_hits =
