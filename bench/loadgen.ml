@@ -26,6 +26,14 @@ let smoke = ref false
 let seed = ref 2009
 let queries_file = ref ""
 let json_summary = ref false
+let write_mix = ref 0
+let write_corpus = ref ""
+
+(* Every ingested document carries this keyword, so the final index can
+   be audited: the marker's result count must equal the number of
+   acknowledged (synced) writes. Unique per write, so it never collides
+   with the read queries. *)
+let write_marker = "loadgenmark"
 
 let speclist =
   [
@@ -41,6 +49,13 @@ let speclist =
     ("--smoke", Arg.Set smoke, " hit every endpoint once, assert 200 + well-formed JSON");
     ("--seed", Arg.Set_int seed, "N workload seed (default 2009)");
     ("--json", Arg.Set json_summary, " print the summary as one JSON object");
+    ( "--write-mix",
+      Arg.Set_int write_mix,
+      "PCT percent of requests that POST /ingest (default 0)" );
+    ( "--write-corpus",
+      Arg.Set_string write_corpus,
+      "NAME corpus the writes target; with --check, point this at a corpus\n\
+      \              the read queries never match so read baselines stay stable" );
   ]
 
 let usage = "loadgen: drive xrefine serve and report throughput/latency"
@@ -82,6 +97,13 @@ let close_client c = try Unix.close c.fd with Unix.Unix_error _ -> ()
 let get_raw c target =
   Http.write_all c.fd
     (Printf.sprintf "GET %s HTTP/1.1\r\nhost: loadgen\r\n\r\n" target);
+  Http.read_response c.reader
+
+(* One POST over an open connection. *)
+let post_raw c target body =
+  Http.write_all c.fd
+    (Printf.sprintf "POST %s HTTP/1.1\r\nhost: loadgen\r\ncontent-length: %d\r\n\r\n%s"
+       target (String.length body) body);
   Http.read_response c.reader
 
 let get c target =
@@ -127,6 +149,15 @@ let targets_of_queries qs =
   let refine = List.map (fun q -> "/refine?q=" ^ encode_query q) qs in
   (Array.of_list search, Array.of_list refine)
 
+(* Synced so a 200 acknowledges a published generation — the basis of
+   the end-of-run marker-count audit. *)
+let ingest_target () =
+  if !write_corpus = "" then "/ingest?sync=true"
+  else "/ingest?sync=true&corpus=" ^ Http.percent_encode !write_corpus
+
+let ingest_doc ~idx ~seq =
+  Printf.sprintf "<doc><note>%s w%dx%d</note></doc>" write_marker idx seq
+
 (* Client-side latency histogram over the same bucket layout as the
    server's [xr_http_request_duration_ms], so the two sides' percentiles
    are comparable bucket-for-bucket in [--check] mode. *)
@@ -164,8 +195,10 @@ let fresh_stats () =
 
 let run_client addr ~idx ~deadline ~searches ~refines ~expected =
   let rng = Random.State.make [| !seed; idx |] in
-  let stats = fresh_stats () in
-  let pick () =
+  let reads = fresh_stats () in
+  let writes = fresh_stats () in
+  let wseq = ref 0 in
+  let pick_read () =
     if Random.State.float rng 1.0 < !mix || Array.length refines = 0 then
       searches.(Random.State.int rng (Array.length searches))
     else refines.(Random.State.int rng (Array.length refines))
@@ -181,13 +214,30 @@ let run_client addr ~idx ~deadline ~searches ~refines ~expected =
       with _ -> None)
   in
   while Unix.gettimeofday () < deadline do
+    let is_write = !write_mix > 0 && Random.State.int rng 100 < !write_mix in
+    let stats = if is_write then writes else reads in
     match ensure () with
     | None -> stats.io_errors <- stats.io_errors + 1
     | Some cl -> (
-      let target = pick () in
+      let target = if is_write then ingest_target () else pick_read () in
       let t0 = Unix.gettimeofday () in
       stats.sent <- stats.sent + 1;
-      match get cl target with
+      let resp =
+        if is_write then begin
+          incr wseq;
+          match post_raw cl (ingest_target ()) (ingest_doc ~idx ~seq:!wseq) with
+          | Ok (status, headers, body) ->
+            let closing =
+              match List.assoc_opt "connection" headers with
+              | Some v -> String.lowercase_ascii v = "close"
+              | None -> false
+            in
+            Ok (status, closing, body)
+          | Error e -> Error e
+        end
+        else get cl target
+      in
+      match resp with
       | Ok (status, closing, body) ->
         let ms = (Unix.gettimeofday () -. t0) *. 1000. in
         stats.latencies_ms <- ms :: stats.latencies_ms;
@@ -195,10 +245,11 @@ let run_client addr ~idx ~deadline ~searches ~refines ~expected =
         stats.hist.(b) <- stats.hist.(b) + 1;
         (if status = 200 then begin
            stats.ok <- stats.ok + 1;
-           match Hashtbl.find_opt expected target with
-           | Some baseline when not (String.equal baseline body) ->
-             stats.mismatches <- stats.mismatches + 1
-           | _ -> ()
+           if not is_write then
+             match Hashtbl.find_opt expected target with
+             | Some baseline when not (String.equal baseline body) ->
+               stats.mismatches <- stats.mismatches + 1
+             | _ -> ()
          end
          else if status = 503 then stats.shed <- stats.shed + 1
          else if status >= 500 then stats.server_errors <- stats.server_errors + 1
@@ -213,7 +264,7 @@ let run_client addr ~idx ~deadline ~searches ~refines ~expected =
         c := None)
   done;
   (match !c with Some cl -> close_client cl | None -> ());
-  stats
+  (reads, writes)
 
 (* ---- reporting ----------------------------------------------------------- *)
 
@@ -276,25 +327,98 @@ let cross_check addr client_p =
       print_endline "  FAIL server latency percentiles grossly exceed client-side observations";
     consistent
 
-let report addr elapsed all =
-  let total f = List.fold_left (fun acc s -> acc + f s) 0 all in
-  let sent = total (fun s -> s.sent)
-  and ok = total (fun s -> s.ok)
-  and shed = total (fun s -> s.shed)
-  and c4 = total (fun s -> s.client_errors)
-  and c5 = total (fun s -> s.server_errors)
-  and io = total (fun s -> s.io_errors)
-  and mism = total (fun s -> s.mismatches) in
-  let lat = Array.of_list (List.concat_map (fun s -> s.latencies_ms) all) in
+type side_summary = {
+  s_sent : int;
+  s_ok : int;
+  s_shed : int;
+  s_4xx : int;
+  s_5xx : int;
+  s_io : int;
+  s_mism : int;
+  s_lat : float array;  (* sorted raw latencies *)
+  s_hist : int array;  (* merged per-bucket counts *)
+}
+
+let summarize side =
+  let total f = List.fold_left (fun acc s -> acc + f s) 0 side in
+  let lat = Array.of_list (List.concat_map (fun s -> s.latencies_ms) side) in
   Array.sort compare lat;
-  let mean =
-    if Array.length lat = 0 then 0.
-    else Array.fold_left ( +. ) 0. lat /. float_of_int (Array.length lat)
-  in
-  (* Histogram percentiles: merged per-client buckets, interpolated
-     exactly like the server side. *)
   let hist = Array.make nbuckets 0 in
-  List.iter (fun s -> Array.iteri (fun i c -> hist.(i) <- hist.(i) + c) s.hist) all;
+  List.iter (fun s -> Array.iteri (fun i c -> hist.(i) <- hist.(i) + c) s.hist) side;
+  {
+    s_sent = total (fun s -> s.sent);
+    s_ok = total (fun s -> s.ok);
+    s_shed = total (fun s -> s.shed);
+    s_4xx = total (fun s -> s.client_errors);
+    s_5xx = total (fun s -> s.server_errors);
+    s_io = total (fun s -> s.io_errors);
+    s_mism = total (fun s -> s.mismatches);
+    s_lat = lat;
+    s_hist = hist;
+  }
+
+let mean_of lat =
+  if Array.length lat = 0 then 0.
+  else Array.fold_left ( +. ) 0. lat /. float_of_int (Array.length lat)
+
+let latency_json s =
+  Json.Obj
+    [
+      ("mean", Json.Float (mean_of s.s_lat));
+      ("p50", Json.Float (percentile s.s_lat 50.));
+      ("p90", Json.Float (percentile s.s_lat 90.));
+      ("p99", Json.Float (percentile s.s_lat 99.));
+      ("max", Json.Float (percentile s.s_lat 100.));
+    ]
+
+let print_side label s =
+  Printf.printf "  %-6s requests %d  ok %d  shed(503) %d  4xx %d  5xx %d  io %d\n" label
+    s.s_sent s.s_ok s.s_shed s.s_4xx s.s_5xx s.s_io;
+  Printf.printf "         latency ms mean %.2f  p50 %.2f  p90 %.2f  p99 %.2f  max %.2f\n"
+    (mean_of s.s_lat) (percentile s.s_lat 50.) (percentile s.s_lat 90.)
+    (percentile s.s_lat 99.) (percentile s.s_lat 100.)
+
+(* With synced writes acknowledged, the marker keyword's result count in
+   the final index must equal the acknowledged write count exactly —
+   every 200 durable and visible, no write applied twice. *)
+let audit_writes addr acked =
+  let target =
+    "/search?q=" ^ Http.percent_encode write_marker ^ "&limit=1"
+    ^ (if !write_corpus = "" then "" else "&corpus=" ^ Http.percent_encode !write_corpus)
+  in
+  match get_once addr target with
+  | Ok (200, _, body) -> (
+    match Json.of_string body with
+    | Ok v -> (
+      match Json.member "count" v with
+      | Some (Json.Int n) when n = acked ->
+        Printf.printf "  check: marker count %d = acknowledged writes\n" n;
+        true
+      | Some (Json.Int n) ->
+        Printf.printf "  FAIL marker count %d but %d writes acknowledged\n" n acked;
+        false
+      | _ ->
+        print_endline "  FAIL marker audit: no count field";
+        false)
+    | Error msg ->
+      Printf.printf "  FAIL marker audit: invalid JSON (%s)\n" msg;
+      false)
+  | Ok (status, _, _) ->
+    Printf.printf "  FAIL marker audit: HTTP %d\n" status;
+    false
+  | Error e ->
+    Printf.printf "  FAIL marker audit: %s\n" (Http.error_to_string e);
+    false
+
+let report addr elapsed pairs =
+  let reads = summarize (List.map fst pairs) in
+  let writes = summarize (List.map snd pairs) in
+  let sent = reads.s_sent + writes.s_sent in
+  (* Combined histogram percentiles (reads and writes both flow through
+     the server's request histogram, so the cross-check must merge them
+     the same way). *)
+  let hist = Array.make nbuckets 0 in
+  Array.iteri (fun i c -> hist.(i) <- c + writes.s_hist.(i)) reads.s_hist;
   let hist_total = Array.fold_left ( + ) 0 hist in
   let hp q = Xr_server.Metrics.percentile_ms hist hist_total q in
   let hp50 = hp 0.5 and hp95 = hp 0.95 and hp99 = hp 0.99 in
@@ -307,22 +431,16 @@ let report addr elapsed all =
               ("clients", Json.Int !clients);
               ("elapsed_s", Json.Float elapsed);
               ("requests", Json.Int sent);
-              ("ok", Json.Int ok);
-              ("shed_503", Json.Int shed);
-              ("errors_4xx", Json.Int c4);
-              ("errors_5xx", Json.Int c5);
-              ("io_errors", Json.Int io);
-              ("mismatches", Json.Int mism);
+              ("ok", Json.Int (reads.s_ok + writes.s_ok));
+              ("shed_503", Json.Int (reads.s_shed + writes.s_shed));
+              ("errors_4xx", Json.Int (reads.s_4xx + writes.s_4xx));
+              ("errors_5xx", Json.Int (reads.s_5xx + writes.s_5xx));
+              ("io_errors", Json.Int (reads.s_io + writes.s_io));
+              ("mismatches", Json.Int reads.s_mism);
               ("rps", Json.Float rps);
-              ("latency_ms",
-               Json.Obj
-                 [
-                   ("mean", Json.Float mean);
-                   ("p50", Json.Float (percentile lat 50.));
-                   ("p90", Json.Float (percentile lat 90.));
-                   ("p99", Json.Float (percentile lat 99.));
-                   ("max", Json.Float (percentile lat 100.));
-                 ]);
+              ("latency_ms", latency_json reads);
+              ("reads", Json.Obj [ ("requests", Json.Int reads.s_sent); ("latency_ms", latency_json reads) ]);
+              ("writes", Json.Obj [ ("requests", Json.Int writes.s_sent); ("acked", Json.Int writes.s_ok); ("latency_ms", latency_json writes) ]);
               ("latency_hist_ms",
                Json.Obj
                  [
@@ -332,20 +450,17 @@ let report addr elapsed all =
                  ]);
             ]))
   else begin
-    Printf.printf "loadgen: %d client(s), %.2fs\n" !clients elapsed;
-    Printf.printf "  requests   %d (%.0f req/s)\n" sent rps;
-    Printf.printf "  ok         %d\n" ok;
-    Printf.printf "  shed(503)  %d\n" shed;
-    Printf.printf "  4xx        %d\n" c4;
-    Printf.printf "  5xx        %d\n" c5;
-    Printf.printf "  io errors  %d\n" io;
-    if !check then Printf.printf "  mismatches %d\n" mism;
-    Printf.printf "  latency ms mean %.2f  p50 %.2f  p90 %.2f  p99 %.2f  max %.2f\n" mean
-      (percentile lat 50.) (percentile lat 90.) (percentile lat 99.) (percentile lat 100.);
+    Printf.printf "loadgen: %d client(s), %.2fs, %.0f req/s\n" !clients elapsed rps;
+    print_side "reads" reads;
+    if writes.s_sent > 0 then print_side "writes" writes;
+    if !check then Printf.printf "  mismatches %d\n" reads.s_mism;
     Printf.printf "  histogram  p50 %.2f  p95 %.2f  p99 %.2f\n" hp50 hp95 hp99
   end;
   let consistent = if !check then cross_check addr (hp50, hp95, hp99) else true in
-  if mism > 0 || not consistent then exit 1
+  let audited =
+    if !check && writes.s_ok > 0 then audit_writes addr writes.s_ok else true
+  in
+  if reads.s_mism > 0 || not consistent || not audited then exit 1
 
 (* ---- smoke mode ---------------------------------------------------------- *)
 
@@ -452,6 +567,6 @@ let () =
           Domain.spawn (fun () ->
               run_client addr ~idx ~deadline ~searches ~refines ~expected))
     in
-    let all = Array.to_list (Array.map Domain.join workers) in
-    report addr (Unix.gettimeofday () -. started) all
+    let pairs = Array.to_list (Array.map Domain.join workers) in
+    report addr (Unix.gettimeofday () -. started) pairs
   end

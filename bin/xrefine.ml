@@ -353,9 +353,47 @@ let serve_cmd =
             "Log one structured stderr line (with span breakdown) for every request at or \
              above this latency; 0 disables.")
   in
-  let run doc port host unix_socket domains queue cache cache_shards deadline limit
+  let doc_files =
+    Arg.(
+      value
+      & opt_all file []
+      & info [ "d"; "document" ] ~docv:"FILE"
+          ~doc:
+            "XML document or .xrdb store to serve; repeat to serve several corpora \
+             (each named after its file, partitioned over shards).")
+  in
+  let shards =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Serving shards the corpora are partitioned over (scatter-gather); 0 gives \
+             every corpus its own shard.")
+  in
+  let run docs port host unix_socket shards domains queue cache cache_shards deadline limit
       parallel_threshold quiet no_trace slow_query_ms =
-    let index = load_index doc in
+    if docs = [] then (
+      prerr_endline "xrefine serve: pass at least one -d FILE";
+      exit 2);
+    (* Corpus names come from the file basenames, deduplicated in order. *)
+    let seen = Hashtbl.create 8 in
+    let specs =
+      List.map
+        (fun file ->
+          let base = Filename.remove_extension (Filename.basename file) in
+          let n = try Hashtbl.find seen base with Not_found -> 0 in
+          Hashtbl.replace seen base (n + 1);
+          let name = if n = 0 then base else Printf.sprintf "%s-%d" base (n + 1) in
+          if Filename.check_suffix file ".xrdb" then begin
+            (* Keep the store open: ingest persists each generation back
+               into it, so the corpus survives a restart. *)
+            let kv = Xr_store.Kv.btree_file file in
+            { Xr_server.Server.name; index = Index.load kv; kv = Some kv }
+          end
+          else { Xr_server.Server.name; index = Index.of_file file; kv = None })
+        docs
+    in
     let addr =
       match unix_socket with
       | Some path -> Xr_server.Server.Unix_socket path
@@ -375,35 +413,143 @@ let serve_cmd =
         log = not quiet;
         trace = not no_trace;
         slow_query_ms;
+        shards;
       }
     in
-    let server = Xr_server.Server.start config index in
+    let server = Xr_server.Server.start_corpora config specs in
     let where =
       match Xr_server.Server.bound_addr server with
       | Unix.ADDR_INET (a, p) -> Printf.sprintf "http://%s:%d" (Unix.string_of_inet_addr a) p
       | Unix.ADDR_UNIX p -> "unix:" ^ p
     in
+    let nodes =
+      List.fold_left
+        (fun acc s -> acc + Xr_xml.Doc.node_count s.Xr_server.Server.index.Index.doc)
+        0 specs
+    in
     Printf.printf
-      "xrefine serve: %d nodes, %d keywords resident; %d worker domain(s), queue bound %d, \
-       cache %d, deadline %.0f ms, parallel threshold %d\nlistening on %s\n%!"
-      (Xr_xml.Doc.node_count index.Index.doc)
-      (List.length (Xr_xml.Doc.vocabulary index.Index.doc))
-      domains queue cache deadline parallel_threshold where;
+      "xrefine serve: %d corpora (%s), %d nodes resident; %d worker domain(s), queue bound \
+       %d, cache %d, deadline %.0f ms, parallel threshold %d\nlistening on %s\n%!"
+      (List.length specs)
+      (String.concat ", " (List.map (fun s -> s.Xr_server.Server.name) specs))
+      nodes domains queue cache deadline parallel_threshold where;
     let stop _ = Xr_server.Server.stop server in
     Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
     Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
     Xr_server.Server.run server;
+    List.iter
+      (fun s -> Option.iter (fun (kv : Xr_store.Kv.t) -> kv.close ()) s.Xr_server.Server.kv)
+      specs;
     prerr_endline "xrefine serve: stopped"
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Serve /search, /refine, /suggest, /complete, /stats, /metrics.json and /debug/trace \
-          as JSON plus /metrics as Prometheus text over HTTP, keeping the index resident and \
-          answering from parallel worker domains.")
+          as JSON plus /metrics as Prometheus text over HTTP, keeping one or more corpora \
+          resident (sharded, writable via POST /ingest) and answering from parallel worker \
+          domains.")
     Term.(
-      const run $ doc_file $ port $ host $ unix_socket $ domains $ queue $ cache $ cache_shards
-      $ deadline $ limit $ parallel_threshold $ quiet $ no_trace $ slow_query_ms)
+      const run $ doc_files $ port $ host $ unix_socket $ shards $ domains $ queue $ cache
+      $ cache_shards $ deadline $ limit $ parallel_threshold $ quiet $ no_trace $ slow_query_ms)
+
+(* ---- ingest -------------------------------------------------------------------- *)
+
+let ingest_cmd =
+  let port =
+    Arg.(value & opt int 8080 & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Server TCP port.")
+  in
+  let host =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc:"Server address.")
+  in
+  let unix_socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "unix" ] ~docv:"PATH" ~doc:"Connect to a Unix-domain socket instead of TCP.")
+  in
+  let corpus =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"NAME"
+          ~doc:"Target corpus (required when the server hosts several).")
+  in
+  let no_sync =
+    Arg.(
+      value & flag
+      & info [ "no-sync" ]
+          ~doc:
+            "Return as soon as the document is queued instead of waiting for it to be \
+             merged and published.")
+  in
+  let files =
+    Arg.(
+      non_empty & pos_all file []
+      & info [] ~docv:"FILE" ~doc:"XML documents to append, one partition each.")
+  in
+  let run port host unix_socket corpus no_sync files =
+    let connect () =
+      match unix_socket with
+      | Some path ->
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX path);
+        fd
+      | None ->
+        let inet =
+          try Unix.inet_addr_of_string host
+          with Failure _ -> (
+            match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+            | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> a
+            | _ -> failwith ("cannot resolve host " ^ host))
+        in
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_INET (inet, port));
+        fd
+    in
+    let target =
+      let params =
+        (if no_sync then [] else [ "sync=true" ])
+        @
+        match corpus with
+        | Some c -> [ "corpus=" ^ Xr_server.Http.percent_encode c ]
+        | None -> []
+      in
+      match params with [] -> "/ingest" | ps -> "/ingest?" ^ String.concat "&" ps
+    in
+    let post file =
+      let ic = open_in_bin file in
+      let body =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let fd = connect () in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Xr_server.Http.write_all fd
+            (Printf.sprintf
+               "POST %s HTTP/1.1\r\nhost: %s\r\ncontent-length: %d\r\nconnection: \
+                close\r\n\r\n%s"
+               target host (String.length body) body);
+          match Xr_server.Http.read_response (Xr_server.Http.reader_of_fd fd) with
+          | Ok (status, _headers, body) ->
+            Printf.printf "%s: %d %s%!" file status body;
+            status < 300
+          | Error e ->
+            Printf.eprintf "%s: %s\n%!" file (Xr_server.Http.error_to_string e);
+            false)
+    in
+    let ok = List.for_all post files in
+    if not ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "ingest"
+       ~doc:
+         "Append XML documents to a running server's corpus via POST /ingest; by default \
+          waits until each document is merged and published (visible to queries).")
+    Term.(const run $ port $ host $ unix_socket $ corpus $ no_sync $ files)
 
 (* ---- complete ----------------------------------------------------------------- *)
 
@@ -651,5 +797,5 @@ let () =
       ~doc:"Automatic XML keyword query refinement (XRefine reproduction)."
   in
   exit (Cmd.eval (Cmd.group info
-       [ generate_cmd; index_cmd; search_cmd; refine_cmd; serve_cmd; suggest_cmd; complete_cmd;
-         repl_cmd; xpath_cmd; workload_cmd; replay_cmd; stats_cmd ]))
+       [ generate_cmd; index_cmd; search_cmd; refine_cmd; serve_cmd; ingest_cmd; suggest_cmd;
+         complete_cmd; repl_cmd; xpath_cmd; workload_cmd; replay_cmd; stats_cmd ]))

@@ -13,7 +13,11 @@ let build doc =
   let stats = Stats.build doc inverted in
   { doc; inverted; stats }
 
-let append_partition t subtree =
+let fork t =
+  let doc = Doc.fork t.doc in
+  { doc; inverted = t.inverted; stats = Stats.fork t.stats ~doc }
+
+let append_partition_delta t subtree =
   let doc, added = Doc.append_child t.doc subtree in
   let additions : (Interner.id, Inverted.posting list) Hashtbl.t = Hashtbl.create 64 in
   Array.iter
@@ -33,7 +37,9 @@ let append_partition t subtree =
     Inverted.extend t.inverted ~vocab_size:(Interner.size doc.Doc.keywords) additions
   in
   let stats = Stats.append t.stats ~doc ~inverted ~added in
-  { doc; inverted; stats }
+  ({ doc; inverted; stats }, List.map fst additions)
+
+let append_partition t subtree = fst (append_partition_delta t subtree)
 
 let of_string s = build (Doc.of_string s)
 
@@ -73,15 +79,11 @@ let read_freq_row r =
   let f = Codec.read_varint r in
   (path, kw, d, f)
 
-let save t (kv : Kv.t) =
+(* Document text, frequency table, per-type aggregates and vocabulary are
+   rewritten whole on every save: they are small next to the posting
+   lists, which are the only part written selectively by [save_delta]. *)
+let save_metadata t (kv : Kv.t) =
   kv.insert ~key:"doc" ~value:(Printer.to_string ~indent:false t.doc.tree);
-  Inverted.iter_packed
-    (fun kw pk ->
-      if Inverted.packed_postings pk > 0 then
-        kv.insert
-          ~key:("il:" ^ Doc.keyword_name t.doc kw)
-          ~value:(Codec.encode write_packed_list pk))
-    t.inverted;
   kv.insert ~key:"ft"
     ~value:(Codec.encode (fun buf l -> Codec.write_list write_freq_row buf l) (Stats.export t.stats));
   let nodes_per_path =
@@ -90,7 +92,29 @@ let save t (kv : Kv.t) =
   kv.insert ~key:"npt" ~value:(Codec.encode Codec.write_int_array nodes_per_path);
   kv.insert ~key:"vocab"
     ~value:
-      (Codec.encode (fun buf l -> Codec.write_list Codec.write_string buf l) (Doc.vocabulary t.doc));
+      (Codec.encode (fun buf l -> Codec.write_list Codec.write_string buf l) (Doc.vocabulary t.doc))
+
+let save t (kv : Kv.t) =
+  Inverted.iter_packed
+    (fun kw pk ->
+      if Inverted.packed_postings pk > 0 then
+        kv.insert
+          ~key:("il:" ^ Doc.keyword_name t.doc kw)
+          ~value:(Codec.encode write_packed_list pk))
+    t.inverted;
+  save_metadata t kv;
+  kv.sync ()
+
+let save_delta t (kv : Kv.t) ~changed =
+  List.iter
+    (fun kw ->
+      let pk = Inverted.packed_list t.inverted kw in
+      if Inverted.packed_postings pk > 0 then
+        kv.insert
+          ~key:("il:" ^ Doc.keyword_name t.doc kw)
+          ~value:(Codec.encode write_packed_list pk))
+    (List.sort_uniq Int.compare changed);
+  save_metadata t kv;
   kv.sync ()
 
 let load (kv : Kv.t) =

@@ -27,9 +27,31 @@ val of_file : string -> t
     place). *)
 val append_partition : t -> Tree.t -> t
 
+(** [append_partition_delta t subtree] is {!append_partition} plus the
+    list of keyword ids whose inverted lists were extended — the delta an
+    incremental persister needs to write ({!save_delta}). *)
+val append_partition_delta : t -> Tree.t -> t * Interner.id list
+
+(** [fork t] is an index bundle whose mutable structures (interners, path
+    table, statistics) are private copies, sharing the immutable node
+    array, tree and packed inverted lists with [t]. {!append_partition}
+    on the fork leaves [t] fully intact, so concurrent readers of [t] in
+    other domains never observe the mutation — the snapshot primitive
+    behind online ingest (generation N keeps serving while N+1 is
+    built). *)
+val fork : t -> t
+
 (** [save t kv] persists the document text, every inverted list, the
     frequency table and the per-type aggregates into [kv] (and syncs). *)
 val save : t -> Xr_store.Kv.t -> unit
+
+(** [save_delta t kv ~changed] persists an incremental update after
+    {!append_partition_delta}: only the inverted lists of [changed]
+    keywords are rewritten, plus the (small) document text, frequency
+    table, aggregates and vocabulary. Ends with a single [sync] — the
+    commit point. A crash before that sync leaves the store serving the
+    previously synced generation intact. *)
+val save_delta : t -> Xr_store.Kv.t -> changed:Xr_xml.Interner.id list -> unit
 
 (** [load kv] restores an index bundle saved by {!save}: the document is
     re-parsed from the stored text; inverted lists and statistics are

@@ -133,6 +133,17 @@ let append t ~doc ~inverted ~added =
     t.memo_shards;
   { t with doc; inverted; nodes_per_path; distinct }
 
+let fork t ~doc =
+  {
+    t with
+    doc;
+    df = Hashtbl.copy t.df;
+    tf = Hashtbl.copy t.tf;
+    distinct = Array.copy t.distinct;
+    nodes_per_path = Array.copy t.nodes_per_path;
+    memo_shards = make_memo_shards ();
+  }
+
 let doc t = t.doc
 
 let df t ~path ~kw = try Hashtbl.find t.df (path, kw) with Not_found -> 0

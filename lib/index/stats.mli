@@ -57,6 +57,13 @@ val path_count : t -> int
     versions. *)
 val append : t -> doc:Doc.t -> inverted:Inverted.t -> added:Doc.node array -> t
 
+(** [fork t ~doc] is a statistics table that owns private copies of every
+    mutable structure in [t] (frequency tables, per-type aggregates, a
+    fresh co-occurrence memo), so a later {!append} on the fork never
+    disturbs readers of [t]. [doc] is the forked document (see
+    {!Doc.fork}); the inverted table is shared, it is immutable. *)
+val fork : t -> doc:Doc.t -> t
+
 (** [export t] dumps the frequency table as [(path, kw, df, tf)] rows,
     for persistence. *)
 val export : t -> (Path.id * Interner.id * int * int) list

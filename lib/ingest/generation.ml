@@ -1,0 +1,76 @@
+module Reg = Xr_obs.Registry
+
+type gen = { id : int; index : Xr_index.Index.t; refs : int Atomic.t }
+
+type t = {
+  corpus : string;
+  cur : gen Atomic.t;
+  lock : Mutex.t; (* serializes publish and retired-list maintenance *)
+  mutable retired : gen list; (* superseded generations, pruned at publish *)
+}
+
+let generation_fam =
+  Reg.Gauge.family ~name:"xr_ingest_generation"
+    ~help:"Id of the currently published index generation" ~label_names:[ "corpus" ] ()
+
+let active_fam =
+  Reg.Gauge.family ~name:"xr_ingest_active_generations"
+    ~help:"Generations still serving requests (current + pinned superseded)"
+    ~label_names:[ "corpus" ] ()
+
+let corpus t = t.corpus
+
+let current t = Atomic.get t.cur
+
+let current_id t = (current t).id
+
+let pinned_retired t =
+  List.filter (fun g -> Atomic.get g.refs > 0) t.retired
+
+let active t =
+  Mutex.protect t.lock (fun () -> 1 + List.length (pinned_retired t))
+
+let create ~corpus index =
+  let t =
+    {
+      corpus;
+      cur = Atomic.make { id = 0; index; refs = Atomic.make 0 };
+      lock = Mutex.create ();
+      retired = [];
+    }
+  in
+  Reg.Gauge.set_pull
+    (Reg.Gauge.handle generation_fam [ corpus ])
+    (fun () -> float_of_int (current_id t));
+  Reg.Gauge.set_pull
+    (Reg.Gauge.handle active_fam [ corpus ])
+    (fun () -> float_of_int (active t));
+  t
+
+(* Raise the refcount, then re-check that the generation is still
+   current: if a publish won the race, retry on the new one. The stale
+   snapshot would actually be safe to use (the GC owns the memory, and
+   generations are immutable), but admitting only current generations
+   keeps the accounting exact. *)
+let rec pin t =
+  let g = Atomic.get t.cur in
+  Atomic.incr g.refs;
+  if Atomic.get t.cur == g then g
+  else begin
+    Atomic.decr g.refs;
+    pin t
+  end
+
+let unpin g = Atomic.decr g.refs
+
+let with_pinned t f =
+  let g = pin t in
+  Fun.protect ~finally:(fun () -> unpin g) (fun () -> f g)
+
+let publish t index =
+  Mutex.protect t.lock (fun () ->
+      let old = Atomic.get t.cur in
+      let g = { id = old.id + 1; index; refs = Atomic.make 0 } in
+      Atomic.set t.cur g;
+      t.retired <- old :: pinned_retired t;
+      g)

@@ -1,0 +1,55 @@
+(** Epoch-swapped index generations.
+
+    A corpus is served from a chain of immutable index snapshots
+    ("generations"). Readers {!pin} the current generation on admission —
+    one atomic load plus a refcount increment, never a lock — and query
+    it for the whole request, so a concurrent publish cannot change the
+    index under them. The writer builds generation [N+1] off-path (see
+    {!Xr_ingest.Ingest}) and {!publish}es it with a single atomic swap;
+    in-flight readers keep their pinned snapshot, new readers see the new
+    one.
+
+    The refcount is observational, not a memory-safety mechanism — the
+    OCaml GC keeps a pinned generation alive regardless. It exists so the
+    [xr_ingest_active_generations] gauge can report how many superseded
+    snapshots are still serving in-flight requests. *)
+
+type gen = {
+  id : int;  (** monotonically increasing, 0 for the initial build *)
+  index : Xr_index.Index.t;
+  refs : int Atomic.t;  (** in-flight readers pinning this generation *)
+}
+
+type t
+
+(** [create ~corpus index] starts the chain at generation 0. [corpus]
+    labels this store's metrics series. *)
+val create : corpus:string -> Xr_index.Index.t -> t
+
+val corpus : t -> string
+
+(** [current t] peeks at the current generation without pinning it — for
+    metrics and the writer (which is the only publisher). Do not run
+    queries against an unpinned generation. *)
+val current : t -> gen
+
+val current_id : t -> int
+
+(** [pin t] admits a reader: returns the current generation with its
+    refcount raised. Wait-free — a publish racing with the pin at worst
+    costs one retry. Callers must {!unpin} exactly once. *)
+val pin : t -> gen
+
+val unpin : gen -> unit
+
+(** [with_pinned t f] pins, runs [f], and unpins (also on exceptions). *)
+val with_pinned : t -> (gen -> 'a) -> 'a
+
+(** [publish t index] installs [index] as the next generation (id + 1)
+    and returns it. Single-writer: callers must serialize publishes
+    (the ingest queue's writer domain does). Readers are never blocked. *)
+val publish : t -> Xr_index.Index.t -> gen
+
+(** [active t] is the number of generations still in service: the
+    current one plus superseded ones with a non-zero refcount. *)
+val active : t -> int

@@ -1,0 +1,182 @@
+module Reg = Xr_obs.Registry
+module Index = Xr_index.Index
+
+type config = { queue_bound : int; batch_max : int }
+
+let default_config = { queue_bound = 256; batch_max = 32 }
+
+type error = Queue_full | Shutdown | Parse of string
+
+let error_to_string = function
+  | Queue_full -> "ingest queue full"
+  | Shutdown -> "ingest writer is shut down"
+  | Parse msg -> "malformed XML: " ^ msg
+
+type t = {
+  config : config;
+  gens : Generation.t;
+  kv : Xr_store.Kv.t option;
+  on_publish : (Generation.gen -> unit) option;
+  lock : Mutex.t;
+  nonempty : Condition.t; (* work queued, or shutdown requested *)
+  drained : Condition.t; (* processed caught up with a flush target *)
+  queue : Xr_xml.Tree.t Queue.t;
+  mutable submitted : int;
+  mutable processed : int;
+  mutable stopping : bool;
+  mutable writer : unit Domain.t option;
+  docs : int Atomic.t;
+}
+
+let submitted_fam =
+  Reg.Counter.family ~name:"xr_ingest_submitted_total"
+    ~help:"Documents accepted into the ingest queue" ~label_names:[ "corpus" ] ()
+
+let rejected_fam =
+  Reg.Counter.family ~name:"xr_ingest_rejected_total"
+    ~help:"Documents rejected before the ingest queue"
+    ~label_names:[ "corpus"; "reason" ] ()
+
+let docs_fam =
+  Reg.Counter.family ~name:"xr_ingest_docs_indexed_total"
+    ~help:"Documents merged into a published generation" ~label_names:[ "corpus" ] ()
+
+let depth_fam =
+  Reg.Gauge.family ~name:"xr_ingest_queue_depth"
+    ~help:"Documents waiting in the ingest queue" ~label_names:[ "corpus" ] ()
+
+let merge_fam =
+  Reg.Histogram.family ~name:"xr_ingest_merge_duration_ms"
+    ~help:"Fork + append + persist + publish latency per batch"
+    ~buckets:[| 0.5; 1.; 2.; 5.; 10.; 20.; 50.; 100.; 200.; 500.; 1000.; 5000. |]
+    ()
+
+let generations t = t.gens
+
+let queue_depth t = Mutex.protect t.lock (fun () -> Queue.length t.queue)
+
+let docs_indexed t = Atomic.get t.docs
+
+(* Merge one batch into the next generation. Runs exclusively on the
+   writer domain: the fork owns every mutable structure it touches, so
+   readers pinned on the current generation race with nothing here. *)
+let merge_batch t batch =
+  let t0 = Xr_obs.Tracing.now_ns () in
+  let base = (Generation.current t.gens).Generation.index in
+  let next, changed =
+    List.fold_left
+      (fun (idx, changed) tree ->
+        let idx, kws = Index.append_partition_delta idx tree in
+        (idx, List.rev_append kws changed))
+      (Index.fork base, [])
+      batch
+  in
+  (* Persist before publish, with the final [sync] as the commit point: a
+     crash anywhere before it leaves the store serving the previous
+     generation (buffered pages are never flushed piecemeal). *)
+  Option.iter (fun kv -> Index.save_delta next kv ~changed) t.kv;
+  let gen = Generation.publish t.gens next in
+  Atomic.set t.docs (Atomic.get t.docs + List.length batch);
+  Reg.Counter.add
+    (Reg.Counter.handle docs_fam [ Generation.corpus t.gens ])
+    (List.length batch);
+  let ms = Int64.to_float (Int64.sub (Xr_obs.Tracing.now_ns ()) t0) /. 1e6 in
+  Reg.Histogram.observe (Reg.Histogram.no_labels merge_fam) ms;
+  Option.iter (fun f -> f gen) t.on_publish
+
+let rec writer_loop t =
+  let batch =
+    Mutex.protect t.lock (fun () ->
+        while Queue.is_empty t.queue && not t.stopping do
+          Condition.wait t.nonempty t.lock
+        done;
+        let n = min t.config.batch_max (Queue.length t.queue) in
+        List.init n (fun _ -> Queue.pop t.queue))
+  in
+  match batch with
+  | [] -> () (* stopping and drained *)
+  | batch ->
+    (try merge_batch t batch
+     with exn ->
+       (* A poisoned batch must not kill the writer: drop it, count it,
+          keep serving the current generation. *)
+       Reg.Counter.add
+         (Reg.Counter.handle rejected_fam [ Generation.corpus t.gens; "merge_error" ])
+         (List.length batch);
+       ignore exn);
+    Mutex.protect t.lock (fun () ->
+        t.processed <- t.processed + List.length batch;
+        Condition.broadcast t.drained);
+    writer_loop t
+
+let create ?(config = default_config) ?kv ?on_publish gens =
+  let t =
+    {
+      config;
+      gens;
+      kv;
+      on_publish;
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      drained = Condition.create ();
+      queue = Queue.create ();
+      submitted = 0;
+      processed = 0;
+      stopping = false;
+      writer = None;
+      docs = Atomic.make 0;
+    }
+  in
+  Reg.Gauge.set_pull
+    (Reg.Gauge.handle depth_fam [ Generation.corpus gens ])
+    (fun () -> float_of_int (queue_depth t));
+  t.writer <- Some (Domain.spawn (fun () -> writer_loop t));
+  t
+
+let reject t reason err =
+  Reg.Counter.inc (Reg.Counter.handle rejected_fam [ Generation.corpus t.gens; reason ]);
+  Error err
+
+let submit t tree =
+  let outcome =
+    Mutex.protect t.lock (fun () ->
+        if t.stopping then Error Shutdown
+        else if Queue.length t.queue >= t.config.queue_bound then Error Queue_full
+        else begin
+          Queue.push tree t.queue;
+          t.submitted <- t.submitted + 1;
+          Condition.signal t.nonempty;
+          Ok ()
+        end)
+  in
+  match outcome with
+  | Ok () ->
+    Reg.Counter.inc (Reg.Counter.handle submitted_fam [ Generation.corpus t.gens ]);
+    Ok ()
+  | Error Queue_full -> reject t "queue_full" Queue_full
+  | Error Shutdown -> reject t "shutdown" Shutdown
+  | Error e -> Error e
+
+let submit_string t xml =
+  match Xr_xml.Parser.parse_string xml with
+  | tree -> submit t tree
+  | exception exn -> reject t "parse" (Parse (Printexc.to_string exn))
+
+let flush t =
+  Mutex.protect t.lock (fun () ->
+      let target = t.submitted in
+      while t.processed < target do
+        Condition.wait t.drained t.lock
+      done);
+  Generation.current_id t.gens
+
+let shutdown t =
+  let writer =
+    Mutex.protect t.lock (fun () ->
+        let w = t.writer in
+        t.writer <- None;
+        t.stopping <- true;
+        Condition.broadcast t.nonempty;
+        w)
+  in
+  Option.iter Domain.join writer

@@ -1,0 +1,68 @@
+(** The corpus write path: a bounded queue in front of a dedicated writer
+    domain.
+
+    [submit] parses nothing and blocks on nothing: it enqueues a
+    pre-parsed subtree or fails fast ([Queue_full] — callers shed load,
+    e.g. HTTP 503). The writer domain drains the queue in batches,
+    extends a {!Xr_index.Index.fork} of the current generation with one
+    {!Xr_index.Index.append_partition_delta} per document, optionally
+    persists the delta to the corpus store (single [sync] = commit
+    point), and publishes the result through {!Generation.publish}.
+    Readers on the old generation are never blocked; the swap is one
+    atomic store.
+
+    Documents admitted by one [submit] become visible atomically — a
+    query observes either none or all of a batch's postings, never a
+    half-merged list. *)
+
+type t
+
+type config = {
+  queue_bound : int;  (** submissions rejected beyond this depth *)
+  batch_max : int;  (** max documents merged into one generation *)
+}
+
+val default_config : config
+
+type error =
+  | Queue_full
+  | Shutdown
+  | Parse of string  (** XML rejected before it reaches the queue *)
+
+val error_to_string : error -> string
+
+(** [create gens] starts the writer domain for the corpus behind [gens].
+    [kv] persists each published generation (see
+    {!Xr_index.Index.save_delta}); omit it for memory-only serving.
+    [on_publish] runs on the writer domain after each swap — the server
+    hooks cache invalidation and trie rebuild here. *)
+val create :
+  ?config:config ->
+  ?kv:Xr_store.Kv.t ->
+  ?on_publish:(Generation.gen -> unit) ->
+  Generation.t ->
+  t
+
+val generations : t -> Generation.t
+
+(** [submit t tree] enqueues one document. Constant-time; never waits for
+    the merge. *)
+val submit : t -> Xr_xml.Tree.t -> (unit, error) result
+
+(** [submit_string t xml] parses [xml] (rejecting malformed input as
+    [Parse]) and submits it. *)
+val submit_string : t -> string -> (unit, error) result
+
+(** [flush t] blocks until every document submitted before the call has
+    been published, and returns the current generation id. *)
+val flush : t -> int
+
+val queue_depth : t -> int
+
+(** [docs_indexed t] is the number of documents merged and published. *)
+val docs_indexed : t -> int
+
+(** [shutdown t] drains the queue, publishes any remaining work, stops
+    the writer domain and joins it. Subsequent submits fail with
+    [Shutdown]. Idempotent. *)
+val shutdown : t -> unit

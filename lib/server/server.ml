@@ -1,5 +1,7 @@
 module Index = Xr_index.Index
 module Engine = Xr_refine.Engine
+module Generation = Xr_ingest.Generation
+module Ingest = Xr_ingest.Ingest
 
 type address = Tcp of string * int | Unix_socket of string
 
@@ -17,6 +19,9 @@ type config = {
   log : bool;
   trace : bool;  (* per-request span recording + /debug/trace *)
   slow_query_ms : float;  (* log requests at or above this; 0 = off *)
+  shards : int;  (* serving shards; 0 = one per corpus *)
+  ingest_queue : int;  (* per-corpus ingest queue bound *)
+  ingest_batch : int;  (* max documents merged per generation *)
 }
 
 let default_config =
@@ -34,15 +39,36 @@ let default_config =
     log = false;
     trace = true;
     slow_query_ms = 0.;
+    shards = 0;
+    ingest_queue = 256;
+    ingest_batch = 32;
   }
+
+type corpus_spec = { name : string; index : Index.t; kv : Xr_store.Kv.t option }
+
+(* One live corpus: its generation chain, its write path, and the
+   completion trie for the current generation (swapped on publish). *)
+type corpus_state = {
+  cname : string;
+  shard_id : int;
+  gens : Generation.t;
+  ingest : Ingest.t;
+  ctrie : Xr_text.Trie.t Atomic.t;
+}
+
+(* One serving shard: a subset of the corpora plus its own result cache.
+   Cache keys embed the pinned generation ids, so an entry written for
+   generation N can never answer a request admitted at N+1 — the cache
+   is also cleared on publish, but the tag closes the race where a
+   reader still on N inserts after the clear. *)
+type shard = { sid : int; corpora : corpus_state array; cache : Lru.t }
 
 type conn = { fd : Unix.file_descr; accepted_at : float }
 
 type t = {
   config : config;
-  index : Index.t;
-  trie : Xr_text.Trie.t;
-  result_cache : Lru.t;
+  shards : shard array;
+  single : bool;  (* exactly one corpus: serve the legacy (byte-stable) schemas *)
   server_metrics : Metrics.t;
   listen_fd : Unix.file_descr;
   stop_r : Unix.file_descr;
@@ -53,9 +79,36 @@ type t = {
 
 let metrics t = t.server_metrics
 
-let cache t = t.result_cache
+let cache t = t.shards.(0).cache
 
 let queue_depth t = Pool.depth t.pool
+
+let iter_corpora t f = Array.iter (fun s -> Array.iter (f s) s.corpora) t.shards
+
+let corpora_names t =
+  let acc = ref [] in
+  iter_corpora t (fun _ cs -> acc := cs.cname :: !acc);
+  List.rev !acc
+
+let find_corpus t name =
+  let found = ref None in
+  iter_corpora t (fun _ cs -> if cs.cname = name then found := Some cs);
+  !found
+
+let combined_cache_stats t =
+  Array.fold_left
+    (fun (acc : Lru.stats) s ->
+      let st = Lru.stats s.cache in
+      {
+        Lru.hits = acc.Lru.hits + st.Lru.hits;
+        misses = acc.Lru.misses + st.Lru.misses;
+        entries = acc.Lru.entries + st.Lru.entries;
+        evictions = acc.Lru.evictions + st.Lru.evictions;
+        capacity = acc.Lru.capacity + st.Lru.capacity;
+        shards = acc.Lru.shards + st.Lru.shards;
+      })
+    { Lru.hits = 0; misses = 0; entries = 0; evictions = 0; capacity = 0; shards = 0 }
+    t.shards
 
 (* ---- request handling --------------------------------------------------- *)
 
@@ -83,24 +136,209 @@ let bool_param req name =
   | Some ("true" | "1" | "yes") -> true
   | _ -> false
 
-(* Serve from the LRU under [key], computing (and caching) the JSON body
-   on a miss. The cached unit is the serialized body, so hits are
-   byte-identical to the response that populated them. *)
-let with_cache t key compute =
-  match Xr_obs.Tracing.with_span "cache" (fun () -> Lru.find t.result_cache key) with
-  | Some body ->
-    {
-      (Http.response ~status:200 ~headers:[ ("content-type", "application/json") ] body) with
-      Http.resp_headers =
-        [ ("content-type", "application/json"); ("x-cache", "hit") ];
-    }
+(* The corpora a request addresses: all of them, or the one named by
+   [?corpus=] (scatter-gather restricted to a single member). *)
+let served_corpora t req =
+  match Http.query_param req "corpus" with
+  | None -> Ok None
+  | Some name -> (
+    match find_corpus t name with
+    | Some _ -> Ok (Some name)
+    | None ->
+      Error (Http.json_response ~status:404 (Api.error_payload ("unknown corpus " ^ name))))
+
+let shard_members shard only =
+  match only with
+  | None -> Array.to_list shard.corpora
+  | Some name -> List.filter (fun cs -> cs.cname = name) (Array.to_list shard.corpora)
+
+(* Per-shard cached evaluation. Pins every served corpus of the shard,
+   tags the cache key with the pinned generation ids, and either serves
+   the cached body or renders [render pins] and caches it. The cached
+   unit is the serialized body, so hits are byte-identical to the
+   response that populated them. *)
+let shard_body shard members ~base_key ~render =
+  let pins = List.map (fun cs -> (cs, Generation.pin cs.gens)) members in
+  Fun.protect
+    ~finally:(fun () -> List.iter (fun (_, g) -> Generation.unpin g) pins)
+  @@ fun () ->
+  let gsig =
+    String.concat ","
+      (List.map (fun (_, g) -> string_of_int g.Generation.id) pins)
+  in
+  let key = Printf.sprintf "g%s|%s" gsig base_key in
+  match Xr_obs.Tracing.with_span "cache" (fun () -> Lru.find shard.cache key) with
+  | Some body -> (body, true)
   | None ->
-    let payload = compute () in
-    let body = Json.to_string payload ^ "\n" in
-    Lru.add t.result_cache key body;
-    Http.response ~status:200
-      ~headers:[ ("content-type", "application/json"); ("x-cache", "miss") ]
-      body
+    let body = render pins in
+    Lru.add shard.cache key body;
+    (body, false)
+
+(* Fan a computation out over the shards that serve this request. One
+   shard runs inline; several go through the shared domain pool (the
+   scatter of scatter-gather). Results come back in shard order. *)
+let fan_out tasks =
+  match tasks with
+  | [| task |] -> [| task () |]
+  | tasks ->
+    let n = Array.length tasks in
+    let out = Array.make n None in
+    Xr_pool.run
+      (Xr_pool.global ())
+      (Array.mapi
+         (fun i task () -> out.(i) <- Some (try Ok (task ()) with e -> Error e))
+         tasks);
+    Array.map
+      (function Some (Ok v) -> v | Some (Error e) -> raise e | None -> assert false)
+      out
+
+let json_body body headers = Http.response ~status:200 ~headers body
+
+let cache_headers hit =
+  [ ("content-type", "application/json"); ("x-cache", (if hit then "hit" else "miss")) ]
+
+(* Evaluate a cacheable endpoint. [render_one] renders a single corpus
+   at a pinned generation to its (legacy, byte-stable) payload. In
+   single-corpus mode the response body is exactly that payload; with
+   several corpora each shard caches a JSON list of corpus-wrapped
+   payloads and [merge] combines the parsed partials. *)
+let gather t req ~base_key ~render_one ~merge =
+  match served_corpora t req with
+  | Error resp -> resp
+  | Ok only ->
+    let shards =
+      List.filter
+        (fun (_, members) -> members <> [])
+        (List.map (fun s -> (s, shard_members s only)) (Array.to_list t.shards))
+    in
+    if t.single then
+      let shard, members = List.hd shards in
+      let body, hit =
+        shard_body shard members ~base_key ~render:(fun pins ->
+            let cs, gen = List.hd pins in
+            Json.to_string (render_one cs gen.Generation.index) ^ "\n")
+      in
+      json_body body (cache_headers hit)
+    else
+      let render pins =
+        Json.to_string
+          (Json.List
+             (List.map
+                (fun (cs, gen) ->
+                  match render_one cs gen.Generation.index with
+                  | Json.Obj fields ->
+                    Json.Obj (("corpus", Json.String cs.cname) :: fields)
+                  | j -> j)
+                pins))
+      in
+      let partials =
+        fan_out
+          (Array.of_list
+             (List.map
+                (fun (shard, members) () -> shard_body shard members ~base_key ~render)
+                shards))
+      in
+      let parsed =
+        List.concat_map
+          (fun (body, _) ->
+            match Json.of_string body with
+            | Ok (Json.List l) -> l
+            | Ok j -> [ j ]
+            | Error _ -> [])
+          (Array.to_list partials)
+      in
+      let hit = Array.for_all (fun (_, h) -> h) partials in
+      let body = Json.to_string (merge parsed) ^ "\n" in
+      json_body body (cache_headers hit)
+
+(* ---- merge helpers for the gather (multi-corpus) schemas -------------- *)
+
+let json_str name j =
+  match Json.member name j with Some (Json.String s) -> s | _ -> ""
+
+let json_int name j = match Json.member name j with Some (Json.Int n) -> n | _ -> 0
+
+let json_list name j = match Json.member name j with Some (Json.List l) -> l | _ -> []
+
+let json_float name j =
+  match Json.member name j with
+  | Some (Json.Float f) -> f
+  | Some (Json.Int n) -> float_of_int n
+  | _ -> 0.
+
+(* Tag each result item with its corpus and merge the per-corpus ranked
+   lists: score descending, ties by (corpus, dewey) so the order is
+   deterministic across runs and cache states. *)
+let merge_search t ~query ~ranked ~limit parsed =
+  let items =
+    List.concat_map
+      (fun payload ->
+        let corpus = json_str "corpus" payload in
+        List.map
+          (fun item ->
+            match item with
+            | Json.Obj fields -> Json.Obj (("corpus", Json.String corpus) :: fields)
+            | j -> j)
+          (json_list "results" payload))
+      parsed
+  in
+  let items =
+    if ranked then
+      List.stable_sort
+        (fun a b ->
+          let c = Float.compare (json_float "score" b) (json_float "score" a) in
+          if c <> 0 then c
+          else
+            let c = String.compare (json_str "corpus" a) (json_str "corpus" b) in
+            if c <> 0 then c
+            else String.compare (json_str "dewey" a) (json_str "dewey" b))
+        items
+    else items
+  in
+  let rec take n = function x :: rest when n > 0 -> x :: take (n - 1) rest | _ -> [] in
+  let items = if limit < 0 then items else take limit items in
+  Json.Obj
+    [
+      ("query", Json.List (List.map (fun k -> Json.String k) query));
+      ("count", Json.Int (List.fold_left (fun a p -> a + json_int "count" p) 0 parsed));
+      ("ranked", Json.Bool ranked);
+      ("shards", Json.Int (Array.length t.shards));
+      ("corpora", Json.List (List.map (fun n -> Json.String n) (corpora_names t)));
+      ("results", Json.List items);
+    ]
+
+(* Refine/suggest outcomes are corpus-local (refinement candidates are
+   scored against one corpus's statistics), so the gather keeps them
+   side by side instead of inventing a cross-corpus ranking. *)
+let merge_by_corpus t ~query parsed =
+  Json.Obj
+    [
+      ("query", Json.List (List.map (fun k -> Json.String k) query));
+      ("shards", Json.Int (Array.length t.shards));
+      ("corpora", Json.List parsed);
+    ]
+
+let merge_complete ~prefix ~k parsed =
+  let tally = Hashtbl.create 32 in
+  List.iter
+    (fun payload ->
+      List.iter
+        (fun item ->
+          let w = json_str "keyword" item in
+          let n = json_int "occurrences" item in
+          Hashtbl.replace tally w (n + try Hashtbl.find tally w with Not_found -> 0))
+        (json_list "completions" payload))
+    parsed;
+  let merged =
+    Hashtbl.fold (fun w n acc -> (w, n) :: acc) tally []
+    |> List.sort (fun (wa, na) (wb, nb) ->
+           let c = Int.compare nb na in
+           if c <> 0 then c else String.compare wa wb)
+  in
+  let rec take n = function x :: rest when n > 0 -> x :: take (n - 1) rest | _ -> [] in
+  Api.complete_payload ~prefix (take k merged)
+
+(* ---- endpoint handlers ------------------------------------------------ *)
 
 let handle_search t req =
   let ( let* ) r f = match r with Error resp -> resp | Ok v -> f v in
@@ -113,21 +351,21 @@ let handle_search t req =
   | Some slca ->
     let rank = bool_param req "rank" in
     let* limit = int_param req "limit" ~default:t.config.result_limit in
-    let key =
+    let base_key =
       Printf.sprintf "search|%s|%b|%d|%s" alg_name rank limit (String.concat " " query)
     in
-    with_cache t key (fun () ->
-        let config = { Engine.default_config with Engine.slca } in
-        let slcas = Engine.search ~config t.index query in
-        let entries =
-          if rank then
-            let ids =
-              List.filter_map (Xr_xml.Doc.keyword_id t.index.Index.doc) query
-            in
-            Xr_slca.Result_rank.rank t.index.Index.stats ~query:ids slcas
-          else List.map (fun d -> (d, 0.)) slcas
-        in
-        Api.search_payload t.index ~query ~ranked:rank ~limit entries)
+    let render_one _cs (index : Index.t) =
+      let config = { Engine.default_config with Engine.slca } in
+      let slcas = Engine.search ~config index query in
+      let entries =
+        if rank then
+          let ids = List.filter_map (Xr_xml.Doc.keyword_id index.Index.doc) query in
+          Xr_slca.Result_rank.rank index.Index.stats ~query:ids slcas
+        else List.map (fun d -> (d, 0.)) slcas
+      in
+      Api.search_payload index ~query ~ranked:rank ~limit entries
+    in
+    gather t req ~base_key ~render_one ~merge:(merge_search t ~query ~ranked:rank ~limit)
 
 let handle_refine t req =
   let ( let* ) r f = match r with Error resp -> resp | Ok v -> f v in
@@ -140,24 +378,28 @@ let handle_refine t req =
   | Some algorithm ->
     let* k = int_param req "k" ~default:3 in
     let* limit = int_param req "limit" ~default:t.config.result_limit in
-    let key =
+    let base_key =
       Printf.sprintf "refine|%s|%d|%d|%s" alg_name k limit (String.concat " " query)
     in
-    with_cache t key (fun () ->
-        let config = { Engine.default_config with Engine.k; algorithm } in
-        let resp = Engine.refine ~config t.index query in
-        Api.refine_payload t.index ~query ~limit resp)
+    let render_one _cs index =
+      let config = { Engine.default_config with Engine.k; algorithm } in
+      let resp = Engine.refine ~config index query in
+      Api.refine_payload index ~query ~limit resp
+    in
+    gather t req ~base_key ~render_one ~merge:(merge_by_corpus t ~query)
 
 let handle_suggest t req =
   let ( let* ) r f = match r with Error resp -> resp | Ok v -> f v in
   let* query = tokenized_query req in
   let* k = int_param req "k" ~default:5 in
   let* limit = int_param req "limit" ~default:t.config.result_limit in
-  let key = Printf.sprintf "suggest|%d|%d|%s" k limit (String.concat " " query) in
-  with_cache t key (fun () ->
-      let config = { Xr_refine.Specialize.default_config with Xr_refine.Specialize.k } in
-      let suggestions = Xr_refine.Specialize.suggest ~config t.index query in
-      Api.suggest_payload t.index ~query ~limit suggestions)
+  let base_key = Printf.sprintf "suggest|%d|%d|%s" k limit (String.concat " " query) in
+  let render_one _cs index =
+    let config = { Xr_refine.Specialize.default_config with Xr_refine.Specialize.k } in
+    let suggestions = Xr_refine.Specialize.suggest ~config index query in
+    Api.suggest_payload index ~query ~limit suggestions
+  in
+  gather t req ~base_key ~render_one ~merge:(merge_by_corpus t ~query)
 
 let handle_complete t req =
   let ( let* ) r f = match r with Error resp -> resp | Ok v -> f v in
@@ -173,15 +415,90 @@ let handle_complete t req =
     if prefix = "" then bad_request "prefix has no keyword characters"
     else
       let* k = int_param req "k" ~default:10 in
-      let key = Printf.sprintf "complete|%d|%s" k prefix in
-      with_cache t key (fun () ->
-          Api.complete_payload ~prefix (Xr_text.Trie.complete t.trie ~limit:k prefix))
+      let base_key = Printf.sprintf "complete|%d|%s" k prefix in
+      let render_one cs _index =
+        Api.complete_payload ~prefix
+          (Xr_text.Trie.complete (Atomic.get cs.ctrie) ~limit:k prefix)
+      in
+      gather t req ~base_key ~render_one ~merge:(merge_complete ~prefix ~k)
+
+let handle_ingest t req =
+  let cs =
+    match Http.query_param req "corpus" with
+    | Some name -> (
+      match find_corpus t name with
+      | Some cs -> Ok cs
+      | None ->
+        Error (Http.json_response ~status:404 (Api.error_payload ("unknown corpus " ^ name))))
+    | None ->
+      if t.single then Ok t.shards.(0).corpora.(0)
+      else Error (bad_request "several corpora are served; pass ?corpus=NAME")
+  in
+  match cs with
+  | Error resp -> resp
+  | Ok cs -> (
+    if String.trim req.Http.body = "" then bad_request "empty body: POST the XML document"
+    else
+      match Ingest.submit_string cs.ingest req.Http.body with
+      | Error (Ingest.Parse _ as e) -> bad_request (Ingest.error_to_string e)
+      | Error e ->
+        Http.json_response ~status:503
+          ~headers:[ ("retry-after", "1") ]
+          (Api.error_payload (Ingest.error_to_string e))
+      | Ok () ->
+        let sync = bool_param req "sync" in
+        let generation =
+          if sync then Ingest.flush cs.ingest else Generation.current_id cs.gens
+        in
+        Http.json_response
+          (Json.Obj
+             [
+               ("accepted", Json.Bool true);
+               ("corpus", Json.String cs.cname);
+               ("shard", Json.Int cs.shard_id);
+               ("generation", Json.Int generation);
+               ("queue_depth", Json.Int (Ingest.queue_depth cs.ingest));
+               ("synced", Json.Bool sync);
+             ]))
+
+let handle_stats t =
+  if t.single then
+    let cs = t.shards.(0).corpora.(0) in
+    Generation.with_pinned cs.gens (fun gen ->
+        Http.json_response
+          (Api.stats_payload ~pool:(Api.pool_payload ()) gen.Generation.index))
+  else
+    let corpora = ref [] in
+    iter_corpora t (fun shard cs ->
+        let payload =
+          Generation.with_pinned cs.gens (fun gen ->
+              Api.stats_payload gen.Generation.index)
+        in
+        let fields = match payload with Json.Obj f -> f | j -> [ ("stats", j) ] in
+        corpora :=
+          Json.Obj
+            (("corpus", Json.String cs.cname)
+            :: ("shard", Json.Int shard.sid)
+            :: ("generation", Json.Int (Generation.current_id cs.gens))
+            :: fields)
+          :: !corpora);
+    Http.json_response
+      (Json.Obj
+         [
+           ("shards", Json.Int (Array.length t.shards));
+           ("corpora", Json.List (List.rev !corpora));
+           ("pool", Api.pool_payload ());
+         ])
 
 let handle t (req : Http.request) =
-  if req.Http.meth <> Http.GET then
+  match (req.Http.path, req.Http.meth) with
+  | "/ingest", Http.POST -> handle_ingest t req
+  | "/ingest", _ ->
+    Http.json_response ~status:405 (Api.error_payload "only POST is supported on /ingest")
+  | _, m when m <> Http.GET ->
     Http.json_response ~status:405 (Api.error_payload "only GET is supported")
-  else
-    match req.Http.path with
+  | path, _ -> (
+    match path with
     | "/health" -> Http.json_response (Json.Obj [ ("status", Json.String "ok") ])
     | "/metrics" ->
       (* Prometheus text exposition of the whole process registry; the
@@ -192,19 +509,19 @@ let handle t (req : Http.request) =
     | "/metrics.json" ->
       Http.json_response
         (Metrics.snapshot t.server_metrics ~queue_depth:(Pool.depth t.pool)
-           ~workers:(Pool.domains t.pool) ~cache:(Lru.stats t.result_cache))
+           ~workers:(Pool.domains t.pool) ~cache:(combined_cache_stats t))
     | "/debug/trace" -> (
       match int_param req "last" ~default:16 with
       | Error resp -> resp
       | Ok last ->
         let last = min (max last 0) 256 in
         Http.json_response (Api.trace_payload (Xr_obs.Tracing.recent_traces last)))
-    | "/stats" -> Http.json_response (Api.stats_payload ~pool:(Api.pool_payload ()) t.index)
+    | "/stats" -> handle_stats t
     | "/search" -> handle_search t req
     | "/refine" -> handle_refine t req
     | "/suggest" -> handle_suggest t req
     | "/complete" -> handle_complete t req
-    | p -> Http.json_response ~status:404 (Api.error_payload ("no such endpoint " ^ p))
+    | p -> Http.json_response ~status:404 (Api.error_payload ("no such endpoint " ^ p)))
 
 (* ---- per-connection worker ---------------------------------------------- *)
 
@@ -325,16 +642,23 @@ let bind_socket addr =
     fd
 
 (* Scrape-time gauges and pulled counters for state owned elsewhere:
-   queue depth, worker count, cache statistics, uptime, and the
-   (immutable) index footprint. Families are idempotent and [set_pull]
-   rebinds, so restarting a server in the same process re-points the
-   series at the live instance. *)
+   queue depth, worker count, cache statistics, uptime, and the index
+   footprint. The footprint is pulled live from the current generations
+   (summed over corpora) — ingest swaps them at any time. Families are
+   idempotent and [set_pull] rebinds, so restarting a server in the same
+   process re-points the series at the live instance. *)
 let register_observability t =
   let module Reg = Xr_obs.Registry in
   let gauge name help = Reg.Gauge.no_labels (Reg.Gauge.family ~name ~help ()) in
   let pull_gauge name help f = Reg.Gauge.set_pull (gauge name help) f in
   let pull_counter name help f =
     Reg.Counter.set_pull (Reg.Counter.no_labels (Reg.Counter.family ~name ~help ())) f
+  in
+  let sum_indices f =
+    let acc = ref 0 in
+    iter_corpora t (fun _ cs ->
+        acc := !acc + f (Generation.current cs.gens).Generation.index);
+    float_of_int !acc
   in
   pull_gauge "xr_uptime_seconds" "Seconds since server start" (fun () ->
       Unix.gettimeofday () -. Metrics.started_at t.server_metrics);
@@ -343,42 +667,42 @@ let register_observability t =
   pull_gauge "xr_worker_domains" "Request worker domains" (fun () ->
       float_of_int (Pool.domains t.pool));
   pull_counter "xr_cache_hits_total" "Result cache hits" (fun () ->
-      float_of_int (Lru.stats t.result_cache).Lru.hits);
+      float_of_int (combined_cache_stats t).Lru.hits);
   pull_counter "xr_cache_misses_total" "Result cache misses" (fun () ->
-      float_of_int (Lru.stats t.result_cache).Lru.misses);
+      float_of_int (combined_cache_stats t).Lru.misses);
   pull_counter "xr_cache_evictions_total" "Result cache evictions" (fun () ->
-      float_of_int (Lru.stats t.result_cache).Lru.evictions);
+      float_of_int (combined_cache_stats t).Lru.evictions);
   pull_gauge "xr_cache_entries" "Result cache resident entries" (fun () ->
-      float_of_int (Lru.stats t.result_cache).Lru.entries);
+      float_of_int (combined_cache_stats t).Lru.entries);
   pull_gauge "xr_cache_capacity" "Result cache capacity" (fun () ->
-      float_of_int (Lru.stats t.result_cache).Lru.capacity);
+      float_of_int (combined_cache_stats t).Lru.capacity);
   pull_counter "xr_index_materializations_total"
     "Legacy posting-array materializations from packed lists" (fun () ->
-      float_of_int (Xr_index.Inverted.materialization_count t.index.Index.inverted));
-  (* The index is read-only after build: measure its footprint once. *)
-  let postings = ref 0 and packed_bytes = ref 0 and label_bytes = ref 0 in
-  Xr_index.Inverted.iter_packed
-    (fun _ pk ->
-      postings := !postings + Xr_index.Inverted.packed_postings pk;
-      packed_bytes := !packed_bytes + Xr_index.Inverted.packed_bytes pk;
-      label_bytes := !label_bytes + Xr_index.Inverted.packed_label_bytes pk)
-    t.index.Index.inverted;
-  let d = t.index.Index.doc in
-  Reg.Gauge.set (gauge "xr_index_postings" "Postings across all inverted lists")
-    (float_of_int !postings);
-  Reg.Gauge.set (gauge "xr_index_packed_bytes" "Bytes of packed posting data")
-    (float_of_int !packed_bytes);
-  Reg.Gauge.set
-    (gauge "xr_index_label_bytes" "Bytes of varint Dewey labels in packed lists")
-    (float_of_int !label_bytes);
-  Reg.Gauge.set (gauge "xr_index_keywords" "Distinct keywords in the vocabulary")
-    (float_of_int (List.length (Xr_xml.Doc.vocabulary d)));
-  Reg.Gauge.set (gauge "xr_index_nodes" "Element nodes in the document")
-    (float_of_int (Xr_xml.Doc.node_count d))
+      sum_indices (fun ix -> Xr_index.Inverted.materialization_count ix.Index.inverted));
+  let packed_sum f ix =
+    let acc = ref 0 in
+    Xr_index.Inverted.iter_packed (fun _ pk -> acc := !acc + f pk) ix.Index.inverted;
+    !acc
+  in
+  pull_gauge "xr_index_postings" "Postings across all inverted lists" (fun () ->
+      sum_indices (packed_sum Xr_index.Inverted.packed_postings));
+  pull_gauge "xr_index_packed_bytes" "Bytes of packed posting data" (fun () ->
+      sum_indices (packed_sum Xr_index.Inverted.packed_bytes));
+  pull_gauge "xr_index_label_bytes" "Bytes of varint Dewey labels in packed lists"
+    (fun () -> sum_indices (packed_sum Xr_index.Inverted.packed_label_bytes));
+  pull_gauge "xr_index_keywords" "Distinct keywords in the vocabulary" (fun () ->
+      sum_indices (fun ix -> List.length (Xr_xml.Doc.vocabulary ix.Index.doc)));
+  pull_gauge "xr_index_nodes" "Element nodes in the document" (fun () ->
+      sum_indices (fun ix -> Xr_xml.Doc.node_count ix.Index.doc));
+  pull_gauge "xr_serving_shards" "Serving shards" (fun () ->
+      float_of_int (Array.length t.shards));
+  pull_gauge "xr_serving_corpora" "Corpora served" (fun () ->
+      float_of_int (List.length (corpora_names t)))
 
-let start config index =
+let start_corpora config specs =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   if config.trace then Xr_obs.Tracing.enable ();
+  if specs = [] then invalid_arg "Server.start_corpora: no corpora";
   (* Request workers submit SLCA subtasks to the shared domain pool;
      queries below this many driver postings stay sequential. *)
   Xr_slca.Parallel.set_threshold config.parallel_threshold;
@@ -391,12 +715,52 @@ let start config index =
         | Some t -> handle_conn t conn
         | None -> ( try Unix.close conn.fd with Unix.Unix_error _ -> ()))
   in
+  let ncorpora = List.length specs in
+  let nshards =
+    let requested = if config.shards <= 0 then ncorpora else config.shards in
+    max 1 (min requested ncorpora)
+  in
+  let caches =
+    Array.init nshards (fun _ ->
+        Lru.create ~shards:config.cache_shards ~capacity:config.cache_capacity ())
+  in
+  let ingest_config =
+    { Ingest.queue_bound = config.ingest_queue; batch_max = config.ingest_batch }
+  in
+  (* Corpora round-robin across shards; each corpus gets its own
+     generation chain and writer. On publish the writer swaps the trie
+     and clears its shard's cache (generation-tagged keys make late
+     inserts from still-pinned readers unreachable either way). *)
+  let corpus_states =
+    List.mapi
+      (fun i spec ->
+        let shard_id = i mod nshards in
+        let gens = Generation.create ~corpus:spec.name spec.index in
+        let ctrie = Atomic.make (build_trie spec.index) in
+        let on_publish (gen : Generation.gen) =
+          Atomic.set ctrie (build_trie gen.Generation.index);
+          Lru.clear caches.(shard_id)
+        in
+        let ingest =
+          Ingest.create ~config:ingest_config ?kv:spec.kv ~on_publish gens
+        in
+        { cname = spec.name; shard_id; gens; ingest; ctrie })
+      specs
+  in
+  let shards =
+    Array.init nshards (fun sid ->
+        {
+          sid;
+          corpora =
+            Array.of_list (List.filter (fun cs -> cs.shard_id = sid) corpus_states);
+          cache = caches.(sid);
+        })
+  in
   let t =
     {
       config;
-      index;
-      trie = build_trie index;
-      result_cache = Lru.create ~shards:config.cache_shards ~capacity:config.cache_capacity ();
+      shards;
+      single = ncorpora = 1;
       server_metrics = Metrics.create ();
       listen_fd;
       stop_r;
@@ -408,6 +772,8 @@ let start config index =
   tref := Some t;
   register_observability t;
   t
+
+let start config index = start_corpora config [ { name = "default"; index; kv = None } ]
 
 let bound_addr t = Unix.getsockname t.listen_fd
 
@@ -440,6 +806,7 @@ let run t =
   in
   loop ();
   Pool.shutdown t.pool;
+  iter_corpora t (fun _ cs -> Ingest.shutdown cs.ingest);
   List.iter
     (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
     [ t.listen_fd; t.stop_r; t.stop_w ];

@@ -79,6 +79,14 @@ let append_child d (subtree : Tree.t) =
   in
   ( { d with tree; nodes = Array.append d.nodes added }, added )
 
+let fork d =
+  {
+    d with
+    tags = Interner.copy d.tags;
+    keywords = Interner.copy d.keywords;
+    paths = Path.copy d.paths;
+  }
+
 let of_string s = of_tree (Parser.parse_string s)
 
 let of_file path = of_tree (Parser.parse_file path)

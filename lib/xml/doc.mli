@@ -41,6 +41,15 @@ val of_file : string -> t
     document value remains readable. *)
 val append_child : t -> Tree.t -> t * node array
 
+(** [fork d] is a document that shares the (immutable) tree and node
+    array with [d] but owns private copies of the interner and path
+    tables, so [append_child] on the fork never mutates state visible
+    through [d]. This is the snapshot primitive behind online ingest:
+    readers keep querying [d] while a writer extends the fork. Ids
+    already allocated are preserved, so Dewey labels, node types and
+    keyword ids mean the same thing in both documents. *)
+val fork : t -> t
+
 (** [node_count d] is the number of element nodes. *)
 val node_count : t -> int
 

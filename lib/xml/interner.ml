@@ -26,6 +26,9 @@ let intern t s =
     t.next <- id + 1;
     id
 
+let copy t =
+  { by_name = Hashtbl.copy t.by_name; by_id = Array.copy t.by_id; next = t.next }
+
 let find t s = Hashtbl.find_opt t.by_name s
 
 let name t id =

@@ -11,6 +11,11 @@ val create : ?capacity:int -> unit -> t
     sight. Ids are dense, starting at 0, in order of first interning. *)
 val intern : t -> string -> id
 
+(** [copy t] is an independent interner with the same contents: interning
+    into the copy never mutates [t], so readers of [t] in other domains
+    are undisturbed. *)
+val copy : t -> t
+
 (** [find t s] is the id of [s] if it has been interned. *)
 val find : t -> string -> id option
 

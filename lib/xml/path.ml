@@ -18,6 +18,9 @@ let grow t =
   Array.blit t.nodes 0 a 0 n;
   t.nodes <- a
 
+let copy t =
+  { by_key = Hashtbl.copy t.by_key; nodes = Array.copy t.nodes; next = t.next }
+
 let intern t ~parent ~tag =
   match Hashtbl.find_opt t.by_key (parent, tag) with
   | Some id -> id

@@ -11,6 +11,10 @@ type table
 
 val create : unit -> table
 
+(** [copy tbl] is an independent table with the same contents: interning
+    into the copy never mutates [tbl]. Path ids are preserved. *)
+val copy : table -> table
+
 (** [root tbl ~tag] interns (or finds) the root path [/tag]. *)
 val root : table -> tag:Interner.id -> id
 

@@ -2,7 +2,10 @@
 # End-to-end smoke test: generate a scratch corpus, start `xrefine serve`
 # on it, curl every JSON endpoint asserting 200 + well-formed JSON, check
 # the Prometheus text exposition at /metrics, check that repeated queries
-# hit the result cache, and shut the server down.
+# hit the result cache, POST a document through /ingest and assert it is
+# queryable without a restart (and that no stale cached response
+# survives the swap), then restart with two corpora over --shards 2 and
+# drive a mixed read/write load through bench/loadgen.exe --check.
 set -eu
 
 PORT="${SMOKE_PORT:-18980}"
@@ -110,5 +113,97 @@ echo "smoke: ok cache hits: $hits"
 status=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/search")
 [ "$status" = "400" ] || fail "/search without q returned $status (want 400)"
 echo "smoke: ok /search without q -> 400"
+
+# ---- ingest: a POSTed document is queryable without a restart ---------------
+# Query a keyword the corpus cannot contain, twice, so the empty result
+# is sitting in the cache; the ingest must make the next read see the new
+# document — a stale cached body here means invalidation is broken.
+count=$(curl -s "$BASE/search?q=smokefreshterm" | json_get '.count')
+[ "$count" = "0" ] || fail "smokefreshterm unexpectedly present before ingest"
+curl -s "$BASE/search?q=smokefreshterm" >/dev/null
+status=$(curl -s -o "$TMP/body" -w '%{http_code}' \
+  --data-binary '<article><title>smokefreshterm appears</title></article>' \
+  "$BASE/ingest?sync=true")
+[ "$status" = "200" ] || fail "/ingest returned $status"
+json_ok <"$TMP/body" || fail "/ingest body is not well-formed JSON"
+count=$(curl -s "$BASE/search?q=smokefreshterm" | json_get '.count')
+[ "$count" = "1" ] || fail "ingested doc not visible (count=$count; stale cache?)"
+echo "smoke: ok /ingest -> document visible, cache invalidated"
+
+# The ingest CLI drives the same endpoint.
+printf '<article><title>smokefreshterm again</title></article>\n' >"$TMP/doc2.xml"
+dune exec --no-build xrefine -- ingest -p "$PORT" "$TMP/doc2.xml" >/dev/null \
+  || fail "xrefine ingest CLI failed"
+count=$(curl -s "$BASE/search?q=smokefreshterm" | json_get '.count')
+[ "$count" = "2" ] || fail "CLI-ingested doc not visible (count=$count)"
+echo "smoke: ok xrefine ingest CLI"
+
+# Ingest observability: per-corpus write-path families in /metrics.
+curl -s "$BASE/metrics" >"$TMP/prom"
+grep -q '^xr_ingest_docs_indexed_total{' "$TMP/prom" || fail "/metrics lacks xr_ingest_docs_indexed_total"
+grep -q '^xr_ingest_queue_depth{' "$TMP/prom" || fail "/metrics lacks xr_ingest_queue_depth"
+grep -q '^xr_ingest_active_generations{' "$TMP/prom" || fail "/metrics lacks xr_ingest_active_generations"
+grep -q '^# TYPE xr_ingest_merge_duration_ms histogram' "$TMP/prom" \
+  || fail "/metrics lacks the merge latency histogram TYPE line"
+echo "smoke: ok ingest metrics exported"
+
+# ---- sharded serving: two corpora, scatter-gather, mixed read/write ---------
+kill "$SERVER_PID" 2>/dev/null || true
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+# The auxiliary corpus shares no vocabulary with the read queries, so
+# concurrent writes into it must leave read responses byte-identical —
+# exactly what loadgen --check asserts against its sequential baseline.
+cat >"$TMP/aux.xml" <<'EOF'
+<catalog><item><name>widget alpha</name></item><item><name>widget beta</name></item></catalog>
+EOF
+
+PORT=$((PORT + 1))
+tries=0
+while :; do
+  echo "smoke: starting sharded xrefine serve on port $PORT"
+  dune exec --no-build xrefine -- serve -d "$TMP/corpus.xml" -d "$TMP/aux.xml" \
+    --shards 2 -p "$PORT" --domains 2 --quiet >"$TMP/server2.log" 2>&1 &
+  SERVER_PID=$!
+  BASE="http://127.0.0.1:$PORT"
+  i=0
+  up=1
+  until curl -sf "$BASE/health" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -gt 50 ] && { up=0; break; }
+    kill -0 "$SERVER_PID" 2>/dev/null || { up=0; break; }
+    sleep 0.1
+  done
+  [ "$up" = 1 ] && break
+  if grep -qi 'address already in use\|EADDRINUSE' "$TMP/server2.log" \
+     && [ "$tries" -lt 9 ]; then
+    kill "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+    SERVER_PID=""
+    tries=$((tries + 1))
+    PORT=$((PORT + 1))
+    echo "smoke: port occupied, retrying on $PORT"
+    continue
+  fi
+  cat "$TMP/server2.log" >&2
+  fail "sharded server did not come up"
+done
+
+shards=$(curl -s "$BASE/stats" | json_get '.shards')
+[ "$shards" = "2" ] || fail "/stats reports shards=$shards (want 2)"
+count=$(curl -s "$BASE/search?q=widget&corpus=aux" | json_get '.count')
+[ "$count" = "2" ] || fail "corpus filter broken (aux widget count=$count)"
+echo "smoke: ok sharded /stats and ?corpus= filter"
+
+# Mixed read/write load: reads verified byte-for-byte against a
+# sequential baseline while writes land in the aux corpus; loadgen then
+# audits that the marker keyword's final count equals the acknowledged
+# writes. Reads never block on the swaps or this would time out.
+dune exec --no-build bench/loadgen.exe -- --port "$PORT" --clients 2 --duration 2 \
+  --mix 1.0 --write-mix 30 --write-corpus aux --check \
+  --query 'database title' --query 'database publication' \
+  || fail "loadgen --write-mix --check failed"
+echo "smoke: ok loadgen --write-mix --check"
 
 echo "smoke: PASS"

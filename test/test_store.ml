@@ -346,6 +346,53 @@ let test_btree_reopen_after_sync_mid_stream () =
   Btree.close t;
   Sys.remove path
 
+let test_index_delta_crash_mid_merge () =
+  (* an incremental merge ([Index.save_delta]) is killed at its
+     commit-point sync: every delta write may have reached the pager but
+     none is durable. The reopened B+tree must serve the pre-merge
+     generation byte-for-byte — never a torn mix of old and new postings *)
+  let module Index = Xr_index.Index in
+  let module Doc = Xr_xml.Doc in
+  let module Tree = Xr_xml.Tree in
+  let path = tmp_file ".mrg" in
+  Sys.remove path;
+  let base = Index.build (Xr_data.Figure1.doc ()) in
+  let kv = Kv.btree_file path in
+  Index.save base kv;
+  let crash = { kv with Kv.sync = (fun () -> failwith "killed mid-merge") } in
+  let next, changed =
+    Index.append_partition_delta (Index.fork base)
+      (Tree.elem "article" [ Tree.Elem (Tree.leaf "title" "torn merge victim") ])
+  in
+  (try
+     Index.save_delta next crash ~changed;
+     Alcotest.fail "crash sync not reached"
+   with Failure _ -> ());
+  (* no close: reopen the file as the dying process left it *)
+  let t2 = Btree.open_file path in
+  Btree.check t2;
+  let reopened = Index.load (Kv.of_btree t2) in
+  check Alcotest.bool "pre-merge keyword served" true
+    (Doc.keyword_id reopened.Index.doc "xml" <> None);
+  check Alcotest.bool "torn merge not visible" true
+    (Doc.keyword_id reopened.Index.doc "torn" = None);
+  (* byte-level: the surviving store equals a fresh save of the pre-merge
+     index, binding for binding *)
+  let dump kv =
+    let acc = ref [] in
+    kv.Kv.iter_from "" (fun k v ->
+        acc := (k, v) :: !acc;
+        true);
+    List.rev !acc
+  in
+  let expect = Kv.memory () in
+  Index.save base expect;
+  check
+    Alcotest.(list (pair string string))
+    "reopened bindings = pre-merge generation" (dump expect) (dump (Kv.of_btree t2));
+  Btree.close t2;
+  Sys.remove path
+
 let () =
   Alcotest.run "xr_store"
     [
@@ -379,6 +426,8 @@ let () =
           Alcotest.test_case "corrupt page detected" `Quick test_btree_corrupt_page_detected;
           Alcotest.test_case "truncated file detected" `Quick test_pager_truncated_file;
           Alcotest.test_case "reopen after sync" `Quick test_btree_reopen_after_sync_mid_stream;
+          Alcotest.test_case "index merge killed before commit" `Quick
+            test_index_delta_crash_mid_merge;
         ] );
       ( "kv",
         [
