@@ -1,4 +1,4 @@
-.PHONY: all build test check smoke checkmetrics bench benchgate slcabench refinebench parallelbench paperbench examples quickbench clean fmt
+.PHONY: all build test check smoke checkmetrics bench benchgate slcabench refinebench parallelbench batchbench paperbench examples quickbench clean fmt
 
 all: build
 
@@ -20,11 +20,12 @@ checkmetrics: build
 	scripts/check_metrics.sh
 
 # Smoke-size benchmarks (SLCA kernels + refinement pipeline + domain
-# parallelism).
+# parallelism + batched execution).
 bench:
 	dune exec bench/slca_bench.exe -- --smoke
 	dune exec bench/refine_bench.exe -- --smoke
 	dune exec bench/parallel_bench.exe -- --smoke
+	dune exec bench/batch_bench.exe -- --smoke
 
 # Regression gate: committed BENCH files and a fresh smoke run must both
 # keep every packed-vs-legacy aggregate speedup at >= 1.0.
@@ -42,6 +43,10 @@ refinebench:
 # Full-size parallel SLCA benchmark (the committed BENCH_parallel.json).
 parallelbench:
 	dune exec bench/parallel_bench.exe
+
+# Full-size batched-execution benchmark (the committed BENCH_batch.json).
+batchbench:
+	dune exec bench/batch_bench.exe
 
 fmt:
 	dune build @fmt --auto-promote

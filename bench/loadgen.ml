@@ -42,6 +42,7 @@ let speclist =
     ("--unix", Arg.Set_string addr_unix, "PATH connect to a Unix-domain socket instead of TCP");
     ("--duration", Arg.Set_float duration, "S seconds of load (default 5)");
     ("--clients", Arg.Set_int clients, "N client domains (default 4)");
+    ("--concurrency", Arg.Set_int clients, "N alias for --clients");
     ("--mix", Arg.Set_float mix, "F fraction of /search requests, rest /refine (default 0.7)");
     ("--query", Arg.String (fun q -> queries := q :: !queries), "Q add a query (repeatable)");
     ("--queries", Arg.Set_string queries_file, "FILE one query per line");
@@ -438,6 +439,7 @@ let report addr elapsed pairs =
               ("io_errors", Json.Int (reads.s_io + writes.s_io));
               ("mismatches", Json.Int reads.s_mism);
               ("rps", Json.Float rps);
+              ("aggregate_qps", Json.Float rps);
               ("latency_ms", latency_json reads);
               ("reads", Json.Obj [ ("requests", Json.Int reads.s_sent); ("latency_ms", latency_json reads) ]);
               ("writes", Json.Obj [ ("requests", Json.Int writes.s_sent); ("acked", Json.Int writes.s_ok); ("latency_ms", latency_json writes) ]);
@@ -450,7 +452,8 @@ let report addr elapsed pairs =
                  ]);
             ]))
   else begin
-    Printf.printf "loadgen: %d client(s), %.2fs, %.0f req/s\n" !clients elapsed rps;
+    Printf.printf "loadgen: %d client(s), %.2fs, aggregate %.0f qps\n" !clients
+      elapsed rps;
     print_side "reads" reads;
     if writes.s_sent > 0 then print_side "writes" writes;
     if !check then Printf.printf "  mismatches %d\n" reads.s_mism;

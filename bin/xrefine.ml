@@ -337,6 +337,31 @@ let serve_cmd =
             "Minimum driver-list postings before a query fans out over the shared domain \
              pool; smaller queries run sequentially (0 always fans out).")
   in
+  let no_batch =
+    Arg.(
+      value & flag
+      & info [ "no-batch" ]
+          ~doc:
+            "Disable batched execution: compiled query plans and single-flight coalescing \
+             of concurrent identical requests.")
+  in
+  let coalesce_window_ms =
+    Arg.(
+      value
+      & opt float 0.
+      & info [ "coalesce-window-ms" ] ~docv:"MS"
+          ~doc:
+            "Wait this long before rendering a cache miss so concurrent identical requests \
+             can pile onto one execution; 0 adds no latency and still coalesces genuine \
+             overlap.")
+  in
+  let plan_cache =
+    Arg.(
+      value
+      & opt int 512
+      & info [ "plan-cache" ] ~docv:"N"
+          ~doc:"Compiled query plans cached per corpus (0 disables plan caching).")
+  in
   let quiet = Arg.(value & flag & info [ "quiet" ] ~doc:"Disable the stderr request log.") in
   let no_trace =
     Arg.(
@@ -372,7 +397,8 @@ let serve_cmd =
              every corpus its own shard.")
   in
   let run docs port host unix_socket shards domains queue cache cache_shards deadline limit
-      parallel_threshold quiet no_trace slow_query_ms =
+      parallel_threshold no_batch coalesce_window_ms plan_cache quiet no_trace slow_query_ms
+      =
     if docs = [] then (
       prerr_endline "xrefine serve: pass at least one -d FILE";
       exit 2);
@@ -414,6 +440,9 @@ let serve_cmd =
         trace = not no_trace;
         slow_query_ms;
         shards;
+        batch = not no_batch;
+        coalesce_window_ms;
+        plan_cache_capacity = plan_cache;
       }
     in
     let server = Xr_server.Server.start_corpora config specs in
@@ -451,7 +480,8 @@ let serve_cmd =
           domains.")
     Term.(
       const run $ doc_files $ port $ host $ unix_socket $ shards $ domains $ queue $ cache
-      $ cache_shards $ deadline $ limit $ parallel_threshold $ quiet $ no_trace $ slow_query_ms)
+      $ cache_shards $ deadline $ limit $ parallel_threshold $ no_batch $ coalesce_window_ms
+      $ plan_cache $ quiet $ no_trace $ slow_query_ms)
 
 (* ---- ingest -------------------------------------------------------------------- *)
 

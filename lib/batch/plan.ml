@@ -1,0 +1,104 @@
+open Xr_xml
+module Index = Xr_index.Index
+module Inverted = Xr_index.Inverted
+module Slca_engine = Xr_slca.Engine
+module Scan_packed = Xr_slca.Scan_packed
+module Meaningful = Xr_slca.Meaningful
+module Engine = Xr_refine.Engine
+module P = Dewey.Packed
+
+type search_exec =
+  | Dead
+  | Tiny of (P.t * int * int) * (P.t * int * int) list
+  | Ranges of (P.t * int * int) list
+  | Boxed
+
+type search = {
+  s_slca : Slca_engine.algorithm;
+  s_ids : Interner.id list;
+  s_exec : search_exec;
+}
+
+(* Mirror of the [parse] stage of {!Engine.search}: normalize, dedupe,
+   resolve. [None] exactly when search would return [[]] without
+   scanning (out-of-vocabulary keyword or an empty posting list). *)
+let compile_search ?(config = Engine.default_config) (index : Index.t) query =
+  let doc = index.Index.doc in
+  let alg = config.Engine.slca in
+  let keywords =
+    List.filter (fun k -> String.length k > 0) (List.map Token.normalize query)
+    |> List.sort_uniq String.compare
+  in
+  let rec resolve acc = function
+    | [] -> Some (List.rev acc)
+    | k :: rest -> (
+      match Doc.keyword_id doc k with
+      | Some kw -> resolve (kw :: acc) rest
+      | None -> None)
+  in
+  match resolve [] keywords with
+  | None -> { s_slca = alg; s_ids = []; s_exec = Dead }
+  | Some ids ->
+    if List.exists (fun kw -> Inverted.length index.Index.inverted kw = 0) ids then
+      { s_slca = alg; s_ids = ids; s_exec = Dead }
+    else if not (Slca_engine.is_packed alg) then
+      { s_slca = alg; s_ids = ids; s_exec = Boxed }
+    else begin
+      let ranges =
+        List.map
+          (fun kw ->
+            let pk = (Inverted.packed_list index.Index.inverted kw).Inverted.labels in
+            (pk, 0, P.length pk))
+          ids
+      in
+      match alg with
+      | Slca_engine.Scan_packed | Slca_engine.Scan_parallel -> (
+        (* Selectivity order decided here, once: the kernels' stable
+           sort is a fixpoint on the pre-sorted list, so handing the
+           sorted ranges back to them changes nothing. *)
+        match Scan_packed.sort_by_length ranges with
+        | ((_, dlo, dhi) as driver) :: others
+          when dhi - dlo <= Scan_packed.tiny_threshold () ->
+          { s_slca = alg; s_ids = ids; s_exec = Tiny (driver, others) }
+        | sorted -> { s_slca = alg; s_ids = ids; s_exec = Ranges sorted })
+      | _ ->
+        (* stack-packed consumes the lists in resolution order, exactly
+           as [query_ids] hands them over *)
+        { s_slca = alg; s_ids = ids; s_exec = Ranges ranges }
+    end
+
+let run_search ?(config = Engine.default_config) plan (index : Index.t) =
+  match plan.s_exec with
+  | Dead -> []
+  | exec ->
+    (* The memo table behind [Meaningful.t] is single-threaded, so the
+       statistics handle is per-run, never part of the cached plan. *)
+    let meaningful =
+      Xr_obs.Tracing.with_span "parse" (fun () ->
+          Meaningful.make ~config:config.Engine.search_for index.Index.stats plan.s_ids)
+    in
+    let slcas =
+      match exec with
+      | Dead -> assert false
+      | Boxed -> Slca_engine.query_ids plan.s_slca index plan.s_ids
+      | Ranges ranges -> Slca_engine.compute_ranges plan.s_slca ranges
+      | Tiny (driver, others) ->
+        (* A tiny driver sits far below the parallel threshold: for the
+           scan-parallel algorithm this dispatch *is* the sequential
+           fallback, decided at compile time, so keep its counter
+           faithful. *)
+        if plan.s_slca = Slca_engine.Scan_parallel then Xr_slca.Parallel.note_fallback ();
+        Xr_obs.Tracing.with_span "slca.scan" (fun () ->
+            Scan_packed.scan_tiny ~driver ~others ())
+    in
+    Xr_obs.Tracing.with_span "slca.filter" (fun () -> Meaningful.filter meaningful slcas)
+
+type refine = { r_rules : Xr_refine.Rule.t list }
+
+let compile_refine ?config (index : Index.t) query =
+  { r_rules = Engine.compiled_rules ?config index query }
+
+let run_refine ?(config = Engine.default_config) plan (index : Index.t) query =
+  Engine.refine
+    ~config:{ config with Engine.auto_mine = false }
+    ~rules:plan.r_rules index query

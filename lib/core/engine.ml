@@ -77,6 +77,24 @@ let build_rules config (index : Index.t) rules query =
     List.fold_left Ruleset.add mined rules
   end
 
+(* The rule list [refine] would actually consult for [query], fully
+   pruned: mined rules (when [auto_mine] is set) merged with [rules],
+   restricted to relevant left-hand sides and in-vocabulary right-hand
+   sides — exactly the filters {!Refine_common.make} applies. Both
+   filters are idempotent and [Ruleset.of_rules]/[to_list] round-trip
+   content and order, so feeding the result back through
+   [refine ~config:{config with auto_mine = false} ~rules] reproduces
+   the auto-mining run byte for byte while skipping the mining pass —
+   the contract the plan cache relies on. *)
+let compiled_rules ?(config = default_config) ?(rules = []) (index : Index.t) query =
+  let ruleset = build_rules config index rules query in
+  let nq = List.filter (fun k -> String.length k > 0) (List.map Token.normalize query) in
+  let doc = index.Index.doc in
+  let in_doc k = Doc.keyword_id doc k <> None in
+  List.filter
+    (fun (r : Rule.t) -> List.for_all in_doc r.rhs)
+    (Ruleset.to_list (Ruleset.relevant ruleset nq))
+
 let setup config rules index query =
   let ruleset = build_rules config index rules query in
   Refine_common.make ~dp_config:config.dp ~search_for:config.search_for index ruleset query

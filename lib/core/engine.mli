@@ -59,6 +59,16 @@ type response = {
 val refine :
   ?config:config -> ?rules:Rule.t list -> Xr_index.Index.t -> string list -> response
 
+(** [compiled_rules ?config ?rules index query] is the pruned rule list
+    {!refine} would consult for [query]: mined rules (when
+    [config.auto_mine] holds) merged with [rules], restricted to
+    relevant left-hand sides and in-vocabulary right-hand sides.
+    Running [refine ~config:{config with auto_mine = false} ~rules:r]
+    with the returned [r] is byte-identical to the auto-mining run and
+    skips the mining pass — the basis of compiled refine plans. *)
+val compiled_rules :
+  ?config:config -> ?rules:Rule.t list -> Xr_index.Index.t -> string list -> Rule.t list
+
 (** [needs_refinement ?config index query] is Definition 3.4: does the
     query lack a meaningful SLCA? *)
 val needs_refinement : ?config:config -> Xr_index.Index.t -> string list -> bool

@@ -2,26 +2,53 @@ open Xr_xml
 module Slca_engine = Xr_slca.Engine
 module Meaningful = Xr_slca.Meaningful
 module Parallel = Xr_slca.Parallel
+module Shared_scan = Xr_slca.Shared_scan
 
-(* Domain-parallel evaluation of independent candidate refined queries.
+(* Batched evaluation of independent candidate refined queries — over
+   the domain pool, through shared driver scans, or both.
 
-   Both entry points preserve byte-identity with the sequential
+   All entry points preserve byte-identity with the sequential
    pipeline by construction:
 
-   - the pool workers run only the pure packed SLCA kernel (via
-     {!Slca_engine.sequential_partner}, so no nested fork/join) over
-     immutable packed lists; the meaningfulness filter, whose memo
-     table is single-threaded, is applied afterwards on the submitting
-     domain, and [Rq_list] admission stays entirely sequential;
+   - the evaluations run only the pure packed SLCA kernels (via
+     {!Slca_engine.sequential_partner} / {!Shared_scan}, so no nested
+     fork/join) over immutable packed lists; the meaningfulness
+     filter, whose memo table is single-threaded, is applied
+     afterwards on the submitting domain, and [Rq_list] admission
+     stays entirely sequential;
 
    - {!prefetch} evaluates the superset of candidates the walk *could*
      request under the admission state at batch start (admission only
      ever tightens, so the evolving walk requests a subset), and the
      caller then replays its exact sequential walk against the
      prefetched table — same admissions, same order, rank ties still
-     resolved by candidate index. *)
+     resolved by candidate index;
+
+   - candidates touching the same driver range coalesce into one
+     shared pass ({!Shared_scan.run_batch}), whose per-member streams
+     are the solo streams by construction. *)
 
 let none : string -> Dewey.t list option = fun _ -> None
+
+(* Candidate evaluations inside one partition all scope their lists to
+   that partition, so the shared scans can mask the driver's full list
+   against the partition root bitsliced: every nonempty range starts on
+   a partition-first entry, whose first component names the root.
+   [Shared_scan.run_batch] re-verifies the subtree bound before using
+   it, so a caller handing non-partition ranges loses the mask, never
+   correctness. *)
+let derive_root (c : Refine_common.t) ranges =
+  let n = min (Array.length ranges) (Array.length c.Refine_common.packed) in
+  let rec find i =
+    if i >= n then None
+    else
+      let lo, hi = ranges.(i) in
+      if hi > lo then
+        let pid = Dewey.Packed.first_component c.Refine_common.packed.(i) lo in
+        if pid >= 0 then Some [| pid |] else None
+      else find (i + 1)
+  in
+  find 0
 
 let scope_postings ranges = Array.fold_left (fun acc (lo, hi) -> acc + (hi - lo)) 0 ranges
 
@@ -70,20 +97,61 @@ let prefetch ?pool (c : Refine_common.t) ~slca ~ranges ~rqlist cands =
     | [] | [ _ ] -> none (* nothing to overlap *)
     | todo ->
       let pool = match pool with Some p -> p | None -> Xr_pool.global () in
-      if Xr_pool.size pool <= 1 then begin
+      let psize = Xr_pool.size pool in
+      let alg = Slca_engine.sequential_partner slca in
+      (* Shared passes only make sense for the scan-family kernel
+         (their member automaton *is* its prune); stack-packed keeps
+         the one-task-per-candidate path. On a single domain a batch
+         pays off exactly when drivers coalesce — the shared decode is
+         a sequential win — so with no extra domains and no sharing,
+         prefetching the superset would only waste work and the walk
+         evaluates on demand as before. *)
+      let queries =
+        if Shared_scan.enabled () && alg = Slca_engine.Scan_packed then
+          Some
+            (List.map (fun (_, kws) -> Refine_common.packed_sublists c ranges kws) todo)
+        else None
+      in
+      let has_sharing =
+        match queries with
+        | None -> false
+        | Some qs ->
+          let seen = ref [] and dup = ref false in
+          List.iter
+            (fun lists ->
+              if lists <> [] && not (List.exists (fun (_, lo, hi) -> hi <= lo) lists) then
+                match Xr_slca.Scan_packed.sort_by_length lists with
+                | (pk, lo, hi) :: _ ->
+                  if List.exists (fun (pk', lo', hi') -> pk' == pk && lo' = lo && hi' = hi) !seen
+                  then dup := true
+                  else seen := (pk, lo, hi) :: !seen
+                | [] -> ())
+            qs;
+          !dup
+      in
+      let shared = queries <> None && (psize > 1 || has_sharing) in
+      if (not shared) && psize <= 1 then begin
         Parallel.note_fallback ();
         none
       end
       else begin
-        let alg = Slca_engine.sequential_partner slca in
         let arr = Array.of_list todo in
-        let raw = Array.make (Array.length arr) [] in
-        Xr_pool.run pool
-          (Array.init (Array.length arr) (fun i ->
-               fun () ->
-                let _, kws = arr.(i) in
-                raw.(i) <-
-                  Slca_engine.compute_ranges alg (Refine_common.packed_sublists c ranges kws)));
+        let raw =
+          match queries with
+          | Some qs when shared ->
+            Array.of_list (Shared_scan.run_batch ~pool ?root:(derive_root c ranges) qs)
+          | _ -> begin
+            let raw = Array.make (Array.length arr) [] in
+            Xr_pool.run pool
+              (Array.init (Array.length arr) (fun i ->
+                   fun () ->
+                    let _, kws = arr.(i) in
+                    raw.(i) <-
+                      Slca_engine.compute_ranges alg
+                        (Refine_common.packed_sublists c ranges kws)));
+            raw
+          end
+        in
         let table = Hashtbl.create (Array.length arr) in
         Array.iteri (fun i (key, _) -> Hashtbl.replace table key raw.(i)) arr;
         fun key ->
@@ -115,9 +183,20 @@ let topk_slcas ?pool (c : Refine_common.t) ~slca keyword_sets =
       end
       else begin
         let alg = Slca_engine.sequential_partner slca in
-        let raw = Array.make n [] in
-        Xr_pool.run pool
-          (Array.init n (fun i -> fun () -> raw.(i) <- Slca_engine.compute_ranges alg ranges.(i)));
+        let raw =
+          if Shared_scan.enabled () && alg = Slca_engine.Scan_packed then
+            (* top-K result sets share their full keyword lists freely
+               (refined queries overlap on the surviving keywords), so
+               route them through the same batch admission *)
+            Array.of_list (Shared_scan.run_batch ~pool (Array.to_list ranges))
+          else begin
+            let raw = Array.make n [] in
+            Xr_pool.run pool
+              (Array.init n (fun i ->
+                   fun () -> raw.(i) <- Slca_engine.compute_ranges alg ranges.(i)));
+            raw
+          end
+        in
         Array.map (Meaningful.filter c.meaningful) raw
       end
     end

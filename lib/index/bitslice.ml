@@ -1,0 +1,113 @@
+open Xr_xml
+module P = Dewey.Packed
+
+(* 63 verdicts per word: the full width of OCaml's native int. Bit 62
+   (the sign bit) is an ordinary mask bit here — all-ones is [-1]. *)
+let word_bits = 63
+
+let all_ones = -1
+
+(* [ones k] is a word with bits [0..k-1] set, for [0 <= k <= 63]. *)
+let ones k = if k >= word_bits then all_ones else (1 lsl k) - 1
+
+type t = {
+  base : int;
+  count : int;
+  words : int array;
+  cardinal : int;
+}
+
+let entries_fam =
+  Xr_obs.Registry.Counter.family ~name:"xr_bitslice_entries_total"
+    ~help:"Posting entries masked by the bitsliced prefix filter" ~label_names:[ "verdict" ]
+    ()
+
+let examined_h = Xr_obs.Registry.Counter.handle entries_fam [ "examined" ]
+
+let selected_h = Xr_obs.Registry.Counter.handle entries_fam [ "selected" ]
+
+let entries_examined () = Xr_obs.Registry.Counter.value examined_h
+
+let entries_selected () = Xr_obs.Registry.Counter.value selected_h
+
+let base t = t.base
+
+let count t = t.count
+
+let cardinal t = t.cardinal
+
+let selectivity t =
+  if t.count = 0 then 1.0 else float_of_int t.cardinal /. float_of_int t.count
+
+(* Set bits [s, e) of [words] (relative to the mask base). Interior
+   words take one all-ones store each — that is the bitsliced payoff:
+   sortedness turns 63 per-label prefix compares into one word write. *)
+let fill_range words s e =
+  if e > s then begin
+    let w0 = s / word_bits and w1 = (e - 1) / word_bits in
+    if w0 = w1 then
+      words.(w0) <- words.(w0) lor (ones (e - (w1 * word_bits)) land lnot (ones (s - (w0 * word_bits))))
+    else begin
+      words.(w0) <- words.(w0) lor lnot (ones (s - (w0 * word_bits)));
+      for w = w0 + 1 to w1 - 1 do
+        words.(w) <- all_ones
+      done;
+      words.(w1) <- words.(w1) lor ones (e - (w1 * word_bits))
+    end
+  end
+
+let finish ~lo ~hi words cardinal =
+  Xr_obs.Registry.Counter.add examined_h (hi - lo);
+  Xr_obs.Registry.Counter.add selected_h cardinal;
+  { base = lo; count = hi - lo; words; cardinal }
+
+let make_words count = Array.make ((count + word_bits - 1) / word_bits) 0
+
+let under pk ~lo ~hi ~prefix ~plen =
+  let count = max 0 (hi - lo) in
+  let words = make_words count in
+  let a, b =
+    if plen = 0 then (lo, hi)
+    else
+      let a, b = P.prefix_slice_sub pk ~lo prefix plen in
+      (max a lo, min b hi)
+  in
+  if b > a then fill_range words (a - lo) (b - lo);
+  finish ~lo ~hi words (max 0 (b - a))
+
+let under_probed pk ~lo ~hi ~prefix ~plen =
+  let count = max 0 (hi - lo) in
+  let words = make_words count in
+  let cardinal = ref 0 in
+  for i = lo to hi - 1 do
+    if P.common_prefix_len_sub pk i prefix plen = plen then begin
+      let r = i - lo in
+      words.(r / word_bits) <- words.(r / word_bits) lor (1 lsl (r mod word_bits));
+      incr cardinal
+    end
+  done;
+  finish ~lo ~hi words !cardinal
+
+let mem t i =
+  let r = i - t.base in
+  r >= 0 && r < t.count
+  && t.words.(r / word_bits) land (1 lsl (r mod word_bits)) <> 0
+
+let iter t f =
+  let nw = Array.length t.words in
+  for w = 0 to nw - 1 do
+    let word = Array.unsafe_get t.words w in
+    if word <> 0 then begin
+      let first = t.base + (w * word_bits) in
+      if word = all_ones then
+        (* full word: 63 hits, no per-bit tests (construction never
+           sets bits past [count], so a full word is fully in range) *)
+        for j = 0 to word_bits - 1 do
+          f (first + j)
+        done
+      else
+        for j = 0 to word_bits - 1 do
+          if word land (1 lsl j) <> 0 then f (first + j)
+        done
+    end
+  done

@@ -1,0 +1,58 @@
+(** Bitsliced Dewey prefix filter.
+
+    A {!t} is a bitset over one half-open entry range of a packed
+    posting list: bit [i - base] is set iff entry [i] lies in the
+    subtree rooted at a given prefix. One machine word holds the
+    verdicts for {!word_bits} consecutive labels, so the shared-scan
+    kernel ({!Xr_slca}) consumes subtree membership a word at a time
+    instead of re-probing the prefix per driver entry.
+
+    Posting lists are document-ordered, so the members of a subtree
+    form one contiguous run ({!Xr_xml.Dewey.Packed.prefix_slice_sub});
+    {!under} exploits that to fill interior words with a single
+    all-ones store — 63 label verdicts per write — and only shifts at
+    the two boundary words. {!under_probed} builds the same mask by
+    comparing every entry individually; it is the reference the
+    property tests diff against and the fallback for unsorted input. *)
+
+open Xr_xml
+
+type t
+
+(** Verdicts per mask word: OCaml's native int carries 63 usable bits. *)
+val word_bits : int
+
+(** [under pk ~lo ~hi ~prefix ~plen] masks entries of [pk] in
+    [\[lo, hi)] to those lying in the subtree rooted at
+    [prefix.(0..plen-1)] ([plen = 0] selects everything). Assumes [pk]
+    is sorted in document order, as inverted lists are. *)
+val under : Dewey.Packed.t -> lo:int -> hi:int -> prefix:int array -> plen:int -> t
+
+(** [under_probed] is {!under} without the sortedness assumption: one
+    encoded-form prefix probe per entry. Reference implementation. *)
+val under_probed :
+  Dewey.Packed.t -> lo:int -> hi:int -> prefix:int array -> plen:int -> t
+
+(** [base t] and [count t] recover the masked range: [\[base, base + count)]. *)
+val base : t -> int
+
+val count : t -> int
+
+(** [cardinal t] is the number of selected entries. *)
+val cardinal : t -> int
+
+(** [selectivity t] is [cardinal / count] (1.0 for an empty range). *)
+val selectivity : t -> float
+
+(** [mem t i] tests entry [i] (absolute index into the list). *)
+val mem : t -> int -> bool
+
+(** [iter t f] applies [f] to each selected absolute index, ascending.
+    Full words dispatch without per-bit tests. *)
+val iter : t -> (int -> unit) -> unit
+
+(** Cumulative entries examined / selected across all masks built —
+    exported to the registry as [xr_bitslice_entries_total{verdict}]. *)
+val entries_examined : unit -> int
+
+val entries_selected : unit -> int

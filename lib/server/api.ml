@@ -202,7 +202,34 @@ let pool_payload () =
         ("parallel_threshold", Json.Int (Xr_slca.Parallel.threshold ()));
       ])
 
-let stats_payload ?pool (index : Index.t) =
+(* Batched-execution counters: shared-scan amortization, tiny-kernel
+   dispatch, plan-cache effectiveness, single-flight coalescing, and
+   the bitsliced prefix filter's selectivity — the numbers behind the
+   batch path's claimed wins, in one /stats block. *)
+let batch_payload ~enabled ~plan_entries () =
+  let examined = Xr_index.Bitslice.entries_examined () in
+  let selected = Xr_index.Bitslice.entries_selected () in
+  Json.Obj
+    [
+      ("enabled", Json.Bool enabled);
+      ("shared_scan_batches", Json.Int (Xr_slca.Shared_scan.batches ()));
+      ("shared_scan_members", Json.Int (Xr_slca.Shared_scan.members_fed ()));
+      ("shared_scan_saved_decodes", Json.Int (Xr_slca.Shared_scan.saved_decodes ()));
+      ("tiny_scans", Json.Int (Xr_slca.Scan_packed.tiny_scans ()));
+      ("plan_cache_entries", Json.Int plan_entries);
+      ("plan_cache_hits", Json.Int (Xr_batch.Plan_cache.hits ()));
+      ("plan_cache_misses", Json.Int (Xr_batch.Plan_cache.misses ()));
+      ("plan_cache_evictions", Json.Int (Xr_batch.Plan_cache.evictions ()));
+      ("coalesce_leaders", Json.Int (Xr_batch.Coalesce.leaders ()));
+      ("coalesce_followers", Json.Int (Xr_batch.Coalesce.followers ()));
+      ("bitslice_entries_examined", Json.Int examined);
+      ("bitslice_entries_selected", Json.Int selected);
+      ( "bitslice_selectivity",
+        Json.Float
+          (if examined = 0 then 1. else float_of_int selected /. float_of_int examined) );
+    ]
+
+let stats_payload ?pool ?batch (index : Index.t) =
   let d = index.Index.doc in
   let paths = ref [] in
   Path.iter
@@ -225,7 +252,8 @@ let stats_payload ?pool (index : Index.t) =
       ("index", index_footprint index);
       ("paths", Json.List (List.rev !paths));
     ]
-    @ (match pool with Some p -> [ ("pool", p) ] | None -> []))
+    @ (match pool with Some p -> [ ("pool", p) ] | None -> [])
+    @ (match batch with Some b -> [ ("batch", b) ] | None -> []))
 
 (* Recent traces as nested span trees: per trace the root's total and,
    per span, duration, start offset from the trace root, and the domain

@@ -45,9 +45,15 @@ val complete_payload : prefix:string -> (string * int) list -> Json.t
     parallel threshold — the [/stats] "pool" section. *)
 val pool_payload : unit -> Json.t
 
+(** [batch_payload ~enabled ~plan_entries ()] renders the batched
+    execution counters — shared-scan amortization, tiny-kernel
+    dispatch, plan-cache hit/miss/eviction, single-flight coalescing
+    and bitslice selectivity — the [/stats] "batch" section. *)
+val batch_payload : enabled:bool -> plan_entries:int -> unit -> Json.t
+
 (** [stats_payload index] is the document-statistics view: node and
     keyword counts plus per-node-type aggregates. *)
-val stats_payload : ?pool:Json.t -> Xr_index.Index.t -> Json.t
+val stats_payload : ?pool:Json.t -> ?batch:Json.t -> Xr_index.Index.t -> Json.t
 
 (** [trace_payload traces] renders {!Xr_obs.Tracing.recent_traces}
     output as the [/debug/trace] document: per trace its id, total, and

@@ -22,6 +22,9 @@ type config = {
   shards : int;  (* serving shards; 0 = one per corpus *)
   ingest_queue : int;  (* per-corpus ingest queue bound *)
   ingest_batch : int;  (* max documents merged per generation *)
+  batch : bool;  (* compiled plans + single-flight request coalescing *)
+  coalesce_window_ms : float;  (* leader wait before rendering; 0 = no added latency *)
+  plan_cache_capacity : int;  (* per-corpus compiled-plan entries *)
 }
 
 let default_config =
@@ -42,6 +45,9 @@ let default_config =
     shards = 0;
     ingest_queue = 256;
     ingest_batch = 32;
+    batch = true;
+    coalesce_window_ms = 0.;
+    plan_cache_capacity = 512;
   }
 
 type corpus_spec = { name : string; index : Index.t; kv : Xr_store.Kv.t option }
@@ -54,6 +60,9 @@ type corpus_state = {
   gens : Generation.t;
   ingest : Ingest.t;
   ctrie : Xr_text.Trie.t Atomic.t;
+  plans : Xr_batch.Plan_cache.t option;
+      (* compiled query plans, keyed by generation id — a publish
+         retires them by keyspace, no invalidation hook needed *)
 }
 
 (* One serving shard: a subset of the corpora plus its own result cache.
@@ -61,7 +70,14 @@ type corpus_state = {
    generation N can never answer a request admitted at N+1 — the cache
    is also cleared on publish, but the tag closes the race where a
    reader still on N inserts after the clear. *)
-type shard = { sid : int; corpora : corpus_state array; cache : Lru.t }
+type shard = {
+  sid : int;
+  corpora : corpus_state array;
+  cache : Lru.t;
+  flights : Xr_batch.Coalesce.t option;
+      (* single-flight admission on cache misses: concurrent identical
+         requests coalesce onto one render *)
+}
 
 type conn = { fd : Unix.file_descr; accepted_at : float }
 
@@ -169,10 +185,20 @@ let shard_body shard members ~base_key ~render =
   let key = Printf.sprintf "g%s|%s" gsig base_key in
   match Xr_obs.Tracing.with_span "cache" (fun () -> Lru.find shard.cache key) with
   | Some body -> (body, true)
-  | None ->
-    let body = render pins in
-    Lru.add shard.cache key body;
-    (body, false)
+  | None -> (
+    match shard.flights with
+    | None ->
+      let body = render pins in
+      Lru.add shard.cache key body;
+      (body, false)
+    | Some flights ->
+      (* Single-flight on the generation-tagged key: every member of a
+         coalesced flight pinned the same generations (key equality),
+         so the leader's bytes answer all of them. Followers count as
+         cache hits — they were served without rendering. *)
+      let body, follower = Xr_batch.Coalesce.run flights ~key (fun () -> render pins) in
+      if not follower then Lru.add shard.cache key body;
+      (body, follower))
 
 (* Fan a computation out over the shards that serve this request. One
    shard runs inline; several go through the shared domain pool (the
@@ -198,10 +224,11 @@ let cache_headers hit =
   [ ("content-type", "application/json"); ("x-cache", (if hit then "hit" else "miss")) ]
 
 (* Evaluate a cacheable endpoint. [render_one] renders a single corpus
-   at a pinned generation to its (legacy, byte-stable) payload. In
-   single-corpus mode the response body is exactly that payload; with
-   several corpora each shard caches a JSON list of corpus-wrapped
-   payloads and [merge] combines the parsed partials. *)
+   at a pinned generation (handed whole, so plan caches can key on its
+   id) to its (legacy, byte-stable) payload. In single-corpus mode the
+   response body is exactly that payload; with several corpora each
+   shard caches a JSON list of corpus-wrapped payloads and [merge]
+   combines the parsed partials. *)
 let gather t req ~base_key ~render_one ~merge =
   match served_corpora t req with
   | Error resp -> resp
@@ -216,7 +243,7 @@ let gather t req ~base_key ~render_one ~merge =
       let body, hit =
         shard_body shard members ~base_key ~render:(fun pins ->
             let cs, gen = List.hd pins in
-            Json.to_string (render_one cs gen.Generation.index) ^ "\n")
+            Json.to_string (render_one cs gen) ^ "\n")
       in
       json_body body (cache_headers hit)
     else
@@ -225,7 +252,7 @@ let gather t req ~base_key ~render_one ~merge =
           (Json.List
              (List.map
                 (fun (cs, gen) ->
-                  match render_one cs gen.Generation.index with
+                  match render_one cs gen with
                   | Json.Obj fields ->
                     Json.Obj (("corpus", Json.String cs.cname) :: fields)
                   | j -> j)
@@ -354,9 +381,27 @@ let handle_search t req =
     let base_key =
       Printf.sprintf "search|%s|%b|%d|%s" alg_name rank limit (String.concat " " query)
     in
-    let render_one _cs (index : Index.t) =
+    let render_one cs (gen : Generation.gen) =
+      let index = gen.Generation.index in
       let config = { Engine.default_config with Engine.slca } in
-      let slcas = Engine.search ~config index query in
+      let slcas =
+        match cs.plans with
+        | None -> Engine.search ~config index query
+        | Some plans -> (
+          (* the generation id in the key scopes the plan to exactly the
+             pinned snapshot; a publish shifts the keyspace and the old
+             plans age out *)
+          let pkey =
+            Printf.sprintf "s|%d|%s|%s" gen.Generation.id alg_name
+              (String.concat " " query)
+          in
+          match
+            Xr_batch.Plan_cache.find_or_compile plans ~key:pkey (fun () ->
+                Xr_batch.Plan_cache.Search (Xr_batch.Plan.compile_search ~config index query))
+          with
+          | Xr_batch.Plan_cache.Search plan -> Xr_batch.Plan.run_search ~config plan index
+          | Xr_batch.Plan_cache.Refine _ -> Engine.search ~config index query)
+      in
       let entries =
         if rank then
           let ids = List.filter_map (Xr_xml.Doc.keyword_id index.Index.doc) query in
@@ -381,9 +426,27 @@ let handle_refine t req =
     let base_key =
       Printf.sprintf "refine|%s|%d|%d|%s" alg_name k limit (String.concat " " query)
     in
-    let render_one _cs index =
+    let render_one cs (gen : Generation.gen) =
+      let index = gen.Generation.index in
       let config = { Engine.default_config with Engine.k; algorithm } in
-      let resp = Engine.refine ~config index query in
+      let resp =
+        match cs.plans with
+        | None -> Engine.refine ~config index query
+        | Some plans -> (
+          (* the compiled rule list depends only on the query and the
+             generation — not on [k] or the refinement algorithm — so
+             one plan serves every (k, alg) combination *)
+          let pkey =
+            Printf.sprintf "r|%d|%s" gen.Generation.id (String.concat " " query)
+          in
+          match
+            Xr_batch.Plan_cache.find_or_compile plans ~key:pkey (fun () ->
+                Xr_batch.Plan_cache.Refine (Xr_batch.Plan.compile_refine ~config index query))
+          with
+          | Xr_batch.Plan_cache.Refine plan ->
+            Xr_batch.Plan.run_refine ~config plan index query
+          | Xr_batch.Plan_cache.Search _ -> Engine.refine ~config index query)
+      in
       Api.refine_payload index ~query ~limit resp
     in
     gather t req ~base_key ~render_one ~merge:(merge_by_corpus t ~query)
@@ -394,7 +457,8 @@ let handle_suggest t req =
   let* k = int_param req "k" ~default:5 in
   let* limit = int_param req "limit" ~default:t.config.result_limit in
   let base_key = Printf.sprintf "suggest|%d|%d|%s" k limit (String.concat " " query) in
-  let render_one _cs index =
+  let render_one _cs (gen : Generation.gen) =
+    let index = gen.Generation.index in
     let config = { Xr_refine.Specialize.default_config with Xr_refine.Specialize.k } in
     let suggestions = Xr_refine.Specialize.suggest ~config index query in
     Api.suggest_payload index ~query ~limit suggestions
@@ -416,7 +480,7 @@ let handle_complete t req =
     else
       let* k = int_param req "k" ~default:10 in
       let base_key = Printf.sprintf "complete|%d|%s" k prefix in
-      let render_one cs _index =
+      let render_one cs (_gen : Generation.gen) =
         Api.complete_payload ~prefix
           (Xr_text.Trie.complete (Atomic.get cs.ctrie) ~limit:k prefix)
       in
@@ -461,12 +525,19 @@ let handle_ingest t req =
                ("synced", Json.Bool sync);
              ]))
 
+let plan_entries t =
+  let acc = ref 0 in
+  iter_corpora t (fun _ cs ->
+      match cs.plans with Some p -> acc := !acc + Xr_batch.Plan_cache.size p | None -> ());
+  !acc
+
 let handle_stats t =
+  let batch = Api.batch_payload ~enabled:t.config.batch ~plan_entries:(plan_entries t) () in
   if t.single then
     let cs = t.shards.(0).corpora.(0) in
     Generation.with_pinned cs.gens (fun gen ->
         Http.json_response
-          (Api.stats_payload ~pool:(Api.pool_payload ()) gen.Generation.index))
+          (Api.stats_payload ~pool:(Api.pool_payload ()) ~batch gen.Generation.index))
   else
     let corpora = ref [] in
     iter_corpora t (fun shard cs ->
@@ -488,6 +559,7 @@ let handle_stats t =
            ("shards", Json.Int (Array.length t.shards));
            ("corpora", Json.List (List.rev !corpora));
            ("pool", Api.pool_payload ());
+           ("batch", batch);
          ])
 
 let handle t (req : Http.request) =
@@ -676,6 +748,8 @@ let register_observability t =
       float_of_int (combined_cache_stats t).Lru.entries);
   pull_gauge "xr_cache_capacity" "Result cache capacity" (fun () ->
       float_of_int (combined_cache_stats t).Lru.capacity);
+  pull_gauge "xr_plan_cache_entries" "Compiled query plans resident across corpora"
+    (fun () -> float_of_int (plan_entries t));
   pull_counter "xr_index_materializations_total"
     "Legacy posting-array materializations from packed lists" (fun () ->
       sum_indices (fun ix -> Xr_index.Inverted.materialization_count ix.Index.inverted));
@@ -744,7 +818,12 @@ let start_corpora config specs =
         let ingest =
           Ingest.create ~config:ingest_config ?kv:spec.kv ~on_publish gens
         in
-        { cname = spec.name; shard_id; gens; ingest; ctrie })
+        let plans =
+          if config.batch && config.plan_cache_capacity > 0 then
+            Some (Xr_batch.Plan_cache.create ~capacity:config.plan_cache_capacity ())
+          else None
+        in
+        { cname = spec.name; shard_id; gens; ingest; ctrie; plans })
       specs
   in
   let shards =
@@ -754,6 +833,10 @@ let start_corpora config specs =
           corpora =
             Array.of_list (List.filter (fun cs -> cs.shard_id = sid) corpus_states);
           cache = caches.(sid);
+          flights =
+            (if config.batch then
+               Some (Xr_batch.Coalesce.create ~window_ms:config.coalesce_window_ms ())
+             else None);
         })
   in
   let t =

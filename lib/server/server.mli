@@ -64,6 +64,20 @@ type config = {
   ingest_queue : int;  (** per-corpus ingest queue bound; default 256 *)
   ingest_batch : int;
       (** max documents merged into one published generation; default 32 *)
+  batch : bool;
+      (** batched execution: compiled query plans ({!Xr_batch.Plan})
+          cached per corpus and keyed by generation id, plus
+          single-flight coalescing of concurrent identical requests
+          ({!Xr_batch.Coalesce}); responses stay byte-identical to the
+          unbatched path; default true *)
+  coalesce_window_ms : float;
+      (** optional wait before a coalesced flight's leader renders,
+          widening the pile-up interval (latency-for-throughput trade);
+          [0] (default) adds no latency and still coalesces genuine
+          overlap *)
+  plan_cache_capacity : int;
+      (** compiled-plan entries cached per corpus; [0] disables plan
+          caching while keeping coalescing; default 512 *)
 }
 
 val default_config : config

@@ -85,12 +85,15 @@ let compute_ranges ?pool ?chunks ?threshold:thr (lists : (P.t * int * int) list)
   else
     match Scan_packed.sort_by_length lists with
     | [] -> []
-    | ((driver, dlo, dhi) as d) :: others ->
+    | (driver, dlo, dhi) :: others ->
       let driver_len = dhi - dlo in
       let thr = match thr with Some t -> t | None -> Atomic.get threshold_v in
       let sequential () =
         note_fallback ();
-        Scan_packed.scan_chunk ~driver:d ~others ()
+        (* through the dispatching entry, not [scan_chunk] directly, so
+           tiny-driver queries reach the cursor-free fallback kernel
+           here too ([lists] re-sorts to the same driver) *)
+        Scan_packed.compute_ranges lists
       in
       let parallel pool nchunks =
         let nchunks = min nchunks driver_len in

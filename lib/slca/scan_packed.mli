@@ -48,3 +48,32 @@ val scan_chunk :
     parallel kernels (head = driver). *)
 val sort_by_length :
   (Dewey.Packed.t * int * int) list -> (Dewey.Packed.t * int * int) list
+
+(** {2 Tiny-driver fallback}
+
+    Below [tiny_threshold] driver entries, {!compute_ranges} dispatches
+    to a cursor-free kernel ({!scan_tiny}): on highly selective queries
+    the general kernel's cursor setup and probe-counter folds outweigh
+    the scan itself. Both kernels produce byte-identical results; the
+    query-plan compiler ({!Xr_batch.Plan}) records which one a query
+    resolves to. *)
+
+val default_tiny_threshold : int
+
+val tiny_threshold : unit -> int
+
+val set_tiny_threshold : int -> unit
+
+(** Scans dispatched to the tiny kernel since startup
+    ([xr_slca_tiny_scans_total]). *)
+val tiny_scans : unit -> int
+
+(** [scan_tiny ~driver ~others ()] is {!scan_chunk} computed with bare
+    binary searches over position arrays instead of galloping cursors —
+    same candidate stream, same online prune, no per-scan setup cost.
+    Exposed for the differential tests. *)
+val scan_tiny :
+  driver:(Dewey.Packed.t * int * int) ->
+  others:(Dewey.Packed.t * int * int) list ->
+  unit ->
+  Dewey.t list

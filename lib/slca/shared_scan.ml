@@ -1,0 +1,196 @@
+open Xr_xml
+module P = Dewey.Packed
+module PC = Xr_index.Cursor.Packed
+module Bitslice = Xr_index.Bitslice
+
+let enabled_v = Atomic.make true
+
+let enabled () = Atomic.get enabled_v
+
+let set_enabled b = Atomic.set enabled_v b
+
+let batches_h =
+  Xr_obs.Registry.Counter.no_labels
+    (Xr_obs.Registry.Counter.family ~name:"xr_shared_scan_batches_total"
+       ~help:"Shared driver passes run by the batched SLCA kernel" ())
+
+let members_h =
+  Xr_obs.Registry.Counter.no_labels
+    (Xr_obs.Registry.Counter.family ~name:"xr_shared_scan_members_total"
+       ~help:"Batch members fed by shared driver passes" ())
+
+let saved_h =
+  Xr_obs.Registry.Counter.no_labels
+    (Xr_obs.Registry.Counter.family ~name:"xr_shared_scan_saved_decodes_total"
+       ~help:"Driver entry decodes avoided by sharing a pass across batch members" ())
+
+let width_h =
+  Xr_obs.Registry.Histogram.no_labels
+    (Xr_obs.Registry.Histogram.family ~name:"xr_shared_scan_width"
+       ~help:"Members per shared driver pass"
+       ~buckets:[| 2.; 4.; 8.; 16.; 32.; 64.; 128. |] ())
+
+let batches () = Xr_obs.Registry.Counter.value batches_h
+
+let members_fed () = Xr_obs.Registry.Counter.value members_h
+
+let saved_decodes () = Xr_obs.Registry.Counter.value saved_h
+
+(* One batch member: its partner cursors plus a private copy of the
+   scan kernel's held-candidate automaton (see {!Scan_packed} for why
+   one held candidate suffices). The driver entry arrives predecoded in
+   the shared scratch buffer; everything past that decode is exactly
+   the member's solo [scan_chunk] step. *)
+type member = {
+  cursors : PC.t array;
+  cur : int array;
+  mutable cur_len : int;
+  mutable results : Dewey.t list;
+}
+
+let step m scratch vd =
+  let depth = ref vd in
+  let ncur = Array.length m.cursors in
+  for ci = 0 to ncur - 1 do
+    let d = PC.match_probe (Array.unsafe_get m.cursors ci) scratch vd in
+    if d < !depth then depth := d
+  done;
+  let d = !depth in
+  if d >= 0 then
+    if m.cur_len < 0 then begin
+      Array.blit scratch 0 m.cur 0 d;
+      m.cur_len <- d
+    end
+    else begin
+      let lim = if d < m.cur_len then d else m.cur_len in
+      let i = ref 0 in
+      while !i < lim && Array.unsafe_get m.cur !i = Array.unsafe_get scratch !i do
+        incr i
+      done;
+      if !i = d then () (* ancestor of (or equal to) the held candidate *)
+      else begin
+        if !i < m.cur_len then m.results <- Array.sub m.cur 0 m.cur_len :: m.results;
+        (* else: extension of the held candidate — replace silently *)
+        Array.blit scratch 0 m.cur 0 d;
+        m.cur_len <- d
+      end
+    end
+
+let run ?root ~driver:(driver, dlo, dhi) member_lists () =
+  let n = Array.length member_lists in
+  let maxd =
+    Array.fold_left
+      (fun acc others ->
+        List.fold_left (fun acc (l, _, _) -> max acc (P.max_depth l)) acc others)
+      (P.max_depth driver) member_lists
+  in
+  let maxd = max maxd 1 in
+  let scratch = Array.make maxd 0 in
+  let members =
+    Array.map
+      (fun others ->
+        {
+          cursors = Array.of_list (List.map (fun (l, lo, hi) -> PC.make_sub l ~lo ~hi) others);
+          cur = Array.make maxd 0;
+          cur_len = -1;
+          results = [];
+        })
+      member_lists
+  in
+  let scan_entry vi =
+    let vd = P.blit_entry driver vi scratch in
+    for i = 0 to n - 1 do
+      step (Array.unsafe_get members i) scratch vd
+    done
+  in
+  let entries =
+    match root with
+    | None ->
+      for vi = dlo to dhi - 1 do
+        scan_entry vi
+      done;
+      dhi - dlo
+    | Some (prefix, plen) ->
+      (* bitsliced prefix filter: one word of mask carries 63 subtree
+         verdicts, and the pass only touches selected driver entries *)
+      let mask = Bitslice.under driver ~lo:dlo ~hi:dhi ~prefix ~plen in
+      Bitslice.iter mask scan_entry;
+      Bitslice.cardinal mask
+  in
+  Xr_obs.Registry.Counter.inc batches_h;
+  Xr_obs.Registry.Counter.add members_h n;
+  Xr_obs.Registry.Counter.add saved_h (max 0 ((n - 1) * entries));
+  Xr_obs.Registry.Histogram.observe width_h (float_of_int n);
+  Array.map
+    (fun m ->
+      if m.cur_len >= 0 then m.results <- Array.sub m.cur 0 m.cur_len :: m.results;
+      List.rev m.results)
+    members
+
+(* Group queries by driver identity — same packed buffer (physically),
+   same entry range. Batches are small (a request's candidate set or
+   the admission window), so the quadratic association walk stays
+   cheaper than hashing the triples. *)
+type group = {
+  g_driver : P.t * int * int;
+  mutable g_queries : (int * (P.t * int * int) list) list; (* slot, partner lists; reversed *)
+}
+
+let run_batch ?pool ?root (queries : (P.t * int * int) list list) =
+  if not (Atomic.get enabled_v) then List.map Scan_packed.compute_ranges queries
+  else begin
+    let slots = Array.make (List.length queries) [] in
+    let groups : group list ref = ref [] in
+    List.iteri
+      (fun slot lists ->
+        if lists = [] || List.exists (fun (_, lo, hi) -> hi <= lo) lists then
+          slots.(slot) <- [] (* the empty-range guard of [compute_ranges] *)
+        else
+          match Scan_packed.sort_by_length lists with
+          | [] -> slots.(slot) <- []
+          | ((dpk, dlo, dhi) as d) :: others -> (
+            let same (pk, lo, hi) = pk == dpk && lo = dlo && hi = dhi in
+            match List.find_opt (fun g -> same g.g_driver) !groups with
+            | Some g -> g.g_queries <- (slot, others) :: g.g_queries
+            | None -> groups := { g_driver = d; g_queries = [ (slot, others) ] } :: !groups))
+      queries;
+    let run_group g =
+      match g.g_queries with
+      | [ (slot, others) ] ->
+        (* singleton: the ordinary dispatching kernel (tiny fallback
+           included) — nothing to amortize *)
+        let driver = g.g_driver in
+        slots.(slot) <- Scan_packed.compute_ranges (driver :: others)
+      | members ->
+        let members = List.rev members in
+        let arr = Array.of_list (List.map snd members) in
+        let dpk, dlo, dhi = g.g_driver in
+        let out =
+          match root with
+          | Some prefix
+            when Array.length prefix > 0
+                 &&
+                 let a, b = P.prefix_slice_sub dpk ~lo:0 prefix (Array.length prefix) in
+                 a = dlo && b = dhi ->
+            (* the driver range is exactly [prefix]'s subtree (the
+               per-partition refinement case): hand the shared pass the
+               full list and let the bitsliced mask carve the partition
+               out — the guard above keeps this unconditionally equal
+               to scanning [dlo, dhi) directly *)
+            run ~root:(prefix, Array.length prefix) ~driver:(dpk, 0, P.length dpk) arr ()
+          | _ -> run ~driver:g.g_driver arr ()
+        in
+        List.iteri (fun i (slot, _) -> slots.(slot) <- out.(i)) members
+    in
+    let groups = List.rev !groups in
+    (match groups with
+    | [] | [ _ ] -> List.iter run_group groups
+    | _ -> (
+      let pool = match pool with Some p -> p | None -> Xr_pool.global () in
+      if Xr_pool.size pool <= 1 then List.iter run_group groups
+      else
+        let garr = Array.of_list groups in
+        Xr_pool.run pool
+          (Array.init (Array.length garr) (fun i -> fun () -> run_group garr.(i)))));
+    Array.to_list slots
+  end

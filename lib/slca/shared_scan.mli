@@ -1,0 +1,71 @@
+(** Shared posting scans: one galloping pass over a driver list feeds
+    every query in a batch.
+
+    Queries (or candidate refined queries inside one [/refine] request)
+    that select the same driver — same packed list, same entry range —
+    repeat the expensive part of {!Scan_packed}: decoding each driver
+    entry and walking it varint by varint. [run] scans the driver
+    range once, decodes each entry once into a shared scratch buffer,
+    and steps every member's partner cursors and held-candidate prune
+    off that one decode. Each member's candidate stream is exactly the
+    one its solo {!Scan_packed.scan_chunk} run would derive (probe
+    results depend only on entry values, not cursor history), so every
+    member's result list is byte-identical to one-at-a-time execution.
+
+    [run_batch] is the admission layer on top: it compiles a batch of
+    independent range queries, groups them by driver, runs each
+    multi-member group through [run] (optionally fanning groups out
+    over the domain pool) and routes singleton groups through the
+    ordinary dispatching kernel. *)
+
+open Xr_xml
+
+(** Global switch (default on). When off, {!run_batch} executes every
+    query individually — the unbatched side of A/B benchmarks. *)
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+
+(** [run ?root ~driver members ()] scans [driver]'s range once; member
+    [i]'s partner lists [members.(i)] are probed against each driver
+    entry and slot [i] of the result holds that member's SLCAs.
+
+    [root = (prefix, plen)] restricts the driver pass to the entries
+    lying under [prefix.(0..plen-1)], via a bitsliced prefix mask
+    ({!Xr_index.Bitslice}) built over the driver range — callers that
+    know their range is one subtree (the per-partition refinement
+    evaluations) can hand the full list plus its partition root and let
+    the mask carve out the partition. *)
+val run :
+  ?root:int array * int ->
+  driver:(Dewey.Packed.t * int * int) ->
+  (Dewey.Packed.t * int * int) list array ->
+  unit ->
+  Dewey.t list array
+
+(** [run_batch ?pool ?root queries] evaluates each element of
+    [queries] — a full SLCA range query, driver not yet selected — and
+    returns the per-query results in order, byte-identical to mapping
+    {!Scan_packed.compute_ranges} over [queries]. Groups sharing a
+    driver run shared; when [pool] (default the global pool) has more
+    than one domain, groups fan out over it.
+
+    [root] is a hint that every query is scoped to one subtree: a
+    multi-member group whose driver range provably equals [root]'s
+    slice of the driver's full list runs masked over the full list (see
+    {!run}); a range that does not match falls back to plain range
+    iteration, so the hint can never change results. *)
+val run_batch :
+  ?pool:Xr_pool.t ->
+  ?root:int array ->
+  (Dewey.Packed.t * int * int) list list ->
+  Dewey.t list list
+
+(** Cumulative batch-path counters (also exported to the registry as
+    [xr_shared_scan_*]): shared passes run, members fed, and driver
+    decodes avoided ((members - 1) * entries, the amortization win). *)
+val batches : unit -> int
+
+val members_fed : unit -> int
+
+val saved_decodes : unit -> int

@@ -11,6 +11,7 @@
 #   FRESH_SLCA=path      use a pre-made slca bench JSON instead of running
 #   FRESH_REFINE=path    use a pre-made refine bench JSON instead of running
 #   FRESH_PARALLEL=path  use a pre-made parallel bench JSON instead of running
+#   FRESH_BATCH=path     use a pre-made batch bench JSON instead of running
 #   (these are how an injected regression is demonstrated / tested)
 #
 # The gate checks two things per bench:
@@ -23,6 +24,11 @@
 #      smallest corpus (figure1, 33 nodes) times in nanoseconds and swings
 #      several percent run to run; a genuine regression is systematic and
 #      clears 10% easily.
+# The batch bench (BENCH_batch.json) is gated at the 0.90 noise floor for
+# every `speedup_batch_c*_total` (c1 measures the batch layer's constant
+# cost on an uncontended server — expected ~1.0, so only the noise floor
+# applies) and additionally requires the concurrency-8 speedup >= 1.3 and
+# `byte_identical` = true (batching must never change a response body).
 # The slca bench additionally records `tracing_off_overhead_pct` — the
 # cost of the observability instrumentation with tracing disabled,
 # measured against the bare kernel in the same run — which is gated at
@@ -115,6 +121,59 @@ elif speedup < 1.0:
 EOF
 }
 
+# check_batch FILE LABEL: every speedup_batch_c*_total >= 0.90 (noise
+# floor; c1 is a parity check on the uncontended path), the c8 speedup
+# >= 1.3 (the headline aggregate-QPS win batching exists for), and
+# byte_identical must be true.
+check_batch() {
+  python3 - "$1" "$2" <<'EOF'
+import json, sys
+
+path, label = sys.argv[1], sys.argv[2]
+try:
+    with open(path) as f:
+        doc = json.load(f)
+except (OSError, ValueError) as e:
+    print(f"bench-gate: FAIL - {label}: cannot read {path}: {e}", file=sys.stderr)
+    sys.exit(1)
+
+found = {}
+def walk(node):
+    if isinstance(node, dict):
+        for k, v in node.items():
+            if k.startswith("speedup_batch_c") and k.endswith("_total"):
+                found[k] = v
+            else:
+                walk(v)
+    elif isinstance(node, list):
+        for v in node:
+            walk(v)
+
+walk(doc)
+if not found:
+    print(f"bench-gate: FAIL - {label}: no speedup_batch_c*_total keys in {path}", file=sys.stderr)
+    sys.exit(1)
+bad = []
+for k, v in sorted(found.items()):
+    print(f"bench-gate: {label}: {k} = {v:.2f}")
+    if not (isinstance(v, (int, float)) and v >= 0.90):
+        bad.append((k, v, 0.90))
+c8 = found.get("speedup_batch_c8_total")
+if not isinstance(c8, (int, float)):
+    print(f"bench-gate: FAIL - {label}: no speedup_batch_c8_total in {path}", file=sys.stderr)
+    sys.exit(1)
+if c8 < 1.3:
+    bad.append(("speedup_batch_c8_total", c8, 1.3))
+if doc.get("byte_identical") is not True:
+    print(f"bench-gate: FAIL - {label}: byte_identical is not true", file=sys.stderr)
+    sys.exit(1)
+if bad:
+    for k, v, floor in bad:
+        print(f"bench-gate: FAIL - {label}: {k} = {v} < {floor}", file=sys.stderr)
+    sys.exit(1)
+EOF
+}
+
 # check_overhead FILE LABEL: tracing_off_overhead_pct must be present
 # and <= 2.0 — instrumentation with tracing disabled must stay within 2%
 # of the bare kernel.
@@ -146,6 +205,7 @@ check_speedups BENCH_slca.json "committed slca"
 check_overhead BENCH_slca.json "committed slca"
 check_speedups BENCH_refine.json "committed refine"
 check_parallel BENCH_parallel.json "committed parallel"
+check_batch BENCH_batch.json "committed batch"
 
 # 2. fresh smoke runs (or injected substitutes)
 if [ -n "${FRESH_SLCA:-}" ]; then
@@ -168,9 +228,17 @@ else
   dune exec bench/parallel_bench.exe -- --smoke --out "$TMP/parallel.json" >/dev/null
 fi
 
+if [ -n "${FRESH_BATCH:-}" ]; then
+  cp "$FRESH_BATCH" "$TMP/batch.json"
+else
+  echo "bench-gate: running batch_bench --smoke (asserts batched = unbatched bytes)"
+  dune exec bench/batch_bench.exe -- --smoke --out "$TMP/batch.json" >/dev/null
+fi
+
 check_speedups "$TMP/slca.json" "fresh slca" 0.90
 check_overhead "$TMP/slca.json" "fresh slca"
 check_speedups "$TMP/refine.json" "fresh refine" 0.90
 check_parallel "$TMP/parallel.json" "fresh parallel"
+check_batch "$TMP/batch.json" "fresh batch"
 
 echo "bench-gate: PASS"
