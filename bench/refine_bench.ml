@@ -116,7 +116,11 @@ let () =
   let corpus_json = ref [] in
   List.iter
     (fun (name, doc) ->
-      let index = Index.build doc in
+      (* Pinned flat: these benches measure their kernels, not the index
+         representation — bench/dag_bench.exe owns the flat-vs-dag
+         comparison, so the numbers here stay stable across the CI
+         XR_INDEX matrix. *)
+      let index = Index.build ~mode:Index.Flat doc in
       Printf.printf "\n== %s: %d nodes ==\n%!" name (Doc.node_count doc);
       let totals = Hashtbl.create 8 in
       let add key ns =
@@ -200,6 +204,7 @@ let () =
       [
         ("bench", Json.String "refine-packed-vs-legacy");
         ("mode", Json.String (if smoke then "smoke" else "full"));
+        ("host_cores", Json.Int (Domain.recommended_domain_count ()));
         ("corpora", Json.List (List.rev !corpus_json));
       ]
   in

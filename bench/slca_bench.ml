@@ -89,7 +89,11 @@ let () =
   let instr_ns = ref 0. and raw_ns = ref 0. in
   List.iter
     (fun (name, doc) ->
-      let index = Index.build doc in
+      (* Pinned flat: these benches measure their kernels, not the index
+         representation — bench/dag_bench.exe owns the flat-vs-dag
+         comparison, so the numbers here stay stable across the CI
+         XR_INDEX matrix. *)
+      let index = Index.build ~mode:Index.Flat doc in
       let postings = ref 0 and bytes = ref 0 in
       Inverted.iter_packed
         (fun _ pk ->
@@ -205,6 +209,7 @@ let () =
       [
         ("bench", Json.String "slca-packed-vs-reference");
         ("mode", Json.String (if smoke then "smoke" else "full"));
+        ("host_cores", Json.Int (Domain.recommended_domain_count ()));
         ("tracing_off_overhead_pct", Json.Float overhead_pct);
         ("corpora", Json.List (List.rev !corpus_json));
       ]

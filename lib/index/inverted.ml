@@ -7,8 +7,31 @@ type posting = { dewey : Dewey.t; path : Path.id }
    records exist only as a lazily materialized compatibility view. *)
 type packed = { labels : Dewey.Packed.t; paths : int array }
 
+(* Two resident backings behind one accessor surface:
+
+   - [Flat]: one packed list per keyword, the uncompressed form.
+   - [Dag]: the DAG-compressed expansion ({!Xr_dag}), with per-keyword
+     flat views merged out of it on first access and memoized. A merged
+     view is byte-identical to what the flat build would have packed, so
+     every downstream consumer — kernels, refinement, persistence, the
+     batch planner — sees exactly the flat index through [packed_list],
+     paying the merge once per touched keyword instead of keeping every
+     list resident.
+
+   The memo cells use the same atomic release/acquire publication as the
+   legacy boxed views below; a racing domain at worst merges twice. *)
+type backing =
+  | Flat of packed array (* indexed by keyword id *)
+  | Dag of dag_backing
+
+and dag_backing = {
+  dag : Xr_dag.t;
+  merged : packed option Atomic.t array;
+  merges : int Atomic.t; (* merges performed (memo hits excluded) *)
+}
+
 type t = {
-  packed : packed array; (* indexed by keyword id *)
+  backing : backing;
   legacy : posting array option Atomic.t array;
       (* Per-keyword memo of the boxed view, for the refinement engine's
          slice-based access paths. Atomic release/acquire publication
@@ -28,14 +51,27 @@ let pack_postings (postings : posting array) =
     paths = Array.map (fun p -> p.path) postings;
   }
 
-let of_packed packed =
+let make backing ~vocab =
   {
-    packed;
-    legacy = Array.init (Array.length packed) (fun _ -> Atomic.make None);
+    backing;
+    legacy = Array.init vocab (fun _ -> Atomic.make None);
     materializations = Atomic.make 0;
   }
 
+let of_packed packed = make (Flat packed) ~vocab:(Array.length packed)
+
 let of_lists lists = of_packed (Array.map pack_postings lists)
+
+let of_dag dag =
+  let vocab = Xr_dag.vocab dag in
+  make
+    (Dag { dag; merged = Array.init vocab (fun _ -> Atomic.make None); merges = Atomic.make 0 })
+    ~vocab
+
+let dag t = match t.backing with Flat _ -> None | Dag d -> Some d.dag
+
+let vocab t =
+  match t.backing with Flat packed -> Array.length packed | Dag d -> Array.length d.merged
 
 let build (doc : Doc.t) =
   let n = Interner.size doc.keywords in
@@ -51,20 +87,40 @@ let build (doc : Doc.t) =
   of_lists (Array.map (fun l -> Array.of_list (List.rev l)) acc)
 
 let packed_list t kw =
-  if kw >= 0 && kw < Array.length t.packed then t.packed.(kw) else empty_packed
+  match t.backing with
+  | Flat packed -> if kw >= 0 && kw < Array.length packed then packed.(kw) else empty_packed
+  | Dag d ->
+    if kw < 0 || kw >= Array.length d.merged then empty_packed
+    else begin
+      let cell = d.merged.(kw) in
+      match Atomic.get cell with
+      | Some pk -> pk
+      | None ->
+        let labels, paths = Xr_dag.merge d.dag kw in
+        let pk = { labels; paths } in
+        Atomic.incr d.merges;
+        Atomic.set cell (Some pk);
+        pk
+    end
+
+let peek_merged t kw =
+  match t.backing with
+  | Flat packed -> if kw >= 0 && kw < Array.length packed then Some packed.(kw) else None
+  | Dag d ->
+    if kw < 0 || kw >= Array.length d.merged then None else Atomic.get d.merged.(kw)
 
 let materialize pk =
   Array.init (Dewey.Packed.length pk.labels) (fun i ->
       { dewey = Dewey.Packed.get pk.labels i; path = pk.paths.(i) })
 
 let list t kw =
-  if kw < 0 || kw >= Array.length t.packed then [||]
+  if kw < 0 || kw >= Array.length t.legacy then [||]
   else begin
     let cell = t.legacy.(kw) in
     match Atomic.get cell with
     | Some postings -> postings
     | None ->
-      let postings = materialize t.packed.(kw) in
+      let postings = materialize (packed_list t kw) in
       Atomic.incr t.materializations;
       Atomic.set cell (Some postings);
       postings
@@ -77,27 +133,72 @@ let materialized_keywords t =
     (fun a cell -> match Atomic.get cell with Some _ -> a + 1 | None -> a)
     0 t.legacy
 
+let merge_count t = match t.backing with Flat _ -> 0 | Dag d -> Atomic.get d.merges
+
+let merged_keywords t =
+  match t.backing with
+  | Flat _ -> 0
+  | Dag d ->
+    Array.fold_left
+      (fun a cell -> match Atomic.get cell with Some _ -> a + 1 | None -> a)
+      0 d.merged
+
 let list_by_name t doc k =
   match Doc.keyword_id doc k with Some kw -> list t kw | None -> [||]
 
-let length t kw = Dewey.Packed.length (packed_list t kw).labels
+let length t kw =
+  match t.backing with
+  | Flat packed ->
+    if kw >= 0 && kw < Array.length packed then Dewey.Packed.length packed.(kw).labels
+    else 0
+  | Dag d -> Xr_dag.posting_count d.dag kw
 
 let keyword_count t =
-  Array.fold_left
-    (fun a pk -> if Dewey.Packed.length pk.labels > 0 then a + 1 else a)
-    0 t.packed
+  match t.backing with
+  | Flat packed ->
+    Array.fold_left
+      (fun a pk -> if Dewey.Packed.length pk.labels > 0 then a + 1 else a)
+      0 packed
+  | Dag d ->
+    let n = ref 0 in
+    for kw = 0 to Array.length d.merged - 1 do
+      if Xr_dag.posting_count d.dag kw > 0 then incr n
+    done;
+    !n
 
-let iter f t = Array.iteri (fun kw _ -> f kw (list t kw)) t.packed
+let iter f t =
+  for kw = 0 to vocab t - 1 do
+    f kw (list t kw)
+  done
 
-let iter_packed f t = Array.iteri f t.packed
+let iter_packed f t =
+  for kw = 0 to vocab t - 1 do
+    f kw (packed_list t kw)
+  done
+
+let iter_lengths f t =
+  match t.backing with
+  | Flat packed -> Array.iteri (fun kw pk -> f kw (Dewey.Packed.length pk.labels)) packed
+  | Dag d ->
+    for kw = 0 to Array.length d.merged - 1 do
+      f kw (Xr_dag.posting_count d.dag kw)
+    done
+
+let packed_array t =
+  match t.backing with
+  | Flat packed -> packed
+  | Dag d -> Array.init (Array.length d.merged) (fun kw -> packed_list t kw)
+
+let to_flat t = match t.backing with Flat _ -> t | Dag _ -> of_packed (packed_array t)
 
 let extend t ~vocab_size additions =
-  let n = max vocab_size (Array.length t.packed) in
+  let old_packed = packed_array t in
+  let n = max vocab_size (Array.length old_packed) in
   let packed = Array.make n empty_packed in
-  Array.blit t.packed 0 packed 0 (Array.length t.packed);
+  Array.blit old_packed 0 packed 0 (Array.length old_packed);
   List.iter
     (fun (kw, postings) ->
-      let old = if kw < Array.length t.packed then list t kw else [||] in
+      let old = if kw < Array.length old_packed then list t kw else [||] in
       (match (postings, Array.length old) with
       | p :: _, n0 when n0 > 0 && Dewey.compare old.(n0 - 1).dewey p.dewey >= 0 ->
         invalid_arg "Inverted.extend: appended postings must extend document order"
@@ -119,6 +220,30 @@ let packed_bytes pk =
   Dewey.Packed.byte_size pk.labels
   + (8 * (Dewey.Packed.length pk.labels + 1))
   + (8 * Array.length pk.paths)
+
+let postings_total t =
+  match t.backing with
+  | Flat packed -> Array.fold_left (fun a pk -> a + packed_postings pk) 0 packed
+  | Dag d -> Xr_dag.postings_total d.dag
+
+let sum_merged f d =
+  Array.fold_left
+    (fun a cell -> match Atomic.get cell with Some pk -> a + f pk | None -> a)
+    0 d.merged
+
+let label_bytes_total t =
+  match t.backing with
+  | Flat packed -> Array.fold_left (fun a pk -> a + packed_label_bytes pk) 0 packed
+  | Dag d -> Xr_dag.label_bytes d.dag + sum_merged packed_label_bytes d
+
+let resident_bytes t =
+  match t.backing with
+  | Flat packed -> Array.fold_left (fun a pk -> a + packed_bytes pk) 0 packed
+  | Dag d ->
+    (* honest accounting: the compressed structure plus whatever flat
+       views queries have already merged out of it — the worst case
+       (every keyword touched) is the flat index plus the DAG *)
+    Xr_dag.bytes d.dag + sum_merged packed_bytes d
 
 (* ---- binary probes over the legacy boxed view --------------------------- *)
 

@@ -753,17 +753,18 @@ let register_observability t =
   pull_counter "xr_index_materializations_total"
     "Legacy posting-array materializations from packed lists" (fun () ->
       sum_indices (fun ix -> Xr_index.Inverted.materialization_count ix.Index.inverted));
-  let packed_sum f ix =
-    let acc = ref 0 in
-    Xr_index.Inverted.iter_packed (fun _ pk -> acc := !acc + f pk) ix.Index.inverted;
-    !acc
-  in
+  (* Non-forcing totals only: a metrics scrape of a DAG-backed index
+     must never trigger per-keyword merges, so these read the O(1)
+     accounting accessors, not [iter_packed]. *)
   pull_gauge "xr_index_postings" "Postings across all inverted lists" (fun () ->
-      sum_indices (packed_sum Xr_index.Inverted.packed_postings));
-  pull_gauge "xr_index_packed_bytes" "Bytes of packed posting data" (fun () ->
-      sum_indices (packed_sum Xr_index.Inverted.packed_bytes));
-  pull_gauge "xr_index_label_bytes" "Bytes of varint Dewey labels in packed lists"
-    (fun () -> sum_indices (packed_sum Xr_index.Inverted.packed_label_bytes));
+      sum_indices (fun ix -> Xr_index.Inverted.postings_total ix.Index.inverted));
+  pull_gauge "xr_index_packed_bytes" "Resident bytes of posting data" (fun () ->
+      sum_indices (fun ix -> Xr_index.Inverted.resident_bytes ix.Index.inverted));
+  pull_gauge "xr_index_label_bytes" "Resident bytes of varint Dewey labels" (fun () ->
+      sum_indices (fun ix -> Xr_index.Inverted.label_bytes_total ix.Index.inverted));
+  pull_counter "xr_index_dag_merges_total"
+    "Per-keyword flat views merged out of DAG-backed indexes" (fun () ->
+      sum_indices (fun ix -> Xr_index.Inverted.merge_count ix.Index.inverted));
   pull_gauge "xr_index_keywords" "Distinct keywords in the vocabulary" (fun () ->
       sum_indices (fun ix -> List.length (Xr_xml.Doc.vocabulary ix.Index.doc)));
   pull_gauge "xr_index_nodes" "Element nodes in the document" (fun () ->

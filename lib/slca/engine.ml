@@ -94,12 +94,23 @@ let compute_ranges alg ranges =
       | Stack | Scan_eager | Indexed_lookup | Multiway ->
         compute_raw alg (List.map unpack_range ranges))
 
+(* On a DAG-backed index the scan engines answer eligible queries
+   natively on the compressed expansion (identical results by
+   construction — see {!Scan_dag}); everything else falls through to
+   the memoized merged lists, where every algorithm behaves exactly as
+   on a flat index. [Stack_packed] always takes the merged path: it is
+   benchmarked as a distinct kernel and must keep measuring itself. *)
 let query_ids alg (index : Xr_index.Index.t) ids =
   scan_span (fun () ->
-      if is_packed alg then
-        compute_packed_raw alg
-          (List.map (fun kw -> (Inverted.packed_list index.inverted kw).Inverted.labels) ids)
-      else compute_raw alg (List.map (fun kw -> Inverted.list index.inverted kw) ids))
+      match Inverted.dag index.inverted with
+      | Some dag
+        when (match alg with Scan_packed | Scan_parallel -> true | _ -> false)
+             && Scan_dag.eligible dag ids -> Scan_dag.compute dag ids
+      | _ ->
+        if is_packed alg then
+          compute_packed_raw alg
+            (List.map (fun kw -> (Inverted.packed_list index.inverted kw).Inverted.labels) ids)
+        else compute_raw alg (List.map (fun kw -> Inverted.list index.inverted kw) ids))
 
 let query alg (index : Xr_index.Index.t) keywords =
   (* duplicate keywords add no constraint under conjunctive semantics *)

@@ -1,0 +1,47 @@
+(** SLCA directly over the DAG-compressed expansion — no per-keyword
+    merge, no decompression. The driver keyword's class ranges are
+    merged on the fly; partner keywords are probed per class range with
+    {!Scan_packed.probe}, the partner depth being the max over ranges.
+    Produces exactly {!Scan_packed}'s results on the merged lists (see
+    the implementation for the argument); {!Xr_slca.Engine.query_ids}
+    dispatches here when the index is DAG-backed and {!eligible}.
+
+    Per scan this pays a constant factor over a resident merged list
+    (O(classes) work per candidate), so eligibility is capped at small
+    lists: the native path exists to serve the long tail of rare
+    keywords without materializing their flat lists into the merge
+    cache, not to beat the merged scan on hot queries. *)
+
+open Xr_xml
+
+val default_class_limit : int
+
+val default_postings_limit : int
+
+(** The dispatch gate, part one: every query keyword must occur in at
+    most this many distinct subtree classes (the kernel's per-candidate
+    cost driver). *)
+val class_limit : unit -> int
+
+val set_class_limit : int -> unit
+
+(** The dispatch gate, part two: every query keyword must have at most
+    this many postings. Beyond it, merging once and scanning the flat
+    list is cheaper than repeated native scans — the native path is a
+    memory trade for the long tail, not a hot-path kernel. *)
+val postings_limit : unit -> int
+
+val set_postings_limit : int -> unit
+
+(** Scans answered natively on the expansion since startup
+    ([xr_slca_dag_native_scans_total]). *)
+val native_scans : unit -> int
+
+(** [eligible dag ids] — every keyword present with at most
+    {!class_limit} classes and {!postings_limit} postings. *)
+val eligible : Xr_dag.t -> Interner.id list -> bool
+
+(** [compute dag ids] is the SLCA result set of the conjunctive query
+    [ids], identical to running {!Scan_packed.compute} over the merged
+    flat lists. *)
+val compute : Xr_dag.t -> Interner.id list -> Dewey.t list
