@@ -346,10 +346,28 @@ let serve_cmd =
       & info [ "unix" ] ~docv:"PATH" ~doc:"Listen on a Unix-domain socket instead of TCP.")
   in
   let domains =
+    (* [auto] resolves at parse time — the rest of the server only ever
+       sees a concrete count *)
+    let domains_conv =
+      let parse s =
+        match s with
+        | "auto" -> Ok (Domain.recommended_domain_count ())
+        | _ -> (
+          match int_of_string_opt s with
+          | Some n when n >= 1 -> Ok n
+          | Some _ -> Error (`Msg "DOMAINS must be at least 1")
+          | None ->
+            Error (`Msg (Printf.sprintf "invalid DOMAINS value %S (expected int or 'auto')" s)))
+      in
+      Arg.conv (parse, Format.pp_print_int)
+    in
     Arg.(
       value
-      & opt int (Domain.recommended_domain_count ())
-      & info [ "domains" ] ~docv:"N" ~doc:"Worker domains sharing the index.")
+      & opt domains_conv (Domain.recommended_domain_count ())
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Worker domains sharing the index; $(b,auto) sizes to the host's recommended \
+             domain count.")
   in
   let queue =
     Arg.(

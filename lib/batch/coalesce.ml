@@ -12,9 +12,16 @@ let width_h =
        ~help:"Requests served per coalesced flight (leader included)"
        ~buckets:[| 1.; 2.; 4.; 8.; 16.; 32.; 64. |] ())
 
+let helped_h =
+  Xr_obs.Registry.Counter.no_labels
+    (Xr_obs.Registry.Counter.family ~name:"xr_coalesce_helped_tasks_total"
+       ~help:"Pool tasks executed by coalesced followers while waiting for their leader" ())
+
 let leaders () = Xr_obs.Registry.Counter.value leaders_h
 
 let followers () = Xr_obs.Registry.Counter.value followers_h
+
+let helped () = Xr_obs.Registry.Counter.value helped_h
 
 type outcome = Body of string | Failed of exn
 
@@ -53,9 +60,27 @@ let run t ~key f =
     Mutex.unlock t.lock;
     Mutex.lock fl.fm;
     fl.waiters <- fl.waiters + 1;
-    while fl.outcome = None do
-      Condition.wait fl.cv fl.fm
-    done;
+    (* A follower's wait is dead time on a whole domain — donate it to
+       the pool: drain one queued task per round (chunks of the
+       leader's own scan, typically), and only sleep on the condition
+       when the pool has nothing to offer. No lost wakeup: the leader
+       sets [outcome] and broadcasts under [fm], and we re-check
+       [outcome] after re-acquiring [fm] before every wait. *)
+    let rec await () =
+      if fl.outcome = None then begin
+        Mutex.unlock fl.fm;
+        let worked =
+          match Xr_pool.peek_global () with
+          | Some pool -> Xr_pool.try_help pool
+          | None -> false
+        in
+        if worked then Xr_obs.Registry.Counter.inc helped_h;
+        Mutex.lock fl.fm;
+        if (not worked) && fl.outcome = None then Condition.wait fl.cv fl.fm;
+        await ()
+      end
+    in
+    await ();
     let o = fl.outcome in
     Mutex.unlock fl.fm;
     Xr_obs.Registry.Counter.inc followers_h;

@@ -15,8 +15,16 @@
     latency-for-throughput trade for overloaded servers; the default 0
     adds no latency and still coalesces whatever genuinely overlaps.
 
-    Counters are exported as [xr_coalesce_requests_total{role=...}] and
-    the members-per-flight histogram as [xr_coalesce_width]. *)
+    Followers do not idle: while their leader renders, each follower
+    drains tasks from the global domain pool ({!Xr_pool.try_help}) —
+    typically the chunks of the leader's own parallel scan — so a
+    coalesced pile-up turns blocked request domains into extra scan
+    executors instead of sleepers.
+
+    Counters are exported as [xr_coalesce_requests_total{role=...}],
+    the members-per-flight histogram as [xr_coalesce_width], and
+    tasks drained by waiting followers as
+    [xr_coalesce_helped_tasks_total]. *)
 
 type t
 
@@ -37,3 +45,6 @@ val in_flight : t -> int
 val leaders : unit -> int
 
 val followers : unit -> int
+
+val helped : unit -> int
+(** Pool tasks executed by waiting followers. *)

@@ -17,6 +17,12 @@ type search = {
   s_slca : Slca_engine.algorithm;
   s_ids : Interner.id list;
   s_exec : search_exec;
+  s_masses : Xr_slca.Parallel.masses option;
+      (* Cost curve measured at compile time for scan-parallel range
+         plans whose free estimate clears the parallel gate — the
+         chunker's split points come for free on every cache hit. The
+         plan cache is keyed by index generation, so the ranges (and
+         hence the curve) stay valid for the plan's whole life. *)
 }
 
 (* Mirror of the [parse] stage of {!Engine.search}: normalize, dedupe,
@@ -37,13 +43,16 @@ let compile_search ?(config = Engine.default_config) (index : Index.t) query =
       | None -> None)
   in
   match resolve [] keywords with
-  | None -> { s_slca = alg; s_ids = []; s_exec = Dead }
+  | None -> { s_slca = alg; s_ids = []; s_exec = Dead; s_masses = None }
   | Some ids ->
     if List.exists (fun kw -> Inverted.length index.Index.inverted kw = 0) ids then
-      { s_slca = alg; s_ids = ids; s_exec = Dead }
+      { s_slca = alg; s_ids = ids; s_exec = Dead; s_masses = None }
     else if not (Slca_engine.is_packed alg) then
-      { s_slca = alg; s_ids = ids; s_exec = Boxed }
+      { s_slca = alg; s_ids = ids; s_exec = Boxed; s_masses = None }
     else begin
+      (* DAG backing: merge the plan's flat views concurrently instead
+         of one by one inside the serial mapping below *)
+      Inverted.prefetch index.Index.inverted ids;
       let ranges =
         List.map
           (fun kw ->
@@ -59,12 +68,25 @@ let compile_search ?(config = Engine.default_config) (index : Index.t) query =
         match Scan_packed.sort_by_length ranges with
         | ((_, dlo, dhi) as driver) :: others
           when dhi - dlo <= Scan_packed.tiny_threshold () ->
-          { s_slca = alg; s_ids = ids; s_exec = Tiny (driver, others) }
-        | sorted -> { s_slca = alg; s_ids = ids; s_exec = Ranges sorted })
+          { s_slca = alg; s_ids = ids; s_exec = Tiny (driver, others); s_masses = None }
+        | sorted ->
+          let masses =
+            (* measure once at compile time when the free estimate says
+               the run-time chunker will want the curve; the gate in
+               [Parallel.compute_ranges] re-checks the live threshold,
+               so a threshold raised after caching still wins *)
+            if
+              alg = Slca_engine.Scan_parallel
+              && Xr_slca.Parallel.estimate sorted
+                 >= float_of_int (Xr_slca.Parallel.threshold ())
+            then Xr_slca.Parallel.measure ?pool:(Xr_pool.peek_global ()) sorted
+            else None
+          in
+          { s_slca = alg; s_ids = ids; s_exec = Ranges sorted; s_masses = masses })
       | _ ->
         (* stack-packed consumes the lists in resolution order, exactly
            as [query_ids] hands them over *)
-        { s_slca = alg; s_ids = ids; s_exec = Ranges ranges }
+        { s_slca = alg; s_ids = ids; s_exec = Ranges ranges; s_masses = None }
     end
 
 let run_search ?(config = Engine.default_config) plan (index : Index.t) =
@@ -81,7 +103,13 @@ let run_search ?(config = Engine.default_config) plan (index : Index.t) =
       match exec with
       | Dead -> assert false
       | Boxed -> Slca_engine.query_ids plan.s_slca index plan.s_ids
-      | Ranges ranges -> Slca_engine.compute_ranges plan.s_slca ranges
+      | Ranges ranges -> (
+        match (plan.s_slca, plan.s_masses) with
+        | Slca_engine.Scan_parallel, (Some _ as masses) ->
+          (* hand the chunker its pre-measured cost curve *)
+          Xr_obs.Tracing.with_span "slca.scan" (fun () ->
+              Xr_slca.Parallel.compute_ranges ?masses ranges)
+        | _ -> Slca_engine.compute_ranges plan.s_slca ranges)
       | Tiny (driver, others) ->
         (* A tiny driver sits far below the parallel threshold: for the
            scan-parallel algorithm this dispatch *is* the sequential

@@ -36,6 +36,10 @@ type search = {
   s_slca : Xr_slca.Engine.algorithm;  (** pinned at compile time *)
   s_ids : Interner.id list;  (** resolved distinct keyword ids *)
   s_exec : search_exec;
+  s_masses : Xr_slca.Parallel.masses option;
+      (** pre-measured cost curve for the adaptive chunker (scan-parallel
+          range plans whose free estimate clears the parallel gate);
+          valid for the plan's generation, like the ranges themselves *)
 }
 
 (** [compile_search ?config index query] interprets [query] once:

@@ -103,6 +103,33 @@ let packed_list t kw =
         pk
     end
 
+(* Force the flat views of [kws] before the scan needs them. Flat
+   backing: free. DAG backing: merge every not-yet-resident view —
+   concurrently, one pool task per keyword, when a multi-domain pool
+   is available (default: the global pool only if it already exists,
+   so CLI one-shots never spawn domains to warm a cache). Merges are
+   independent per keyword and the memo cells tolerate racing writers,
+   so this is purely a scheduling change. *)
+let prefetch ?pool t kws =
+  match t.backing with
+  | Flat _ -> ()
+  | Dag d -> (
+    let todo =
+      List.filter
+        (fun kw -> kw >= 0 && kw < Array.length d.merged && Atomic.get d.merged.(kw) = None)
+        (List.sort_uniq compare kws)
+    in
+    match todo with
+    | [] -> ()
+    | [ kw ] -> ignore (packed_list t kw)
+    | kws -> (
+      let pool = match pool with Some _ as p -> p | None -> Xr_pool.peek_global () in
+      match pool with
+      | Some pool when Xr_pool.size pool > 1 ->
+        let arr = Array.of_list kws in
+        Xr_pool.run pool (Array.map (fun kw () -> ignore (packed_list t kw)) arr)
+      | _ -> List.iter (fun kw -> ignore (packed_list t kw)) kws))
+
 let peek_merged t kw =
   match t.backing with
   | Flat packed -> if kw >= 0 && kw < Array.length packed then Some packed.(kw) else None

@@ -108,6 +108,15 @@ val iter_packed : (Interner.id -> packed -> unit) -> t -> unit
     backing. *)
 val iter_lengths : (Interner.id -> int -> unit) -> t -> unit
 
+val prefetch : ?pool:Xr_pool.t -> t -> Interner.id list -> unit
+(** [prefetch t kws] forces the flat views of [kws] resident before a
+    scan touches them: a no-op on a flat backing, on a DAG backing it
+    merges the missing views — concurrently (one pool task per
+    keyword) when [pool] (default: the global pool only if it already
+    exists) has more than one domain. Never changes what
+    {!packed_list} returns; a racing query at worst merges a view
+    twice, exactly as without prefetching. *)
+
 (** [peek_merged t kw] is [kw]'s packed list if it is resident right
     now: always on a flat backing, only if already merged on a DAG
     backing. Never forces anything. *)

@@ -58,6 +58,7 @@ let steal_top d =
    handles. Pool names are made unique per instance — a reset global
    pool must not inherit its predecessor's counts. *)
 module Counter = Xr_obs.Registry.Counter
+module Gauge = Xr_obs.Registry.Gauge
 
 let tasks_fam =
   Counter.family ~name:"xr_pool_tasks_total" ~help:"Pool tasks executed to completion"
@@ -71,6 +72,23 @@ let batches_fam =
   Counter.family ~name:"xr_pool_batches_total" ~help:"Pool run calls that fanned out"
     ~label_names:[ "pool" ] ()
 
+let busy_fam =
+  Counter.family ~name:"xr_pool_busy_ns_total"
+    ~help:"Nanoseconds each pool executor spent running tasks" ~label_names:[ "pool"; "domain" ]
+    ()
+
+let depth_fam =
+  Gauge.family ~name:"xr_pool_queue_depth"
+    ~help:"Tasks sitting in the pool's deques, not yet taken by an executor"
+    ~label_names:[ "pool" ] ()
+
+let util_fam =
+  Gauge.family ~name:"xr_pool_utilization"
+    ~help:"Fraction of wall time each executor spent running tasks since pool creation"
+    ~label_names:[ "pool"; "domain" ] ()
+
+let now_ns = Xr_obs.Tracing.now_ns
+
 let pool_seq = Atomic.make 0
 
 type t = {
@@ -83,11 +101,29 @@ type t = {
   tasks : Counter.h;
   steals : Counter.h;
   batches : Counter.h;
+  busy : Counter.h array;
+      (* busy-ns per executor: slot [i < nd] is worker [i], the last
+         slot is the submitting/helping domain ("caller") *)
+  created_ns : int64;
 }
 
 type counters = { domains : int; tasks : int; steals : int; batches : int }
 
 let size t = Array.length t.deques + 1
+
+(* Unsynchronized reads of the [len] fields: word-sized, monitoring
+   only — a scrape racing a push sees a depth off by one, never a torn
+   value. *)
+let queue_depth t = Array.fold_left (fun acc d -> acc + d.len) 0 t.deques
+
+let caller_slot t = Array.length t.busy - 1
+
+(* Run one taken task, charging its wall time to [slot]'s busy-ns
+   series. Tasks reaching here are already exception-wrapped by [run]. *)
+let exec t slot task =
+  let t0 = now_ns () in
+  task ();
+  Counter.add t.busy.(slot) (Int64.to_int (Int64.sub (now_ns ()) t0))
 
 let counters t =
   {
@@ -123,7 +159,7 @@ let try_take t ~own =
 let rec worker t id =
   match try_take t ~own:id with
   | Some task ->
-    task ();
+    exec t id task;
     worker t id
   | None ->
     Mutex.lock t.m;
@@ -135,7 +171,7 @@ let rec worker t id =
       match try_take t ~own:id with
       | Some task ->
         Mutex.unlock t.m;
-        task ();
+        exec t id task;
         worker t id
       | None ->
         Condition.wait t.work_cv t.m;
@@ -143,8 +179,20 @@ let rec worker t id =
         worker t id
     end
 
+(* A domain blocked on something else (a coalesced follower waiting
+   for its leader) donates its wait time: take one queued task, run
+   it, report whether anything was found. Steal-only — the caller owns
+   no deque. *)
+let try_help t =
+  match try_take t ~own:(-1) with
+  | Some task ->
+    exec t (caller_slot t) task;
+    true
+  | None -> false
+
 let default_domains () =
   match Sys.getenv_opt "XR_POOL_DOMAINS" with
+  | Some "auto" -> Domain.recommended_domain_count ()
   | Some s -> ( match int_of_string_opt s with Some n when n >= 1 -> n | _ -> 1)
   | None -> Domain.recommended_domain_count ()
 
@@ -155,6 +203,7 @@ let create ?name ?domains () =
     match name with Some s -> s | None -> Printf.sprintf "pool-%d" seq
   in
   let labels = [ name ] in
+  let domain_label i = if i = n - 1 then "caller" else string_of_int i in
   let t =
     {
       deques = Array.init (n - 1) (fun _ -> make_deque ());
@@ -166,8 +215,19 @@ let create ?name ?domains () =
       tasks = Counter.handle tasks_fam labels;
       steals = Counter.handle steals_fam labels;
       batches = Counter.handle batches_fam labels;
+      busy = Array.init n (fun i -> Counter.handle busy_fam [ name; domain_label i ]);
+      created_ns = now_ns ();
     }
   in
+  Gauge.set_pull (Gauge.handle depth_fam labels) (fun () -> float_of_int (queue_depth t));
+  Array.iteri
+    (fun i h ->
+      Gauge.set_pull
+        (Gauge.handle util_fam [ name; domain_label i ])
+        (fun () ->
+          let wall = Int64.to_float (Int64.sub (now_ns ()) t.created_ns) in
+          if wall <= 0. then 0. else float_of_int (Counter.value h) /. wall))
+    t.busy;
   t.workers <- Array.init (n - 1) (fun id -> Domain.spawn (fun () -> worker t id));
   t
 
@@ -195,10 +255,13 @@ let run t thunks =
   if n = 0 then ()
   else if n = 1 || nd = 0 then begin
     let failed = ref None in
+    let slot = caller_slot t in
     Array.iter
       (fun f ->
         Counter.inc t.tasks;
-        try f () with e -> if !failed = None then failed := Some e)
+        let t0 = now_ns () in
+        (try f () with e -> if !failed = None then failed := Some e);
+        Counter.add t.busy.(slot) (Int64.to_int (Int64.sub (now_ns ()) t0)))
       thunks;
     match !failed with Some e -> raise e | None -> ()
   end
@@ -224,7 +287,7 @@ let run t thunks =
     let rec help () =
       if Mutex.protect b.bm (fun () -> b.pending > 0) then begin
         (match try_take t ~own:(-1) with
-        | Some task -> task ()
+        | Some task -> exec t (caller_slot t) task
         | None ->
           Mutex.lock b.bm;
           while b.pending > 0 do

@@ -32,6 +32,20 @@ val run : t -> (unit -> unit) array -> unit
     (remaining tasks still run). Safe to call from within a pool task
     and from several domains at once. *)
 
+val try_help : t -> bool
+(** [try_help t] takes one queued task (steal-only — the caller owns no
+    deque), runs it, and returns [true]; [false] when every visible
+    task is already executing. For domains that are blocked on
+    something else anyway — a coalesced follower waiting out its
+    leader's render donates the wait to the pool instead of sleeping.
+    Safe from any domain; never blocks. *)
+
+val queue_depth : t -> int
+(** Tasks sitting in the deques right now, not yet taken by an
+    executor (monitoring-grade: racing submitters can skew it by a
+    task or two). Also exposed as the pull gauge
+    [xr_pool_queue_depth{pool=...}]. *)
+
 val shutdown : t -> unit
 (** Stop the workers and join their domains. Outstanding tasks are
     drained first. The pool must not be used afterwards; calling
@@ -48,13 +62,19 @@ type counters = {
 
 val counters : t -> counters
 (** This pool's values, read back from the process metrics registry
-    (the same series [/metrics] exposes under the pool's label). *)
+    (the same series [/metrics] exposes under the pool's label).
+    Beyond these, every pool also publishes busy time per executor
+    ([xr_pool_busy_ns_total{pool,domain}], where [domain] is the
+    worker index or ["caller"] for the submitting/helping domain),
+    scrape-time utilization ([xr_pool_utilization{pool,domain}] =
+    busy / wall since creation), and live queue depth
+    ([xr_pool_queue_depth{pool}]). *)
 
 (** {1 The process-wide pool} *)
 
 val default_domains : unit -> int
-(** [XR_POOL_DOMAINS] when set to a positive integer, otherwise
-    [Domain.recommended_domain_count ()]. *)
+(** [XR_POOL_DOMAINS] when set to a positive integer; when set to
+    ["auto"] (or unset), [Domain.recommended_domain_count ()]. *)
 
 val global : unit -> t
 (** The lazily created shared pool (sized by {!default_domains}).

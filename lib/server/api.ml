@@ -227,6 +227,7 @@ let pool_payload () =
         ("tasks", Json.Int c.Xr_pool.tasks);
         ("steals", Json.Int c.Xr_pool.steals);
         ("batches", Json.Int c.Xr_pool.batches);
+        ("queue_depth", Json.Int (Xr_pool.queue_depth p));
       ]
   in
   Json.Obj
@@ -256,6 +257,7 @@ let batch_payload ~enabled ~plan_entries () =
       ("plan_cache_evictions", Json.Int (Xr_batch.Plan_cache.evictions ()));
       ("coalesce_leaders", Json.Int (Xr_batch.Coalesce.leaders ()));
       ("coalesce_followers", Json.Int (Xr_batch.Coalesce.followers ()));
+      ("coalesce_helped_tasks", Json.Int (Xr_batch.Coalesce.helped ()));
       ("bitslice_entries_examined", Json.Int examined);
       ("bitslice_entries_selected", Json.Int selected);
       ( "bitslice_selectivity",

@@ -107,9 +107,13 @@ let query_ids alg (index : Xr_index.Index.t) ids =
         when (match alg with Scan_packed | Scan_parallel -> true | _ -> false)
              && Scan_dag.eligible dag ids -> Scan_dag.compute dag ids
       | _ ->
-        if is_packed alg then
+        if is_packed alg then begin
+          (* DAG backing: merge the missing flat views concurrently
+             before the (inherently serial) list mapping below *)
+          Inverted.prefetch index.inverted ids;
           compute_packed_raw alg
             (List.map (fun kw -> (Inverted.packed_list index.inverted kw).Inverted.labels) ids)
+        end
         else compute_raw alg (List.map (fun kw -> Inverted.list index.inverted kw) ids))
 
 let query alg (index : Xr_index.Index.t) keywords =

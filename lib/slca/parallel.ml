@@ -1,15 +1,29 @@
 open Xr_xml
 module P = Dewey.Packed
+module PC = Xr_index.Cursor.Packed
 
-(* Chunked scan-packed over the domain pool.
+(* Cost-modeled chunked scan-packed over the domain pool.
 
-   The driver range is cut into contiguous equal-count chunks; each
-   chunk runs {!Scan_packed.scan_chunk} on a pool worker into its own
-   slot of a preallocated result array (chunk cursors pre-position on
-   their split point with encoded-form galloping seeks, so nothing is
-   decoded to find the splits). The per-chunk survivor lists are then
-   merged by replaying the online non-smallest prune across the
-   concatenation — the boundary fix-up.
+   The driver range is cut into contiguous chunks; each chunk runs
+   {!Scan_packed.scan_chunk} on a pool worker into its own slot of a
+   preallocated result array (chunk cursors pre-position on their split
+   point with encoded-form galloping seeks, so nothing is decoded to
+   find the splits). The per-chunk survivor lists are then merged by
+   replaying the online non-smallest prune across the concatenation —
+   the boundary fix-up.
+
+   Where the splits land is decided by a cost model, not by equal
+   driver counts: {!measure} gallops every partner cursor to a grid of
+   grain boundaries over the driver range and charges each grain the
+   driver entries it decodes plus a per-partner galloping term for the
+   postings the partner cursor passes over. Splitting where the
+   *cumulative modeled cost* crosses k/n of the total gives chunks of
+   equal work even when the partner mass is skewed into one corner of
+   the driver range — the case where equal-count splits left one chunk
+   doing nearly all the probing while the rest sat idle. The same
+   model powers the sequential-fallback gate: a query whose total
+   modeled cost is below {!threshold} never pays fork/join overhead,
+   even if its driver range alone looks long.
 
    Why replaying the same prune is exactly right: a chunk's survivors
    are, in order, its sealed results followed by its final held
@@ -22,7 +36,9 @@ module P = Dewey.Packed
    already discarded — a discarded candidate is an ancestor of the then
    held one and would be discarded again later — so running it over the
    concatenated survivors produces the same output as over the full
-   stream: the sequential result, byte for byte. *)
+   stream: the sequential result, byte for byte. This holds for ANY
+   contiguous partition of the driver range, which is what makes the
+   chunking policy a pure performance knob. *)
 
 let default_threshold = 4096
 
@@ -35,7 +51,7 @@ let set_threshold n = Atomic.set threshold_v (max 0 n)
 let fallbacks_h =
   Xr_obs.Registry.Counter.no_labels
     (Xr_obs.Registry.Counter.family ~name:"xr_slca_fallbacks_total"
-       ~help:"Parallel SLCA queries that ran sequentially (below threshold or pool of 1)" ())
+       ~help:"Parallel SLCA queries that ran sequentially (below the cost gate or pool of 1)" ())
 
 let fallbacks () = Xr_obs.Registry.Counter.value fallbacks_h
 
@@ -72,20 +88,138 @@ let prune_merge (chunks : Dewey.t list array) =
   if !have then out := !held :: !out;
   List.rev !out
 
-(* How many chunks to cut the driver range into: enough to keep every
-   executor busy with a little slack for stealing imbalance, but never
-   chunks so small that fork/join overhead shows. *)
-let default_chunks ~pool_size ~driver_len =
-  let by_size = driver_len / 2048 in
-  let want = 4 * pool_size in
-  max 2 (min want by_size)
+(* ---- the cost model ----------------------------------------------------- *)
 
-let compute_ranges ?pool ?chunks ?threshold:thr (lists : (P.t * int * int) list) =
+(* Modeled work for [d] driver entries whose probes into one partner
+   pass [m] of its postings in total: every entry decodes (the [+. d]
+   charged by the caller) and gallops into the partner — O(log jump)
+   per probe, [log2 2 = 1] when the cursor never moves. The log keeps
+   dense partners honest: a cursor that skips a million postings via
+   galloping did ~20 comparisons per probe, not a million. *)
+let partner_cost ~d ~m =
+  let d = float_of_int d in
+  d *. (log (2. +. (float_of_int m /. d)) /. log 2.)
+
+(* Upper bound of the measured cost, from range lengths alone (a
+   partner cursor can never pass more postings than its range holds).
+   Queries falling below the gate on this estimate skip the
+   measurement pass entirely. *)
+let estimate_driver ~driver:(_, dlo, dhi) others =
+  let d = dhi - dlo in
+  List.fold_left
+    (fun acc (_, lo, hi) -> acc +. partner_cost ~d ~m:(hi - lo))
+    (float_of_int d) others
+
+let estimate (lists : (P.t * int * int) list) =
+  if lists = [] || List.exists (fun (_, lo, hi) -> hi <= lo) lists then 0.
+  else
+    match Scan_packed.sort_by_length lists with
+    | [] -> 0.
+    | driver :: others -> estimate_driver ~driver others
+
+(* Measured posting masses over a grain grid: [m_bounds] are driver
+   entry indices (strictly increasing, first = dlo, last = dhi),
+   [m_cost] the cumulative modeled cost at each boundary. Grains are
+   the resolution limit of the splitter — 64 of them cap the
+   per-chunk imbalance at ~1.6% of the total even in the worst skew. *)
+type masses = {
+  m_bounds : int array;
+  m_cost : float array;
+}
+
+let total_cost m = m.m_cost.(Array.length m.m_cost - 1)
+
+let grain_count m = Array.length m.m_bounds - 1
+
+let default_grains = 64
+
+let measure_driver ?pool ?(grains = default_grains) ~driver:((driver, dlo, dhi) : P.t * int * int)
+    (others : (P.t * int * int) list) =
+  let driver_len = dhi - dlo in
+  let g = max 1 (min grains driver_len) in
+  let bounds = Array.init (g + 1) (fun i -> dlo + (i * driver_len / g)) in
+  let others = Array.of_list others in
+  let np = Array.length others in
+  let pos = Array.make_matrix np (g + 1) 0 in
+  let fill p =
+    let pk, lo, hi = others.(p) in
+    let c = PC.make_sub pk ~lo ~hi in
+    pos.(p).(0) <- lo;
+    for i = 1 to g do
+      (* the last boundary gallops to the final driver entry, not past
+         the partner's tail — postings beyond the last probe are never
+         touched by the scan and must not be charged to the last chunk *)
+      let target = if bounds.(i) < dhi then bounds.(i) else dhi - 1 in
+      PC.seek_geq_entry c driver target;
+      pos.(p).(i) <- PC.position c
+    done
+  in
+  (* the cross-list axis: each partner's boundary gallop is
+     independent, so wide queries position their cursors concurrently *)
+  (match pool with
+  | Some pool when np >= 2 && Xr_pool.size pool > 1 ->
+    Xr_pool.run pool (Array.init np (fun p () -> fill p))
+  | _ ->
+    for p = 0 to np - 1 do
+      fill p
+    done);
+  let cost = Array.make (g + 1) 0. in
+  for i = 1 to g do
+    let d = bounds.(i) - bounds.(i - 1) in
+    let w = ref (float_of_int d) in
+    for p = 0 to np - 1 do
+      w := !w +. partner_cost ~d ~m:(pos.(p).(i) - pos.(p).(i - 1))
+    done;
+    cost.(i) <- cost.(i - 1) +. !w
+  done;
+  { m_bounds = bounds; m_cost = cost }
+
+let measure ?pool ?grains (lists : (P.t * int * int) list) =
+  if lists = [] || List.exists (fun (_, lo, hi) -> hi <= lo) lists then None
+  else
+    match Scan_packed.sort_by_length lists with
+    | [] -> None
+    | driver :: others -> Some (measure_driver ?pool ?grains ~driver others)
+
+(* Split where the cumulative cost crosses k/n of the total: the first
+   grain boundary at or past each crossing, deduplicated, so heavy
+   grains absorb several targets and produce fewer (but never
+   overlapping) chunks. Always returns a partition of [dlo, dhi). *)
+let chunk_bounds m ~chunks =
+  let g = grain_count m in
+  let total = total_cost m in
+  if chunks <= 1 || g <= 1 || total <= 0. then [| m.m_bounds.(0); m.m_bounds.(g) |]
+  else begin
+    let out = ref [ m.m_bounds.(0) ] in
+    let last = ref 0 in
+    for k = 1 to chunks - 1 do
+      let target = total *. float_of_int k /. float_of_int chunks in
+      let i = ref (!last + 1) in
+      while !i < g && m.m_cost.(!i) < target do
+        incr i
+      done;
+      if !i < g && !i > !last then begin
+        out := m.m_bounds.(!i) :: !out;
+        last := !i
+      end
+    done;
+    Array.of_list (List.rev (m.m_bounds.(g) :: !out))
+  end
+
+(* How many chunks to aim for: enough to keep every executor busy with
+   slack for stealing imbalance, but no chunk below ~2k cost units —
+   fork/join overhead must stay invisible. *)
+let chunk_cost_floor = 2048.
+
+let auto_chunks ~pool_size ~total_cost =
+  max 2 (min (4 * pool_size) (int_of_float (total_cost /. chunk_cost_floor)))
+
+let compute_ranges ?pool ?chunks ?threshold:thr ?masses (lists : (P.t * int * int) list) =
   if lists = [] || List.exists (fun (_, lo, hi) -> hi <= lo) lists then []
   else
     match Scan_packed.sort_by_length lists with
     | [] -> []
-    | (driver, dlo, dhi) :: others ->
+    | ((driver, dlo, dhi) as dr) :: others ->
       let driver_len = dhi - dlo in
       let thr = match thr with Some t -> t | None -> Atomic.get threshold_v in
       let sequential () =
@@ -95,36 +229,46 @@ let compute_ranges ?pool ?chunks ?threshold:thr (lists : (P.t * int * int) list)
            here too ([lists] re-sorts to the same driver) *)
         Scan_packed.compute_ranges lists
       in
-      let parallel pool nchunks =
-        let nchunks = min nchunks driver_len in
+      let run_chunked pool bounds =
+        let nchunks = Array.length bounds - 1 in
         if nchunks <= 1 then sequential ()
         else begin
           let slots = Array.make nchunks [] in
-          let bound i = dlo + (i * driver_len / nchunks) in
           Xr_pool.run pool
             (Array.init nchunks (fun i ->
                  fun () ->
-                  slots.(i) <-
-                    Scan_packed.scan_chunk ~preseek:(i > 0)
-                      ~driver:(driver, bound i, bound (i + 1))
-                      ~others ()));
+                  Xr_obs.Tracing.with_span "pool.chunk" (fun () ->
+                      slots.(i) <-
+                        Scan_packed.scan_chunk ~preseek:(i > 0)
+                          ~driver:(driver, bounds.(i), bounds.(i + 1))
+                          ~others ())));
           Xr_obs.Tracing.with_span "slca.merge" (fun () -> prune_merge slots)
         end
       in
       ( match chunks with
       | Some c when c >= 2 ->
-        (* explicit chunk count: parallelize regardless of size — the
-           property tests force adversarial splits this way *)
+        (* explicit chunk count: equal-count splits, parallel
+           regardless of size — the test suite's adversarial-split
+           hook (byte-identity holds for any contiguous partition) *)
         let pool = match pool with Some p -> p | None -> Xr_pool.global () in
-        parallel pool c
+        let c = min c driver_len in
+        if c <= 1 then sequential ()
+        else run_chunked pool (Array.init (c + 1) (fun i -> dlo + (i * driver_len / c)))
       | Some _ -> sequential ()
       | None ->
-        if driver_len < thr then sequential ()
+        if estimate_driver ~driver:dr others < float_of_int thr then sequential ()
         else begin
           let pool = match pool with Some p -> p | None -> Xr_pool.global () in
           let size = Xr_pool.size pool in
           if size <= 1 then sequential ()
-          else parallel pool (default_chunks ~pool_size:size ~driver_len)
+          else begin
+            let m =
+              match masses with Some m -> m | None -> measure_driver ~pool ~driver:dr others
+            in
+            let cost = total_cost m in
+            if cost < float_of_int thr then sequential ()
+            else run_chunked pool (chunk_bounds m ~chunks:(auto_chunks ~pool_size:size ~total_cost:cost))
+          end
         end )
 
 let compute ?pool ?chunks ?threshold (lists : P.t list) =

@@ -76,7 +76,13 @@ let step m scratch vd =
       end
     end
 
-let run ?root ~driver:(driver, dlo, dhi) member_lists () =
+(* One counter-free shared pass over [dlo, dhi) of the driver. With
+   [preseek], member cursors gallop to the first entry >= the chunk's
+   split point before scanning — exactly {!Scan_packed.scan_chunk}'s
+   pre-positioning, which makes a pass over a sub-range a valid chunk
+   of the full pass (survivors concatenate and re-prune to the
+   sequential output, see {!Parallel.prune_merge}). *)
+let scan_members ?(preseek = false) ?root ~driver:(driver, dlo, dhi) member_lists =
   let n = Array.length member_lists in
   let maxd =
     Array.fold_left
@@ -97,6 +103,10 @@ let run ?root ~driver:(driver, dlo, dhi) member_lists () =
         })
       member_lists
   in
+  if preseek && dlo < dhi then
+    Array.iter
+      (fun m -> Array.iter (fun c -> PC.seek_geq_entry c driver dlo) m.cursors)
+      members;
   let scan_entry vi =
     let vd = P.blit_entry driver vi scratch in
     for i = 0 to n - 1 do
@@ -117,15 +127,46 @@ let run ?root ~driver:(driver, dlo, dhi) member_lists () =
       Bitslice.iter mask scan_entry;
       Bitslice.cardinal mask
   in
-  Xr_obs.Registry.Counter.inc batches_h;
-  Xr_obs.Registry.Counter.add members_h n;
-  Xr_obs.Registry.Counter.add saved_h (max 0 ((n - 1) * entries));
-  Xr_obs.Registry.Histogram.observe width_h (float_of_int n);
-  Array.map
-    (fun m ->
-      if m.cur_len >= 0 then m.results <- Array.sub m.cur 0 m.cur_len :: m.results;
-      List.rev m.results)
-    members
+  ( entries,
+    Array.map
+      (fun m ->
+        if m.cur_len >= 0 then m.results <- Array.sub m.cur 0 m.cur_len :: m.results;
+        List.rev m.results)
+      members )
+
+let note_pass ~passes ~members ~entries =
+  Xr_obs.Registry.Counter.add batches_h passes;
+  Xr_obs.Registry.Counter.add members_h members;
+  Xr_obs.Registry.Counter.add saved_h (max 0 ((members - 1) * entries));
+  Xr_obs.Registry.Histogram.observe width_h (float_of_int members)
+
+let run ?root ~driver member_lists () =
+  let entries, out = scan_members ?root ~driver member_lists in
+  note_pass ~passes:1 ~members:(Array.length member_lists) ~entries;
+  out
+
+(* Chunked shared pass: the group's driver range splits at [bounds]
+   (cost-modeled, or equal-count under the test hook), each chunk runs
+   the shared automaton for every member on a pool worker, and each
+   member's per-chunk survivors re-prune to its sequential output. The
+   group still decodes each driver entry once per chunk-slot rather
+   than once per member — both batching axes at the same time. *)
+let run_chunked pool ~driver:(dpk, dlo, dhi) member_lists ~bounds =
+  let nch = Array.length bounds - 1 in
+  let n = Array.length member_lists in
+  let per_chunk = Array.make nch [||] in
+  Xr_pool.run pool
+    (Array.init nch (fun i ->
+         fun () ->
+          Xr_obs.Tracing.with_span "pool.chunk" (fun () ->
+              per_chunk.(i) <-
+                snd
+                  (scan_members ~preseek:(i > 0)
+                     ~driver:(dpk, bounds.(i), bounds.(i + 1))
+                     member_lists))));
+  note_pass ~passes:nch ~members:n ~entries:(dhi - dlo);
+  Xr_obs.Tracing.with_span "slca.merge" (fun () ->
+      Array.init n (fun mi -> Parallel.prune_merge (Array.map (fun c -> c.(mi)) per_chunk)))
 
 (* Group queries by driver identity — same packed buffer (physically),
    same entry range. Batches are small (a request's candidate set or
@@ -136,7 +177,7 @@ type group = {
   mutable g_queries : (int * (P.t * int * int) list) list; (* slot, partner lists; reversed *)
 }
 
-let run_batch ?pool ?root (queries : (P.t * int * int) list list) =
+let run_batch ?pool ?chunks ?root (queries : (P.t * int * int) list list) =
   if not (Atomic.get enabled_v) then List.map Scan_packed.compute_ranges queries
   else begin
     let slots = Array.make (List.length queries) [] in
@@ -154,6 +195,50 @@ let run_batch ?pool ?root (queries : (P.t * int * int) list list) =
             | Some g -> g.g_queries <- (slot, others) :: g.g_queries
             | None -> groups := { g_driver = d; g_queries = [ (slot, others) ] } :: !groups))
       queries;
+    let groups = List.rev !groups in
+    (* The pool, resolved once: an explicitly passed pool, else the
+       global one — created only when there are groups to fan out
+       over, peeked otherwise so a lone coalesced group in a CLI
+       process never spawns domains just to chunk. *)
+    let pool =
+      match pool with
+      | Some p -> Some p
+      | None -> (
+        match (groups, chunks) with
+        | ([] | [ _ ]), None -> Xr_pool.peek_global ()
+        | _ -> Some (Xr_pool.global ()))
+    in
+    (* Split bounds for a multi-member group, or [None] to run the
+       single shared pass. Cost-gated exactly like {!Parallel}: free
+       length estimate first, then the measured curve. *)
+    let group_bounds ~driver:((_, dlo, dhi) as d) partners =
+      match pool with
+      | Some p when Xr_pool.size p > 1 || chunks <> None -> (
+        match chunks with
+        | Some c when c >= 2 ->
+          (* test hook: force an equal-count chunking *)
+          let len = dhi - dlo in
+          let c = min c len in
+          if c <= 1 then None
+          else Some (p, Array.init (c + 1) (fun i -> dlo + (i * len / c)))
+        | Some _ -> None
+        | None ->
+          let thr = float_of_int (Parallel.threshold ()) in
+          if Parallel.estimate_driver ~driver:d partners < thr then None
+          else begin
+            let m = Parallel.measure_driver ~pool:p ~driver:d partners in
+            let cost = Parallel.total_cost m in
+            if cost < thr then None
+            else begin
+              let b =
+                Parallel.chunk_bounds m
+                  ~chunks:(Parallel.auto_chunks ~pool_size:(Xr_pool.size p) ~total_cost:cost)
+              in
+              if Array.length b <= 2 then None else Some (p, b)
+            end
+          end)
+      | _ -> None
+    in
     let run_group g =
       match g.g_queries with
       | [ (slot, others) ] ->
@@ -176,21 +261,23 @@ let run_batch ?pool ?root (queries : (P.t * int * int) list list) =
                per-partition refinement case): hand the shared pass the
                full list and let the bitsliced mask carve the partition
                out — the guard above keeps this unconditionally equal
-               to scanning [dlo, dhi) directly *)
+               to scanning [dlo, dhi) directly. Masked passes stay
+               unchunked: the mask already prunes most entries. *)
             run ~root:(prefix, Array.length prefix) ~driver:(dpk, 0, P.length dpk) arr ()
-          | _ -> run ~driver:g.g_driver arr ()
+          | _ -> (
+            match group_bounds ~driver:g.g_driver (List.concat_map snd members) with
+            | Some (p, bounds) -> run_chunked p ~driver:(dpk, dlo, dhi) arr ~bounds
+            | None -> run ~driver:g.g_driver arr ())
         in
         List.iteri (fun i (slot, _) -> slots.(slot) <- out.(i)) members
     in
-    let groups = List.rev !groups in
-    (match groups with
-    | [] | [ _ ] -> List.iter run_group groups
-    | _ -> (
-      let pool = match pool with Some p -> p | None -> Xr_pool.global () in
+    (match (groups, pool) with
+    | ([] | [ _ ]), _ | _, None -> List.iter run_group groups
+    | _, Some pool ->
       if Xr_pool.size pool <= 1 then List.iter run_group groups
       else
         let garr = Array.of_list groups in
         Xr_pool.run pool
-          (Array.init (Array.length garr) (fun i -> fun () -> run_group garr.(i)))));
+          (Array.init (Array.length garr) (fun i -> fun () -> run_group garr.(i))));
     Array.to_list slots
   end

@@ -47,16 +47,29 @@ val run :
     [queries] — a full SLCA range query, driver not yet selected — and
     returns the per-query results in order, byte-identical to mapping
     {!Scan_packed.compute_ranges} over [queries]. Groups sharing a
-    driver run shared; when [pool] (default the global pool) has more
-    than one domain, groups fan out over it.
+    driver run shared; when [pool] (default the global pool, peeked —
+    never created — when a single group wouldn't fan out) has more
+    than one domain, groups fan out over it, and a multi-member group
+    whose modeled cost clears {!Parallel.threshold} additionally
+    splits its shared pass into cost-balanced driver chunks
+    ({!Parallel.measure_driver} / {!Parallel.chunk_bounds}), each
+    member's per-chunk survivors re-pruned with
+    {!Parallel.prune_merge} — both batching axes at once, still
+    byte-identical.
+
+    [chunks] is the test hook mirroring {!Parallel.compute_ranges}:
+    force every unmasked multi-member group into an equal-count
+    chunking regardless of the cost gate.
 
     [root] is a hint that every query is scoped to one subtree: a
     multi-member group whose driver range provably equals [root]'s
     slice of the driver's full list runs masked over the full list (see
     {!run}); a range that does not match falls back to plain range
-    iteration, so the hint can never change results. *)
+    iteration, so the hint can never change results. Masked groups
+    never chunk. *)
 val run_batch :
   ?pool:Xr_pool.t ->
+  ?chunks:int ->
   ?root:int array ->
   (Dewey.Packed.t * int * int) list list ->
   Dewey.t list list

@@ -104,17 +104,26 @@ if bad:
 EOF
 }
 
-# check_parallel FILE LABEL: the parallel bench byte-compares against the
-# sequential kernel before timing, so a parseable file already certifies
-# correctness. The dblp P=4 aggregate speedup is gated at >= 1.0 only
-# when the file was produced on a multi-core host — domains time-sliced
-# on one core measure the scheduler, not the kernel, so single-core
-# numbers are recorded but not enforced.
+# check_parallel FILE LABEL SKEWFLOOR: the parallel bench byte-compares
+# against the sequential kernel before timing, so a parseable file
+# already certifies correctness. Scaling is gated only on genuinely
+# multicore numbers:
+#   - a file produced on a single-core host MUST be tagged
+#     "mode": "degraded" (untagged single-core numbers fail the gate —
+#     they must never pass as a baseline) and its speedups are printed
+#     but not enforced;
+#   - a degraded tag always disables the speedup gates, whatever the
+#     host count says — the tag is the bench's own honesty marker;
+#   - on a multicore, non-degraded file: every corpus must carry the
+#     full p1/p2/p4/p8 scaling curve, the dblp P=4 aggregate must be
+#     >= 1.0 (>= 1.5 for a full-size run on >= 4 cores — the headline
+#     serving-mix claim), and the skewed 4-keyword dblp query must be
+#     >= SKEWFLOOR (1.0 committed, 0.90 fresh smoke noise floor).
 check_parallel() {
-  python3 - "$1" "$2" <<'EOF'
+  python3 - "$1" "$2" "$3" <<'EOF'
 import json, sys
 
-path, label = sys.argv[1], sys.argv[2]
+path, label, skew_floor = sys.argv[1], sys.argv[2], float(sys.argv[3])
 try:
     with open(path) as f:
         doc = json.load(f)
@@ -122,16 +131,48 @@ except (OSError, ValueError) as e:
     print(f"bench-gate: FAIL - {label}: cannot read {path}: {e}", file=sys.stderr)
     sys.exit(1)
 
+mode = doc.get("mode")
 cores = doc.get("host_cores")
 speedup = doc.get("speedup_dblp_p4_total")
+skew = doc.get("speedup_dblp_p4_skew4")
 if not isinstance(speedup, (int, float)):
     print(f"bench-gate: FAIL - {label}: no speedup_dblp_p4_total in {path}", file=sys.stderr)
     sys.exit(1)
-print(f"bench-gate: {label}: dblp.speedup_dblp_p4_total = {speedup:.2f} (host_cores={cores})")
+skew_str = f"{skew:.2f}" if isinstance(skew, (int, float)) else str(skew)
+print(f"bench-gate: {label}: mode={mode} host_cores={cores} "
+      f"speedup_dblp_p4_total={speedup:.2f} speedup_dblp_p4_skew4={skew_str}")
+if isinstance(cores, int) and cores < 2 and mode != "degraded":
+    print(f"bench-gate: FAIL - {label}: single-core numbers not tagged "
+          f"\"mode\": \"degraded\" - refusing them as a baseline", file=sys.stderr)
+    sys.exit(1)
+if mode == "degraded":
+    print(f"bench-gate: {label}: degraded (single-core) file - speedups recorded, "
+          f"NOT a scaling baseline, not gated")
+    sys.exit(0)
 if not (isinstance(cores, int) and cores >= 2):
-    print(f"bench-gate: {label}: single-core host - speedup recorded, not gated")
-elif speedup < 1.0:
-    print(f"bench-gate: FAIL - {label}: speedup_dblp_p4_total = {speedup} < 1.0", file=sys.stderr)
+    print(f"bench-gate: FAIL - {label}: no usable host_cores in {path}", file=sys.stderr)
+    sys.exit(1)
+
+bad = []
+for c in doc.get("corpora", []):
+    name = c.get("name", "?")
+    curve = []
+    for p in (1, 2, 4, 8):
+        v = c.get(f"speedup_p{p}")
+        if not isinstance(v, (int, float)):
+            bad.append((f"{name}.speedup_p{p}", v, "present (full scaling curve)"))
+        else:
+            curve.append(f"p{p}={v:.2f}")
+    print(f"bench-gate: {label}: {name} curve: {' '.join(curve)}")
+if speedup < 1.0:
+    bad.append(("speedup_dblp_p4_total", speedup, ">= 1.0"))
+if doc.get("run") == "full" and cores >= 4 and speedup < 1.5:
+    bad.append(("speedup_dblp_p4_total", speedup, ">= 1.5 (full run, >= 4 cores)"))
+if not (isinstance(skew, (int, float)) and skew >= skew_floor):
+    bad.append(("speedup_dblp_p4_skew4", skew, f">= {skew_floor}"))
+if bad:
+    for k, v, want in bad:
+        print(f"bench-gate: FAIL - {label}: {k} = {v} (want {want})", file=sys.stderr)
     sys.exit(1)
 EOF
 }
@@ -168,6 +209,16 @@ walk(doc)
 if not found:
     print(f"bench-gate: FAIL - {label}: no speedup_batch_c*_total keys in {path}", file=sys.stderr)
     sys.exit(1)
+mode = doc.get("mode")
+cores = doc.get("host_cores")
+print(f"bench-gate: {label}: mode={mode} host_cores={cores}")
+if isinstance(cores, int) and cores < 2 and mode != "degraded":
+    print(f"bench-gate: FAIL - {label}: single-core numbers not tagged "
+          f"\"mode\": \"degraded\"", file=sys.stderr)
+    sys.exit(1)
+if mode == "degraded":
+    print(f"bench-gate: {label}: degraded (single-core) file - coalescing wins are "
+          f"still real (blocked followers, one render), so the QPS floors stay gated")
 bad = []
 for k, v in sorted(found.items()):
     print(f"bench-gate: {label}: {k} = {v:.2f}")
@@ -270,7 +321,7 @@ EOF
 check_speedups BENCH_slca.json "committed slca"
 check_overhead BENCH_slca.json "committed slca"
 check_speedups BENCH_refine.json "committed refine"
-check_parallel BENCH_parallel.json "committed parallel"
+check_parallel BENCH_parallel.json "committed parallel" 1.0
 check_batch BENCH_batch.json "committed batch"
 check_dag BENCH_dag.json "committed dag" 0.5
 
@@ -320,7 +371,7 @@ fi
 check_speedups "$TMP/slca.json" "fresh slca" 0.90
 check_overhead "$TMP/slca.json" "fresh slca"
 check_speedups "$TMP/refine.json" "fresh refine" 0.90
-check_parallel "$TMP/parallel.json" "fresh parallel"
+check_parallel "$TMP/parallel.json" "fresh parallel" 0.90
 check_batch "$TMP/batch.json" "fresh batch"
 check_dag "$TMP/dag.json" "fresh dag" 0.6
 

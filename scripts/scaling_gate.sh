@@ -1,0 +1,115 @@
+#!/bin/sh
+# Multicore scaling gate: run the parallel and batch bench smokes on a
+# host with real cores and enforce the scaling claims that the ordinary
+# bench gate must skip whenever the hardware is single-core:
+#   - parallel: the file must NOT be degraded, every corpus must carry
+#     the full p1/p2/p4/p8 curve, the dblp P=4 aggregate >= 1.0 and the
+#     skewed 4-keyword dblp query >= 0.90 (smoke noise floor);
+#   - batch: byte_identical and the concurrency-8 QPS win >= 1.3.
+#
+# CI invokes this behind an nproc guard; invoked on a single-core host
+# it skips (exit 0) rather than producing meaningless time-sliced
+# numbers.
+#
+# Usage: scripts/scaling_gate.sh
+# Environment:
+#   FRESH_PARALLEL=path  use a pre-made parallel bench JSON (testing)
+#   FRESH_BATCH=path     use a pre-made batch bench JSON (testing)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+fail() { echo "scaling-gate: FAIL - $*" >&2; exit 1; }
+
+command -v python3 >/dev/null || fail "python3 not found"
+
+cores="$( (command -v nproc >/dev/null 2>&1 && nproc) || getconf _NPROCESSORS_ONLN || echo 1 )"
+if [ "$cores" -lt 2 ]; then
+  echo "scaling-gate: SKIP - host has $cores core(s); scaling needs >= 2"
+  exit 0
+fi
+echo "scaling-gate: host_cores=$cores"
+
+TMP=""
+cleanup() { [ -n "$TMP" ] && rm -rf "$TMP"; }
+trap cleanup EXIT INT TERM
+TMP="$(mktemp -d)"
+
+if [ -n "${FRESH_PARALLEL:-}" ]; then
+  cp "$FRESH_PARALLEL" "$TMP/parallel.json"
+else
+  echo "scaling-gate: running parallel_bench --smoke"
+  dune exec bench/parallel_bench.exe -- --smoke --out "$TMP/parallel.json" >/dev/null
+fi
+if [ -n "${FRESH_BATCH:-}" ]; then
+  cp "$FRESH_BATCH" "$TMP/batch.json"
+else
+  echo "scaling-gate: running batch_bench --smoke"
+  dune exec bench/batch_bench.exe -- --smoke --out "$TMP/batch.json" >/dev/null
+fi
+
+python3 - "$TMP/parallel.json" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+bad = []
+if doc.get("mode") == "degraded":
+    bad.append(("mode", "degraded", "a real multicore run"))
+for c in doc.get("corpora", []):
+    name = c.get("name", "?")
+    curve = []
+    for p in (1, 2, 4, 8):
+        v = c.get(f"speedup_p{p}")
+        if not isinstance(v, (int, float)):
+            bad.append((f"{name}.speedup_p{p}", v, "present"))
+        else:
+            curve.append(f"p{p}={v:.2f}")
+    print(f"scaling-gate: parallel: {name} curve: {' '.join(curve)}")
+p4 = doc.get("speedup_dblp_p4_total")
+skew = doc.get("speedup_dblp_p4_skew4")
+if not (isinstance(p4, (int, float)) and p4 >= 1.0):
+    bad.append(("speedup_dblp_p4_total", p4, ">= 1.0"))
+if not (isinstance(skew, (int, float)) and skew >= 0.90):
+    bad.append(("speedup_dblp_p4_skew4", skew, ">= 0.90"))
+if bad:
+    for k, v, want in bad:
+        print(f"scaling-gate: FAIL - parallel: {k} = {v} (want {want})", file=sys.stderr)
+    sys.exit(1)
+print(f"scaling-gate: parallel: p4_total={p4:.2f} p4_skew4={skew:.2f}")
+EOF
+
+python3 - "$TMP/batch.json" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+bad = []
+if doc.get("mode") == "degraded":
+    bad.append(("mode", "degraded", "a real multicore run"))
+if doc.get("byte_identical") is not True:
+    bad.append(("byte_identical", doc.get("byte_identical"), "true"))
+found = {}
+def walk(node):
+    if isinstance(node, dict):
+        for k, v in node.items():
+            if k.startswith("speedup_batch_c") and k.endswith("_total"):
+                found[k] = v
+            else:
+                walk(v)
+    elif isinstance(node, list):
+        for v in node:
+            walk(v)
+walk(doc)
+for k, v in sorted(found.items()):
+    print(f"scaling-gate: batch: {k} = {v:.2f}")
+c8 = found.get("speedup_batch_c8_total")
+if not (isinstance(c8, (int, float)) and c8 >= 1.3):
+    bad.append(("speedup_batch_c8_total", c8, ">= 1.3"))
+if bad:
+    for k, v, want in bad:
+        print(f"scaling-gate: FAIL - batch: {k} = {v} (want {want})", file=sys.stderr)
+    sys.exit(1)
+EOF
+
+echo "scaling-gate: PASS"

@@ -176,6 +176,17 @@ let prop_run_batch_eq_solo pool_size =
       if pool_size = 1 then Xr_pool.shutdown pool;
       List.equal (List.equal Dewey.equal) solo batched)
 
+let prop_run_batch_chunked_eq_solo =
+  QCheck.Test.make ~name:"run_batch with forced chunking = per-query scans" ~count:200
+    arb_batch (fun batch ->
+      let queries = batch_queries batch in
+      let solo = List.map Scan_packed.compute_ranges queries in
+      List.for_all
+        (fun chunks ->
+          List.equal (List.equal Dewey.equal) solo
+            (Shared_scan.run_batch ~pool:(Lazy.force shared_pool) ~chunks queries))
+        [ 2; 3; 5 ])
+
 let test_run_batch_root_mask () =
   (* Two queries scoped to the [2] subtree of a shared driver list: the
      grouped pass must take the masked full-list path (the driver range
@@ -408,6 +419,55 @@ let test_coalesce_exception_propagates () =
   check Alcotest.int "leader and follower both raise" 2 (Atomic.get failures);
   check Alcotest.int "failed flight closed" 0 (Coalesce.in_flight t)
 
+let test_coalesce_follower_helps () =
+  (* A follower's wait must drain queued pool work. Fill the global pool
+     (two workers + one submitting helper) with three blockers so the
+     fourth task stays queued, then open a flight whose leader holds
+     until that task has run: the only domain that can run it is the
+     follower, through the [try_help] call in its wait loop. *)
+  Xr_pool.reset_global ~domains:3 ();
+  let pool = Xr_pool.global () in
+  let started = Atomic.make 0 in
+  let release = Atomic.make false in
+  let helped_ran = Atomic.make 0 in
+  let task () =
+    if Atomic.fetch_and_add started 1 < 3 then
+      while not (Atomic.get release) do
+        Domain.cpu_relax ()
+      done
+    else Atomic.incr helped_ran
+  in
+  let submitter = Domain.spawn (fun () -> Xr_pool.run pool (Array.make 4 task)) in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set release true;
+      Domain.join submitter;
+      (* back to the environment's default size for the tests after us *)
+      Xr_pool.reset_global ())
+    (fun () ->
+      while Atomic.get started < 3 do
+        Domain.cpu_relax ()
+      done;
+      let helped_before = Coalesce.helped () in
+      let t = Coalesce.create () in
+      let entered = Atomic.make 0 in
+      let flyers =
+        Array.init 2 (fun _ ->
+            Domain.spawn (fun () ->
+                Atomic.incr entered;
+                Coalesce.run t ~key:"h" (fun () ->
+                    (* hold the flight until the follower has entered
+                       and donated its wait to the queued task *)
+                    while Atomic.get entered < 2 || Atomic.get helped_ran < 1 do
+                      Domain.cpu_relax ()
+                    done;
+                    "body")))
+      in
+      let results = Array.map Domain.join flyers in
+      Array.iter (fun (b, _) -> check Alcotest.string "same bytes" "body" b) results;
+      check Alcotest.int "queued task ran exactly once" 1 (Atomic.get helped_ran);
+      check Alcotest.bool "helped counter ticked" true (Coalesce.helped () > helped_before))
+
 let test_coalesce_window () =
   let t = Coalesce.create ~window_ms:2.5 () in
   check (Alcotest.float 0.001) "window readable" 2.5 (Coalesce.window_ms t);
@@ -545,6 +605,7 @@ let () =
         [
           qcheck (prop_run_batch_eq_solo 1);
           qcheck (prop_run_batch_eq_solo 4);
+          qcheck prop_run_batch_chunked_eq_solo;
           Alcotest.test_case "root mask" `Quick test_run_batch_root_mask;
           Alcotest.test_case "disabled = solo" `Quick test_run_batch_disabled;
         ] );
@@ -563,6 +624,7 @@ let () =
         [
           Alcotest.test_case "single flight" `Quick test_coalesce_single_flight;
           Alcotest.test_case "exception propagates" `Quick test_coalesce_exception_propagates;
+          Alcotest.test_case "follower helps the pool" `Quick test_coalesce_follower_helps;
           Alcotest.test_case "window" `Quick test_coalesce_window;
         ] );
       ( "server",

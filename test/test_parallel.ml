@@ -61,6 +61,40 @@ let test_pool_exception () =
       | exception Failure m -> check Alcotest.string "exception carried" "boom" m);
       check Alcotest.int "remaining tasks still ran" 2 (Atomic.get ran))
 
+let test_pool_try_help () =
+  (* Three executors (two workers plus the submitting domain's help
+     loop) each take one task and block on [release]; the fourth task
+     stays in a deque — visible in [queue_depth] — until an outside
+     domain donates its wait time through [try_help]. Start order picks
+     which tasks block, so the schedule is deterministic: exactly one
+     runnable task is queued when the main domain helps. *)
+  let pool = Xr_pool.create ~domains:3 () in
+  let started = Atomic.make 0 in
+  let release = Atomic.make false in
+  let helped_ran = Atomic.make 0 in
+  let task () =
+    if Atomic.fetch_and_add started 1 < 3 then
+      while not (Atomic.get release) do
+        Domain.cpu_relax ()
+      done
+    else Atomic.incr helped_ran
+  in
+  let submitter = Domain.spawn (fun () -> Xr_pool.run pool (Array.make 4 task)) in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set release true;
+      Domain.join submitter;
+      Xr_pool.shutdown pool)
+    (fun () ->
+      while Atomic.get started < 3 do
+        Domain.cpu_relax ()
+      done;
+      check Alcotest.int "one task still queued" 1 (Xr_pool.queue_depth pool);
+      check Alcotest.bool "try_help takes it" true (Xr_pool.try_help pool);
+      check Alcotest.int "helped task ran" 1 (Atomic.get helped_ran);
+      check Alcotest.int "queue drained" 0 (Xr_pool.queue_depth pool);
+      check Alcotest.bool "nothing left to help with" false (Xr_pool.try_help pool))
+
 let test_pool_size_one_inline () =
   let pool = Xr_pool.create ~domains:1 () in
   Fun.protect
@@ -154,6 +188,85 @@ let prop_parallel_eq_sequential =
       List.equal Dewey.equal
         (Parallel.compute ~pool:(Lazy.force shared_pool) ~chunks ~threshold:0 pks)
         (Scan_packed.compute pks))
+
+(* ---- cost-modeled adaptive chunking --------------------------------------- *)
+
+(* Pools of size 1, 2 and 4 for the adaptive-path property: size 1
+   exercises the pool gate's sequential fallback, 2 and 4 run the
+   chunked kernel below and at the auto chunk target. *)
+let scaling_pools = lazy (List.map (fun d -> (d, Xr_pool.create ~domains:d ())) [ 1; 2; 4 ])
+
+let full_ranges pks = List.map (fun pk -> (pk, 0, P.length pk)) pks
+
+let prop_adaptive_chunker =
+  QCheck.Test.make
+    ~name:"cost-modeled chunking: exact driver partition, byte-identical at P=1/2/4"
+    ~count:200 arb_case
+    (fun (lists, chunks) ->
+      let pks = List.map P.of_list lists in
+      let ranges = full_ranges pks in
+      let sequential = Scan_packed.compute pks in
+      let driver_len =
+        List.fold_left (fun acc l -> min acc (List.length l)) max_int lists
+      in
+      (match Parallel.measure ranges with
+      | None -> ()
+      | Some m ->
+        (* the chunker must partition [0, driver_len) exactly: every
+           driver posting scanned once, none dropped, none twice *)
+        List.iter
+          (fun k ->
+            let bounds = Parallel.chunk_bounds m ~chunks:k in
+            let n = Array.length bounds in
+            if n < 2 || bounds.(0) <> 0 || bounds.(n - 1) <> driver_len then
+              QCheck.Test.fail_reportf "bad endpoints [%s] for driver length %d"
+                (String.concat ";" (Array.to_list (Array.map string_of_int bounds)))
+                driver_len;
+            for i = 0 to n - 2 do
+              if bounds.(i) >= bounds.(i + 1) then
+                QCheck.Test.fail_reportf "bounds not strictly increasing at %d" i
+            done)
+          [ 2; chunks + 1; 64 ];
+        (* the adaptive path itself — measured masses, auto chunk count —
+           must stay byte-identical to sequential on every pool size *)
+        List.iter
+          (fun (d, pool) ->
+            let got = Parallel.compute_ranges ~pool ~threshold:0 ~masses:m ranges in
+            if not (List.equal Dewey.equal got sequential) then
+              QCheck.Test.fail_reportf "adaptive P=%d disagrees with sequential" d)
+          (Lazy.force scaling_pools));
+      true)
+
+let test_skewed_mass_chunking () =
+  (* Partner mass concentrated under the first 16 of 256 evenly spread
+     driver entries: equal-cost splitting must pull the first chunk
+     boundary well inside the heavy corner instead of handing one chunk
+     a quarter of the driver (and most of the galloping work). *)
+  let driver = List.init 256 (fun i -> [| i |]) in
+  let partner =
+    List.concat_map
+      (fun i -> if i < 16 then List.init 250 (fun j -> [| i; j |]) else [ [| i; 0 |] ])
+      (List.init 256 Fun.id)
+  in
+  let pks = List.map P.of_list [ driver; partner ] in
+  let ranges = full_ranges pks in
+  match Parallel.measure ranges with
+  | None -> Alcotest.fail "measure returned None on a 256-entry driver"
+  | Some m ->
+    check Alcotest.bool "measured cost positive" true (Parallel.total_cost m > 0.);
+    let bounds = Parallel.chunk_bounds m ~chunks:4 in
+    let n = Array.length bounds in
+    check Alcotest.int "starts at range start" 0 bounds.(0);
+    check Alcotest.int "ends at range end" 256 bounds.(n - 1);
+    check Alcotest.bool "first split pulled into the heavy corner" true (bounds.(1) < 64);
+    let sequential = Scan_packed.compute pks in
+    List.iter
+      (fun (d, pool) ->
+        check Alcotest.bool (Printf.sprintf "skewed adaptive P=%d = sequential" d) true
+          (List.equal Dewey.equal
+             (Parallel.compute_ranges ~pool ~threshold:0 ~masses:m ranges)
+             sequential))
+      (Lazy.force scaling_pools)
 
 let test_threshold_fallback () =
   let old = Parallel.threshold () in
@@ -306,6 +419,7 @@ let () =
         [
           Alcotest.test_case "fan-out and nested batches" `Quick test_pool_fanout;
           Alcotest.test_case "exception propagation" `Quick test_pool_exception;
+          Alcotest.test_case "try_help drains a queued task" `Quick test_pool_try_help;
           Alcotest.test_case "size 1 runs inline" `Quick test_pool_size_one_inline;
         ] );
       ( "slca",
@@ -315,7 +429,9 @@ let () =
           Alcotest.test_case "more chunks than postings" `Quick
             test_more_chunks_than_postings;
           Alcotest.test_case "threshold fallback" `Quick test_threshold_fallback;
+          Alcotest.test_case "skewed mass moves the splits" `Quick test_skewed_mass_chunking;
           qcheck prop_parallel_eq_sequential;
+          qcheck prop_adaptive_chunker;
         ] );
       ( "refine",
         [ Alcotest.test_case "parallel = sequential payloads" `Quick test_refine_deterministic ] );
