@@ -164,7 +164,21 @@ let search_cmd =
       & info [ "trace" ]
           ~doc:"Record per-stage spans and print the span tree with durations after the results.")
   in
-  let run doc mode alg rank interconnected trace json query =
+  let explain_plan =
+    Arg.(
+      value & flag
+      & info [ "explain-plan" ]
+          ~doc:"Print the compiled plan (list order, kernel choice, cost curve, chunk bounds) \
+                without executing the query. With --json, emit the server's explain schema.")
+  in
+  let analyze =
+    Arg.(
+      value & flag
+      & info [ "analyze" ]
+          ~doc:"Execute the query and append per-stage actuals as JSON: span durations, \
+                per-chunk cost-model drift, candidates in/out, and GC deltas.")
+  in
+  let run doc mode alg rank interconnected trace explain_plan analyze json query =
     let index = load_index ?mode doc in
     let slca =
       match Xr_slca.Engine.of_name alg with
@@ -172,26 +186,58 @@ let search_cmd =
       | None -> failwith ("unknown SLCA engine " ^ alg)
     in
     let config = { Engine.default_config with slca } in
+    if explain_plan then begin
+      let x = Xr_batch.Plan.explain_search ~config index query in
+      if json then
+        print_endline (Xr_server.Json.to_string (Xr_server.Api.explain_payload x))
+      else print_string (Xr_batch.Explain.search_to_text x)
+    end
+    else begin
     let post slcas =
       if interconnected then Xr_slca.Interconnection.filter index query slcas else slcas
     in
-    if trace then Xr_obs.Tracing.enable ();
-    let (slcas, entries), trace_id =
+    if trace || analyze then Xr_obs.Tracing.enable ();
+    let gc0 = Xr_obs.Runtime.capture () in
+    let t0 = Xr_obs.Tracing.now_ns () in
+    let ((slcas, entries), report), trace_id =
       Xr_obs.Tracing.with_trace "search" (fun () ->
-          let slcas = post (Engine.search ~config index query) in
-          let entries =
-            if rank then
-              let ids = List.filter_map (Xr_xml.Doc.keyword_id index.Index.doc) query in
-              Xr_slca.Result_rank.rank index.Index.stats ~query:ids slcas
-            else List.map (fun d -> (d, 0.)) slcas
+          let body () =
+            let slcas = post (Engine.search ~config index query) in
+            let entries =
+              if rank then
+                let ids = List.filter_map (Xr_xml.Doc.keyword_id index.Index.doc) query in
+                Xr_slca.Result_rank.rank index.Index.stats ~query:ids slcas
+              else List.map (fun d -> (d, 0.)) slcas
+            in
+            (slcas, entries)
           in
-          (slcas, entries))
+          if analyze then
+            let r, rep = Xr_obs.Analyze.with_report body in
+            (r, Some rep)
+          else (body (), None))
     in
+    let ms = Int64.to_float (Int64.sub (Xr_obs.Tracing.now_ns ()) t0) /. 1e6 in
+    let gc = Xr_obs.Runtime.delta gc0 in
     let print_trace () =
       if trace && trace_id <> 0 then begin
         print_newline ();
         print_string (Xr_obs.Tracing.render_tree (Xr_obs.Tracing.spans_of_trace trace_id))
       end
+    in
+    let print_analyze () =
+      match report with
+      | None -> ()
+      | Some report ->
+        let spans =
+          if trace_id = 0 then []
+          else
+            List.filter
+              (fun (s : Xr_obs.Tracing.span) -> s.Xr_obs.Tracing.parent_id <> 0)
+              (Xr_obs.Tracing.spans_of_trace trace_id)
+        in
+        print_newline ();
+        print_endline
+          (Xr_server.Json.to_string (Xr_server.Api.analyze_payload ~ms ~gc ~spans report))
     in
     (if json then
        print_endline
@@ -211,13 +257,15 @@ let search_cmd =
                  (Xr_xml.Doc.label index.Index.doc d) score snippet
              else Printf.printf "- %-24s %s\n" (Xr_xml.Doc.label index.Index.doc d) snippet)
            entries);
-    print_trace ()
+    print_trace ();
+    print_analyze ()
+    end
   in
   Cmd.v
     (Cmd.info "search" ~doc:"Meaningful-SLCA keyword search (no refinement).")
     Term.(
-      const run $ doc_file $ compress_arg $ alg $ rank $ interconnected $ trace $ json_flag
-      $ query_args)
+      const run $ doc_file $ compress_arg $ alg $ rank $ interconnected $ trace $ explain_plan
+      $ analyze $ json_flag $ query_args)
 
 (* ---- suggest -------------------------------------------------------------- *)
 
@@ -274,13 +322,21 @@ let refine_cmd =
   let explain =
     Arg.(value & flag & info [ "explain" ] ~doc:"Print the ranking breakdown of each refined query.")
   in
+  let explain_plan =
+    Arg.(
+      value & flag
+      & info [ "explain-plan" ]
+          ~doc:"Print the compiled plan plus the statically-pruned rule list without \
+                executing. With --json, emit the server's explain schema.")
+  in
   let thesaurus_file =
     Arg.(
       value
       & opt (some file) None
       & info [ "thesaurus" ] ~docv:"FILE" ~doc:"Extra synonym/acronym entries (see Thesaurus format).")
   in
-  let run doc mode k alg show_rules rules_file no_mine explain thesaurus_file json query =
+  let run doc mode k alg show_rules rules_file no_mine explain explain_plan thesaurus_file
+      json query =
     let index = load_index ?mode doc in
     let algorithm =
       match Engine.algorithm_of_name alg with
@@ -298,6 +354,13 @@ let refine_cmd =
     let config =
       { Engine.default_config with k; algorithm; auto_mine = not no_mine; thesaurus }
     in
+    if explain_plan then begin
+      let x = Xr_batch.Plan.explain_refine ~config index query in
+      if json then
+        print_endline (Xr_server.Json.to_string (Xr_server.Api.explain_refine_payload x))
+      else print_string (Xr_batch.Explain.refine_to_text x)
+    end
+    else begin
     let rules =
       match rules_file with Some f -> Xr_refine.Rule_file.load f | None -> []
     in
@@ -323,12 +386,13 @@ let refine_cmd =
       | Result.Original _ | Result.No_result -> ()
     end
     end
+    end
   in
   Cmd.v
     (Cmd.info "refine" ~doc:"Automatic XML keyword query refinement (the paper's pipeline).")
     Term.(
       const run $ doc_file $ compress_arg $ k $ alg $ show_rules $ rules_file $ no_mine
-      $ explain $ thesaurus_file $ json_flag $ query_args)
+      $ explain $ explain_plan $ thesaurus_file $ json_flag $ query_args)
 
 (* ---- serve -------------------------------------------------------------------- *)
 

@@ -1,0 +1,9 @@
+(** Text rendering of {!Plan.explain_search} / {!Plan.explain_refine} —
+    what `xrefine search|refine --explain-plan` prints. Deterministic
+    for a fixed corpus, algorithm and pool size (the golden-output test
+    pins all three). *)
+
+val search_to_text : Plan.explain_search -> string
+(** Multi-line, trailing newline included. *)
+
+val refine_to_text : Plan.explain_refine -> string

@@ -72,3 +72,70 @@ val run_refine :
   Xr_index.Index.t ->
   string list ->
   Xr_refine.Engine.response
+
+(** {1 EXPLAIN}
+
+    A rendered account of every decision {!compile_search} makes and
+    the run-time dispatch it leads to — what `xrefine … --explain-plan`
+    and `GET /search?…&explain=1` show. Pure: explaining never runs the
+    query (the one cursor movement it may cost is a {!measure} pass
+    when the plan cache holds no cost curve yet, read-only like the
+    compiler's own). *)
+
+type explain_keyword = {
+  ek_keyword : string;  (** normalized *)
+  ek_id : int;
+  ek_postings : int;
+}
+
+type explain_parallel = {
+  xp_estimate : float;  (** free upper bound from range lengths *)
+  xp_threshold : int;  (** live {!Xr_slca.Parallel.threshold} *)
+  xp_measured : float option;  (** measured total cost; [None] when the estimate never cleared the gate *)
+  xp_grains : int option;
+  xp_pool_size : int;  (** pool size the chunk bounds were computed for *)
+  xp_chunks : int;  (** {!Xr_slca.Parallel.auto_chunks} target *)
+  xp_chunk_bounds : int array;  (** driver split points; [[||]] when sequential *)
+  xp_curve : (int * float) array;
+      (** the measured cost curve: (driver index, cumulative modeled cost)
+          per grain boundary *)
+}
+
+type explain_search = {
+  x_keywords : explain_keyword list;
+      (** in executed order — driver (rarest) first for the scan family *)
+  x_missing : string list;  (** normalized keywords absent from the vocabulary *)
+  x_algorithm : string;
+  x_index_mode : string;  (** ["flat"] or ["dag"] *)
+  x_dag_kernel : string option;
+      (** dag-backed only: ["scan_dag"] when the uncompiled dispatch
+          ({!Xr_slca.Engine.query_ids}) would run the native compressed
+          kernel, ["merged"] otherwise. Compiled plans always execute
+          over merged flat views. *)
+  x_kernel : string;  (** ["dead"], ["tiny"], ["scan"], ["stack"], ["parallel"] or ["boxed"] *)
+  x_reason : string;  (** the threshold or condition that fired, spelled out *)
+  x_parallel : explain_parallel option;  (** scan-parallel range plans only *)
+}
+
+(** [explain_search ?config ?pool_size index query] compiles [query]
+    (hitting no cache) and reports the decisions. [pool_size] pins the
+    chunk computation for deterministic output (default: the live
+    global pool's size, 1 if none was ever created). *)
+val explain_search :
+  ?config:Xr_refine.Engine.config ->
+  ?pool_size:int ->
+  Xr_index.Index.t ->
+  string list ->
+  explain_search
+
+type explain_refine = {
+  xr_search : explain_search;
+  xr_rules : string list;  (** statically-pruned rule list, in consultation order *)
+}
+
+val explain_refine :
+  ?config:Xr_refine.Engine.config ->
+  ?pool_size:int ->
+  Xr_index.Index.t ->
+  string list ->
+  explain_refine

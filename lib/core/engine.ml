@@ -187,7 +187,21 @@ let search ?(config = default_config) (index : Index.t) query =
     (* [query_ids] keeps packed engines on the index's packed lists —
        no posting materialization on the hot search path. *)
     let slcas = Slca_engine.query_ids config.slca index ids in
-    Xr_obs.Tracing.with_span "slca.filter" (fun () -> Meaningful.filter meaningful slcas)
+    let filtered =
+      Xr_obs.Tracing.with_span "slca.filter" (fun () -> Meaningful.filter meaningful slcas)
+    in
+    if Xr_obs.Analyze.active () then begin
+      let postings =
+        List.fold_left
+          (fun acc kw -> acc + Xr_index.Inverted.length index.Index.inverted kw)
+          0 ids
+      in
+      Xr_obs.Analyze.note_stage ~name:"slca.scan" ~input:postings
+        ~output:(List.length slcas);
+      Xr_obs.Analyze.note_stage ~name:"slca.filter" ~input:(List.length slcas)
+        ~output:(List.length filtered)
+    end;
+    filtered
 
 let needs_refinement ?config index query = search ?config index query = []
 

@@ -65,7 +65,7 @@ let render_metrics buf (metrics : Registry.metric list) =
               (Printf.sprintf "%s%s %s\n" m.Registry.m_name
                  (labels_str s.Registry.s_labels)
                  (float_str v))
-          | Registry.V_hist { bounds; counts; sum } ->
+          | Registry.V_hist { bounds; counts; sum; exemplars } ->
             let cum = ref 0 in
             Array.iteri
               (fun i c ->
@@ -73,10 +73,19 @@ let render_metrics buf (metrics : Registry.metric list) =
                 let le =
                   if i < Array.length bounds then float_str bounds.(i) else "+Inf"
                 in
+                let ex =
+                  (* OpenMetrics-style exemplar suffix; Prometheus 0.0.4
+                     scrapers that predate exemplars ignore it as a
+                     comment since it starts with [#]. *)
+                  match exemplars.(i) with
+                  | Some { Registry.ex_trace; ex_value } ->
+                    Printf.sprintf " # {trace_id=\"%d\"} %s" ex_trace (float_str ex_value)
+                  | None -> ""
+                in
                 Buffer.add_string buf
-                  (Printf.sprintf "%s_bucket%s %d\n" m.Registry.m_name
+                  (Printf.sprintf "%s_bucket%s %d%s\n" m.Registry.m_name
                      (labels_str (s.Registry.s_labels @ [ ("le", le) ]))
-                     !cum))
+                     !cum ex))
               counts;
             Buffer.add_string buf
               (Printf.sprintf "%s_sum%s %s\n" m.Registry.m_name

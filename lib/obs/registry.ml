@@ -11,11 +11,14 @@ type kind = Counter | Gauge | Histogram
 
 let default_shards = 16
 
+type exemplar = { ex_trace : int; ex_value : float }
+
 type series = {
   labels : string list;
   cells : int Atomic.t array;  (* counters: one cell per shard *)
   hcells : int Atomic.t array;  (* histograms: shards * (buckets + 1), flattened *)
   hsum_micro : int Atomic.t;  (* histogram sum, in 1e-6 units of the observed value *)
+  hexemplars : exemplar option Atomic.t array;  (* per bucket, last-writer-wins *)
   gcell : float Atomic.t;  (* gauges: last-write-wins *)
   mutable pull : (unit -> float) option;  (* scrape-time override *)
 }
@@ -106,6 +109,9 @@ let series_of f values =
               (if f.kind = Histogram then Array.init (f.shards * nb) (fun _ -> Atomic.make 0)
                else [||]);
             hsum_micro = Atomic.make 0;
+            hexemplars =
+              (if f.kind = Histogram then Array.init nb (fun _ -> Atomic.make None)
+               else [||]);
             gcell = Atomic.make 0.;
             pull = None;
           }
@@ -184,12 +190,14 @@ module Histogram = struct
 
   let bucket_bounds h = h.fam.buckets
 
-  let observe h v =
+  let observe ?(trace_id = 0) h v =
     let bounds = h.fam.buckets in
     let nfinite = Array.length bounds in
     let rec slot i = if i >= nfinite then i else if v <= bounds.(i) then i else slot (i + 1) in
     let b = slot 0 in
     Atomic.incr h.s.hcells.((shard_ix h.fam * (nfinite + 1)) + b);
+    if trace_id <> 0 then
+      Atomic.set h.s.hexemplars.(b) (Some { ex_trace = trace_id; ex_value = v });
     ignore (Atomic.fetch_and_add h.s.hsum_micro (int_of_float (Float.round (v *. 1e6))))
 
   (* Raw (non-cumulative) per-bucket counts aggregated over shards; the
@@ -210,6 +218,8 @@ module Histogram = struct
   let count h = Array.fold_left ( + ) 0 (raw_counts h)
 
   let sum h = float_of_int (Atomic.get h.s.hsum_micro) /. 1e6
+
+  let exemplars h = Array.map Atomic.get h.s.hexemplars
 end
 
 (* ---- scrape -------------------------------------------------------------- *)
@@ -217,7 +227,12 @@ end
 type value =
   | V_int of int
   | V_float of float
-  | V_hist of { bounds : float array; counts : int array; sum : float }
+  | V_hist of {
+      bounds : float array;
+      counts : int array;
+      sum : float;
+      exemplars : exemplar option array;
+    }
 
 type sample = { s_labels : (string * string) list; s_value : value }
 
@@ -242,6 +257,7 @@ let collect t =
                     bounds = f.buckets;
                     counts = Histogram.raw_counts h;
                     sum = Histogram.sum h;
+                    exemplars = Histogram.exemplars h;
                   }
             in
             { s_labels = List.combine f.label_names s.labels; s_value = v })

@@ -24,6 +24,11 @@ val shard_count : t -> int
 
 type kind = Counter | Gauge | Histogram
 
+type exemplar = { ex_trace : int; ex_value : float }
+(** The last observation that landed in a histogram bucket, tagged with
+    the trace id active when it was recorded — the link from a latency
+    bucket back to the exact request ([/debug/trace?id=]). *)
+
 module Counter : sig
   type fam
 
@@ -95,7 +100,14 @@ module Histogram : sig
 
   val bucket_bounds : h -> float array
 
-  val observe : h -> float -> unit
+  val observe : ?trace_id:int -> h -> float -> unit
+  (** Record [v]. When [trace_id] is non-zero the landing bucket's
+      exemplar slot is overwritten (last-writer-wins, one [Atomic.set])
+      so the scrape can point at a concrete trace per bucket. *)
+
+  val exemplars : h -> exemplar option array
+  (** Per-bucket exemplars (last slot = +inf); [None] where no traced
+      observation has landed yet. *)
 
   val raw_counts : h -> int array
   (** Per-bucket (non-cumulative) counts aggregated over shards; the
@@ -113,8 +125,12 @@ end
 type value =
   | V_int of int
   | V_float of float
-  | V_hist of { bounds : float array; counts : int array; sum : float }
-      (** [counts] raw per-bucket, last = +inf *)
+  | V_hist of {
+      bounds : float array;
+      counts : int array;
+      sum : float;
+      exemplars : exemplar option array;
+    }  (** [counts]/[exemplars] raw per-bucket, last = +inf *)
 
 type sample = { s_labels : (string * string) list; s_value : value }
 

@@ -1,0 +1,42 @@
+(** Process-runtime telemetry: the OCaml GC exported as pulled
+    [xr_gc_*] families, plus cheap snapshot/delta capture so a single
+    request (or pool task) can report exactly what it allocated and how
+    many collections it triggered — the ANALYZE side of
+    {!Xr_obs.Analyze}. Everything reads [Gc.quick_stat] (which does not
+    force a collection) except minor words, which use [Gc.minor_words]
+    so allocation inside the current arena is counted. *)
+
+val register : ?registry:Registry.t -> unit -> unit
+(** Register (idempotently) the pulled GC families against [registry]
+    (default {!Registry.default}): gauges [xr_gc_heap_words] and
+    [xr_gc_major_heap_words], counters [xr_gc_minor_collections_total],
+    [xr_gc_major_collections_total], [xr_gc_compactions_total],
+    [xr_gc_minor_words_total], [xr_gc_promoted_words_total] and
+    [xr_gc_allocated_words_total]. All values are read at scrape time;
+    nothing is recorded on any hot path. *)
+
+type snapshot
+(** The GC counters at one instant ([Gc.quick_stat], no collection). *)
+
+val capture : unit -> snapshot
+
+type gc_delta = {
+  d_minor_words : float;
+  d_promoted_words : float;
+  d_major_words : float;  (** includes promoted words, as [Gc.stat] does *)
+  d_minor_collections : int;
+  d_major_collections : int;
+}
+(** What happened between two snapshots. Allocated words =
+    [d_minor_words +. d_major_words -. d_promoted_words]. *)
+
+val delta : snapshot -> gc_delta
+(** [delta s0] is the change from [s0] to now. Per-domain counters mean
+    the delta is only meaningful when both ends run on the same domain
+    (capture around a handler or a pool task, not across a fork). *)
+
+val zero : gc_delta
+
+val add : gc_delta -> gc_delta -> gc_delta
+
+val allocated_words : gc_delta -> float

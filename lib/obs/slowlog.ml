@@ -26,7 +26,17 @@ let span_json (sp : Tracing.span) =
     (Int64.to_float sp.Tracing.dur_ns /. 1e6)
     sp.Tracing.span_id sp.Tracing.parent_id sp.Tracing.domain
 
-let render ~endpoint ~status ~ms ~trace_id spans =
-  Printf.sprintf {|{"slow_query":true,"endpoint":"%s","status":%d,"ms":%.3f,"trace":%d,"spans":[%s]}|}
-    (escape endpoint) status ms trace_id
+let corpus_json (name, generation, mode) =
+  Printf.sprintf {|{"corpus":"%s","generation":%d,"index":"%s"}|} (escape name) generation
+    (escape mode)
+
+let render ~endpoint ~status ~ms ~trace_id ?(corpora = []) spans =
+  let corpora_field =
+    match corpora with
+    | [] -> ""
+    | cs -> Printf.sprintf {|,"corpora":[%s]|} (String.concat "," (List.map corpus_json cs))
+  in
+  Printf.sprintf
+    {|{"slow_query":true,"endpoint":"%s","status":%d,"ms":%.3f,"trace":%d%s,"spans":[%s]}|}
+    (escape endpoint) status ms trace_id corpora_field
     (String.concat "," (List.map span_json spans))

@@ -3,6 +3,18 @@
     the output stream. *)
 
 val render :
-  endpoint:string -> status:int -> ms:float -> trace_id:int -> Tracing.span list -> string
+  endpoint:string ->
+  status:int ->
+  ms:float ->
+  trace_id:int ->
+  ?corpora:(string * int * string) list ->
+  Tracing.span list ->
+  string
 (** A single line (no trailing newline):
-    [{"slow_query":true,"endpoint":…,"status":…,"ms":…,"trace":…,"spans":[…]}]. *)
+    [{"slow_query":true,"endpoint":…,"status":…,"ms":…,"trace":…,
+      "corpora":[{"corpus":…,"generation":…,"index":…}],"spans":[…]}].
+    [corpora] attributes the entry to the (corpus, generation id,
+    index mode flat|dag) tuples the request was served from, so a slow
+    line stays diagnosable after an ingest publish swaps the index;
+    omitted (or empty) ⇒ no ["corpora"] field, for requests that never
+    touched an index. *)

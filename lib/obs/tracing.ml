@@ -92,6 +92,9 @@ let ctx_key : context option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> 
 
 let current_context () = !(Domain.DLS.get ctx_key)
 
+let current_trace_id () =
+  match !(Domain.DLS.get ctx_key) with Some c -> c.trace | None -> 0
+
 let with_context ctx f =
   match ctx with
   | None -> f ()

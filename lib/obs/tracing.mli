@@ -49,6 +49,11 @@ type context
 val current_context : unit -> context option
 (** The ambient (trace, parent) position, to capture at a fork point. *)
 
+val current_trace_id : unit -> int
+(** The ambient trace id — 0 when no trace is active on this domain.
+    Lets a handler stamp records (exemplars, ANALYZE payloads) with the
+    trace they belong to while the trace is still open. *)
+
 val with_context : context option -> (unit -> 'a) -> 'a
 (** Run a thunk under a captured context on another domain; [None] is
     the identity. *)

@@ -269,12 +269,16 @@ let run t thunks =
     Counter.inc t.batches;
     let b = { bm = Mutex.create (); bcv = Condition.create (); pending = n; failed = None } in
     (* Capture the submitter's trace position so spans recorded inside
-       tasks — wherever they get stolen to — attach to its trace. *)
+       tasks — wherever they get stolen to — attach to its trace, and
+       the ambient ANALYZE report (None on normal requests) so tasks
+       report their GC deltas to the right request. *)
     let ctx = Xr_obs.Tracing.current_context () in
+    let actx = Xr_obs.Analyze.current () in
     let wrap f () =
       (try
          Xr_obs.Tracing.with_context ctx (fun () ->
-             Xr_obs.Tracing.with_span "pool.task" f)
+             Xr_obs.Tracing.with_span "pool.task" (fun () ->
+                 Xr_obs.Analyze.task actx f))
        with e -> Mutex.protect b.bm (fun () -> if b.failed = None then b.failed <- Some e));
       Counter.inc t.tasks;
       Mutex.protect b.bm (fun () ->

@@ -327,4 +327,116 @@ let trace_payload traces =
       ("traces", Json.List (List.map one traces));
     ]
 
+(* ---- EXPLAIN / ANALYZE ------------------------------------------------- *)
+
+let explain_payload (x : Xr_batch.Plan.explain_search) =
+  let module P = Xr_batch.Plan in
+  let keyword k =
+    Json.Obj
+      [
+        ("keyword", Json.String k.P.ek_keyword);
+        ("id", Json.Int k.P.ek_id);
+        ("postings", Json.Int k.P.ek_postings);
+      ]
+  in
+  let parallel (p : P.explain_parallel) =
+    Json.Obj
+      [
+        ("estimate", Json.Float p.P.xp_estimate);
+        ("threshold", Json.Int p.P.xp_threshold);
+        ( "measured",
+          match p.P.xp_measured with Some c -> Json.Float c | None -> Json.Null );
+        ("grains", match p.P.xp_grains with Some g -> Json.Int g | None -> Json.Null);
+        ("pool_size", Json.Int p.P.xp_pool_size);
+        ("chunks_targeted", Json.Int p.P.xp_chunks);
+        ( "chunk_bounds",
+          Json.List (Array.to_list (Array.map (fun b -> Json.Int b) p.P.xp_chunk_bounds)) );
+        ( "cost_curve",
+          Json.List
+            (Array.to_list
+               (Array.map
+                  (fun (b, c) -> Json.List [ Json.Int b; Json.Float c ])
+                  p.P.xp_curve)) );
+      ]
+  in
+  Json.Obj
+    ([
+       ("kernel", Json.String x.P.x_kernel);
+       ("reason", Json.String x.P.x_reason);
+       ("algorithm", Json.String x.P.x_algorithm);
+       ("index_mode", Json.String x.P.x_index_mode);
+     ]
+    @ (match x.P.x_dag_kernel with
+      | Some k -> [ ("dag_kernel", Json.String k) ]
+      | None -> [])
+    @ [ ("keywords", Json.List (List.map keyword x.P.x_keywords)) ]
+    @ (match x.P.x_missing with
+      | [] -> []
+      | ks -> [ ("missing", Json.List (List.map (fun k -> Json.String k) ks)) ])
+    @ match x.P.x_parallel with Some p -> [ ("parallel", parallel p) ] | None -> [])
+
+let explain_refine_payload (x : Xr_batch.Plan.explain_refine) =
+  let module P = Xr_batch.Plan in
+  match explain_payload x.P.xr_search with
+  | Json.Obj fields ->
+    Json.Obj
+      (fields
+      @ [ ("rules", Json.List (List.map (fun r -> Json.String r) x.P.xr_rules)) ])
+  | j -> j
+
+let gc_delta_json (d : Xr_obs.Runtime.gc_delta) =
+  Json.Obj
+    [
+      ("minor_words", Json.Float d.Xr_obs.Runtime.d_minor_words);
+      ("promoted_words", Json.Float d.Xr_obs.Runtime.d_promoted_words);
+      ("major_words", Json.Float d.Xr_obs.Runtime.d_major_words);
+      ("allocated_words", Json.Float (Xr_obs.Runtime.allocated_words d));
+      ("minor_collections", Json.Int d.Xr_obs.Runtime.d_minor_collections);
+      ("major_collections", Json.Int d.Xr_obs.Runtime.d_major_collections);
+    ]
+
+(* Execution actuals for one ANALYZE render: stage in/out counts and
+   chunk drift from the collection channel, the handler-side GC delta,
+   the pool tasks' summed GC delta, and the completed child spans of
+   the surrounding trace (the root is still open while we render). *)
+let analyze_payload ~ms ~gc ~spans report =
+  let module A = Xr_obs.Analyze in
+  let module Tr = Xr_obs.Tracing in
+  let stage (s : A.stage) =
+    Json.Obj
+      [
+        ("stage", Json.String s.A.sg_name);
+        ("in", Json.Int s.A.sg_in);
+        ("out", Json.Int s.A.sg_out);
+      ]
+  in
+  let chunk (c : A.chunk) =
+    Json.Obj
+      [
+        ("chunk", Json.Int c.A.ck_index);
+        ("modeled_share", Json.Float c.A.ck_modeled);
+        ("measured_share", Json.Float c.A.ck_measured);
+        ("drift_ratio", Json.Float (c.A.ck_measured /. c.A.ck_modeled));
+        ("ms", Json.Float (c.A.ck_ns /. 1e6));
+      ]
+  in
+  let span (sp : Tr.span) =
+    Json.Obj
+      [
+        ("name", Json.String sp.Tr.name);
+        ("ms", Json.Float (Int64.to_float sp.Tr.dur_ns /. 1e6));
+        ("domain", Json.Int sp.Tr.domain);
+      ]
+  in
+  Json.Obj
+    [
+      ("ms", Json.Float ms);
+      ("stages", Json.List (List.map stage (A.stages report)));
+      ("chunks", Json.List (List.map chunk (A.chunks report)));
+      ("gc", gc_delta_json gc);
+      ("pool_tasks", Json.Int (A.tasks report));
+      ("pool_tasks_gc", gc_delta_json (A.task_gc report));
+      ("spans", Json.List (List.map span spans));
+    ]
+
 let error_payload msg = Json.Obj [ ("error", Json.String msg) ]

@@ -60,5 +60,30 @@ val stats_payload : ?pool:Json.t -> ?batch:Json.t -> Xr_index.Index.t -> Json.t
     nested span tree (name, duration, start offset, domain). *)
 val trace_payload : (int * Xr_obs.Tracing.span list) list -> Json.t
 
+(** [explain_payload x] renders a compiled-plan explanation as the
+    ["explain"] block of a /search (or /refine) response: kernel +
+    reason, algorithm, index mode (and dag dispatch), the keyword lists
+    in executed order with posting counts, and the parallel section
+    (estimate/threshold/measured cost, grain curve, chunk bounds). *)
+val explain_payload : Xr_batch.Plan.explain_search -> Json.t
+
+(** [explain_refine_payload x] is {!explain_payload} plus the
+    statically-pruned ["rules"] list. *)
+val explain_refine_payload : Xr_batch.Plan.explain_refine -> Json.t
+
+val gc_delta_json : Xr_obs.Runtime.gc_delta -> Json.t
+
+(** [analyze_payload ~ms ~gc ~spans report] renders one ANALYZE
+    render's actuals: wall time, per-stage candidates in/out, per-chunk
+    modeled-vs-measured cost shares with drift ratios, the handler-side
+    GC delta, the summed pool-task GC delta, and the completed child
+    spans of the surrounding trace. *)
+val analyze_payload :
+  ms:float ->
+  gc:Xr_obs.Runtime.gc_delta ->
+  spans:Xr_obs.Tracing.span list ->
+  Xr_obs.Analyze.report ->
+  Json.t
+
 (** [error_payload msg] is [{"error": msg}]. *)
 val error_payload : string -> Json.t

@@ -76,10 +76,12 @@ let class_slot status =
   let cls = (status / 100) - 1 in
   if cls >= 0 && cls < 5 then cls else 5
 
-let record t ~endpoint ~status ~ms =
+let record t ~endpoint ~status ~ms ?(trace_id = 0) () =
   let ep = endpoint_slot endpoint in
   Registry.Counter.inc t.req.(ep).(class_slot status);
-  Registry.Histogram.observe t.dur.(ep) ms
+  (* the landing bucket keeps the request's trace id as its exemplar,
+     so a fat tail bucket names a concrete /debug/trace?id= to pull *)
+  Registry.Histogram.observe ~trace_id t.dur.(ep) ms
 
 let record_shed t = Registry.Counter.inc t.shed
 

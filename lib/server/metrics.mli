@@ -17,8 +17,10 @@ val latency_buckets_ms : float array
 
 val started_at : t -> float
 
-(** [record t ~endpoint ~status ~ms] accounts one completed request. *)
-val record : t -> endpoint:string -> status:int -> ms:float -> unit
+(** [record t ~endpoint ~status ~ms ?trace_id ()] accounts one completed
+    request. A non-zero [trace_id] is kept as the latency bucket's
+    exemplar, linking the observation to [/debug/trace?id=]. *)
+val record : t -> endpoint:string -> status:int -> ms:float -> ?trace_id:int -> unit -> unit
 
 (** [record_shed t] accounts one connection refused by admission control. *)
 val record_shed : t -> unit

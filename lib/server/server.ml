@@ -126,6 +126,49 @@ let combined_cache_stats t =
     { Lru.hits = 0; misses = 0; entries = 0; evictions = 0; capacity = 0; shards = 0 }
     t.shards
 
+(* ---- request-scoped corpus attribution ---------------------------------- *)
+
+(* Which (corpus, generation, index mode) tuples a request was actually
+   served from — recorded at pin time in [shard_body], consumed by the
+   slow-query log so a slow line stays attributable after a publish has
+   swapped the index. Ambient like the tracing context; [fan_out]
+   re-installs it on pool domains. Only installed when the slow-query
+   log is armed, so normal serving never touches it. *)
+module Served = struct
+  type sink = { sm : Mutex.t; mutable items : (string * int * string) list }
+
+  let key : sink option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+  let current () = Domain.DLS.get key
+
+  let install s f =
+    match s with
+    | None -> f ()
+    | Some _ ->
+      let saved = Domain.DLS.get key in
+      Domain.DLS.set key s;
+      Fun.protect ~finally:(fun () -> Domain.DLS.set key saved) f
+
+  let with_sink f =
+    let s = { sm = Mutex.create (); items = [] } in
+    let saved = Domain.DLS.get key in
+    Domain.DLS.set key (Some s);
+    Fun.protect
+      ~finally:(fun () -> Domain.DLS.set key saved)
+      (fun () ->
+        let v = f () in
+        (v, List.rev s.items))
+
+  let note cname (gen : Generation.gen) =
+    match Domain.DLS.get key with
+    | None -> ()
+    | Some s ->
+      let mode = Index.mode_name (Index.mode gen.Generation.index) in
+      let item = (cname, gen.Generation.id, mode) in
+      Mutex.protect s.sm (fun () ->
+          if not (List.mem item s.items) then s.items <- item :: s.items)
+end
+
 (* ---- request handling --------------------------------------------------- *)
 
 let bad_request msg = Http.json_response ~status:400 (Api.error_payload msg)
@@ -173,32 +216,38 @@ let shard_members shard only =
    the cached body or renders [render pins] and caches it. The cached
    unit is the serialized body, so hits are byte-identical to the
    response that populated them. *)
-let shard_body shard members ~base_key ~render =
+let shard_body ?(cache = true) shard members ~base_key ~render =
   let pins = List.map (fun cs -> (cs, Generation.pin cs.gens)) members in
   Fun.protect
     ~finally:(fun () -> List.iter (fun (_, g) -> Generation.unpin g) pins)
   @@ fun () ->
+  List.iter (fun (cs, g) -> Served.note cs.cname g) pins;
   let gsig =
     String.concat ","
       (List.map (fun (_, g) -> string_of_int g.Generation.id) pins)
   in
   let key = Printf.sprintf "g%s|%s" gsig base_key in
-  match Xr_obs.Tracing.with_span "cache" (fun () -> Lru.find shard.cache key) with
-  | Some body -> (body, true)
-  | None -> (
-    match shard.flights with
-    | None ->
-      let body = render pins in
-      Lru.add shard.cache key body;
-      (body, false)
-    | Some flights ->
-      (* Single-flight on the generation-tagged key: every member of a
-         coalesced flight pinned the same generations (key equality),
-         so the leader's bytes answer all of them. Followers count as
-         cache hits — they were served without rendering. *)
-      let body, follower = Xr_batch.Coalesce.run flights ~key (fun () -> render pins) in
-      if not follower then Lru.add shard.cache key body;
-      (body, follower))
+  if not cache then
+    (* ANALYZE runs report fresh actuals: no cache read or write, no
+       coalescing onto another request's render. *)
+    (render pins, false)
+  else
+    match Xr_obs.Tracing.with_span "cache" (fun () -> Lru.find shard.cache key) with
+    | Some body -> (body, true)
+    | None -> (
+      match shard.flights with
+      | None ->
+        let body = render pins in
+        Lru.add shard.cache key body;
+        (body, false)
+      | Some flights ->
+        (* Single-flight on the generation-tagged key: every member of a
+           coalesced flight pinned the same generations (key equality),
+           so the leader's bytes answer all of them. Followers count as
+           cache hits — they were served without rendering. *)
+        let body, follower = Xr_batch.Coalesce.run flights ~key (fun () -> render pins) in
+        if not follower then Lru.add shard.cache key body;
+        (body, follower))
 
 (* Fan a computation out over the shards that serve this request. One
    shard runs inline; several go through the shared domain pool (the
@@ -209,10 +258,13 @@ let fan_out tasks =
   | tasks ->
     let n = Array.length tasks in
     let out = Array.make n None in
+    let sink = Served.current () in
     Xr_pool.run
       (Xr_pool.global ())
       (Array.mapi
-         (fun i task () -> out.(i) <- Some (try Ok (task ()) with e -> Error e))
+         (fun i task () ->
+           out.(i) <-
+             Some (try Ok (Served.install sink task) with e -> Error e))
          tasks);
     Array.map
       (function Some (Ok v) -> v | Some (Error e) -> raise e | None -> assert false)
@@ -229,7 +281,7 @@ let cache_headers hit =
    response body is exactly that payload; with several corpora each
    shard caches a JSON list of corpus-wrapped payloads and [merge]
    combines the parsed partials. *)
-let gather t req ~base_key ~render_one ~merge =
+let gather ?cache t req ~base_key ~render_one ~merge =
   match served_corpora t req with
   | Error resp -> resp
   | Ok only ->
@@ -241,7 +293,7 @@ let gather t req ~base_key ~render_one ~merge =
     if t.single then
       let shard, members = List.hd shards in
       let body, hit =
-        shard_body shard members ~base_key ~render:(fun pins ->
+        shard_body ?cache shard members ~base_key ~render:(fun pins ->
             let cs, gen = List.hd pins in
             Json.to_string (render_one cs gen) ^ "\n")
       in
@@ -262,7 +314,7 @@ let gather t req ~base_key ~render_one ~merge =
         fan_out
           (Array.of_list
              (List.map
-                (fun (shard, members) () -> shard_body shard members ~base_key ~render)
+                (fun (shard, members) () -> shard_body ?cache shard members ~base_key ~render)
                 shards))
       in
       let parsed =
@@ -367,6 +419,43 @@ let merge_complete ~prefix ~k parsed =
 
 (* ---- endpoint handlers ------------------------------------------------ *)
 
+(* Attach EXPLAIN (and ANALYZE) blocks to one corpus render. The plan
+   block is built first so its compile (and possible measure pass) is
+   not charged to the execution's GC delta; ANALYZE installs the
+   collection channel, times the render, and captures the handler-side
+   GC around exactly the computation. *)
+let with_introspection ~explain_p ~analyze ~explain compute =
+  if not explain_p then compute ()
+  else begin
+    let xfield = ("explain", explain ()) in
+    if not analyze then
+      match compute () with
+      | Json.Obj fields -> Json.Obj (fields @ [ xfield ])
+      | j -> j
+    else begin
+      let g0 = Xr_obs.Runtime.capture () in
+      let t0 = Xr_obs.Tracing.now_ns () in
+      let payload, report = Xr_obs.Analyze.with_report compute in
+      let ms = Int64.to_float (Int64.sub (Xr_obs.Tracing.now_ns ()) t0) /. 1e6 in
+      let gc = Xr_obs.Runtime.delta g0 in
+      let spans =
+        (* completed children of the open request trace: the per-stage
+           durations this render just produced *)
+        match Xr_obs.Tracing.current_trace_id () with
+        | 0 -> []
+        | tid ->
+          List.filter
+            (fun (s : Xr_obs.Tracing.span) -> s.Xr_obs.Tracing.parent_id <> 0)
+            (Xr_obs.Tracing.spans_of_trace tid)
+      in
+      match payload with
+      | Json.Obj fields ->
+        Json.Obj
+          (fields @ [ xfield; ("analyze", Api.analyze_payload ~ms ~gc ~spans report) ])
+      | j -> j
+    end
+  end
+
 let handle_search t req =
   let ( let* ) r f = match r with Error resp -> resp | Ok v -> f v in
   let* query = tokenized_query req in
@@ -377,40 +466,50 @@ let handle_search t req =
   | None -> bad_request (Printf.sprintf "unknown SLCA engine %s" alg_name)
   | Some slca ->
     let rank = bool_param req "rank" in
+    let analyze = bool_param req "analyze" in
+    let explain_p = bool_param req "explain" || analyze in
     let* limit = int_param req "limit" ~default:t.config.result_limit in
     let base_key =
-      Printf.sprintf "search|%s|%b|%d|%s" alg_name rank limit (String.concat " " query)
+      Printf.sprintf "search|%s|%b|%d|%s%s" alg_name rank limit (String.concat " " query)
+        (if explain_p then if analyze then "|analyze" else "|explain" else "")
     in
     let render_one cs (gen : Generation.gen) =
       let index = gen.Generation.index in
       let config = { Engine.default_config with Engine.slca } in
-      let slcas =
-        match cs.plans with
-        | None -> Engine.search ~config index query
-        | Some plans -> (
-          (* the generation id in the key scopes the plan to exactly the
-             pinned snapshot; a publish shifts the keyspace and the old
-             plans age out *)
-          let pkey =
-            Printf.sprintf "s|%d|%s|%s" gen.Generation.id alg_name
-              (String.concat " " query)
-          in
-          match
-            Xr_batch.Plan_cache.find_or_compile plans ~key:pkey (fun () ->
-                Xr_batch.Plan_cache.Search (Xr_batch.Plan.compile_search ~config index query))
-          with
-          | Xr_batch.Plan_cache.Search plan -> Xr_batch.Plan.run_search ~config plan index
-          | Xr_batch.Plan_cache.Refine _ -> Engine.search ~config index query)
+      let compute () =
+        let slcas =
+          match cs.plans with
+          | None -> Engine.search ~config index query
+          | Some plans -> (
+            (* the generation id in the key scopes the plan to exactly the
+               pinned snapshot; a publish shifts the keyspace and the old
+               plans age out *)
+            let pkey =
+              Printf.sprintf "s|%d|%s|%s" gen.Generation.id alg_name
+                (String.concat " " query)
+            in
+            match
+              Xr_batch.Plan_cache.find_or_compile plans ~key:pkey (fun () ->
+                  Xr_batch.Plan_cache.Search (Xr_batch.Plan.compile_search ~config index query))
+            with
+            | Xr_batch.Plan_cache.Search plan -> Xr_batch.Plan.run_search ~config plan index
+            | Xr_batch.Plan_cache.Refine _ -> Engine.search ~config index query)
+        in
+        let entries =
+          if rank then
+            let ids = List.filter_map (Xr_xml.Doc.keyword_id index.Index.doc) query in
+            Xr_slca.Result_rank.rank index.Index.stats ~query:ids slcas
+          else List.map (fun d -> (d, 0.)) slcas
+        in
+        Api.search_payload index ~query ~ranked:rank ~limit entries
       in
-      let entries =
-        if rank then
-          let ids = List.filter_map (Xr_xml.Doc.keyword_id index.Index.doc) query in
-          Xr_slca.Result_rank.rank index.Index.stats ~query:ids slcas
-        else List.map (fun d -> (d, 0.)) slcas
-      in
-      Api.search_payload index ~query ~ranked:rank ~limit entries
+      with_introspection ~explain_p ~analyze
+        ~explain:(fun () ->
+          Api.explain_payload (Xr_batch.Plan.explain_search ~config index query))
+        compute
     in
-    gather t req ~base_key ~render_one ~merge:(merge_search t ~query ~ranked:rank ~limit)
+    gather ~cache:(not analyze) t req ~base_key ~render_one
+      ~merge:(merge_search t ~query ~ranked:rank ~limit)
 
 let handle_refine t req =
   let ( let* ) r f = match r with Error resp -> resp | Ok v -> f v in
@@ -423,33 +522,42 @@ let handle_refine t req =
   | Some algorithm ->
     let* k = int_param req "k" ~default:3 in
     let* limit = int_param req "limit" ~default:t.config.result_limit in
+    let analyze = bool_param req "analyze" in
+    let explain_p = bool_param req "explain" || analyze in
     let base_key =
-      Printf.sprintf "refine|%s|%d|%d|%s" alg_name k limit (String.concat " " query)
+      Printf.sprintf "refine|%s|%d|%d|%s%s" alg_name k limit (String.concat " " query)
+        (if explain_p then if analyze then "|analyze" else "|explain" else "")
     in
     let render_one cs (gen : Generation.gen) =
       let index = gen.Generation.index in
       let config = { Engine.default_config with Engine.k; algorithm } in
-      let resp =
-        match cs.plans with
-        | None -> Engine.refine ~config index query
-        | Some plans -> (
-          (* the compiled rule list depends only on the query and the
-             generation — not on [k] or the refinement algorithm — so
-             one plan serves every (k, alg) combination *)
-          let pkey =
-            Printf.sprintf "r|%d|%s" gen.Generation.id (String.concat " " query)
-          in
-          match
-            Xr_batch.Plan_cache.find_or_compile plans ~key:pkey (fun () ->
-                Xr_batch.Plan_cache.Refine (Xr_batch.Plan.compile_refine ~config index query))
-          with
-          | Xr_batch.Plan_cache.Refine plan ->
-            Xr_batch.Plan.run_refine ~config plan index query
-          | Xr_batch.Plan_cache.Search _ -> Engine.refine ~config index query)
+      let compute () =
+        let resp =
+          match cs.plans with
+          | None -> Engine.refine ~config index query
+          | Some plans -> (
+            (* the compiled rule list depends only on the query and the
+               generation — not on [k] or the refinement algorithm — so
+               one plan serves every (k, alg) combination *)
+            let pkey =
+              Printf.sprintf "r|%d|%s" gen.Generation.id (String.concat " " query)
+            in
+            match
+              Xr_batch.Plan_cache.find_or_compile plans ~key:pkey (fun () ->
+                  Xr_batch.Plan_cache.Refine (Xr_batch.Plan.compile_refine ~config index query))
+            with
+            | Xr_batch.Plan_cache.Refine plan ->
+              Xr_batch.Plan.run_refine ~config plan index query
+            | Xr_batch.Plan_cache.Search _ -> Engine.refine ~config index query)
+        in
+        Api.refine_payload index ~query ~limit resp
       in
-      Api.refine_payload index ~query ~limit resp
+      with_introspection ~explain_p ~analyze
+        ~explain:(fun () ->
+          Api.explain_refine_payload (Xr_batch.Plan.explain_refine ~config index query))
+        compute
     in
-    gather t req ~base_key ~render_one ~merge:(merge_by_corpus t ~query)
+    gather ~cache:(not analyze) t req ~base_key ~render_one ~merge:(merge_by_corpus t ~query)
 
 let handle_suggest t req =
   let ( let* ) r f = match r with Error resp -> resp | Ok v -> f v in
@@ -583,11 +691,24 @@ let handle t (req : Http.request) =
         (Metrics.snapshot t.server_metrics ~queue_depth:(Pool.depth t.pool)
            ~workers:(Pool.domains t.pool) ~cache:(combined_cache_stats t))
     | "/debug/trace" -> (
-      match int_param req "last" ~default:16 with
-      | Error resp -> resp
-      | Ok last ->
-        let last = min (max last 0) 256 in
-        Http.json_response (Api.trace_payload (Xr_obs.Tracing.recent_traces last)))
+      match Http.query_param req "id" with
+      | Some id -> (
+        (* exact-trace lookup: the path exemplars and slow-query log
+           lines point at *)
+        match int_of_string_opt id with
+        | None -> bad_request "parameter id must be an integer"
+        | Some tid -> (
+          match Xr_obs.Tracing.spans_of_trace tid with
+          | [] ->
+            Http.json_response ~status:404
+              (Api.error_payload (Printf.sprintf "no recorded trace %d" tid))
+          | spans -> Http.json_response (Api.trace_payload [ (tid, spans) ])))
+      | None -> (
+        match int_param req "last" ~default:16 with
+        | Error resp -> resp
+        | Ok last ->
+          let last = min (max last 0) 256 in
+          Http.json_response (Api.trace_payload (Xr_obs.Tracing.recent_traces last))))
     | "/stats" -> handle_stats t
     | "/search" -> handle_search t req
     | "/refine" -> handle_refine t req
@@ -616,12 +737,12 @@ let internal_error = Http.json_response ~status:500 (Api.error_payload "internal
 
 (* One structured line per offending request, with its span breakdown
    inlined so the evidence survives ring-buffer eviction. *)
-let log_slow_query t req status trace_id ms =
+let log_slow_query t req status trace_id ms corpora =
   let threshold = t.config.slow_query_ms in
   if threshold > 0. && ms >= threshold then begin
     let spans = if trace_id = 0 then [] else Xr_obs.Tracing.spans_of_trace trace_id in
     let line =
-      Xr_obs.Slowlog.render ~endpoint:req.Http.path ~status ~ms ~trace_id spans
+      Xr_obs.Slowlog.render ~endpoint:req.Http.path ~status ~ms ~trace_id ~corpora spans
     in
     Mutex.protect t.log_lock (fun () -> Printf.eprintf "%s\n%!" line)
   end
@@ -662,15 +783,18 @@ let handle_conn t conn =
           close ())
         | Ok req -> (
           let t0 = Unix.gettimeofday () in
-          let resp, trace_id =
+          let (resp, corpora), trace_id =
             Xr_obs.Tracing.with_trace "request" (fun () ->
-                try handle t req with _ -> internal_error)
+                if t.config.slow_query_ms > 0. then
+                  Served.with_sink (fun () -> try handle t req with _ -> internal_error)
+                else ((try handle t req with _ -> internal_error), []))
           in
           let ms = (Unix.gettimeofday () -. t0) *. 1000. in
           let ka = Http.keep_alive req && served + 1 < t.config.keepalive_requests in
-          Metrics.record t.server_metrics ~endpoint:req.Http.path ~status:resp.Http.status ~ms;
+          Metrics.record t.server_metrics ~endpoint:req.Http.path ~status:resp.Http.status
+            ~ms ~trace_id ();
           log_request t req resp.Http.status ms;
-          log_slow_query t req resp.Http.status trace_id ms;
+          log_slow_query t req resp.Http.status trace_id ms corpora;
           match Http.write_all conn.fd (Http.serialize ~keep_alive:ka resp) with
           | () -> if ka then serve (served + 1) else close ()
           | exception Unix.Unix_error _ -> close ())
@@ -721,6 +845,7 @@ let bind_socket addr =
    process re-points the series at the live instance. *)
 let register_observability t =
   let module Reg = Xr_obs.Registry in
+  Xr_obs.Runtime.register ();
   let gauge name help = Reg.Gauge.no_labels (Reg.Gauge.family ~name ~help ()) in
   let pull_gauge name help f = Reg.Gauge.set_pull (gauge name help) f in
   let pull_counter name help f =

@@ -57,6 +57,19 @@ let fallbacks () = Xr_obs.Registry.Counter.value fallbacks_h
 
 let note_fallback () = Xr_obs.Registry.Counter.inc fallbacks_h
 
+(* Estimate-vs-actual audit of the chunking cost model: per chunk, the
+   share of measured wall time over the share of modeled cost. A
+   well-calibrated model keeps the ratio near 1; sustained mass in the
+   outer buckets means the splits are systematically lopsided. *)
+let drift_h =
+  Xr_obs.Registry.Histogram.no_labels
+    (Xr_obs.Registry.Histogram.family ~name:"xr_cost_model_drift_ratio"
+       ~help:
+         "Per-chunk measured wall-time share over modeled cost share of cost-modeled \
+          parallel scans (1.0 = the model predicted this chunk's weight exactly)"
+       ~buckets:[| 0.25; 0.5; 0.75; 0.9; 1.1; 1.25; 1.5; 2.; 4. |]
+       ())
+
 (* The merge: the same held-candidate automaton as the scan kernel's
    inner prune, over already-materialized labels. *)
 let prune_merge (chunks : Dewey.t list array) =
@@ -130,6 +143,49 @@ type masses = {
 let total_cost m = m.m_cost.(Array.length m.m_cost - 1)
 
 let grain_count m = Array.length m.m_bounds - 1
+
+let grain_bounds m = Array.copy m.m_bounds
+
+let cost_curve m = Array.copy m.m_cost
+
+(* Cumulative modeled cost at driver index [b], interpolating inside a
+   grain. Split points from [chunk_bounds] land exactly on grain
+   boundaries, so on the audit path this is a lookup. *)
+let cost_at m b =
+  let g = Array.length m.m_bounds - 1 in
+  if b <= m.m_bounds.(0) then 0.
+  else if b >= m.m_bounds.(g) then m.m_cost.(g)
+  else begin
+    let i = ref 1 in
+    while m.m_bounds.(!i) < b do
+      incr i
+    done;
+    let i = !i in
+    if m.m_bounds.(i) = b then m.m_cost.(i)
+    else begin
+      let b0 = m.m_bounds.(i - 1) and b1 = m.m_bounds.(i) in
+      let frac = float_of_int (b - b0) /. float_of_int (b1 - b0) in
+      m.m_cost.(i - 1) +. (frac *. (m.m_cost.(i) -. m.m_cost.(i - 1)))
+    end
+  end
+
+(* Feed the drift histogram (and the ambient ANALYZE report, if one is
+   active) from a completed cost-modeled chunk run. Runs on the caller
+   domain after the join — nothing here is on the chunk hot path. *)
+let audit_drift m bounds times =
+  let total_ns = Array.fold_left ( +. ) 0. times in
+  let total = total_cost m in
+  if total_ns > 0. && total > 0. then
+    Array.iteri
+      (fun i t ->
+        let modeled = (cost_at m bounds.(i + 1) -. cost_at m bounds.(i)) /. total in
+        let measured = t /. total_ns in
+        if modeled > 0. then begin
+          Xr_obs.Registry.Histogram.observe drift_h (measured /. modeled);
+          Xr_obs.Analyze.note_chunk
+            { ck_index = i; ck_modeled = modeled; ck_measured = measured; ck_ns = t }
+        end)
+      times
 
 let default_grains = 64
 
@@ -229,19 +285,27 @@ let compute_ranges ?pool ?chunks ?threshold:thr ?masses (lists : (P.t * int * in
            here too ([lists] re-sorts to the same driver) *)
         Scan_packed.compute_ranges lists
       in
-      let run_chunked pool bounds =
+      let run_chunked ?masses pool bounds =
         let nchunks = Array.length bounds - 1 in
         if nchunks <= 1 then sequential ()
         else begin
           let slots = Array.make nchunks [] in
+          let times = Array.make nchunks 0. in
           Xr_pool.run pool
             (Array.init nchunks (fun i ->
                  fun () ->
                   Xr_obs.Tracing.with_span "pool.chunk" (fun () ->
+                      (* two clock reads per ≥2k-cost chunk: noise
+                         against the scan, and what makes the drift
+                         audit free to leave always-on *)
+                      let t0 = Xr_obs.Tracing.now_ns () in
                       slots.(i) <-
                         Scan_packed.scan_chunk ~preseek:(i > 0)
                           ~driver:(driver, bounds.(i), bounds.(i + 1))
-                          ~others ())));
+                          ~others ();
+                      times.(i) <-
+                        Int64.to_float (Int64.sub (Xr_obs.Tracing.now_ns ()) t0))));
+          (match masses with Some m -> audit_drift m bounds times | None -> ());
           Xr_obs.Tracing.with_span "slca.merge" (fun () -> prune_merge slots)
         end
       in
@@ -267,7 +331,9 @@ let compute_ranges ?pool ?chunks ?threshold:thr ?masses (lists : (P.t * int * in
             in
             let cost = total_cost m in
             if cost < float_of_int thr then sequential ()
-            else run_chunked pool (chunk_bounds m ~chunks:(auto_chunks ~pool_size:size ~total_cost:cost))
+            else
+              run_chunked ~masses:m pool
+                (chunk_bounds m ~chunks:(auto_chunks ~pool_size:size ~total_cost:cost))
           end
         end )
 

@@ -69,6 +69,14 @@ val total_cost : masses -> float
 
 val grain_count : masses -> int
 
+val grain_bounds : masses -> int array
+(** The grain grid: driver entry indices, strictly increasing, first =
+    range start, last = range end (a copy — EXPLAIN renders it). *)
+
+val cost_curve : masses -> float array
+(** Cumulative modeled cost at each grain boundary (a copy, same
+    length as {!grain_bounds}; last element = {!total_cost}). *)
+
 val chunk_bounds : masses -> chunks:int -> int array
 (** [chunk_bounds m ~chunks] is a partition of the measured driver
     range [[| b0; ...; bn |]] ([b0] = range start, [bn] = range end,

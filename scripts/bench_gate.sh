@@ -34,8 +34,10 @@
 # `byte_identical` = true (batching must never change a response body).
 # The slca bench additionally records `tracing_off_overhead_pct` — the
 # cost of the observability instrumentation with tracing disabled,
-# measured against the bare kernel in the same run — which is gated at
-# <= 2.0 in both the committed and the fresh file.
+# measured against the bare kernel in the same run — and
+# `analyze_off_overhead_pct` — the cost of the ANALYZE collection
+# machinery (pool-task wrapper + guarded stage notes) with no report
+# active. Both are gated at <= 2.0 in the committed and the fresh file.
 # The dag bench (BENCH_dag.json) gates the compression claim: the dblp
 # `bytes_per_node_ratio` (dag/flat) must stay <= 0.5 in the committed
 # full-size baseline and <= 0.6 in the fresh --smoke run (the 300-pub
@@ -240,9 +242,10 @@ if bad:
 EOF
 }
 
-# check_overhead FILE LABEL: tracing_off_overhead_pct must be present
-# and <= 2.0 — instrumentation with tracing disabled must stay within 2%
-# of the bare kernel.
+# check_overhead FILE LABEL: tracing_off_overhead_pct and
+# analyze_off_overhead_pct must be present and <= 2.0 — instrumentation
+# with tracing disabled, and the ANALYZE machinery with no report
+# active, must each stay within 2% of the bare kernel.
 check_overhead() {
   python3 - "$1" "$2" <<'EOF'
 import json, sys
@@ -255,13 +258,17 @@ except (OSError, ValueError) as e:
     print(f"bench-gate: FAIL - {label}: cannot read {path}: {e}", file=sys.stderr)
     sys.exit(1)
 
-pct = doc.get("tracing_off_overhead_pct")
-if not isinstance(pct, (int, float)):
-    print(f"bench-gate: FAIL - {label}: no tracing_off_overhead_pct in {path}", file=sys.stderr)
-    sys.exit(1)
-print(f"bench-gate: {label}: tracing_off_overhead_pct = {pct:+.2f}%")
-if pct > 2.0:
-    print(f"bench-gate: FAIL - {label}: tracing-off overhead {pct:.2f}% > 2.0%", file=sys.stderr)
+bad = False
+for key in ("tracing_off_overhead_pct", "analyze_off_overhead_pct"):
+    pct = doc.get(key)
+    if not isinstance(pct, (int, float)):
+        print(f"bench-gate: FAIL - {label}: no {key} in {path}", file=sys.stderr)
+        sys.exit(1)
+    print(f"bench-gate: {label}: {key} = {pct:+.2f}%")
+    if pct > 2.0:
+        print(f"bench-gate: FAIL - {label}: {key} {pct:.2f}% > 2.0%", file=sys.stderr)
+        bad = True
+if bad:
     sys.exit(1)
 EOF
 }

@@ -1,10 +1,12 @@
 #!/bin/sh
 # Prometheus exposition smoke check: generate a scratch corpus, start
 # `xrefine serve`, drive a few requests, then fetch /metrics and validate
-# the text exposition with a small parser — content type, line grammar,
+# the text exposition with a small parser — content type, line grammar
+# (including the trace-id exemplar suffix on histogram buckets),
 # TYPE-before-samples ordering, histogram bucket monotonicity, and the
-# presence of the core xr_* families. Also asserts /metrics.json still
-# parses as JSON with an application/json content type.
+# presence of the core xr_* families (request, cache, pool, GC, and
+# cost-model-drift). Also asserts /metrics.json still parses as JSON
+# with an application/json content type.
 #
 # Usage:
 #   scripts/check_metrics.sh            # builds with dune, random-ish port
@@ -89,12 +91,17 @@ path = sys.argv[1]
 with open(path) as f:
     lines = f.read().split("\n")
 
-# name{labels} value  — labels optional; value is a prometheus float.
+# name{labels} value [exemplar] — labels optional; value is a
+# prometheus float; the optional exemplar (' # {trace_id="N"} value')
+# is only legal on _bucket samples (0.0.4 scrapers read it as a
+# comment; OpenMetrics scrapers resolve the trace id).
+FLOAT = r'-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?'
 SAMPLE = re.compile(
     r'^([a-zA-Z_:][a-zA-Z0-9_:]*)'
     r'(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
     r'(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})?'
-    r' (-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?|[+-]Inf|NaN)$')
+    r' (' + FLOAT + r'|[+-]Inf|NaN)'
+    r'( # \{trace_id="[1-9]\d*"\} ' + FLOAT + r')?$')
 HELP = re.compile(r'^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) .*$')
 TYPE = re.compile(r'^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$')
 
@@ -122,6 +129,8 @@ for i, line in enumerate(lines):
     if not m:
         fail(f"line {i+1}: malformed sample line: {line!r}")
     name, labels, value = m.group(1), m.group(2) or "", m.group(3)
+    if m.group(4) and not name.endswith("_bucket"):
+        fail(f"line {i+1}: exemplar on a non-bucket sample: {line!r}")
     family = base_of(name)
     if family not in types and name not in types:
         fail(f"line {i+1}: sample {name} has no preceding TYPE line")
@@ -180,10 +189,28 @@ required = [
     "xr_queue_depth",
     "xr_index_postings",
     "xr_pool_tasks_total",
+    "xr_gc_heap_words",
+    "xr_gc_major_heap_words",
+    "xr_gc_minor_collections_total",
+    "xr_gc_major_collections_total",
+    "xr_gc_compactions_total",
+    "xr_gc_minor_words_total",
+    "xr_gc_promoted_words_total",
+    "xr_gc_allocated_words_total",
+    "xr_cost_model_drift_ratio",
 ]
 for fam in required:
     if fam not in types:
         fail(f"required family {fam} missing from /metrics")
+
+# The request-latency histogram must carry at least one exemplar after
+# the warm-up traffic (every non-zero trace id is recorded
+# last-writer-wins into its landing bucket).
+with open(path) as f:
+    text = f.read()
+if not re.search(r'^xr_http_request_duration_ms_bucket\{[^}]*\} \d+ # \{trace_id="\d+"\}',
+                 text, re.M):
+    fail("no exemplar on any xr_http_request_duration_ms bucket")
 
 print(f"check-metrics: exposition ok ({len(types)} families, "
       f"{sum(len(v) for v in samples.values())} samples)")

@@ -493,6 +493,126 @@ let test_e2e_malformed_gets_400 () =
           | Ok (status, _, _) -> check Alcotest.int "malformed is 400" 400 status
           | Error e -> Alcotest.failf "read: %s" (Http.error_to_string e)))
 
+(* ---- explain / analyze / trace lookup --------------------------------------- *)
+
+let test_e2e_introspection () =
+  let config =
+    { Server.default_config with Server.addr = Server.Tcp ("127.0.0.1", 0); domains = 1; log = false }
+  in
+  with_server config (fun _server port ->
+      let member2 k1 k2 v = Option.bind (Json.member k1 v) (Json.member k2) in
+      (* explain=1 appends the compiled-plan block to a normal response. *)
+      let status, _, body = get_closing port "/search?q=database+title&explain=1" in
+      check Alcotest.int "explain 200" 200 status;
+      let v = match Json.of_string body with Ok v -> v | Error e -> Alcotest.fail e in
+      check Alcotest.bool "results still rendered" true
+        (match Json.member "results" v with Some (Json.List (_ :: _)) -> true | _ -> false);
+      (match member2 "explain" "kernel" v with
+      | Some (Json.String k) -> check Alcotest.bool "kernel named" true (k <> "")
+      | _ -> Alcotest.fail "explain.kernel missing");
+      (match member2 "explain" "keywords" v with
+      | Some (Json.List (_ :: _)) -> ()
+      | _ -> Alcotest.fail "explain.keywords missing");
+      (* The explain payload is byte-identical to the library's own
+         compilation of the same query. *)
+      let expected =
+        Json.to_string (Api.explain_payload (Xr_batch.Plan.explain_search (Lazy.force fig1) [ "database"; "title" ]))
+      in
+      (match Json.member "explain" v with
+      | Some x -> check Alcotest.string "explain = library compile" expected (Json.to_string x)
+      | None -> Alcotest.fail "explain block missing");
+      (* analyze=1 implies explain and adds actuals: stages with
+         candidate counts, the GC delta, the pool-task fold. *)
+      let status, _, body = get_closing port "/search?q=database+title&analyze=1" in
+      check Alcotest.int "analyze 200" 200 status;
+      let v = match Json.of_string body with Ok v -> v | Error e -> Alcotest.fail e in
+      check Alcotest.bool "analyze implies explain" true (Json.member "explain" v <> None);
+      (match member2 "analyze" "stages" v with
+      | Some (Json.List (_ :: _ as stages)) ->
+        check Alcotest.bool "stage names present" true
+          (List.for_all
+             (fun s -> match Json.member "stage" s with Some (Json.String _) -> true | _ -> false)
+             stages)
+      | _ -> Alcotest.fail "analyze.stages missing or empty");
+      (match member2 "analyze" "gc" v with
+      | Some gc ->
+        check Alcotest.bool "gc delta has allocated_words" true
+          (match Json.member "allocated_words" gc with Some (Json.Float _) -> true | _ -> false)
+      | None -> Alcotest.fail "analyze.gc missing");
+      (* ANALYZE bypasses the result cache, so the body must match the
+         cacheable render it would otherwise shadow. *)
+      let _, _, plain = get_closing port "/search?q=database+title" in
+      let plain_v = match Json.of_string plain with Ok v -> v | Error e -> Alcotest.fail e in
+      check Alcotest.bool "analyzed results = plain results" true
+        (Json.member "results" v = Json.member "results" plain_v);
+      (* /debug/trace?id= retrieves one trace; unknown and malformed ids
+         answer 404/400 with a JSON error. *)
+      let status, _, body = get_closing port "/debug/trace?id=999999" in
+      check Alcotest.int "unknown trace is 404" 404 status;
+      (match Json.of_string body with
+      | Ok e -> check Alcotest.bool "404 body is error JSON" true (Json.member "error" e <> None)
+      | Error e -> Alcotest.failf "404 body not JSON: %s" e);
+      let status, _, _ = get_closing port "/debug/trace?id=wat" in
+      check Alcotest.int "malformed trace id is 400" 400 status;
+      (* An id captured from a latency exemplar resolves to its spans. *)
+      let _, _, prom = get_closing port "/metrics" in
+      let contains hay needle =
+        let n = String.length needle and len = String.length hay in
+        let rec scan i = i + n <= len && (String.sub hay i n = needle || scan (i + 1)) in
+        scan 0
+      in
+      check Alcotest.bool "duration bucket carries exemplar" true
+        (contains prom "xr_http_request_duration_ms_bucket{endpoint=\"/search\""
+        && contains prom "# {trace_id=\"");
+      check Alcotest.bool "gc families exported" true
+        (contains prom "# TYPE xr_gc_heap_words gauge"
+        && contains prom "# TYPE xr_gc_allocated_words_total counter");
+      let tid =
+        let marker = "# {trace_id=\"" in
+        let rec find i =
+          if i + String.length marker > String.length prom then Alcotest.fail "no exemplar"
+          else if String.sub prom i (String.length marker) = marker then begin
+            let j = ref (i + String.length marker) in
+            while prom.[!j] <> '"' do incr j done;
+            int_of_string (String.sub prom (i + String.length marker) (!j - i - String.length marker))
+          end
+          else find (i + 1)
+        in
+        find 0
+      in
+      let status, _, body = get_closing port (Printf.sprintf "/debug/trace?id=%d" tid) in
+      check Alcotest.int "exemplar trace resolves" 200 status;
+      match Json.of_string body with
+      | Ok v ->
+        check Alcotest.bool "trace document has spans" true
+          (match Json.member "traces" v with Some (Json.List (_ :: _)) -> true | _ -> false)
+      | Error e -> Alcotest.failf "trace body not JSON: %s" e)
+
+(* The slow-query line carries the serving attribution (corpus,
+   generation, index mode) next to the trace id and spans. *)
+let test_slowlog_corpora () =
+  let line =
+    Xr_obs.Slowlog.render ~endpoint:"/search" ~status:200 ~ms:12.5 ~trace_id:3
+      ~corpora:[ ("dblp", 4, "dag") ] []
+  in
+  let contains needle =
+    let n = String.length needle and len = String.length line in
+    let rec scan i = i + n <= len && (String.sub line i n = needle || scan (i + 1)) in
+    scan 0
+  in
+  check Alcotest.bool "corpora field rendered" true
+    (contains {|"corpora":[{"corpus":"dblp","generation":4,"index":"dag"}]|});
+  check Alcotest.bool "trace id rendered" true (contains {|"trace":3|});
+  let bare =
+    Xr_obs.Slowlog.render ~endpoint:"/health" ~status:200 ~ms:1. ~trace_id:0 []
+  in
+  let bare_contains needle =
+    let n = String.length needle and len = String.length bare in
+    let rec scan i = i + n <= len && (String.sub bare i n = needle || scan (i + 1)) in
+    scan 0
+  in
+  check Alcotest.bool "no corpora field when empty" false (bare_contains {|"corpora"|})
+
 (* ---- api payload sanity ---------------------------------------------------- *)
 
 let test_api_payloads () =
@@ -568,5 +688,7 @@ let () =
           Alcotest.test_case "socket round-trip, cache, errors" `Quick test_e2e_roundtrip;
           Alcotest.test_case "keep-alive and 405" `Quick test_e2e_keepalive_and_405;
           Alcotest.test_case "malformed request over socket" `Quick test_e2e_malformed_gets_400;
+          Alcotest.test_case "explain/analyze/trace lookup" `Quick test_e2e_introspection;
+          Alcotest.test_case "slow-query corpora field" `Quick test_slowlog_corpora;
         ] );
     ]
